@@ -1,0 +1,26 @@
+//! Allocation policies: the paper's baselines, its optimal policy, and the
+//! eight evaluation methods of its Fig. 4.
+//!
+//! An energy control policy decides three things (paper §IV-B):
+//!
+//! * **load distribution** — *Even* (standard load balancing), *Bottom-up*
+//!   (Bash & Forman's cool job allocation: fill the machines in the coolest
+//!   spots first), or *Optimal* (the closed form of `coolopt-core`);
+//! * **AC temperature** — either a static set point chosen so full load is
+//!   safe (*no AC control*), or per-load set-point selection through the
+//!   calibrated `T_SP ↔ T_ac` mapping (*AC control*);
+//! * **consolidation** — whether unloaded machines are powered off.
+//!
+//! [`Planner`] turns a [`Method`] and a total load into an
+//! [`AllocationPlan`] that an experiment harness (or a real deployment) can
+//! apply to the room.
+
+#![warn(missing_docs)]
+
+pub mod methods;
+pub mod plan;
+pub mod strategies;
+
+pub use methods::{fig4_matrix, Method, Strategy};
+pub use plan::{AllocationPlan, Planner, PolicyError};
+pub use strategies::{bottom_up_loads, coolness_order, even_loads};

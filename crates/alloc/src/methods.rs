@@ -1,0 +1,177 @@
+//! The evaluation scenarios of the paper's Fig. 4.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How load is spread over machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Total load divided equally — "the standard load balancing practice".
+    Even,
+    /// Cool job allocation (Bash & Forman): "filling machines up, coolest
+    /// first"; on the paper's rack (and ours) the coolest spots are at the
+    /// bottom, hence the name.
+    BottomUp,
+    /// The paper's closed-form optimal distribution.
+    Optimal,
+    /// Computing and cooling optimized *separately* — the anti-pattern the
+    /// paper's introduction argues against: first minimize computing power
+    /// alone (run the fewest machines, `⌈L⌉`, chosen thermally blind), then
+    /// minimize cooling for whatever thermal mess that produced. Used by
+    /// the ablation study; not one of Fig. 4's numbered methods.
+    SeparateOpt,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Strategy::Even => "Even",
+            Strategy::BottomUp => "Bottom-up",
+            Strategy::Optimal => "Optimal",
+            Strategy::SeparateOpt => "Separate-opt",
+        })
+    }
+}
+
+/// One evaluation scenario: a strategy plus the two binary knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Method {
+    /// Load-distribution strategy.
+    pub strategy: Strategy,
+    /// Whether the AC set point tracks the load (AC control).
+    pub ac_control: bool,
+    /// Whether unloaded machines are powered off.
+    pub consolidation: bool,
+}
+
+impl Method {
+    /// Creates an arbitrary scenario (Fig. 8 uses Even + consolidation,
+    /// which Fig. 4 does not number).
+    pub fn new(strategy: Strategy, ac_control: bool, consolidation: bool) -> Self {
+        Method {
+            strategy,
+            ac_control,
+            consolidation,
+        }
+    }
+
+    /// The paper's numbered method `1..=8` (Fig. 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics for numbers outside `1..=8`.
+    pub fn numbered(n: u8) -> Method {
+        match n {
+            1 => Method::new(Strategy::Even, false, false),
+            2 => Method::new(Strategy::BottomUp, false, false),
+            3 => Method::new(Strategy::BottomUp, false, true),
+            4 => Method::new(Strategy::Even, true, false),
+            5 => Method::new(Strategy::BottomUp, true, false),
+            6 => Method::new(Strategy::Optimal, true, false),
+            7 => Method::new(Strategy::BottomUp, true, true),
+            8 => Method::new(Strategy::Optimal, true, true),
+            other => panic!("the paper defines methods 1..=8, got {other}"),
+        }
+    }
+
+    /// The number Fig. 4 gives this scenario, if any.
+    pub fn number(&self) -> Option<u8> {
+        (1..=8).find(|&n| Method::numbered(n) == *self)
+    }
+
+    /// All eight numbered methods, in order.
+    pub fn all() -> Vec<Method> {
+        (1..=8).map(Method::numbered).collect()
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(n) = self.number() {
+            write!(f, "#{n} ")?;
+        }
+        write!(
+            f,
+            "{} [{}, {}]",
+            self.strategy,
+            if self.ac_control { "AC control" } else { "no AC control" },
+            if self.consolidation {
+                "consolidation"
+            } else {
+                "no consolidation"
+            }
+        )
+    }
+}
+
+/// Renders the Fig. 4 scenario matrix as ASCII.
+pub fn fig4_matrix() -> String {
+    let mut out = String::from(
+        "Figure 4: evaluation scenarios\n\
+         AC control | Consolidation | Strategy   | #\n",
+    );
+    out.push_str(&"-".repeat(48));
+    out.push('\n');
+    for m in Method::all() {
+        out.push_str(&format!(
+            "{:<10} | {:<13} | {:<10} | {}\n",
+            if m.ac_control { "yes" } else { "no" },
+            if m.consolidation { "yes" } else { "no" },
+            m.strategy.to_string(),
+            m.number().expect("all() yields numbered methods"),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_eight_methods_match_fig4() {
+        let all = Method::all();
+        assert_eq!(all.len(), 8);
+        // Spot checks straight from the figure.
+        assert_eq!(all[0], Method::new(Strategy::Even, false, false));
+        assert_eq!(all[6], Method::new(Strategy::BottomUp, true, true));
+        assert_eq!(all[7], Method::new(Strategy::Optimal, true, true));
+        // No optimal strategy without AC control (the optimum chooses T_ac).
+        assert!(!all
+            .iter()
+            .any(|m| m.strategy == Strategy::Optimal && !m.ac_control));
+    }
+
+    #[test]
+    fn numbering_round_trips() {
+        for n in 1..=8 {
+            assert_eq!(Method::numbered(n).number(), Some(n));
+        }
+        // The unnumbered Even+consolidation scenario of Fig. 8.
+        assert_eq!(Method::new(Strategy::Even, true, true).number(), None);
+        // The separate-optimization ablation scenario is unnumbered too.
+        let sep = Method::new(Strategy::SeparateOpt, true, true);
+        assert_eq!(sep.number(), None);
+        assert!(sep.to_string().contains("Separate-opt"));
+    }
+
+    #[test]
+    #[should_panic(expected = "methods 1..=8")]
+    fn out_of_range_number_panics() {
+        Method::numbered(9);
+    }
+
+    #[test]
+    fn matrix_mentions_every_method() {
+        let s = fig4_matrix();
+        for n in 1..=8 {
+            assert!(s.contains(&format!(" {n}\n")), "missing method {n}:\n{s}");
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Method::numbered(7).to_string();
+        assert!(s.contains("#7") && s.contains("Bottom-up") && s.contains("consolidation"));
+    }
+}

@@ -1,0 +1,124 @@
+//! The baseline load-distribution strategies.
+
+use coolopt_model::RoomModel;
+use coolopt_units::Temperature;
+
+/// Reference supply temperature used when ranking spots by coolness.
+const COOLNESS_REFERENCE: Temperature = Temperature::from_kelvin(290.0);
+
+/// Even split: every machine gets `total_load / n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the load is outside `[0, n]` (callers validate).
+pub fn even_loads(n: usize, total_load: f64) -> Vec<f64> {
+    assert!(n > 0, "no machines to load");
+    assert!(
+        (0.0..=n as f64 + 1e-9).contains(&total_load),
+        "total load {total_load} unservable by {n} machines"
+    );
+    vec![(total_load / n as f64).min(1.0); n]
+}
+
+/// Machines ordered coolest spot first.
+///
+/// Coolness is judged by the fitted inlet model (Eq. 7) at a reference
+/// supply temperature: `T_in = α·T_ref + γ`. On the paper's rack (and on the
+/// simulated testbed) this order runs bottom-up.
+pub fn coolness_order(model: &RoomModel) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..model.len()).collect();
+    let inlet = |i: usize| {
+        let th = model.thermal(i);
+        th.alpha() * COOLNESS_REFERENCE.as_kelvin() + th.gamma()
+    };
+    order.sort_by(|&i, &j| {
+        inlet(i)
+            .partial_cmp(&inlet(j))
+            .expect("fitted coefficients are finite")
+            .then(i.cmp(&j))
+    });
+    order
+}
+
+/// Cool job allocation: fill the coolest machines to 100 % first, then the
+/// fractional remainder on the next coolest; the rest get nothing.
+///
+/// # Panics
+///
+/// Panics if the load is outside `[0, n]`.
+pub fn bottom_up_loads(model: &RoomModel, total_load: f64) -> Vec<f64> {
+    let n = model.len();
+    assert!(
+        (0.0..=n as f64 + 1e-9).contains(&total_load),
+        "total load {total_load} unservable by {n} machines"
+    );
+    let mut loads = vec![0.0; n];
+    let mut remaining = total_load;
+    for &i in &coolness_order(model) {
+        if remaining <= 0.0 {
+            break;
+        }
+        let take = remaining.min(1.0);
+        loads[i] = take;
+        remaining -= take;
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolopt_model::{CoolingModel, PowerModel, ThermalModel};
+    use coolopt_units::Watts;
+
+    /// Machine `i` sits in a spot `2·i` kelvin warmer than machine 0.
+    fn model(n: usize) -> RoomModel {
+        let power = PowerModel::new(Watts::new(45.0), Watts::new(40.0)).unwrap();
+        let thermal = (0..n)
+            .map(|i| {
+                let alpha = 0.9;
+                let gamma = (290.0 + 2.0 * i as f64) - alpha * 290.0;
+                ThermalModel::new(alpha, 0.5, gamma).unwrap()
+            })
+            .collect();
+        let cooling = CoolingModel::new(400.0, Temperature::from_celsius(40.0)).unwrap();
+        RoomModel::new(power, thermal, cooling, Temperature::from_celsius(60.0)).unwrap()
+    }
+
+    #[test]
+    fn even_splits_exactly() {
+        let v = even_loads(5, 2.0);
+        assert!(v.iter().all(|&l| (l - 0.4).abs() < 1e-12));
+        assert!((v.iter().sum::<f64>() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coolness_order_is_bottom_up_on_a_stratified_rack() {
+        let m = model(5);
+        assert_eq!(coolness_order(&m), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bottom_up_fills_coolest_first_with_fractional_tail() {
+        let m = model(5);
+        let v = bottom_up_loads(&m, 2.3);
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[1], 1.0);
+        assert!((v[2] - 0.3).abs() < 1e-9);
+        assert_eq!(&v[3..], &[0.0, 0.0]);
+        assert!((v.iter().sum::<f64>() - 2.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottom_up_handles_extremes() {
+        let m = model(3);
+        assert_eq!(bottom_up_loads(&m, 0.0), vec![0.0; 3]);
+        assert_eq!(bottom_up_loads(&m, 3.0), vec![1.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unservable")]
+    fn overload_panics() {
+        even_loads(2, 2.5);
+    }
+}

@@ -1,0 +1,125 @@
+//! Benchmarks of the paper's §III machinery.
+//!
+//! The paper claims `O(n³ log n)` offline preprocessing (Algorithm 1),
+//! `O(log n)` online consolidation queries (Algorithm 2), and a linear-time
+//! closed form. These benches measure all of them across `n`, plus the
+//! exponential brute force they replace.
+
+use coolopt_bench::{synthetic_model, synthetic_pairs};
+use coolopt_core::{
+    brute::brute_force_subsets, heuristics, optimal_allocation, optimal_allocation_clamped,
+    ConsolidationIndex, PowerTerms,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_build");
+    for n in [5usize, 10, 20, 40, 80] {
+        let pairs = synthetic_pairs(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pairs, |b, pairs| {
+            b.iter(|| ConsolidationIndex::build(black_box(pairs)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_online_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm2_query");
+    for n in [10usize, 20, 40, 80, 160] {
+        let index = ConsolidationIndex::build(&synthetic_pairs(n, 7)).unwrap();
+        let load = n as f64 * 0.4;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &index, |b, index| {
+            b.iter(|| index.query_online(black_box(load)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_min_power_query");
+    for n in [10usize, 20, 40] {
+        let model = synthetic_model(n, 7);
+        let index = ConsolidationIndex::build(&model.consolidation_pairs()).unwrap();
+        let terms = PowerTerms::from_model(&model);
+        let load = n as f64 * 0.4;
+        group.bench_function(BenchmarkId::new("model_free", n), |b| {
+            b.iter(|| index.query_min_power(black_box(&terms), load, None).unwrap());
+        });
+        group.bench_function(BenchmarkId::new("capacity_checked", n), |b| {
+            b.iter(|| {
+                index
+                    .query_min_power(black_box(&terms), load, Some(&model))
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_brute_force(c: &mut Criterion) {
+    let mut group = c.benchmark_group("brute_force");
+    group.sample_size(20);
+    for n in [10usize, 14, 18] {
+        let pairs = synthetic_pairs(n, 7);
+        let terms = PowerTerms::unbounded(40.0, 900.0);
+        let load = n as f64 * 0.4;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pairs, |b, pairs| {
+            b.iter(|| brute_force_subsets(black_box(pairs), &terms, load).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_closed_form(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closed_form");
+    for n in [20usize, 200, 2000] {
+        let model = synthetic_model(n, 7);
+        let on: Vec<usize> = (0..n).collect();
+        let load = n as f64 * 0.5;
+        group.bench_function(BenchmarkId::new("raw_eq21_22", n), |b| {
+            b.iter(|| optimal_allocation(black_box(&model), &on, load).unwrap());
+        });
+        group.bench_function(BenchmarkId::new("capacity_clamped", n), |b| {
+            b.iter(|| optimal_allocation_clamped(black_box(&model), &on, load).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("footnote_heuristics");
+    let pairs = synthetic_pairs(40, 7);
+    group.bench_function("greedy_by_ratio", |b| {
+        b.iter(|| heuristics::greedy_by_ratio(black_box(&pairs), 16));
+    });
+    group.bench_function("greedy_incremental", |b| {
+        b.iter(|| heuristics::greedy_incremental(black_box(&pairs), 16, 4.0));
+    });
+    group.finish();
+}
+
+
+/// Lean measurement settings so the whole suite (including the simulator-
+/// backed figure benches) completes in minutes rather than an hour, while
+/// still yielding stable medians.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(12)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets =
+    bench_index_build,
+    bench_online_query,
+    bench_exact_query,
+    bench_brute_force,
+    bench_closed_form,
+    bench_heuristics
+
+}
+criterion_main!(benches);

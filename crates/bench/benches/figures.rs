@@ -1,0 +1,120 @@
+//! One benchmark per regenerated artifact of the paper: how long it takes
+//! to produce each table and figure on a compact testbed.
+//!
+//! Mapping (see DESIGN.md for the experiment index): `table1`, `fig4` are
+//! renders; `fig2`/`fig3` run the profiling staircases; `fig5`–`fig10`
+//! slice a method sweep, so the sweep itself is benched once
+//! (`method_run/...`) and the slicing separately (cheap by design).
+
+use coolopt_alloc::{Method, Strategy};
+use coolopt_experiments::{figures, render_figure, run_sweep, SweepOptions, Testbed};
+use coolopt_units::Seconds;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn quick_options() -> SweepOptions {
+    SweepOptions {
+        load_percents: vec![30.0, 70.0],
+        settle_max: Seconds::new(3000.0),
+        window: Seconds::new(30.0),
+        ..SweepOptions::default()
+    }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("artifact_render");
+    group.bench_function("table1", |b| {
+        b.iter(|| render_figure(black_box(&figures::table1())));
+    });
+    group.bench_function("fig4_matrix", |b| {
+        b.iter(|| render_figure(black_box(&figures::fig4())));
+    });
+    group.finish();
+}
+
+fn bench_profiling_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiling_figures");
+    group.sample_size(10);
+    group.bench_function("testbed_build_and_profile_4", |b| {
+        b.iter(|| Testbed::build_sized(4, 11).unwrap());
+    });
+    let mut testbed = Testbed::build_sized(4, 11).unwrap();
+    group.bench_function("fig2_staircase", |b| {
+        b.iter(|| figures::fig2(black_box(&mut testbed), Seconds::new(200.0)));
+    });
+    group.bench_function("fig3_staircase", |b| {
+        b.iter(|| figures::fig3(black_box(&mut testbed), Seconds::new(200.0)));
+    });
+    group.finish();
+}
+
+fn bench_method_runs(c: &mut Criterion) {
+    use coolopt_experiments::run_method;
+    let mut group = c.benchmark_group("method_run");
+    group.sample_size(10);
+    let mut testbed = Testbed::build_sized(4, 13).unwrap();
+    let options = quick_options();
+    for n in [1u8, 7, 8] {
+        group.bench_function(format!("method_{n}_at_50pct"), |b| {
+            b.iter(|| {
+                run_method(
+                    black_box(&mut testbed),
+                    Method::numbered(n),
+                    50.0,
+                    &options,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluation_figures");
+    group.sample_size(10);
+    let mut testbed = Testbed::build_sized(4, 17).unwrap();
+    let mut methods = Method::all();
+    methods.push(Method::new(Strategy::Even, true, true));
+    let options = quick_options();
+    group.bench_function("full_sweep_9_methods_2_loads", |b| {
+        b.iter(|| run_sweep(black_box(&mut testbed), &methods, &options));
+    });
+    let sweep = run_sweep(&mut testbed, &methods, &options);
+    group.bench_function("slice_fig5_through_fig10", |b| {
+        b.iter(|| {
+            black_box((
+                figures::fig5(&sweep),
+                figures::fig6(&sweep),
+                figures::fig7(&sweep),
+                figures::fig8(&sweep),
+                figures::fig9(&sweep),
+                figures::fig10(&sweep),
+            ))
+        });
+    });
+    group.finish();
+}
+
+
+/// Lean measurement settings so the whole suite (including the simulator-
+/// backed figure benches) completes in minutes rather than an hour, while
+/// still yielding stable medians.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(12)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets =
+    bench_tables,
+    bench_profiling_figures,
+    bench_method_runs,
+    bench_sweep_figures
+
+}
+criterion_main!(benches);

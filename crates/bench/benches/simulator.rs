@@ -1,0 +1,101 @@
+//! Benchmarks of the substrate: the thermal simulator, the regression
+//! engine and the text-processing workload.
+
+use coolopt_room::presets;
+use coolopt_units::{Seconds, Temperature};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_room_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("room_step");
+    for n in [5usize, 20, 50] {
+        let mut room = presets::parametric_rack(n, 3);
+        room.force_all_on();
+        room.set_loads(&vec![0.5; n]).unwrap();
+        room.set_set_point(Temperature::from_celsius(19.0));
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| {
+                room.step();
+                black_box(room.room_temp())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_settle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("room_settle_from_cold");
+    group.sample_size(10);
+    group.bench_function("4_machines", |b| {
+        b.iter(|| {
+            let mut room = presets::parametric_rack(4, 9);
+            room.force_all_on();
+            room.set_loads(&[0.6; 4]).unwrap();
+            room.set_set_point(Temperature::from_celsius(18.0));
+            black_box(room.settle(Seconds::new(4000.0), 5.0))
+        });
+    });
+    group.finish();
+}
+
+fn bench_regression(c: &mut Criterion) {
+    use coolopt_profiling::{fit_multi, fit_simple};
+    let mut group = c.benchmark_group("regression");
+    let x: Vec<f64> = (0..1000).map(|k| k as f64 / 10.0).collect();
+    let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 3.0 + (v * 17.0).sin()).collect();
+    group.bench_function("simple_1000_points", |b| {
+        b.iter(|| fit_simple(black_box(&x), black_box(&y)).unwrap());
+    });
+    let rows: Vec<[f64; 2]> = x.iter().map(|&v| [v, (v * 0.3).cos()]).collect();
+    group.bench_function("multi_2pred_1000_points", |b| {
+        b.iter(|| {
+            fit_multi(rows.iter().map(|r| r.as_slice()), black_box(&y)).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    use coolopt_workload::{process_document, Capacity, DocumentGenerator, LoadBalancer, LoadVector};
+    let mut group = c.benchmark_group("workload");
+    let mut generator = DocumentGenerator::new(5, 400);
+    let doc = generator.next_document();
+    group.bench_function("word_histogram_400_words", |b| {
+        b.iter(|| process_document(black_box(&doc)));
+    });
+
+    let loads = LoadVector::new(vec![0.2, 0.5, 0.8, 0.1]).unwrap();
+    let capacities = vec![Capacity::new(100.0); 4];
+    group.bench_function("dispatch_1000_docs", |b| {
+        b.iter(|| {
+            let mut lb = LoadBalancer::new(&loads, &capacities).unwrap();
+            for _ in 0..1000 {
+                black_box(lb.dispatch(&doc));
+            }
+        });
+    });
+    group.finish();
+}
+
+
+/// Lean measurement settings so the whole suite (including the simulator-
+/// backed figure benches) completes in minutes rather than an hour, while
+/// still yielding stable medians.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(12)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets =
+    bench_room_step,
+    bench_settle,
+    bench_regression,
+    bench_workload
+
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Shared fixtures for the CoolOpt benchmark suite.
+//!
+//! The benches themselves live in `benches/`:
+//!
+//! * `figures` — regenerating the paper's figures (profiling staircases,
+//!   method runs, figure slicing);
+//! * `algorithms` — the paper's §III machinery: Algorithm 1 build cost,
+//!   Algorithm 2 query cost, the exact query, brute force, the closed form;
+//! * `simulator` — the substrate: room stepping, settling, regression,
+//!   workload processing.
+
+#![warn(missing_docs)]
+
+use coolopt_model::{CoolingModel, PowerModel, RoomModel, ThermalModel};
+use coolopt_units::{Temperature, Watts};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic synthetic room model of `n` machines with plausible
+/// heterogeneity (inlets spread over ~5 K at the reference supply).
+pub fn synthetic_model(n: usize, seed: u64) -> RoomModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let power = PowerModel::new(Watts::new(45.0), Watts::new(40.0)).expect("valid power model");
+    let thermal = (0..n)
+        .map(|_| {
+            let alpha = 0.75 + 0.2 * rng.random::<f64>();
+            let beta = 0.45 + 0.15 * rng.random::<f64>();
+            let spread = 5.0 * rng.random::<f64>();
+            let gamma = (290.0 + spread) - alpha * 290.0;
+            ThermalModel::new(alpha, beta, gamma).expect("valid thermal model")
+        })
+        .collect();
+    let cooling =
+        CoolingModel::new(150.0, Temperature::from_celsius(45.0)).expect("valid cooling model");
+    RoomModel::new(power, thermal, cooling, Temperature::from_celsius(60.0))
+        .expect("valid room model")
+        .with_t_ac_max(Temperature::from_celsius(21.0))
+}
+
+/// The consolidation pairs of [`synthetic_model`], for algorithm benches
+/// that do not need the full model.
+pub fn synthetic_pairs(n: usize, seed: u64) -> Vec<(f64, f64)> {
+    synthetic_model(n, seed).consolidation_pairs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic_and_sane() {
+        let a = synthetic_model(10, 1);
+        let b = synthetic_model(10, 1);
+        assert_eq!(a, b);
+        for (k, ab) in synthetic_pairs(10, 1) {
+            assert!(k > 0.0 && ab > 0.0);
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! The CRAC unit model.
+
+use coolopt_units::{FlowRate, Temperature, Watts, C_AIR};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned when a [`CracConfigBuilder`] describes an unphysical unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidCracConfig {
+    what: String,
+}
+
+impl fmt::Display for InvalidCracConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CRAC configuration: {}", self.what)
+    }
+}
+
+impl std::error::Error for InvalidCracConfig {}
+
+/// Physical parameters of the cooling unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CracConfig {
+    /// Constant supply air flow `f_ac` (m³/s). The paper's testbed keeps this
+    /// fixed "to keep the rate of air circulation in the room constant".
+    pub flow: FlowRate,
+    /// Cooling efficiency `η < 1` (the paper's Eq. 10 divides by it).
+    pub efficiency: f64,
+    /// Maximum heat-extraction capacity of the chilled-water coil (W).
+    pub coil_capacity: Watts,
+    /// Constant blower power (W), drawn whenever the unit runs.
+    pub fan_power: Watts,
+    /// Proportional gain of the return-air temperature loop (valve fraction
+    /// per kelvin of error).
+    pub kp: f64,
+    /// Integral gain of the loop (valve fraction per kelvin-second).
+    pub ki: f64,
+    /// Lowest achievable supply temperature (coil limit).
+    pub min_supply: Temperature,
+    /// Minimum valve opening while the unit runs (compressor oil return /
+    /// dehumidification floor). This is what bounds the *highest* achievable
+    /// supply temperature: the coil always extracts at least
+    /// `min_valve · coil_capacity`, so the supply cannot float all the way
+    /// up to the return temperature.
+    pub min_valve: f64,
+}
+
+impl CracConfig {
+    /// Starts building a configuration from Liebert-Challenger-like defaults.
+    pub fn builder() -> CracConfigBuilder {
+        CracConfigBuilder::default()
+    }
+
+    /// A configuration resembling the paper's Liebert Challenger 3000
+    /// (≈3-ton class unit: 12 kW coil, 1.5 m³/s supply flow).
+    pub fn challenger_like() -> CracConfig {
+        CracConfigBuilder::default()
+            .build()
+            .expect("default configuration is valid")
+    }
+
+    /// Advective conductance of the supply stream, `f_ac · c_air` (W/K).
+    pub fn flow_conductance(&self) -> coolopt_units::Conductance {
+        self.flow * C_AIR
+    }
+}
+
+impl Default for CracConfig {
+    fn default() -> Self {
+        CracConfig::challenger_like()
+    }
+}
+
+/// Builder for [`CracConfig`].
+#[derive(Debug, Clone)]
+pub struct CracConfigBuilder {
+    config: CracConfig,
+}
+
+impl Default for CracConfigBuilder {
+    fn default() -> Self {
+        CracConfigBuilder {
+            config: CracConfig {
+                flow: FlowRate::cubic_meters_per_second(1.5),
+                efficiency: 0.85,
+                coil_capacity: Watts::new(12_000.0),
+                fan_power: Watts::new(1_500.0),
+                kp: 0.4,
+                ki: 0.02,
+                min_supply: Temperature::from_celsius(7.0),
+                min_valve: 0.15,
+            },
+        }
+    }
+}
+
+impl CracConfigBuilder {
+    /// Sets the supply air flow (m³/s).
+    pub fn flow(&mut self, flow: FlowRate) -> &mut Self {
+        self.config.flow = flow;
+        self
+    }
+
+    /// Sets the cooling efficiency `η ∈ (0, 1]`.
+    pub fn efficiency(&mut self, eta: f64) -> &mut Self {
+        self.config.efficiency = eta;
+        self
+    }
+
+    /// Sets the coil capacity (W).
+    pub fn coil_capacity(&mut self, cap: Watts) -> &mut Self {
+        self.config.coil_capacity = cap;
+        self
+    }
+
+    /// Sets the blower power (W).
+    pub fn fan_power(&mut self, p: Watts) -> &mut Self {
+        self.config.fan_power = p;
+        self
+    }
+
+    /// Sets the PI gains of the return-air loop.
+    pub fn gains(&mut self, kp: f64, ki: f64) -> &mut Self {
+        self.config.kp = kp;
+        self.config.ki = ki;
+        self
+    }
+
+    /// Sets the minimum achievable supply temperature.
+    pub fn min_supply(&mut self, t: Temperature) -> &mut Self {
+        self.config.min_supply = t;
+        self
+    }
+
+    /// Sets the minimum valve opening.
+    pub fn min_valve(&mut self, v: f64) -> &mut Self {
+        self.config.min_valve = v;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidCracConfig`] for non-positive flow/capacity, an
+    /// efficiency outside `(0, 1]`, negative fan power, or non-positive
+    /// gains.
+    pub fn build(&self) -> Result<CracConfig, InvalidCracConfig> {
+        let c = self.config;
+        let fail = |what: &str| {
+            Err(InvalidCracConfig {
+                what: what.to_string(),
+            })
+        };
+        if c.flow.as_cubic_meters_per_second() <= 0.0 {
+            return fail("flow must be positive");
+        }
+        if !(c.efficiency > 0.0 && c.efficiency <= 1.0) {
+            return fail("efficiency must be in (0, 1]");
+        }
+        if c.coil_capacity.as_watts() <= 0.0 {
+            return fail("coil capacity must be positive");
+        }
+        if c.fan_power.as_watts() < 0.0 {
+            return fail("fan power must be non-negative");
+        }
+        if c.kp <= 0.0 || c.ki < 0.0 {
+            return fail("gains must be positive (kp) / non-negative (ki)");
+        }
+        if !(0.0..1.0).contains(&c.min_valve) {
+            return fail("minimum valve opening must be in [0, 1)");
+        }
+        Ok(c)
+    }
+}
+
+/// Operating mode of the unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CracMode {
+    /// Regulate the **return** air at a set point (the real unit's mode;
+    /// the paper's line card exposes exactly this knob).
+    ReturnSetPoint(Temperature),
+    /// Idealized mode: hold the **supply** at a fixed temperature, extracting
+    /// however much heat that requires (subject to coil limits). Used by
+    /// unit tests and by fast steady-state analyses.
+    FixedSupply(Temperature),
+}
+
+/// The CRAC unit.
+///
+/// The only continuous state the unit contributes to the room ODE is the
+/// integral term of its PI valve loop; everything else is algebraic. The
+/// room model calls [`CracUnit::integral_rate`] while integrating and
+/// [`CracUnit::sync_integral`] after each step.
+#[derive(Debug, Clone)]
+pub struct CracUnit {
+    config: CracConfig,
+    mode: CracMode,
+    integral: f64,
+}
+
+impl CracUnit {
+    /// Creates a unit in [`CracMode::ReturnSetPoint`] at 25 °C.
+    pub fn new(config: CracConfig) -> Self {
+        CracUnit {
+            config,
+            mode: CracMode::ReturnSetPoint(Temperature::from_celsius(25.0)),
+            integral: 0.0,
+        }
+    }
+
+    /// The unit's configuration.
+    pub fn config(&self) -> &CracConfig {
+        &self.config
+    }
+
+    /// Current operating mode.
+    pub fn mode(&self) -> CracMode {
+        self.mode
+    }
+
+    /// Switches mode. The integral term is reset to avoid bumps from a stale
+    /// integrator.
+    pub fn set_mode(&mut self, mode: CracMode) {
+        self.mode = mode;
+        self.integral = 0.0;
+    }
+
+    /// Commanded set point, if in set-point mode.
+    pub fn set_point(&self) -> Option<Temperature> {
+        match self.mode {
+            CracMode::ReturnSetPoint(t) => Some(t),
+            CracMode::FixedSupply(_) => None,
+        }
+    }
+
+    /// Valve opening in `[0, 1]` for a given return temperature and integral
+    /// state.
+    pub fn valve(&self, t_return: Temperature, integral: f64) -> f64 {
+        match self.mode {
+            CracMode::ReturnSetPoint(sp) => {
+                let err = (t_return - sp).as_kelvin();
+                (self.config.kp * err + integral).clamp(self.config.min_valve, 1.0)
+            }
+            CracMode::FixedSupply(supply) => {
+                let demand = self.config.flow_conductance() * (t_return - supply);
+                (demand.as_watts() / self.config.coil_capacity.as_watts())
+                    .clamp(self.config.min_valve, 1.0)
+            }
+        }
+    }
+
+    /// Heat currently being extracted from the air stream (W).
+    pub fn cooling_load(&self, t_return: Temperature, integral: f64) -> Watts {
+        self.config.coil_capacity * self.valve(t_return, integral)
+    }
+
+    /// Supply ("cool air") temperature `T_ac` for the given return
+    /// temperature and integral state.
+    ///
+    /// `T_ac = T_return − Q_coil / (f_ac · c_air)`, clamped at the coil's
+    /// minimum achievable supply temperature.
+    pub fn supply_temp(&self, t_return: Temperature, integral: f64) -> Temperature {
+        let drop = self.cooling_load(t_return, integral) / self.config.flow_conductance();
+        (t_return - drop).max(self.config.min_supply)
+    }
+
+    /// Electrical power drawn by the unit (W): coil load over efficiency,
+    /// plus the blower. This is the measurable counterpart of the paper's
+    /// Eq. 10.
+    pub fn electrical_power(&self, t_return: Temperature, integral: f64) -> Watts {
+        self.cooling_load(t_return, integral) / self.config.efficiency + self.config.fan_power
+    }
+
+    /// Rate of change of the PI integral state (1/s), with anti-windup:
+    /// the integrator freezes while the valve is saturated in the direction
+    /// of the error.
+    pub fn integral_rate(&self, t_return: Temperature, integral: f64) -> f64 {
+        match self.mode {
+            CracMode::FixedSupply(_) => 0.0,
+            CracMode::ReturnSetPoint(sp) => {
+                let err = (t_return - sp).as_kelvin();
+                let v = self.config.kp * err + integral;
+                if (v >= 1.0 && err > 0.0) || (v <= self.config.min_valve && err < 0.0) {
+                    0.0
+                } else {
+                    self.config.ki * err
+                }
+            }
+        }
+    }
+
+    /// Current integral state.
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+
+    /// Writes back the integral state after an ODE step.
+    pub fn sync_integral(&mut self, integral: f64) {
+        self.integral = integral;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> CracUnit {
+        CracUnit::new(CracConfig::challenger_like())
+    }
+
+    #[test]
+    fn fixed_supply_extracts_exactly_the_advective_demand() {
+        let mut u = unit();
+        u.set_mode(CracMode::FixedSupply(Temperature::from_celsius(20.0)));
+        let t_ret = Temperature::from_celsius(25.0);
+        // Demand = 1800 W/K × 5 K = 9 kW < capacity.
+        let q = u.cooling_load(t_ret, 0.0);
+        assert!((q.as_watts() - 9_000.0).abs() < 1e-6);
+        let supply = u.supply_temp(t_ret, 0.0);
+        assert!((supply.as_celsius() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_supply_saturates_at_coil_capacity() {
+        let mut u = unit();
+        u.set_mode(CracMode::FixedSupply(Temperature::from_celsius(-30.0)));
+        let t_ret = Temperature::from_celsius(25.0);
+        assert_eq!(u.cooling_load(t_ret, 0.0), Watts::new(12_000.0));
+        // Supply can't go below min_supply even if demanded.
+        assert!(u.supply_temp(t_ret, 0.0) >= Temperature::from_celsius(7.0));
+    }
+
+    #[test]
+    fn electrical_power_divides_by_efficiency_and_adds_fan() {
+        let mut u = unit();
+        u.set_mode(CracMode::FixedSupply(Temperature::from_celsius(20.0)));
+        let t_ret = Temperature::from_celsius(25.0);
+        let p = u.electrical_power(t_ret, 0.0);
+        assert!((p.as_watts() - (9_000.0 / 0.85 + 1500.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn closed_loop_regulates_return_to_set_point() {
+        // Toy room: a single well-mixed air node heated by a constant load;
+        // the CRAC recirculates through it.
+        let mut u = unit();
+        let sp = Temperature::from_celsius(24.0);
+        u.set_mode(CracMode::ReturnSetPoint(sp));
+        let load = Watts::new(6_000.0);
+        let node_capacity = 200_000.0; // J/K
+        let mut t_room = Temperature::from_celsius(30.0);
+        let mut integral = 0.0;
+        let dt = 0.5;
+        for _ in 0..200_000 {
+            let supply = u.supply_temp(t_room, integral);
+            // Room receives the heat load and the supply stream, exhausts at
+            // room temperature back into the CRAC.
+            let q_in = load + u.config().flow_conductance() * (supply - t_room);
+            t_room += coolopt_units::TempDelta::from_kelvin(q_in.as_watts() / node_capacity * dt);
+            integral += u.integral_rate(t_room, integral) * dt;
+        }
+        assert!(
+            (t_room - sp).abs().as_kelvin() < 0.05,
+            "return settled at {t_room}, wanted {sp}"
+        );
+        // At steady state the coil extracts exactly the room load, so supply
+        // sits below the set point by load / (f·c).
+        let supply = u.supply_temp(t_room, integral);
+        let expect = sp.as_celsius() - 6_000.0 / 1800.0;
+        assert!((supply.as_celsius() - expect).abs() < 0.1);
+    }
+
+    #[test]
+    fn valve_is_clamped() {
+        let u = unit();
+        // Enormous positive error saturates at 1.
+        assert_eq!(u.valve(Temperature::from_celsius(80.0), 0.0), 1.0);
+        // Negative error with empty integrator pins at the minimum opening,
+        // not zero — the compressor never fully unloads while running.
+        assert_eq!(u.valve(Temperature::from_celsius(0.0), 0.0), 0.15);
+    }
+
+    #[test]
+    fn min_valve_bounds_the_achievable_supply_temperature() {
+        let mut u = unit();
+        // Operator asks for a very warm room: valve pins at its minimum, so
+        // the supply still sits min_valve·capacity/(f·c) below the return.
+        u.set_mode(CracMode::ReturnSetPoint(Temperature::from_celsius(45.0)));
+        let t_ret = Temperature::from_celsius(24.0);
+        let supply = u.supply_temp(t_ret, 0.0);
+        let floor_drop = 0.15 * 12_000.0 / 1800.0; // = 1 K
+        assert!((t_ret.as_celsius() - supply.as_celsius() - floor_drop).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mode_switch_resets_integral() {
+        let mut u = unit();
+        u.sync_integral(0.7);
+        u.set_mode(CracMode::FixedSupply(Temperature::from_celsius(12.0)));
+        assert_eq!(u.integral(), 0.0);
+        assert_eq!(u.set_point(), None);
+        u.set_mode(CracMode::ReturnSetPoint(Temperature::from_celsius(23.0)));
+        assert_eq!(u.set_point(), Some(Temperature::from_celsius(23.0)));
+    }
+
+    #[test]
+    fn supply_never_goes_below_the_coil_floor() {
+        let mut u = unit();
+        u.set_mode(CracMode::ReturnSetPoint(Temperature::from_celsius(5.0)));
+        // Saturated valve, cool return: the floor binds.
+        let supply = u.supply_temp(Temperature::from_celsius(10.0), 1.0);
+        assert!(supply >= Temperature::from_celsius(7.0));
+    }
+
+    #[test]
+    fn anti_windup_freezes_the_integrator_at_both_rails() {
+        let u = unit();
+        // Saturated high (huge error): integrator must not wind further up.
+        assert_eq!(u.integral_rate(Temperature::from_celsius(80.0), 2.0), 0.0);
+        // Saturated low (big negative error, empty integrator): frozen too.
+        assert_eq!(u.integral_rate(Temperature::from_celsius(0.0), 0.0), 0.0);
+        // Interior: integrates proportionally to the error.
+        let sp = 25.0;
+        let err = 1.0;
+        let rate = u.integral_rate(Temperature::from_celsius(sp + err), 0.2);
+        assert!((rate - u.config().ki * err).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_serde_round_trip() {
+        let c = CracConfig::challenger_like();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CracConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+        let mode = CracMode::ReturnSetPoint(Temperature::from_celsius(23.0));
+        let back: CracMode =
+            serde_json::from_str(&serde_json::to_string(&mode).unwrap()).unwrap();
+        assert_eq!(mode, back);
+    }
+
+    #[test]
+    fn builder_rejects_unphysical_configs() {
+        assert!(CracConfig::builder().efficiency(0.0).build().is_err());
+        assert!(CracConfig::builder().efficiency(1.2).build().is_err());
+        assert!(CracConfig::builder().flow(FlowRate::ZERO).build().is_err());
+        assert!(CracConfig::builder()
+            .coil_capacity(Watts::ZERO)
+            .build()
+            .is_err());
+        assert!(CracConfig::builder().gains(0.0, 0.1).build().is_err());
+        assert!(CracConfig::builder().fan_power(Watts::new(-1.0)).build().is_err());
+        assert!(CracConfig::builder().min_valve(1.0).build().is_err());
+        assert!(CracConfig::builder().min_valve(-0.1).build().is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! CRAC (computer-room air conditioner) simulation.
+//!
+//! Plays the role of the paper's *Liebert Challenger 3000*: a cooling unit
+//! with constant air flow `f_ac` whose internal control loop modulates the
+//! chilled-water valve so that the **return (exhaust) air** temperature is
+//! held at a set point `T_SP` — the paper stresses this choice ("it is the
+//! exhaust temperature, not the room inlet temperature, that depends on the
+//! amount of heat generated in the room"). The supply ("cool air")
+//! temperature `T_ac` then *emerges* from the thermal load; operators steer
+//! `T_ac` indirectly by moving the set point, which is exactly what the
+//! paper's evaluation does.
+//!
+//! Electrical power follows the paper's Eq. 10 shape: the heat extracted by
+//! the coil divided by an efficiency `η < 1`, plus a constant fan draw.
+
+#![warn(missing_docs)]
+
+pub mod crac;
+pub mod setpoint;
+
+pub use crac::{CracConfig, CracConfigBuilder, CracMode, CracUnit};
+pub use setpoint::SetPointTable;

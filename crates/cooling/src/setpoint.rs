@@ -1,0 +1,173 @@
+//! Empirical `T_ac ↔ T_SP` mapping.
+//!
+//! The real unit (and our simulation of it) only exposes the return-air set
+//! point `T_SP`; the optimizer, however, decides on a desired supply
+//! temperature `T_ac`. The paper bridges the gap empirically: *"we
+//! empirically measured the relation between `T_ac` and the set point
+//! `T_SP` … at different server loads. We would then choose the set point
+//! that produces the needed `T_ac` given the load at hand."* This module is
+//! that lookup table.
+
+use coolopt_units::{TempDelta, Temperature};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned when constructing an empty or malformed table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidTable {
+    what: String,
+}
+
+impl fmt::Display for InvalidTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid set-point table: {}", self.what)
+    }
+}
+
+impl std::error::Error for InvalidTable {}
+
+/// Piecewise-linear map from total room load to the measured offset
+/// `T_SP − T_ac` at steady state.
+///
+/// At steady state the offset equals (extracted heat)/(f_ac·c_air), which
+/// grows with load; storing it per load level and interpolating reproduces
+/// the paper's calibration procedure without assuming the simulator's
+/// internals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SetPointTable {
+    /// `(total_load, offset_kelvin)` pairs, sorted by load.
+    entries: Vec<(f64, f64)>,
+}
+
+impl SetPointTable {
+    /// Builds a table from `(total_load, T_SP, observed T_ac)` measurements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidTable`] if no measurements are given, a load value is
+    /// repeated, or any offset is negative (a CRAC cannot supply air warmer
+    /// than its return set point at steady state).
+    pub fn from_measurements(
+        measurements: &[(f64, Temperature, Temperature)],
+    ) -> Result<Self, InvalidTable> {
+        if measurements.is_empty() {
+            return Err(InvalidTable {
+                what: "no measurements".into(),
+            });
+        }
+        let mut entries: Vec<(f64, f64)> = measurements
+            .iter()
+            .map(|&(load, t_sp, t_ac)| (load, (t_sp - t_ac).as_kelvin()))
+            .collect();
+        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("loads must not be NaN"));
+        for pair in entries.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return Err(InvalidTable {
+                    what: format!("duplicate load level {}", pair[0].0),
+                });
+            }
+        }
+        if let Some(&(load, off)) = entries.iter().find(|&&(_, off)| off < 0.0) {
+            return Err(InvalidTable {
+                what: format!("negative offset {off} at load {load}"),
+            });
+        }
+        Ok(SetPointTable { entries })
+    }
+
+    /// Interpolated offset `T_SP − T_ac` at `total_load` (clamped to the
+    /// measured range at the ends).
+    pub fn offset_at(&self, total_load: f64) -> TempDelta {
+        let e = &self.entries;
+        if total_load <= e[0].0 {
+            return TempDelta::from_kelvin(e[0].1);
+        }
+        if total_load >= e[e.len() - 1].0 {
+            return TempDelta::from_kelvin(e[e.len() - 1].1);
+        }
+        let hi = e.partition_point(|&(l, _)| l < total_load);
+        let (l0, o0) = e[hi - 1];
+        let (l1, o1) = e[hi];
+        let w = (total_load - l0) / (l1 - l0);
+        TempDelta::from_kelvin(o0 + w * (o1 - o0))
+    }
+
+    /// The set point to command so that the supply settles at
+    /// `desired_supply` when the room serves `total_load`.
+    pub fn set_point_for(&self, desired_supply: Temperature, total_load: f64) -> Temperature {
+        desired_supply + self.offset_at(total_load)
+    }
+
+    /// Number of calibration points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the table has no entries (never true for a constructed
+    /// table; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(c: f64) -> Temperature {
+        Temperature::from_celsius(c)
+    }
+
+    fn table() -> SetPointTable {
+        SetPointTable::from_measurements(&[
+            (4.0, t(25.0), t(20.0)),  // offset 5 K
+            (12.0, t(25.0), t(15.0)), // offset 10 K
+            (20.0, t(25.0), t(10.0)), // offset 15 K
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn interpolates_between_measured_loads() {
+        let tab = table();
+        assert!((tab.offset_at(8.0).as_kelvin() - 7.5).abs() < 1e-12);
+        assert!((tab.offset_at(16.0).as_kelvin() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_outside_the_measured_range() {
+        let tab = table();
+        assert!((tab.offset_at(0.0).as_kelvin() - 5.0).abs() < 1e-12);
+        assert!((tab.offset_at(100.0).as_kelvin() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_point_adds_the_offset() {
+        let tab = table();
+        let sp = tab.set_point_for(t(16.0), 12.0);
+        assert!((sp.as_celsius() - 26.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_measurements_are_sorted() {
+        let tab = SetPointTable::from_measurements(&[
+            (20.0, t(25.0), t(10.0)),
+            (4.0, t(25.0), t(20.0)),
+        ])
+        .unwrap();
+        assert!((tab.offset_at(4.0).as_kelvin() - 5.0).abs() < 1e-12);
+        assert_eq!(tab.len(), 2);
+        assert!(!tab.is_empty());
+    }
+
+    #[test]
+    fn rejects_empty_duplicate_and_negative() {
+        assert!(SetPointTable::from_measurements(&[]).is_err());
+        assert!(SetPointTable::from_measurements(&[
+            (4.0, t(25.0), t(20.0)),
+            (4.0, t(25.0), t(19.0)),
+        ])
+        .is_err());
+        assert!(SetPointTable::from_measurements(&[(4.0, t(20.0), t(25.0))]).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Exponential-time reference solvers.
+//!
+//! The paper observes that the naive consolidation algorithm "checks all
+//! possibilities \[in\] `O(n·2ⁿ)` time". These solvers implement exactly
+//! that; the test suite uses them to certify that the polynomial index of
+//! [`crate::index`] is optimal on every instance it is handed.
+
+use crate::error::SolveError;
+use crate::index::{Consolidation, PowerTerms};
+
+/// Enumerates every non-empty subset and returns the one minimizing the
+/// Eq. 23 relative power `k·w2 − ρ·t` with `t = (Σa − L)/Σb`.
+///
+/// Subsets that cannot serve the load with `t > 0`, or whose size `k`
+/// cannot carry `L` at all (`L > k`), are skipped; ties prefer fewer
+/// machines, then lexicographically smaller subsets (deterministic output).
+///
+/// Returns `None` when no subset is feasible.
+///
+/// # Errors
+///
+/// Returns [`SolveError::DegenerateModel`] for more than 22 machines (the
+/// enumeration would be prohibitively slow) and
+/// [`SolveError::LoadOutOfRange`] for a negative/non-finite load.
+pub fn brute_force_subsets(
+    pairs: &[(f64, f64)],
+    terms: &PowerTerms,
+    total_load: f64,
+) -> Result<Option<Consolidation>, SolveError> {
+    let n = pairs.len();
+    if n > 22 {
+        return Err(SolveError::DegenerateModel {
+            what: format!("brute force limited to 22 machines, got {n}"),
+        });
+    }
+    if !total_load.is_finite() || total_load < 0.0 {
+        return Err(SolveError::LoadOutOfRange {
+            load: total_load,
+            max: n as f64,
+        });
+    }
+    let mut best: Option<Consolidation> = None;
+    for mask in 1u32..(1u32 << n) {
+        let k = mask.count_ones() as usize;
+        if total_load > k as f64 {
+            continue;
+        }
+        let mut sum_a = 0.0;
+        let mut sum_b = 0.0;
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                sum_a += a;
+                sum_b += b;
+            }
+        }
+        if sum_a <= total_load {
+            continue;
+        }
+        let t = (sum_a - total_load) / sum_b;
+        let rel = terms.relative_power(k, t);
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                let eps = 1e-9 * (1.0 + b.relative_power.abs());
+                rel < b.relative_power - eps
+                    || ((rel - b.relative_power).abs() <= eps && k < b.k)
+            }
+        };
+        if better {
+            let on: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+            best = Some(Consolidation {
+                on,
+                k,
+                t,
+                relative_power: rel,
+            });
+        }
+    }
+    Ok(best)
+}
+
+/// Enumerates every size-`k` subset and returns the one maximizing the
+/// ratio `(Σa − L)/Σb` — the paper's `select(A, k, L)` problem.
+///
+/// Returns `None` when `k` is out of range or no size-`k` subset has
+/// `Σa > L`.
+pub fn brute_force_select(
+    pairs: &[(f64, f64)],
+    k: usize,
+    total_load: f64,
+) -> Option<(Vec<usize>, f64)> {
+    let n = pairs.len();
+    if k == 0 || k > n || n > 22 {
+        return None;
+    }
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    for mask in 1u32..(1u32 << n) {
+        if mask.count_ones() as usize != k {
+            continue;
+        }
+        let mut sum_a = 0.0;
+        let mut sum_b = 0.0;
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                sum_a += a;
+                sum_b += b;
+            }
+        }
+        if sum_a <= total_load {
+            continue;
+        }
+        let ratio = (sum_a - total_load) / sum_b;
+        if best.as_ref().map(|&(_, r)| ratio > r + 1e-15).unwrap_or(true) {
+            let on: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+            best = Some((on, ratio));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn footnote_pairs() -> Vec<(f64, f64)> {
+        vec![(10.0, 7.0), (2.0, 3.0), (1.0, 2.0), (0.2, 1.34)]
+    }
+
+    #[test]
+    fn select_k2_l0_prefers_the_nonobvious_pair() {
+        // Ratios at L = 0 for k = 2: {0,3} gives 10.2/8.34 ≈ 1.223, beating
+        // the per-ratio greedy's {0,1} = 12/10 = 1.2.
+        let (on, ratio) = brute_force_select(&footnote_pairs(), 2, 0.0).unwrap();
+        assert_eq!(on, vec![0, 3]);
+        assert!((ratio - 10.2 / 8.34).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subsets_respects_capacity_guard() {
+        let terms = PowerTerms::unbounded(40.0, 900.0);
+        // L = 3.5 requires k ≥ 4 (each machine carries at most 1).
+        let best = brute_force_subsets(&footnote_pairs(), &terms, 3.5)
+            .unwrap()
+            .unwrap();
+        assert_eq!(best.k, 4);
+    }
+
+    #[test]
+    fn infeasible_load_returns_none() {
+        let terms = PowerTerms::unbounded(40.0, 900.0);
+        assert!(brute_force_subsets(&footnote_pairs(), &terms, 20.0)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn guards_reject_abuse() {
+        let terms = PowerTerms::unbounded(40.0, 900.0);
+        let big: Vec<(f64, f64)> = (0..23).map(|i| (i as f64 + 1.0, 1.0)).collect();
+        assert!(brute_force_subsets(&big, &terms, 1.0).is_err());
+        assert!(brute_force_subsets(&footnote_pairs(), &terms, -1.0).is_err());
+        assert!(brute_force_select(&footnote_pairs(), 0, 0.0).is_none());
+        assert!(brute_force_select(&footnote_pairs(), 5, 0.0).is_none());
+    }
+}

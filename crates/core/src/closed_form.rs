@@ -1,0 +1,474 @@
+//! The closed-form optimum for a fixed ON-set (the paper's Eqs. 19/21/22).
+
+use crate::error::SolveError;
+use coolopt_model::RoomModel;
+use coolopt_units::Temperature;
+use serde::{Deserialize, Serialize};
+
+/// The energy-optimal operating point for a fixed ON-set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClosedFormSolution {
+    /// The machines that are on, in the order the loads refer to.
+    pub on: Vec<usize>,
+    /// Optimal load fraction of each ON machine (Eq. 22).
+    pub loads: Vec<f64>,
+    /// Optimal cooling-air temperature (Eq. 21).
+    pub t_ac: Temperature,
+    /// `Σ K_i` over the ON-set.
+    pub k_sum: f64,
+    /// `Σ α_i/β_i` over the ON-set (W/K).
+    pub s_sum: f64,
+    /// `true` if any raw Eq. 22 load fell outside `[0, 1]` and was repaired
+    /// (see [`optimal_allocation_clamped`]); always `false` for
+    /// [`optimal_allocation`].
+    pub clamped: bool,
+}
+
+impl ClosedFormSolution {
+    /// The load vector expanded over all `n` machines of the room (zeros for
+    /// machines that are off).
+    pub fn full_loads(&self, n: usize) -> Vec<f64> {
+        let mut v = vec![0.0; n];
+        for (&i, &l) in self.on.iter().zip(&self.loads) {
+            v[i] = l;
+        }
+        v
+    }
+}
+
+/// Validates an ON-set against the model and the requested load.
+fn validate(model: &RoomModel, on: &[usize], total_load: f64) -> Result<(), SolveError> {
+    if on.is_empty() {
+        return Err(SolveError::EmptyOnSet);
+    }
+    let n = model.len();
+    let mut seen = vec![false; n];
+    for &i in on {
+        if i >= n {
+            return Err(SolveError::MachineOutOfRange {
+                index: i,
+                machines: n,
+            });
+        }
+        if seen[i] {
+            return Err(SolveError::DuplicateMachine(i));
+        }
+        seen[i] = true;
+    }
+    let max = on.len() as f64;
+    if !total_load.is_finite() || total_load < 0.0 || total_load > max + 1e-9 {
+        return Err(SolveError::LoadOutOfRange {
+            load: total_load,
+            max,
+        });
+    }
+    Ok(())
+}
+
+/// Solves the paper's Eqs. 21 and 22 for the ON-set `on` and total load
+/// `total_load`.
+///
+/// The solution places every ON machine exactly at `T_max` (the Lagrange
+/// multipliers are strictly positive, so all temperature constraints bind)
+/// and runs the cooling air as warm as those constraints allow:
+///
+/// * `T_ac = (Σ K_i − L) · w1 / Σ(α_i/β_i)` (Eq. 21)
+/// * `L_i = K_i − (Σ K_j − L) · (α_i/β_i) / Σ(α_j/β_j)` (Eq. 22)
+///
+/// As in the paper, the raw Eq. 22 loads are **not** clipped to `[0, 1]`;
+/// for loads a machine cannot physically serve use
+/// [`optimal_allocation_clamped`].
+///
+/// # Errors
+///
+/// Returns [`SolveError`] for an empty/duplicated/out-of-range ON-set, a
+/// load outside `[0, |ON|]`, a degenerate model, or an optimum requiring a
+/// negative absolute temperature.
+pub fn optimal_allocation(
+    model: &RoomModel,
+    on: &[usize],
+    total_load: f64,
+) -> Result<ClosedFormSolution, SolveError> {
+    validate(model, on, total_load)?;
+    let w1 = model.power().w1().as_watts();
+    let k: Vec<f64> = on.iter().map(|&i| model.k(i)).collect();
+    let b: Vec<f64> = on.iter().map(|&i| model.alpha_over_beta(i)).collect();
+    let k_sum: f64 = k.iter().sum();
+    let s_sum: f64 = b.iter().sum();
+    if s_sum <= 0.0 || !s_sum.is_finite() {
+        return Err(SolveError::DegenerateModel {
+            what: format!("sum of alpha/beta over the ON-set is {s_sum}"),
+        });
+    }
+    // Eq. 21.
+    let t_ac_kelvin = (k_sum - total_load) * w1 / s_sum;
+    if !(t_ac_kelvin.is_finite() && t_ac_kelvin > 0.0) {
+        return Err(SolveError::Infeasible {
+            reason: format!(
+                "optimal cooling temperature is {t_ac_kelvin} K; the ON-set cannot carry this load within T_max"
+            ),
+        });
+    }
+    // Eq. 22.
+    let loads: Vec<f64> = k
+        .iter()
+        .zip(&b)
+        .map(|(&ki, &bi)| ki - (k_sum - total_load) * bi / s_sum)
+        .collect();
+    Ok(ClosedFormSolution {
+        on: on.to_vec(),
+        loads,
+        t_ac: Temperature::from_kelvin(t_ac_kelvin),
+        k_sum,
+        s_sum,
+        clamped: false,
+    })
+}
+
+/// Like [`optimal_allocation`], but enforcing per-machine capacity
+/// `0 ≤ L_i ≤ 1`.
+///
+/// The paper's closed form ignores capacity; near the rack's limits Eq. 22
+/// can assign a machine more than 100 % (or less than 0 %). This variant
+/// solves the capacity-constrained problem *exactly*: since minimizing total
+/// power for a fixed ON-set means maximizing `T_ac`, and the servable load
+///
+/// ```text
+/// g(T_ac) = Σ_i clamp(cap_i(T_ac), 0, 1),   cap_i(T) = K_i − (α_i/β_i)·T/w1
+/// ```
+///
+/// is continuous and non-increasing in `T_ac`, the optimum is the largest
+/// `T_ac` with `g(T_ac) ≥ L` — found by monotone bisection. When no bound is
+/// active this reduces *exactly* to Eqs. 21/22 (then `clamped = false` and
+/// the result equals [`optimal_allocation`]); machines pinned at a bound sit
+/// strictly below `T_max`, the free ones exactly at it.
+///
+/// `T_ac` is additionally capped so that even an *idle* ON machine respects
+/// `T_max` (`cap_i(T_ac) ≥ 0` for all `i`).
+///
+/// # Errors
+///
+/// Same validation as [`optimal_allocation`], plus
+/// [`SolveError::Infeasible`] when even `T_ac → 0 K` cannot serve the load
+/// within capacity.
+pub fn optimal_allocation_clamped(
+    model: &RoomModel,
+    on: &[usize],
+    total_load: f64,
+) -> Result<ClosedFormSolution, SolveError> {
+    validate(model, on, total_load)?;
+
+    // Fast path: the unconstrained closed form, when feasible, is optimal.
+    if let Ok(raw) = optimal_allocation(model, on, total_load) {
+        if raw.loads.iter().all(|l| (0.0..=1.0).contains(l)) {
+            return Ok(raw);
+        }
+    }
+
+    let w1 = model.power().w1().as_watts();
+    let k: Vec<f64> = on.iter().map(|&i| model.k(i)).collect();
+    let b: Vec<f64> = on.iter().map(|&i| model.alpha_over_beta(i)).collect();
+    let k_sum: f64 = k.iter().sum();
+    let s_sum: f64 = b.iter().sum();
+
+    let cap = |t: f64| -> Vec<f64> {
+        k.iter().zip(&b).map(|(&ki, &bi)| ki - bi * t / w1).collect()
+    };
+    let g = |t: f64| -> f64 { cap(t).iter().map(|c| c.clamp(0.0, 1.0)).sum() };
+
+    // Warmest admissible air: every ON machine must at least idle legally.
+    let t_ub = k
+        .iter()
+        .zip(&b)
+        .map(|(&ki, &bi)| ki * w1 / bi)
+        .fold(f64::INFINITY, f64::min);
+    if !(t_ub.is_finite() && t_ub > 0.0) {
+        return Err(SolveError::Infeasible {
+            reason: "an ON machine exceeds T_max even when idle".to_string(),
+        });
+    }
+    if g(0.0) < total_load - 1e-9 {
+        return Err(SolveError::Infeasible {
+            reason: format!(
+                "capacity-respecting servable load at T_ac = 0 K is {} < {total_load}",
+                g(0.0)
+            ),
+        });
+    }
+
+    let t_star = if g(t_ub) >= total_load {
+        t_ub
+    } else {
+        // Bisect the largest t with g(t) ≥ L; g is non-increasing.
+        let (mut lo, mut hi) = (0.0, t_ub);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if g(mid) >= total_load {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    };
+
+    // Materialize loads at t*; scale within slack so the sum is exactly L.
+    let caps: Vec<f64> = cap(t_star).iter().map(|c| c.clamp(0.0, 1.0)).collect();
+    let served: f64 = caps.iter().sum();
+    let mut loads = if served > 0.0 && served > total_load {
+        // g(t*) slightly exceeds L (bisection residue or the t_ub branch):
+        // shrink proportionally — reducing load only cools machines.
+        let scale = total_load / served;
+        caps.iter().map(|c| c * scale).collect::<Vec<f64>>()
+    } else {
+        caps
+    };
+    // Absorb any remaining floating-point residue on a machine with slack.
+    let diff = total_load - loads.iter().sum::<f64>();
+    if diff.abs() > 0.0 {
+        for l in loads.iter_mut() {
+            let room = if diff > 0.0 { 1.0 - *l } else { *l };
+            if room >= diff.abs() {
+                *l += diff;
+                break;
+            }
+        }
+    }
+
+    Ok(ClosedFormSolution {
+        on: on.to_vec(),
+        loads,
+        t_ac: Temperature::from_kelvin(t_star),
+        k_sum,
+        s_sum,
+        clamped: true,
+    })
+}
+
+/// Distributes `total_load` over `on` for a *given* (not optimized) cooling
+/// temperature `t_ac`.
+///
+/// Needed when the actuator cannot realize the closed-form optimum: with
+/// `t_ac` colder than optimal every temperature constraint is slack, so any
+/// feasible split costs the same power — this one assigns load
+/// proportionally to each machine's remaining thermal headroom
+/// `cap_i(t_ac)` (clipped to capacity), which keeps the hottest machine
+/// coolest among proportional rules.
+///
+/// # Errors
+///
+/// Same validation as [`optimal_allocation`], plus
+/// [`SolveError::Infeasible`] when the headroom at `t_ac` cannot absorb the
+/// load.
+pub fn loads_for_t_ac(
+    model: &RoomModel,
+    on: &[usize],
+    total_load: f64,
+    t_ac: Temperature,
+) -> Result<Vec<f64>, SolveError> {
+    validate(model, on, total_load)?;
+    let w1 = model.power().w1().as_watts();
+    let raw_caps: Vec<f64> = on
+        .iter()
+        .map(|&i| model.k(i) - model.alpha_over_beta(i) * t_ac.as_kelvin() / w1)
+        .collect();
+    // A machine with negative headroom exceeds T_max even when idle: it
+    // cannot be part of an ON-set at this supply temperature at all.
+    if let Some(pos) = raw_caps.iter().position(|&c| c < 0.0) {
+        return Err(SolveError::Infeasible {
+            reason: format!(
+                "machine {} exceeds T_max even idle at {t_ac}",
+                on[pos]
+            ),
+        });
+    }
+    let caps: Vec<f64> = raw_caps.iter().map(|c| c.clamp(0.0, 1.0)).collect();
+    let total_cap: f64 = caps.iter().sum();
+    if total_cap < total_load - 1e-9 {
+        return Err(SolveError::Infeasible {
+            reason: format!(
+                "headroom at {t_ac} is {total_cap}, below the requested load {total_load}"
+            ),
+        });
+    }
+    if total_cap <= 0.0 {
+        return Ok(vec![0.0; on.len()]);
+    }
+    let scale = (total_load / total_cap).min(1.0);
+    Ok(caps.iter().map(|c| c * scale).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolopt_model::{CoolingModel, PowerModel, ThermalModel};
+    use coolopt_units::Watts;
+
+    /// A physically plausible heterogeneous rack: machine `i`'s inlet at a
+    /// reference supply of 290 K sits `spread(i)` kelvin above the supply,
+    /// and `γ` is derived from `α` so inlets stay physical — as on real
+    /// racks, where `α` and `γ` are jointly fitted (Eq. 7).
+    fn model(n: usize) -> RoomModel {
+        let power = PowerModel::new(Watts::new(45.0), Watts::new(40.0)).unwrap();
+        let thermal = (0..n)
+            .map(|i| {
+                let h = i as f64 / n.max(2) as f64;
+                let alpha = 0.95 - 0.2 * h;
+                let beta = 0.5 + 0.04 * h;
+                let spread = 4.0 * h; // warmer spots higher in the rack
+                let gamma = (290.0 + spread) - alpha * 290.0;
+                ThermalModel::new(alpha, beta, gamma).unwrap()
+            })
+            .collect();
+        let cooling = CoolingModel::new(1000.0, Temperature::from_celsius(25.0)).unwrap();
+        RoomModel::new(power, thermal, cooling, Temperature::from_celsius(70.0)).unwrap()
+    }
+
+    #[test]
+    fn loads_sum_to_total_and_temps_are_tight() {
+        let m = model(6);
+        let on: Vec<usize> = (0..6).collect();
+        let sol = optimal_allocation(&m, &on, 3.0).unwrap();
+        assert!((sol.loads.iter().sum::<f64>() - 3.0).abs() < 1e-9);
+        // Every machine's predicted CPU temperature equals T_max (Eq. 17).
+        for (&i, &l) in sol.on.iter().zip(&sol.loads) {
+            let t = m.predict_cpu_temp(i, l, sol.t_ac);
+            assert!(
+                (t.as_kelvin() - m.t_max().as_kelvin()).abs() < 1e-9,
+                "machine {i} at {t}, expected T_max"
+            );
+        }
+    }
+
+    #[test]
+    fn lower_load_permits_warmer_air() {
+        let m = model(6);
+        let on: Vec<usize> = (0..6).collect();
+        let light = optimal_allocation(&m, &on, 1.0).unwrap();
+        let heavy = optimal_allocation(&m, &on, 5.0).unwrap();
+        assert!(light.t_ac > heavy.t_ac);
+        // Eq. 21 slope: dT_ac/dL = −w1/Σ(α/β).
+        let slope = (heavy.t_ac.as_kelvin() - light.t_ac.as_kelvin()) / 4.0;
+        assert!((slope + 45.0 / light.s_sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singleton_on_set_gets_the_whole_load() {
+        let m = model(4);
+        let sol = optimal_allocation(&m, &[2], 0.7).unwrap();
+        assert_eq!(sol.on, vec![2]);
+        assert!((sol.loads[0] - 0.7).abs() < 1e-12);
+        // And the machine still sits exactly at T_max.
+        let t = m.predict_cpu_temp(2, 0.7, sol.t_ac);
+        assert!((t.as_kelvin() - m.t_max().as_kelvin()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cooler_spots_get_more_load() {
+        // Two machines identical except for their spot: machine 1's inlet
+        // runs 6 K warmer (larger γ). The optimum loads the cooler spot
+        // harder — the paper's "slightly imbalanced" distribution.
+        let power = PowerModel::new(Watts::new(45.0), Watts::new(40.0)).unwrap();
+        let thermal = vec![
+            ThermalModel::new(0.9, 0.5, 29.0).unwrap(),
+            ThermalModel::new(0.9, 0.5, 35.0).unwrap(),
+        ];
+        let cooling = CoolingModel::new(1000.0, Temperature::from_celsius(25.0)).unwrap();
+        let m = RoomModel::new(power, thermal, cooling, Temperature::from_celsius(70.0)).unwrap();
+        let sol = optimal_allocation(&m, &[0, 1], 1.0).unwrap();
+        assert!(
+            sol.loads[0] > sol.loads[1],
+            "cool-spot machine got {} vs {}",
+            sol.loads[0],
+            sol.loads[1]
+        );
+        // With equal β the load gap is exactly Δγ/(β·w1).
+        assert!((sol.loads[0] - sol.loads[1] - 6.0 / 22.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let m = model(3);
+        assert_eq!(
+            optimal_allocation(&m, &[], 1.0),
+            Err(SolveError::EmptyOnSet)
+        );
+        assert_eq!(
+            optimal_allocation(&m, &[0, 0], 1.0),
+            Err(SolveError::DuplicateMachine(0))
+        );
+        assert!(matches!(
+            optimal_allocation(&m, &[7], 1.0),
+            Err(SolveError::MachineOutOfRange { index: 7, .. })
+        ));
+        assert!(matches!(
+            optimal_allocation(&m, &[0, 1], 3.0),
+            Err(SolveError::LoadOutOfRange { .. })
+        ));
+        assert!(matches!(
+            optimal_allocation(&m, &[0], f64::NAN),
+            Err(SolveError::LoadOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn clamped_repairs_out_of_range_loads() {
+        // Same machines but an 8 K spot difference, loaded near the rack's
+        // capacity: the raw closed form over-assigns the cool machine.
+        let power = PowerModel::new(Watts::new(45.0), Watts::new(40.0)).unwrap();
+        let thermal = vec![
+            ThermalModel::new(0.9, 0.5, 29.0).unwrap(),
+            ThermalModel::new(0.9, 0.5, 37.0).unwrap(),
+        ];
+        let cooling = CoolingModel::new(1000.0, Temperature::from_celsius(25.0)).unwrap();
+        let m = RoomModel::new(power, thermal, cooling, Temperature::from_celsius(70.0)).unwrap();
+
+        let raw = optimal_allocation(&m, &[0, 1], 1.95).unwrap();
+        assert!(
+            raw.loads.iter().any(|&l| !(0.0..=1.0).contains(&l)),
+            "test premise: raw solution violates capacity, got {:?}",
+            raw.loads
+        );
+
+        let fixed = optimal_allocation_clamped(&m, &[0, 1], 1.95).unwrap();
+        assert!(fixed.clamped);
+        assert!((fixed.loads.iter().sum::<f64>() - 1.95).abs() < 1e-9);
+        // The exact optimum pins the cool machine at 100 % and gives the
+        // warm one the rest, with T_ac keeping the warm one at T_max.
+        assert!((fixed.loads[0] - 1.0).abs() < 1e-6, "loads {:?}", fixed.loads);
+        assert!((fixed.loads[1] - 0.95).abs() < 1e-6);
+        // No machine exceeds T_max at the clamped T_ac.
+        for (&i, &l) in fixed.on.iter().zip(&fixed.loads) {
+            let t = m.predict_cpu_temp(i, l, fixed.t_ac);
+            assert!(
+                t.as_kelvin() <= m.t_max().as_kelvin() + 1e-6,
+                "machine {i} too hot: {t}"
+            );
+        }
+        // The warm machine (the binding one) sits exactly at T_max.
+        let t1 = m.predict_cpu_temp(1, fixed.loads[1], fixed.t_ac);
+        assert!((t1.as_kelvin() - m.t_max().as_kelvin()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clamped_equals_raw_when_raw_is_feasible() {
+        let m = model(5);
+        let on: Vec<usize> = (0..5).collect();
+        let raw = optimal_allocation(&m, &on, 2.5).unwrap();
+        let clamped = optimal_allocation_clamped(&m, &on, 2.5).unwrap();
+        assert!(!clamped.clamped);
+        assert_eq!(raw.loads, clamped.loads);
+        assert_eq!(raw.t_ac, clamped.t_ac);
+    }
+
+    #[test]
+    fn full_loads_scatters_into_machine_order() {
+        let m = model(5);
+        let sol = optimal_allocation(&m, &[3, 1], 1.0).unwrap();
+        let full = sol.full_loads(5);
+        assert_eq!(full.len(), 5);
+        assert_eq!(full[0], 0.0);
+        assert!((full[3] - sol.loads[0]).abs() < 1e-12);
+        assert!((full[1] - sol.loads[1]).abs() < 1e-12);
+    }
+}

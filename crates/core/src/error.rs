@@ -1,0 +1,81 @@
+//! Error type shared by the solvers.
+
+use std::fmt;
+
+/// Why a solve failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The ON-set was empty.
+    EmptyOnSet,
+    /// The ON-set referenced a machine twice.
+    DuplicateMachine(usize),
+    /// The ON-set referenced a machine the model does not cover.
+    MachineOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Number of machines in the model.
+        machines: usize,
+    },
+    /// The requested total load is negative, non-finite, or exceeds the
+    /// ON-set's aggregate capacity.
+    LoadOutOfRange {
+        /// Requested load.
+        load: f64,
+        /// Maximum servable by the ON-set.
+        max: f64,
+    },
+    /// The model admits no feasible solution for this query.
+    Infeasible {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A model coefficient is degenerate (e.g. `Σ α_i/β_i = 0`).
+    DegenerateModel {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::EmptyOnSet => write!(f, "the ON-set is empty"),
+            SolveError::DuplicateMachine(i) => {
+                write!(f, "machine {i} appears twice in the ON-set")
+            }
+            SolveError::MachineOutOfRange { index, machines } => {
+                write!(f, "machine {index} out of range (model has {machines})")
+            }
+            SolveError::LoadOutOfRange { load, max } => {
+                write!(f, "total load {load} outside the servable range [0, {max}]")
+            }
+            SolveError::Infeasible { reason } => write!(f, "infeasible: {reason}"),
+            SolveError::DegenerateModel { what } => write!(f, "degenerate model: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_specifics() {
+        assert!(SolveError::DuplicateMachine(3).to_string().contains('3'));
+        assert!(SolveError::MachineOutOfRange {
+            index: 9,
+            machines: 4
+        }
+        .to_string()
+        .contains('9'));
+        assert!(SolveError::LoadOutOfRange {
+            load: 7.0,
+            max: 4.0
+        }
+        .to_string()
+        .contains('7'));
+        assert!(!SolveError::EmptyOnSet.to_string().is_empty());
+    }
+}

@@ -1,0 +1,402 @@
+//! Heterogeneous-hardware generalization — beyond the paper.
+//!
+//! The paper assumes every machine shares one power model ("the power
+//! consumption coefficients are the same for all machines in our testbed")
+//! and points at heterogeneity as future work. With per-machine
+//! `P_i = w1_i·L_i + w2_i` the elegant closed form no longer applies: a
+//! machine's marginal *computing* cost now differs, so the optimum is no
+//! longer "every CPU at `T_max`" — an expensive machine may be left cool
+//! and idle while cheap ones run hot.
+//!
+//! The generalized problem is still well behaved. For a fixed `T_ac` the
+//! inner problem
+//!
+//! ```text
+//! minimize  Σ w1_i·L_i    s.t.  Σ L_i = L,  0 ≤ L_i ≤ min(1, cap_i(T_ac))
+//! ```
+//!
+//! is a transportation LP solved exactly by greedy filling in ascending
+//! `w1_i` order, and its optimal value is a convex, non-decreasing function
+//! of `T_ac` (caps shrink linearly as the air warms — standard LP
+//! sensitivity). Adding the cooling term `−cf·T_ac` keeps the outer
+//! objective convex in `T_ac`, so ternary search finds the global optimum.
+//!
+//! With identical machines this reduces exactly to the paper's Eqs. 21/22
+//! (verified by the test suite).
+
+use crate::error::SolveError;
+use coolopt_model::{CoolingModel, PowerModel, ThermalModel};
+use coolopt_units::{Temperature, Watts};
+use serde::{Deserialize, Serialize};
+
+/// One machine of a heterogeneous rack: its own power curve and its own
+/// thermal position.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeteroMachine {
+    /// The machine's power model (per-machine, unlike the paper).
+    pub power: PowerModel,
+    /// The machine's thermal model.
+    pub thermal: ThermalModel,
+}
+
+impl HeteroMachine {
+    /// Load capacity of this machine at `t_ac` under `t_max` (clipped to
+    /// `[0, 1]`).
+    fn cap(&self, t_ac: Temperature, t_max: Temperature) -> f64 {
+        self.thermal
+            .load_at_cap(t_max, t_ac, &self.power)
+            .clamp(0.0, 1.0)
+    }
+
+    /// `true` when the machine cannot even idle at `t_ac` without breaching
+    /// `t_max`.
+    fn overheats_idle(&self, t_ac: Temperature, t_max: Temperature) -> bool {
+        self.thermal.predict(t_ac, self.power.predict(0.0)) > t_max
+    }
+}
+
+/// The generalized optimum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeteroSolution {
+    /// Per-machine loads, aligned with the input slice.
+    pub loads: Vec<f64>,
+    /// The chosen cooling-air temperature.
+    pub t_ac: Temperature,
+    /// Predicted computing power at the optimum.
+    pub computing: Watts,
+    /// Predicted cooling power at the optimum (via the cooling model).
+    pub cooling: Watts,
+}
+
+impl HeteroSolution {
+    /// Predicted total power.
+    pub fn total(&self) -> Watts {
+        self.computing + self.cooling
+    }
+}
+
+/// Minimum computing power to serve `load` at a fixed `t_ac`, by greedy
+/// filling in ascending `w1` order; `None` when infeasible.
+fn min_computing_at(
+    machines: &[HeteroMachine],
+    order_by_w1: &[usize],
+    t_ac: Temperature,
+    t_max: Temperature,
+    load: f64,
+) -> Option<(Vec<f64>, f64)> {
+    if machines
+        .iter()
+        .any(|m| m.overheats_idle(t_ac, t_max))
+    {
+        return None; // some machine cannot even be on at this temperature
+    }
+    let mut loads = vec![0.0; machines.len()];
+    let mut remaining = load;
+    let mut cost = 0.0;
+    for &i in order_by_w1 {
+        if remaining <= 0.0 {
+            break;
+        }
+        let cap = machines[i].cap(t_ac, t_max);
+        let take = remaining.min(cap);
+        loads[i] = take;
+        cost += machines[i].power.w1().as_watts() * take;
+        remaining -= take;
+    }
+    if remaining > 1e-9 {
+        return None;
+    }
+    Some((loads, cost))
+}
+
+/// Solves the heterogeneous joint problem: loads and `T_ac` minimizing
+/// computing + cooling power subject to `Σ L_i = L`, per-machine capacity
+/// and `T_max`.
+///
+/// Every machine in `machines` is powered ON (consolidation over
+/// heterogeneous machines is a knapsack-like extension left to callers —
+/// enumerate candidate ON-sets and compare [`HeteroSolution::total`]).
+///
+/// # Errors
+///
+/// Returns [`SolveError`] for an empty rack, an out-of-range load, or a
+/// load unservable at any admissible temperature.
+pub fn optimal_allocation_hetero(
+    machines: &[HeteroMachine],
+    cooling: &CoolingModel,
+    t_max: Temperature,
+    total_load: f64,
+    t_ac_cap: Option<Temperature>,
+) -> Result<HeteroSolution, SolveError> {
+    if machines.is_empty() {
+        return Err(SolveError::EmptyOnSet);
+    }
+    let n = machines.len();
+    if !total_load.is_finite() || total_load < 0.0 || total_load > n as f64 + 1e-9 {
+        return Err(SolveError::LoadOutOfRange {
+            load: total_load,
+            max: n as f64,
+        });
+    }
+
+    let mut order_by_w1: Vec<usize> = (0..n).collect();
+    order_by_w1.sort_by(|&i, &j| {
+        machines[i]
+            .power
+            .w1()
+            .as_watts()
+            .partial_cmp(&machines[j].power.w1().as_watts())
+            .expect("finite coefficients")
+            .then(i.cmp(&j))
+    });
+
+    // Admissible T_ac range: [0 K, warmest at which every machine may idle],
+    // additionally clipped by the actuator ceiling.
+    let idle_limit = machines
+        .iter()
+        .map(|m| {
+            (t_max.as_kelvin()
+                - m.thermal.beta() * m.power.predict(0.0).as_watts()
+                - m.thermal.gamma())
+                / m.thermal.alpha()
+        })
+        .fold(f64::INFINITY, f64::min);
+    let mut hi = idle_limit;
+    if let Some(cap) = t_ac_cap {
+        hi = hi.min(cap.as_kelvin());
+    }
+    if !(hi.is_finite() && hi > 0.0) {
+        return Err(SolveError::Infeasible {
+            reason: "no admissible cooling temperature".to_string(),
+        });
+    }
+    let feasible = |t: f64| {
+        min_computing_at(
+            machines,
+            &order_by_w1,
+            Temperature::from_kelvin(t),
+            t_max,
+            total_load,
+        )
+    };
+    if feasible(0.0).is_none() {
+        return Err(SolveError::Infeasible {
+            reason: format!("load {total_load} unservable even at 0 K supply"),
+        });
+    }
+    // Shrink `hi` until feasible (capacity may not suffice at the idle
+    // limit); the feasibility frontier is monotone in t.
+    if feasible(hi).is_none() {
+        let (mut lo_f, mut hi_f) = (0.0, hi);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo_f + hi_f);
+            if feasible(mid).is_some() {
+                lo_f = mid;
+            } else {
+                hi_f = mid;
+            }
+        }
+        hi = lo_f;
+    }
+
+    // Ternary search on the convex objective over [0, hi].
+    let objective = |t: f64| -> f64 {
+        let (_, computing) = feasible(t).expect("within feasible range");
+        computing
+            + cooling
+                .predict(Temperature::from_kelvin(t))
+                .as_watts()
+    };
+    let (mut lo, mut hi_t) = (0.0, hi);
+    for _ in 0..200 {
+        let m1 = lo + (hi_t - lo) / 3.0;
+        let m2 = hi_t - (hi_t - lo) / 3.0;
+        if objective(m1) <= objective(m2) {
+            hi_t = m2;
+        } else {
+            lo = m1;
+        }
+    }
+    let t_star = 0.5 * (lo + hi_t);
+    let t_ac = Temperature::from_kelvin(t_star);
+    let (loads, _) = feasible(t_star).expect("t* is feasible");
+    let computing: Watts = loads
+        .iter()
+        .zip(machines)
+        .map(|(&l, m)| m.power.predict(l))
+        .sum();
+    Ok(HeteroSolution {
+        loads,
+        t_ac,
+        computing,
+        cooling: cooling.predict(t_ac),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed_form::optimal_allocation_clamped;
+    use coolopt_model::RoomModel;
+
+    fn thermal(i: usize, n: usize) -> ThermalModel {
+        let h = i as f64 / n.max(2) as f64;
+        let alpha = 0.95 - 0.2 * h;
+        let gamma = (290.0 + 4.0 * h) - alpha * 290.0;
+        ThermalModel::new(alpha, 0.5 + 0.04 * h, gamma).unwrap()
+    }
+
+    fn shared_power() -> PowerModel {
+        PowerModel::new(Watts::new(45.0), Watts::new(40.0)).unwrap()
+    }
+
+    fn cooling() -> CoolingModel {
+        CoolingModel::new(400.0, Temperature::from_celsius(45.0)).unwrap()
+    }
+
+    #[test]
+    fn reduces_to_the_papers_closed_form_when_homogeneous() {
+        let n = 6;
+        let machines: Vec<HeteroMachine> = (0..n)
+            .map(|i| HeteroMachine {
+                power: shared_power(),
+                thermal: thermal(i, n),
+            })
+            .collect();
+        let t_max = Temperature::from_celsius(70.0);
+        let load = 3.0;
+
+        let hetero =
+            optimal_allocation_hetero(&machines, &cooling(), t_max, load, None).unwrap();
+
+        let model = RoomModel::new(
+            shared_power(),
+            (0..n).map(|i| thermal(i, n)).collect(),
+            cooling(),
+            t_max,
+        )
+        .unwrap();
+        let on: Vec<usize> = (0..n).collect();
+        let paper = optimal_allocation_clamped(&model, &on, load).unwrap();
+
+        assert!(
+            (hetero.t_ac - paper.t_ac).abs().as_kelvin() < 0.01,
+            "hetero T_ac {} vs paper {}",
+            hetero.t_ac,
+            paper.t_ac
+        );
+        // Computing power is load-determined when w1 is shared; totals agree.
+        let paper_computing: f64 = paper
+            .loads
+            .iter()
+            .map(|&l| shared_power().predict(l).as_watts())
+            .sum();
+        assert!((hetero.computing.as_watts() - paper_computing).abs() < 0.5);
+        assert!((hetero.loads.iter().sum::<f64>() - load).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cheap_machines_absorb_the_load() {
+        // Machine 0 is power-hungry (w1 doubled); with slack capacity the
+        // optimizer should leave it idle.
+        let mut machines: Vec<HeteroMachine> = (0..4)
+            .map(|i| HeteroMachine {
+                power: shared_power(),
+                thermal: thermal(i, 4),
+            })
+            .collect();
+        machines[0].power =
+            PowerModel::new(Watts::new(90.0), Watts::new(40.0)).unwrap();
+        let sol = optimal_allocation_hetero(
+            &machines,
+            &cooling(),
+            Temperature::from_celsius(70.0),
+            1.5,
+            Some(Temperature::from_celsius(20.0)),
+        )
+        .unwrap();
+        assert!(
+            sol.loads[0] < 1e-6,
+            "expensive machine got {} load",
+            sol.loads[0]
+        );
+        assert!((sol.loads.iter().sum::<f64>() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_loads_respect_capacity_and_t_max() {
+        let machines: Vec<HeteroMachine> = (0..5)
+            .map(|i| HeteroMachine {
+                power: PowerModel::new(
+                    Watts::new(40.0 + 5.0 * i as f64),
+                    Watts::new(35.0 + 2.0 * i as f64),
+                )
+                .unwrap(),
+                thermal: thermal(i, 5),
+            })
+            .collect();
+        let t_max = Temperature::from_celsius(62.0);
+        let sol =
+            optimal_allocation_hetero(&machines, &cooling(), t_max, 4.2, None).unwrap();
+        assert!((sol.loads.iter().sum::<f64>() - 4.2).abs() < 1e-6);
+        for (m, &l) in machines.iter().zip(&sol.loads) {
+            assert!((0.0..=1.0 + 1e-9).contains(&l));
+            let t = m.thermal.predict(sol.t_ac, m.power.predict(l));
+            assert!(
+                t.as_kelvin() <= t_max.as_kelvin() + 1e-6,
+                "machine above T_max: {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn warmer_actuator_ceiling_never_hurts() {
+        let machines: Vec<HeteroMachine> = (0..4)
+            .map(|i| HeteroMachine {
+                power: shared_power(),
+                thermal: thermal(i, 4),
+            })
+            .collect();
+        let run = |cap_c: f64| {
+            optimal_allocation_hetero(
+                &machines,
+                &cooling(),
+                Temperature::from_celsius(70.0),
+                2.0,
+                Some(Temperature::from_celsius(cap_c)),
+            )
+            .unwrap()
+            .total()
+            .as_watts()
+        };
+        assert!(run(22.0) <= run(16.0) + 1e-6);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(matches!(
+            optimal_allocation_hetero(
+                &[],
+                &cooling(),
+                Temperature::from_celsius(70.0),
+                0.0,
+                None
+            ),
+            Err(SolveError::EmptyOnSet)
+        ));
+        let machines = vec![HeteroMachine {
+            power: shared_power(),
+            thermal: thermal(0, 1),
+        }];
+        assert!(matches!(
+            optimal_allocation_hetero(
+                &machines,
+                &cooling(),
+                Temperature::from_celsius(70.0),
+                1.5,
+                None
+            ),
+            Err(SolveError::LoadOutOfRange { .. })
+        ));
+    }
+}

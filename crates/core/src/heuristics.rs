@@ -1,0 +1,136 @@
+//! The two greedy heuristics from the paper's footnote 1, and the instance
+//! on which they fail.
+//!
+//! > "E.g., sort A by decreasing order of aᵢ/bᵢ, then pick the first k
+//! > nodes. Or, first pick the largest aᵢ/bᵢ, then pick the next node to
+//! > make the result as large as possible, and recursively do this. The
+//! > example below will make the above two heuristics fail.
+//! > A = {(10, 7), (2, 3), (1, 2), (0.2, 1.34)}."
+//!
+//! Both heuristics return *some* subset quickly, but neither is optimal in
+//! general — which is the paper's motivation for the exact kinetic-particle
+//! algorithm in [`crate::index`].
+
+/// The paper's counterexample instance `A`.
+pub fn footnote_counterexample() -> Vec<(f64, f64)> {
+    vec![(10.0, 7.0), (2.0, 3.0), (1.0, 2.0), (0.2, 1.34)]
+}
+
+/// The ratio `(Σa − L)/Σb` of a subset, or `None` when it cannot serve `L`
+/// with a positive ratio denominator contribution.
+pub fn subset_ratio(pairs: &[(f64, f64)], subset: &[usize], total_load: f64) -> Option<f64> {
+    let sum_a: f64 = subset.iter().map(|&i| pairs[i].0).sum();
+    let sum_b: f64 = subset.iter().map(|&i| pairs[i].1).sum();
+    if sum_b <= 0.0 {
+        return None;
+    }
+    Some((sum_a - total_load) / sum_b)
+}
+
+/// Heuristic 1: sort by decreasing `aᵢ/bᵢ` and pick the first `k` nodes.
+///
+/// Returns `None` for `k` out of range.
+pub fn greedy_by_ratio(pairs: &[(f64, f64)], k: usize) -> Option<Vec<usize>> {
+    if k == 0 || k > pairs.len() {
+        return None;
+    }
+    let mut idx: Vec<usize> = (0..pairs.len()).collect();
+    idx.sort_by(|&i, &j| {
+        let ri = pairs[i].0 / pairs[i].1;
+        let rj = pairs[j].0 / pairs[j].1;
+        rj.partial_cmp(&ri).expect("ratios are finite").then(i.cmp(&j))
+    });
+    idx.truncate(k);
+    idx.sort_unstable();
+    Some(idx)
+}
+
+/// Heuristic 2: start from the single largest `aᵢ/bᵢ`, then repeatedly add
+/// the node that maximizes the running ratio `(Σa − L)/Σb`.
+///
+/// Returns `None` for `k` out of range.
+pub fn greedy_incremental(pairs: &[(f64, f64)], k: usize, total_load: f64) -> Option<Vec<usize>> {
+    if k == 0 || k > pairs.len() {
+        return None;
+    }
+    let first = (0..pairs.len()).max_by(|&i, &j| {
+        (pairs[i].0 / pairs[i].1)
+            .partial_cmp(&(pairs[j].0 / pairs[j].1))
+            .expect("ratios are finite")
+            .then(j.cmp(&i))
+    })?;
+    let mut chosen = vec![first];
+    while chosen.len() < k {
+        let next = (0..pairs.len())
+            .filter(|i| !chosen.contains(i))
+            .max_by(|&i, &j| {
+                let mut with_i = chosen.clone();
+                with_i.push(i);
+                let mut with_j = chosen.clone();
+                with_j.push(j);
+                let ri = subset_ratio(pairs, &with_i, total_load).unwrap_or(f64::NEG_INFINITY);
+                let rj = subset_ratio(pairs, &with_j, total_load).unwrap_or(f64::NEG_INFINITY);
+                ri.partial_cmp(&rj).expect("ratios are finite").then(j.cmp(&i))
+            })?;
+        chosen.push(next);
+    }
+    chosen.sort_unstable();
+    Some(chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_select;
+
+    #[test]
+    fn heuristic1_fails_on_the_counterexample() {
+        let pairs = footnote_counterexample();
+        // k = 2, L = 0: greedy-by-ratio picks {0, 1} (ratios 1.43, 0.67),
+        // but the optimum is {0, 3} with 10.2/8.34 ≈ 1.223 > 1.2.
+        let greedy = greedy_by_ratio(&pairs, 2).unwrap();
+        assert_eq!(greedy, vec![0, 1]);
+        let (opt, opt_ratio) = brute_force_select(&pairs, 2, 0.0).unwrap();
+        let greedy_ratio = subset_ratio(&pairs, &greedy, 0.0).unwrap();
+        assert!(
+            opt_ratio > greedy_ratio + 1e-9,
+            "optimum {opt:?} ({opt_ratio}) should beat greedy {greedy:?} ({greedy_ratio})"
+        );
+    }
+
+    #[test]
+    fn heuristic2_fails_on_the_counterexample() {
+        let pairs = footnote_counterexample();
+        // k = 3, L = 0: incremental greedy locks in {0, 3} after two steps
+        // and ends at {0, 2, 3} ≈ 1.08317, but {0, 1, 2} = 13/12 ≈ 1.08333.
+        let greedy = greedy_incremental(&pairs, 3, 0.0).unwrap();
+        assert_eq!(greedy, vec![0, 2, 3]);
+        let (opt, opt_ratio) = brute_force_select(&pairs, 3, 0.0).unwrap();
+        assert_eq!(opt, vec![0, 1, 2]);
+        let greedy_ratio = subset_ratio(&pairs, &greedy, 0.0).unwrap();
+        assert!(opt_ratio > greedy_ratio + 1e-9);
+    }
+
+    #[test]
+    fn heuristics_agree_with_optimum_on_easy_instances() {
+        // Homogeneous b: ordering by a/b equals ordering by a, and prefixes
+        // are optimal.
+        let pairs: Vec<(f64, f64)> = vec![(9.0, 1.0), (7.0, 1.0), (5.0, 1.0), (3.0, 1.0)];
+        for k in 1..=4 {
+            let g1 = greedy_by_ratio(&pairs, k).unwrap();
+            let g2 = greedy_incremental(&pairs, k, 1.0).unwrap();
+            let (opt, _) = brute_force_select(&pairs, k, 1.0).unwrap();
+            assert_eq!(g1, opt);
+            assert_eq!(g2, opt);
+        }
+    }
+
+    #[test]
+    fn out_of_range_k_is_rejected() {
+        let pairs = footnote_counterexample();
+        assert!(greedy_by_ratio(&pairs, 0).is_none());
+        assert!(greedy_by_ratio(&pairs, 5).is_none());
+        assert!(greedy_incremental(&pairs, 0, 0.0).is_none());
+        assert!(greedy_incremental(&pairs, 9, 0.0).is_none());
+    }
+}

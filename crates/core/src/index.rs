@@ -1,0 +1,586 @@
+//! Optimal consolidation: the paper's Algorithm 1 (offline index) and
+//! Algorithm 2 (online query), plus an exact capacity-aware query.
+//!
+//! For an ON-set of size `k`, the model-predicted total power collapses to
+//! (Eq. 23)
+//!
+//! ```text
+//! P_total = k·w2 − ρ·t + θ,   t = (Σ_{i∈ON} a_i − L) / Σ_{i∈ON} b_i,
+//! ρ = c·f_ac·w1,              θ = c·f_ac·T_SP + w1·L.
+//! ```
+//!
+//! `θ` is shared by every candidate of one query, so minimizing power means
+//! maximizing `ρ·t − k·w2` over subsets — and for each `k` the best subset
+//! is a top-`k` prefix of the particle order at the optimizing `t`
+//! (Dinkelbach / exchange argument, see [`crate::particles`]). The index
+//! precomputes prefix sums of every order snapshot (`O(n³)` statuses,
+//! `O(n³ log n)` build), after which:
+//!
+//! * [`ConsolidationIndex::query_online`] answers a load query in
+//!   `O(log n)` by binary search over statuses sorted by their maximum
+//!   servable load — the paper's Algorithm 2;
+//! * [`ConsolidationIndex::query_min_power`] scans all statuses, computes
+//!   each candidate's exact `t` and predicted power, optionally discards
+//!   candidates whose Eq. 22 loads violate per-machine capacity, and
+//!   returns the provable minimum — the exact variant the evaluation uses;
+//! * [`ConsolidationIndex::max_load`] solves the paper's intermediate
+//!   `maxL(A, P_b, k)` problem.
+
+use crate::closed_form::optimal_allocation_clamped;
+use crate::error::SolveError;
+use crate::particles::{OrderSnapshot, ParticleSystem};
+use coolopt_model::RoomModel;
+use serde::{Deserialize, Serialize};
+
+/// The constants of the Eq. 23 objective.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerTerms {
+    /// Load-independent per-machine power `w2` (W).
+    pub w2: f64,
+    /// `ρ = c·f_ac·w1` (W²/K — the paper treats it as an opaque constant).
+    pub rho: f64,
+    /// Actuator ceiling on the ratio `t = T_ac/w1` (i.e.
+    /// `t_cap = T_ac_max/w1`): beyond it, a warmer model-optimal `T_ac`
+    /// cannot be realized, so the cooling term saturates. `None` reproduces
+    /// the paper's unbounded objective exactly.
+    pub t_cap: Option<f64>,
+}
+
+impl PowerTerms {
+    /// Extracts the terms from a fitted room model (including the supply
+    /// ceiling, when the model carries one).
+    pub fn from_model(model: &RoomModel) -> Self {
+        let w1 = model.power().w1().as_watts();
+        PowerTerms {
+            w2: model.power().w2().as_watts(),
+            rho: model.cooling().cf() * w1,
+            t_cap: model.t_ac_max().map(|t| t.as_kelvin() / w1),
+        }
+    }
+
+    /// The paper's unbounded terms (no actuator ceiling).
+    pub fn unbounded(w2: f64, rho: f64) -> Self {
+        PowerTerms {
+            w2,
+            rho,
+            t_cap: None,
+        }
+    }
+
+    /// The query-relative power of a candidate: `k·w2 − ρ·min(t, t_cap)`
+    /// (θ omitted — it is constant within a query).
+    pub fn relative_power(&self, k: usize, t: f64) -> f64 {
+        let effective = match self.t_cap {
+            Some(cap) => t.min(cap),
+            None => t,
+        };
+        k as f64 * self.w2 - self.rho * effective
+    }
+}
+
+/// Tie tolerance for comparing relative powers: scaled to the magnitude so
+/// it stays meaningful for kilowatt-scale objectives (a fixed 1e-12 would be
+/// below one ULP there).
+fn tie_eps(reference: f64) -> f64 {
+    1e-9 * (1.0 + reference.abs())
+}
+
+/// One precomputed status: the best size-`k` subset on one order interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Status {
+    /// Interval start (event time).
+    since: f64,
+    /// Snapshot index into `orders`.
+    snapshot: usize,
+    /// Subset size.
+    k: usize,
+    /// `Σ a_i` over the prefix.
+    sum_a: f64,
+    /// `Σ b_i` over the prefix.
+    sum_b: f64,
+    /// Maximum servable load at the interval start: `sum_a − since·sum_b`.
+    lmax: f64,
+}
+
+/// A chosen consolidation: which machines to power on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Consolidation {
+    /// Machines to power on.
+    pub on: Vec<usize>,
+    /// Subset size (`on.len()`).
+    pub k: usize,
+    /// The ratio `t = (Σa − L)/Σb` of the chosen subset (equal to
+    /// `T_ac/w1`).
+    pub t: f64,
+    /// Query-relative predicted power `k·w2 − ρ·t` (W, up to the
+    /// query-constant θ).
+    pub relative_power: f64,
+}
+
+/// The offline consolidation index (the paper's Algorithm 1 output:
+/// `Orders` + `allStatus`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsolidationIndex {
+    system: ParticleSystem,
+    orders: Vec<OrderSnapshot>,
+    /// All statuses, sorted by increasing `lmax` (Algorithm 1, last line).
+    statuses: Vec<Status>,
+}
+
+impl ConsolidationIndex {
+    /// Runs Algorithm 1 over the pairs `(a_i, b_i) = (K_i, α_i/β_i)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DegenerateModel`] for empty input or
+    /// non-positive speeds `b_i`.
+    pub fn build(pairs: &[(f64, f64)]) -> Result<Self, SolveError> {
+        let system = ParticleSystem::new(pairs).map_err(|e| SolveError::DegenerateModel {
+            what: e.to_string(),
+        })?;
+        let orders = system.orders();
+        let n = system.len();
+        let mut statuses = Vec::with_capacity(orders.len() * n);
+        for (snapshot, snap) in orders.iter().enumerate() {
+            let mut sum_a = 0.0;
+            let mut sum_b = 0.0;
+            for (pos, &i) in snap.order.iter().enumerate() {
+                sum_a += pairs[i].0;
+                sum_b += pairs[i].1;
+                statuses.push(Status {
+                    since: snap.since,
+                    snapshot,
+                    k: pos + 1,
+                    sum_a,
+                    sum_b,
+                    lmax: sum_a - snap.since * sum_b,
+                });
+            }
+        }
+        statuses.sort_by(|x, y| x.lmax.partial_cmp(&y.lmax).expect("lmax is finite"));
+        Ok(ConsolidationIndex {
+            system,
+            orders,
+            statuses,
+        })
+    }
+
+    /// Number of machines indexed.
+    pub fn len(&self) -> usize {
+        self.system.len()
+    }
+
+    /// `true` for an index over zero machines (impossible after build).
+    pub fn is_empty(&self) -> bool {
+        self.system.is_empty()
+    }
+
+    /// Number of precomputed statuses (`O(n³)`).
+    pub fn status_count(&self) -> usize {
+        self.statuses.len()
+    }
+
+    /// Number of distinct coordinate orders (`O(n²)`).
+    pub fn order_count(&self) -> usize {
+        self.orders.len()
+    }
+
+    /// The paper's Algorithm 2: binary-search `allStatus` for the first
+    /// status whose `Lmax` exceeds `total_load` and return its machine
+    /// prefix, in `O(log n)` (plus `O(k)` to materialize the answer).
+    ///
+    /// Returns `None` when no status can serve the load. The returned
+    /// [`Consolidation::relative_power`] is `NaN`: Algorithm 2 never
+    /// evaluates the power objective (the paper notes "the algorithm itself
+    /// does not make use of `P_b`").
+    pub fn query_online(&self, total_load: f64) -> Option<Consolidation> {
+        let idx = self
+            .statuses
+            .partition_point(|s| s.lmax <= total_load);
+        let status = self.statuses.get(idx)?;
+        Some(self.materialize(status, total_load))
+    }
+
+    /// Exact minimum-power query: evaluates every status at the exact ratio
+    /// `t = (Σa − L)/Σb` and returns the candidate minimizing
+    /// `k·w2 − ρ·min(t, t_cap)`.
+    ///
+    /// With `capacity_model` supplied, each candidate is additionally solved
+    /// under per-machine capacity (`0 ≤ L_i ≤ 1`, via
+    /// [`optimal_allocation_clamped`]) and ranked by its *achievable*
+    /// cooling temperature; infeasible subsets are discarded. The unclamped
+    /// ratio is an upper bound on the achievable one, so it serves as an
+    /// optimistic bound that prunes most candidates before the (more
+    /// expensive) clamped solve — a small branch-and-bound on top of the
+    /// paper's enumeration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::LoadOutOfRange`] for a negative or non-finite
+    /// load.
+    pub fn query_min_power(
+        &self,
+        terms: &PowerTerms,
+        total_load: f64,
+        capacity_model: Option<&RoomModel>,
+    ) -> Result<Option<Consolidation>, SolveError> {
+        if !total_load.is_finite() || total_load < 0.0 {
+            return Err(SolveError::LoadOutOfRange {
+                load: total_load,
+                max: self.len() as f64,
+            });
+        }
+        let mut best: Option<Consolidation> = None;
+        for status in &self.statuses {
+            if status.sum_a <= total_load {
+                continue; // would require t ≤ 0, i.e. T_ac ≤ 0 K
+            }
+            if total_load > status.k as f64 {
+                continue; // k machines cannot carry more than k load
+            }
+            let t_optimistic = (status.sum_a - total_load) / status.sum_b;
+            let rel_optimistic = terms.relative_power(status.k, t_optimistic);
+            let bound_beats_best = match &best {
+                None => true,
+                Some(b) => {
+                    // Relative tolerance: the rel values carry the full
+                    // magnitude of ρ·t (tens of kilowatts), where a fixed
+                    // 1e-12 would be absorbed below one ULP.
+                    let eps = tie_eps(b.relative_power);
+                    rel_optimistic < b.relative_power - eps
+                        || (rel_optimistic < b.relative_power + eps && status.k <= b.k)
+                }
+            };
+            if !bound_beats_best {
+                continue;
+            }
+            let mut candidate = self.materialize(status, total_load);
+            match capacity_model {
+                None => candidate.relative_power = rel_optimistic,
+                Some(model) => {
+                    let w1 = model.power().w1().as_watts();
+                    match optimal_allocation_clamped(model, &candidate.on, total_load) {
+                        Ok(sol) => {
+                            candidate.t = sol.t_ac.as_kelvin() / w1;
+                            candidate.relative_power =
+                                terms.relative_power(status.k, candidate.t);
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            }
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    let eps = tie_eps(b.relative_power);
+                    candidate.relative_power < b.relative_power - eps
+                        || (candidate.relative_power < b.relative_power + eps
+                            && (candidate.k < b.k
+                                // Power tie at equal size (typical when the
+                                // supply ceiling saturates the objective):
+                                // prefer the subset with the most thermal
+                                // margin, i.e. the warmest achievable ratio.
+                                || (candidate.k == b.k && candidate.t > b.t + 1e-9)))
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        Ok(best)
+    }
+
+    /// The paper's *intermediate* algorithm, before it tightens to
+    /// Algorithms 1+2: "performing a binary search on `P_b` to find the
+    /// minimum power that can serve a given load `L`"
+    /// (`O(n·log n·log P_max)` per query).
+    ///
+    /// For each subset size `k`, the feasible relative budget
+    /// `p_b = k·w2 − ρ·t` is binary-searched until [`max_load`] can just
+    /// serve `total_load`; the best `k` wins. Kept for fidelity and as an
+    /// independent oracle for the index — production code uses
+    /// [`ConsolidationIndex::query_min_power`].
+    ///
+    /// Returns `None` when no subset size can serve the load with `t ≥ 0`.
+    ///
+    /// [`max_load`]: ConsolidationIndex::max_load
+    pub fn query_budget_search(&self, terms: &PowerTerms, total_load: f64) -> Option<Consolidation> {
+        if !total_load.is_finite() || total_load < 0.0 || terms.rho <= 0.0 {
+            return None;
+        }
+        let n = self.len();
+        let mut best: Option<Consolidation> = None;
+        for k in 1..=n {
+            if total_load > k as f64 {
+                continue; // capacity: k machines carry at most k load
+            }
+            // Feasibility bracket on t (not on raw watts — equivalent and
+            // numerically cleaner): t = 0 is the cheapest-feasibility limit,
+            // t_hi the largest ratio any size-k subset can reach at L = 0.
+            let (mut lo_t, mut hi_t) = (0.0_f64, 0.0_f64);
+            let lmax_at_zero = self
+                .max_load_at_t(0.0, k)
+                .expect("k validated against n");
+            if lmax_at_zero <= total_load {
+                continue; // even the best subset at t = 0 cannot serve L
+            }
+            // Upper bound: the largest single ratio times 1 covers any mean.
+            for snap in &self.orders {
+                let sa: f64 = snap.order[..k].iter().map(|&i| self.coordinate_a(i)).sum();
+                let sb: f64 = snap.order[..k].iter().map(|&i| self.coordinate_b(i)).sum();
+                if sa > total_load {
+                    hi_t = hi_t.max((sa - total_load) / sb);
+                }
+            }
+            if hi_t <= 0.0 {
+                continue;
+            }
+            // Binary search the largest t with Lmax(t, k) ≥ L. Lmax is
+            // non-increasing in t, so the search is monotone; iterations
+            // play the role of the paper's log(P_max) factor.
+            for _ in 0..96 {
+                let mid = 0.5 * (lo_t + hi_t);
+                let p_b = terms.relative_power(k, mid);
+                let lmax = self
+                    .max_load_at_t(mid, k)
+                    .unwrap_or(f64::NEG_INFINITY);
+                let _ = p_b; // the budget is implied by (k, t); kept for clarity
+                if lmax >= total_load {
+                    lo_t = mid;
+                } else {
+                    hi_t = mid;
+                }
+            }
+            let t = lo_t;
+            let rel = terms.relative_power(k, t);
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    let eps = tie_eps(b.relative_power);
+                    rel < b.relative_power - eps
+                        || (rel < b.relative_power + eps && k < b.k)
+                }
+            };
+            if better {
+                let order = self.system.order_at(t + 1e-12);
+                let on: Vec<usize> = order[..k].to_vec();
+                best = Some(Consolidation {
+                    on,
+                    k,
+                    t,
+                    relative_power: rel,
+                });
+            }
+        }
+        best
+    }
+
+    fn coordinate_a(&self, i: usize) -> f64 {
+        self.system.coordinate(i, 0.0)
+    }
+
+    fn coordinate_b(&self, i: usize) -> f64 {
+        // b_i = (x(0) − x(1)) since x(t) = a − b·t.
+        self.system.coordinate(i, 0.0) - self.system.coordinate(i, 1.0)
+    }
+
+    /// `Lmax` for exactly `k` machines at ratio `t` (sum of the `k` largest
+    /// coordinates).
+    fn max_load_at_t(&self, t: f64, k: usize) -> Option<f64> {
+        if k == 0 || k > self.len() || t < 0.0 {
+            return None;
+        }
+        let order = self.system.order_at(t);
+        Some(
+            order
+                .iter()
+                .take(k)
+                .map(|&i| self.system.coordinate(i, t))
+                .sum(),
+        )
+    }
+
+    /// The paper's `maxL(A, P_b, k)` problem: the largest load exactly `k`
+    /// machines can serve within the relative power budget
+    /// `p_b = k·w2 − ρ·t` (θ excluded, consistently with
+    /// [`PowerTerms::relative_power`]).
+    ///
+    /// Solving `p_b` for `t` and summing the `k` largest coordinates at that
+    /// time gives `Lmax` directly.
+    pub fn max_load(&self, terms: &PowerTerms, p_b: f64, k: usize) -> Option<f64> {
+        if k == 0 || k > self.len() || terms.rho <= 0.0 {
+            return None;
+        }
+        let t = (k as f64 * terms.w2 - p_b) / terms.rho;
+        if !t.is_finite() || t < 0.0 {
+            return None;
+        }
+        let order = self.system.order_at(t);
+        Some(
+            order
+                .iter()
+                .take(k)
+                .map(|&i| self.system.coordinate(i, t))
+                .sum(),
+        )
+    }
+
+    fn materialize(&self, status: &Status, total_load: f64) -> Consolidation {
+        let on: Vec<usize> = self.orders[status.snapshot].order[..status.k].to_vec();
+        let t = (status.sum_a - total_load) / status.sum_b;
+        Consolidation {
+            on,
+            k: status.k,
+            t,
+            relative_power: f64::NAN, // filled by callers that know the terms
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+
+    /// The footnote-1 counterexample set.
+    fn footnote_pairs() -> Vec<(f64, f64)> {
+        vec![(10.0, 7.0), (2.0, 3.0), (1.0, 2.0), (0.2, 1.34)]
+    }
+
+    fn terms() -> PowerTerms {
+        PowerTerms::unbounded(40.0, 900.0)
+    }
+
+    #[test]
+    fn build_counts_are_within_bounds() {
+        let idx = ConsolidationIndex::build(&footnote_pairs()).unwrap();
+        assert_eq!(idx.len(), 4);
+        assert!(idx.order_count() <= 1 + 4 * 3 / 2);
+        assert_eq!(idx.status_count(), idx.order_count() * 4);
+    }
+
+    #[test]
+    fn exact_query_matches_brute_force_on_footnote_set() {
+        let pairs = footnote_pairs();
+        let idx = ConsolidationIndex::build(&pairs).unwrap();
+        let t = terms();
+        for load in [0.0, 0.5, 1.0, 2.0, 3.0] {
+            let got = idx.query_min_power(&t, load, None).unwrap().unwrap();
+            let want = brute::brute_force_subsets(&pairs, &t, load)
+                .unwrap()
+                .unwrap();
+            assert!(
+                (got.relative_power - want.relative_power).abs() < 1e-9,
+                "load {load}: got {} ({:?}), brute {} ({:?})",
+                got.relative_power,
+                got.on,
+                want.relative_power,
+                want.on
+            );
+        }
+    }
+
+    #[test]
+    fn online_query_serves_the_load() {
+        let pairs = footnote_pairs();
+        let idx = ConsolidationIndex::build(&pairs).unwrap();
+        for load in [0.1, 1.0, 2.5] {
+            let c = idx.query_online(load).unwrap();
+            // The chosen prefix can actually carry the load: Σa − t·Σb = L
+            // has a non-negative t.
+            assert!(c.t >= 0.0, "load {load} gave negative t {}", c.t);
+            let sum_a: f64 = c.on.iter().map(|&i| pairs[i].0).sum();
+            assert!(sum_a >= load);
+        }
+    }
+
+    #[test]
+    fn max_load_is_monotone_in_budget() {
+        let pairs = footnote_pairs();
+        let idx = ConsolidationIndex::build(&pairs).unwrap();
+        let t = terms();
+        let mut last = f64::NEG_INFINITY;
+        // Higher budget ⇒ smaller required t ⇒ larger Lmax.
+        for p_b in [-2000.0, -1000.0, 0.0, 40.0, 80.0] {
+            if let Some(l) = idx.max_load(&t, p_b, 2) {
+                assert!(l >= last - 1e-12, "budget {p_b} broke monotonicity");
+                last = l;
+            }
+        }
+        assert!(last > f64::NEG_INFINITY, "no budget was feasible");
+    }
+
+    #[test]
+    fn budget_search_agrees_with_the_exact_query() {
+        let pairs = footnote_pairs();
+        let idx = ConsolidationIndex::build(&pairs).unwrap();
+        let t = terms();
+        for load in [0.0, 0.5, 1.0, 2.0, 3.0] {
+            let exact = idx.query_min_power(&t, load, None).unwrap().unwrap();
+            let searched = idx.query_budget_search(&t, load).unwrap();
+            assert!(
+                (exact.relative_power - searched.relative_power).abs() < 1e-6,
+                "load {load}: exact {} ({:?}) vs budget search {} ({:?})",
+                exact.relative_power,
+                exact.on,
+                searched.relative_power,
+                searched.on
+            );
+        }
+    }
+
+    #[test]
+    fn budget_search_handles_infeasible_and_capped_cases() {
+        let pairs = footnote_pairs();
+        let idx = ConsolidationIndex::build(&pairs).unwrap();
+        // Unservable load.
+        assert!(idx.query_budget_search(&terms(), 14.0).is_none());
+        // Capped objective still agrees with the exact query.
+        let capped = PowerTerms {
+            w2: 40.0,
+            rho: 900.0,
+            t_cap: Some(0.9),
+        };
+        for load in [0.5, 2.0] {
+            let exact = idx.query_min_power(&capped, load, None).unwrap().unwrap();
+            let searched = idx.query_budget_search(&capped, load).unwrap();
+            assert!(
+                (exact.relative_power - searched.relative_power).abs() < 1e-6,
+                "capped, load {load}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_load_rejects_degenerate_queries() {
+        let idx = ConsolidationIndex::build(&footnote_pairs()).unwrap();
+        let t = terms();
+        assert!(idx.max_load(&t, 0.0, 0).is_none());
+        assert!(idx.max_load(&t, 0.0, 9).is_none());
+        // Budget so high that t would be negative.
+        assert!(idx.max_load(&t, 1e9, 2).is_none());
+    }
+
+    #[test]
+    fn query_rejects_bad_loads() {
+        let idx = ConsolidationIndex::build(&footnote_pairs()).unwrap();
+        assert!(idx.query_min_power(&terms(), -1.0, None).is_err());
+        assert!(idx.query_min_power(&terms(), f64::NAN, None).is_err());
+    }
+
+    #[test]
+    fn unservable_load_returns_none() {
+        let idx = ConsolidationIndex::build(&footnote_pairs()).unwrap();
+        // Σa = 13.2; a load beyond it can never give t > 0.
+        assert!(idx
+            .query_min_power(&terms(), 14.0, None)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn build_rejects_bad_pairs() {
+        assert!(ConsolidationIndex::build(&[]).is_err());
+        assert!(ConsolidationIndex::build(&[(1.0, 0.0)]).is_err());
+    }
+}

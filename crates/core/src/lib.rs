@@ -1,0 +1,118 @@
+//! The paper's primary contribution: the closed-form energy-optimal load
+//! distribution (its Eqs. 19/21/22) and the provably optimal consolidation
+//! algorithms (its Algorithms 1 and 2).
+//!
+//! # Problem
+//!
+//! Given a fitted [`coolopt_model::RoomModel`], a set `ON` of
+//! powered machines and a total load `L`, choose the cooling-air temperature
+//! `T_ac` and per-machine loads `L_i` to minimize
+//!
+//! ```text
+//! P_total = c·f_ac·(T_SP − T_ac) + Σ (w1·L_i + w2)
+//! ```
+//!
+//! subject to `Σ L_i = L` and `T_i^cpu = α_i·T_ac + β_i·P_i + γ_i ≤ T_max`.
+//!
+//! # Structure of the optimum
+//!
+//! Lagrange analysis (paper §III-A) shows every temperature constraint is
+//! *tight* at the optimum — each ON machine runs exactly at `T_max`, which
+//! permits the warmest (cheapest) `T_ac`. That yields the closed form of
+//! [`closed_form::optimal_allocation`]. Choosing *which* machines to power
+//! (consolidation, §III-B) reduces to a ratio maximization over size-`k`
+//! subsets, solved exactly by the kinetic-particle construction in
+//! [`particles`] + [`index`] (Algorithm 1: `O(n³ log n)` preprocessing) and
+//! answered per load query in `O(log n)` (Algorithm 2), or exactly with
+//! capacity checks by [`index::ConsolidationIndex::query_min_power`].
+//!
+//! [`brute`] provides an exponential-time reference solver used by the test
+//! suite to certify optimality, and [`heuristics`] implements the two greedy
+//! strategies from the paper's footnote 1 together with the counterexample
+//! on which they fail.
+
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod closed_form;
+pub mod error;
+pub mod hetero;
+pub mod heuristics;
+pub mod index;
+pub mod particles;
+pub mod predict;
+
+pub use closed_form::{
+    loads_for_t_ac, optimal_allocation, optimal_allocation_clamped, ClosedFormSolution,
+};
+pub use error::SolveError;
+pub use hetero::{optimal_allocation_hetero, HeteroMachine, HeteroSolution};
+pub use index::{Consolidation, ConsolidationIndex, PowerTerms};
+pub use particles::{Event, OrderSnapshot, ParticleSystem};
+pub use predict::{consolidated_power, PowerBreakdown};
+
+use coolopt_model::RoomModel;
+
+/// One-call interface: pick the optimal ON-set *and* its allocation for a
+/// total load `L`, enforcing per-machine capacity (`L_i ≤ 1`).
+///
+/// Builds the consolidation index, scans it exactly (minimum predicted
+/// power among capacity-feasible candidates), and solves the closed form on
+/// the winning subset. For repeated queries against the same room, build a
+/// [`ConsolidationIndex`] once and query it instead.
+///
+/// # Errors
+///
+/// Returns [`SolveError`] if `L` is not servable by the room or the model is
+/// degenerate.
+pub fn solve(model: &RoomModel, total_load: f64) -> Result<ClosedFormSolution, SolveError> {
+    let index = ConsolidationIndex::build(&model.consolidation_pairs())?;
+    let terms = PowerTerms::from_model(model);
+    let pick = index
+        .query_min_power(&terms, total_load, Some(model))?
+        .ok_or(SolveError::Infeasible {
+            reason: "no machine subset can serve this load within capacity".to_string(),
+        })?;
+    optimal_allocation_clamped(model, &pick.on, total_load)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolopt_model::{CoolingModel, PowerModel, RoomModel, ThermalModel};
+    use coolopt_units::{Temperature, Watts};
+
+    fn sample_model(n: usize) -> RoomModel {
+        let power = PowerModel::new(Watts::new(45.0), Watts::new(40.0)).unwrap();
+        let thermal = (0..n)
+            .map(|i| {
+                let h = i as f64 / n.max(2) as f64;
+                let alpha = 0.95 - 0.2 * h;
+                let gamma = (290.0 + 4.0 * h) - alpha * 290.0;
+                ThermalModel::new(alpha, 0.5 + 0.04 * h, gamma).unwrap()
+            })
+            .collect();
+        let cooling = CoolingModel::new(1000.0, Temperature::from_celsius(45.0)).unwrap();
+        RoomModel::new(power, thermal, cooling, Temperature::from_celsius(70.0))
+            .unwrap()
+            .with_t_ac_max(Temperature::from_celsius(20.0))
+    }
+
+    #[test]
+    fn solve_end_to_end_consolidates_at_low_load_and_spreads_at_high() {
+        let model = sample_model(8);
+        let low = solve(&model, 1.0).unwrap();
+        let high = solve(&model, 7.0).unwrap();
+        assert!(low.on.len() < 8, "low load should power off machines");
+        assert!(high.on.len() >= 7, "high load needs almost every machine");
+        assert!((low.loads.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((high.loads.iter().sum::<f64>() - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_rejects_unservable_load() {
+        let model = sample_model(4);
+        assert!(solve(&model, 4.5).is_err());
+        assert!(solve(&model, -1.0).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Model-predicted total power (the paper's Eq. 23).
+
+use crate::closed_form::ClosedFormSolution;
+use coolopt_model::RoomModel;
+use coolopt_units::Watts;
+use serde::{Deserialize, Serialize};
+
+/// Breakdown of the predicted total power at an operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Predicted computing power `Σ (w1·L_i + w2)`.
+    pub computing: Watts,
+    /// Predicted cooling power `c·f_ac·(T_SP − T_ac)` (clamped ≥ 0).
+    pub cooling: Watts,
+    /// Their sum — the paper's `P_total`.
+    pub total: Watts,
+}
+
+/// Predicts the room's total power for a closed-form solution, decomposed
+/// into the paper's Eq. 23 terms:
+///
+/// ```text
+/// P_total = k·w2 − ρ·t + θ,   ρ = c·f_ac·w1,   θ = c·f_ac·T_SP + w1·L
+/// ```
+///
+/// evaluated directly as computing + cooling (the same quantity; the
+/// `k·w2 − ρ·t + θ` form is what the consolidation index optimizes). The
+/// cooling term is evaluated at the *deliverable* supply temperature
+/// (`t_ac` clipped to the model's actuator ceiling), so the prediction
+/// matches what a deployment can realize.
+pub fn consolidated_power(model: &RoomModel, solution: &ClosedFormSolution) -> PowerBreakdown {
+    let computing: Watts = solution
+        .loads
+        .iter()
+        .map(|&l| model.power().predict(l))
+        .sum();
+    let cooling = model.cooling().predict(model.clamp_t_ac(solution.t_ac));
+    PowerBreakdown {
+        computing,
+        cooling,
+        total: computing + cooling,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed_form::optimal_allocation;
+    use coolopt_model::{CoolingModel, PowerModel, ThermalModel};
+    use coolopt_units::Temperature;
+
+    fn model(n: usize) -> RoomModel {
+        let power = PowerModel::new(Watts::new(45.0), Watts::new(40.0)).unwrap();
+        let thermal = (0..n)
+            .map(|i| {
+                let h = i as f64 / n.max(2) as f64;
+                let alpha = 0.95 - 0.2 * h;
+                let gamma = (290.0 + 4.0 * h) - alpha * 290.0;
+                ThermalModel::new(alpha, 0.5 + 0.04 * h, gamma).unwrap()
+            })
+            .collect();
+        let cooling = CoolingModel::new(1000.0, Temperature::from_celsius(45.0)).unwrap();
+        RoomModel::new(power, thermal, cooling, Temperature::from_celsius(70.0)).unwrap()
+    }
+
+    #[test]
+    fn breakdown_matches_eq23_algebra() {
+        let m = model(5);
+        let on: Vec<usize> = (0..5).collect();
+        let l = 4.75;
+        let sol = optimal_allocation(&m, &on, l).unwrap();
+        let pb = consolidated_power(&m, &sol);
+
+        // Direct algebraic form: k·w2 + w1·L − ρ·t + c·f·T_SP.
+        let w1 = m.power().w1().as_watts();
+        let w2 = m.power().w2().as_watts();
+        let cf = m.cooling().cf();
+        let rho = cf * w1;
+        let theta = cf * m.cooling().t_sp().as_kelvin() + w1 * l;
+        let t = (sol.k_sum - l) / sol.s_sum; // = T_ac / w1
+        let eq23 = 5.0 * w2 - rho * t + theta;
+        assert!(m.cooling().predict(sol.t_ac).as_watts() > 0.0, "premise: no clamp");
+        assert!(
+            (pb.total.as_watts() - eq23).abs() < 1e-6,
+            "direct {} vs Eq.23 {}",
+            pb.total,
+            eq23
+        );
+        assert!((pb.total.as_watts() - pb.computing.as_watts() - pb.cooling.as_watts()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn computing_part_is_linear_in_load() {
+        let m = model(4);
+        let on: Vec<usize> = (0..4).collect();
+        let a = consolidated_power(&m, &optimal_allocation(&m, &on, 3.0).unwrap());
+        let b = consolidated_power(&m, &optimal_allocation(&m, &on, 3.8).unwrap());
+        // ΔP_computing = w1·ΔL.
+        assert!(
+            ((b.computing - a.computing).as_watts() - 45.0 * 0.8).abs() < 1e-9
+        );
+        // Cooling got more expensive with more load (T_ac had to drop).
+        assert!(b.cooling > a.cooling);
+    }
+}

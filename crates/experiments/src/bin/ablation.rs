@@ -1,0 +1,165 @@
+//! Runs the ablation studies (beyond the paper's own evaluation):
+//!
+//! 1. separate vs holistic optimization,
+//! 2. the planner's guard band (safety ↔ energy),
+//! 3. recirculation strength (model-mismatch robustness),
+//! 4. seed sensitivity of the headline savings,
+//! 5. the response-time cost of consolidation,
+//! 6. dynamic load with online replanning.
+//!
+//! ```text
+//! cargo run --release -p coolopt-experiments --bin ablation [seed]
+//! ```
+
+use coolopt_alloc::Method;
+use coolopt_experiments::ablations::{
+    guard_band_study, recirculation_study, seed_study, separate_vs_holistic,
+};
+use coolopt_experiments::runtime::{run_load_trace, sinusoidal_trace, RuntimeOptions};
+use coolopt_experiments::{render_figure, SweepOptions, Testbed};
+use coolopt_units::Seconds;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let machines = 12; // enough spatial diversity, ~4× faster than 20
+
+    eprintln!("building and profiling a {machines}-machine testbed (seed {seed})…");
+    let mut testbed = Testbed::build_sized(machines, seed).expect("testbed builds");
+    let options = SweepOptions {
+        load_percents: vec![20.0, 40.0, 60.0, 80.0],
+        ..SweepOptions::default()
+    };
+
+    // --- 1: separate vs holistic -------------------------------------------
+    eprintln!("study 1: separate vs holistic optimization…");
+    let fig = separate_vs_holistic(&mut testbed, &options);
+    println!("{}", render_figure(&fig));
+
+    // --- 2: guard band -------------------------------------------------------
+    eprintln!("study 2: guard band sweep…");
+    println!("== Guard band vs safety and energy (method #8, 60 % load) ==");
+    println!("{:>8} {:>12} {:>12} {:>6}", "guard K", "power W", "max CPU °C", "safe");
+    for o in guard_band_study(
+        &mut testbed,
+        Method::numbered(8),
+        60.0,
+        &[0.0, 1.0, 2.0, 3.0, 4.0],
+        &options,
+    ) {
+        println!(
+            "{:>8.1} {:>12.1} {:>12.2} {:>6}",
+            o.guard_kelvin, o.total_power, o.max_cpu_celsius, o.safe
+        );
+    }
+    println!();
+
+    // --- 3: recirculation strength ------------------------------------------
+    eprintln!("study 3: recirculation sweep (re-profiles per scale; slow)…");
+    println!("== Recirculation strength vs #8-over-#7 savings ==");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "scale", "mean savings", "min savings", "thermal r²"
+    );
+    let quick = SweepOptions {
+        load_percents: vec![30.0, 60.0, 90.0],
+        ..SweepOptions::default()
+    };
+    for o in recirculation_study(8, seed, &[0.0, 1.0, 2.0], &quick) {
+        println!(
+            "{:>6.1} {:>13.1} % {:>13.1} % {:>14.4}",
+            o.scale,
+            o.mean_savings * 100.0,
+            o.min_savings * 100.0,
+            o.mean_thermal_r2
+        );
+    }
+    println!();
+
+    // --- 4: seed sensitivity ---------------------------------------------------
+    eprintln!("study 4: seed sensitivity (re-profiles per seed; slow)…");
+    println!("== Testbed-instance sensitivity of #8-over-#7 savings ==");
+    println!("{:>6} {:>14} {:>14} {:>14}", "seed", "mean savings", "max", "min");
+    for o in seed_study(8, &[seed, seed + 1, seed + 2], &quick) {
+        println!(
+            "{:>6} {:>13.1} % {:>13.1} % {:>13.1} %",
+            o.seed,
+            o.mean_savings * 100.0,
+            o.max_savings * 100.0,
+            o.min_savings * 100.0
+        );
+    }
+    println!();
+
+    // --- 5: latency cost of consolidation --------------------------------------
+    eprintln!("study 5: response-time cost of consolidation…");
+    println!("== Response time under each method's allocation (30 % load) ==");
+    println!(
+        "{:>22} {:>8} {:>12} {:>12} {:>10}",
+        "method", "peak rho", "mean resp", "p95 resp", "vs spread"
+    );
+    {
+        use coolopt_alloc::Planner;
+        use coolopt_workload::{simulate_queueing, Capacity, LoadVector};
+        let planner = Planner::new(
+            &testbed.profile.model,
+            &testbed.profile.cooling.set_points,
+        );
+        let total_load = 0.3 * machines as f64;
+        let capacity = 100.0; // docs/s per machine
+        let arrival = total_load * capacity; // the offered stream
+        let capacities = vec![Capacity::new(capacity); machines];
+        let mut spread_p95 = None;
+        for (label, method) in [
+            ("even spread (#4)", Method::numbered(4)),
+            ("bottom-up cons. (#7)", Method::numbered(7)),
+            ("holistic cons. (#8)", Method::numbered(8)),
+        ] {
+            let plan = planner.plan(method, total_load).expect("plannable");
+            let loads = LoadVector::new(plan.loads.clone()).expect("valid loads");
+            let stats = simulate_queueing(&loads, &capacities, arrival, 50_000, seed)
+                .expect("queue sim runs");
+            let rel = spread_p95
+                .map(|base: f64| format!("{:>9.1}x", stats.p95_response / base))
+                .unwrap_or_else(|| "  baseline".to_string());
+            spread_p95.get_or_insert(stats.p95_response);
+            println!(
+                "{label:>22} {:>8.2} {:>9.1} ms {:>9.1} ms {rel}",
+                stats.peak_utilization,
+                stats.mean_response * 1000.0,
+                stats.p95_response * 1000.0,
+            );
+        }
+    }
+    println!();
+
+    // --- 6: dynamic load ------------------------------------------------------
+    eprintln!("study 6: dynamic load with online replanning…");
+    println!("== Online replanning over a diurnal trace (4 h simulated) ==");
+    let trace = sinusoidal_trace(machines, 0.15, 0.85, Seconds::new(14_400.0), 16);
+    for (label, method) in [
+        ("holistic #8 (replanned)", Method::numbered(8)),
+        ("even #4 (replanned)", Method::numbered(4)),
+        ("static even #1", Method::numbered(1)),
+    ] {
+        let outcome = run_load_trace(
+            &mut testbed,
+            method,
+            &trace,
+            Seconds::new(14_400.0),
+            &RuntimeOptions::default(),
+        )
+        .expect("trace run succeeds");
+        println!(
+            "{label:<26} energy {:>8.2} kWh | mean {:>8} | served {:>6.2} % | \
+             T_max violations {:>5.0} s | replans {}",
+            outcome.energy.as_kwh(),
+            outcome.mean_power,
+            outcome.served_fraction * 100.0,
+            outcome.violation_seconds,
+            outcome.replans,
+        );
+    }
+}

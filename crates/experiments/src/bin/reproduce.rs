@@ -1,0 +1,109 @@
+//! Regenerates every table and figure of the paper on the simulated
+//! 20-machine testbed and prints them (ASCII + savings summary).
+//!
+//! ```text
+//! cargo run --release -p coolopt-experiments --bin reproduce [seed] [--csv DIR]
+//! ```
+//!
+//! With `--csv DIR`, every figure's data is additionally written as
+//! `DIR/<figure-id>.csv`.
+
+use coolopt_alloc::{Method, Strategy};
+use coolopt_experiments::{
+    figures, render_figure, run_sweep, savings_summary, to_csv, FigureData, SweepOptions,
+    Testbed,
+};
+use coolopt_units::Seconds;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let seed: u64 = args
+        .iter()
+        .find(|a| *a != "--csv" && a.parse::<u64>().is_ok())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    let emit = |fig: &FigureData| {
+        println!("{}", render_figure(fig));
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("csv directory is creatable");
+            let path = dir.join(format!("{}.csv", fig.id));
+            std::fs::write(&path, to_csv(fig)).expect("csv file is writable");
+            eprintln!("wrote {}", path.display());
+        }
+    };
+
+    eprintln!("building and profiling the 20-machine testbed (seed {seed})…");
+    let mut testbed = Testbed::build(seed).expect("profiling the preset testbed succeeds");
+    let model = &testbed.profile.model;
+    eprintln!(
+        "fitted power model: {} (r² = {:.4})",
+        model.power(),
+        testbed.profile.power.r2
+    );
+    eprintln!(
+        "fitted cooling slope: {:.1} W/K, supply ceiling {:.2} °C",
+        model.cooling().cf(),
+        testbed.profile.cooling.t_ac_max.as_celsius()
+    );
+
+    emit(&figures::table1());
+    emit(&figures::fig4());
+
+    eprintln!("running the Fig. 2/3 profiling staircases…");
+    let f2 = figures::fig2(&mut testbed, Seconds::new(600.0));
+    let f3 = figures::fig3(&mut testbed, Seconds::new(600.0));
+    emit(&f2);
+    emit(&f3);
+
+    eprintln!("sweeping all methods × loads 10–100 % (this is the long part)…");
+    let mut methods = Method::all();
+    methods.push(Method::new(Strategy::Even, true, true));
+    let sweep = run_sweep(&mut testbed, &methods, &SweepOptions::default());
+
+    for fig in [
+        figures::fig5(&sweep),
+        figures::fig6(&sweep),
+        figures::fig7(&sweep),
+        figures::fig8(&sweep),
+        figures::fig9(&sweep),
+        figures::fig10(&sweep),
+    ] {
+        emit(&fig);
+    }
+
+    if let Some(s) = savings_summary(&sweep, Method::numbered(8), Method::numbered(7)) {
+        println!("Optimal (#8) vs best baseline (#7): {s}");
+    }
+    if let Some(s) = savings_summary(&sweep, Method::numbered(6), Method::numbered(4)) {
+        println!("Optimal (#6) vs Even (#4), no consolidation: {s}");
+    }
+    if let Some(s) = savings_summary(&sweep, Method::numbered(8), Method::numbered(1)) {
+        println!("Optimal (#8) vs naive Even (#1): {s}");
+    }
+
+    let violations: Vec<String> = sweep
+        .iter()
+        .filter(|r| !r.temps_ok || !r.throughput_ok || !r.measurement.settled)
+        .map(|r| {
+            format!(
+                "{} at {:.0} % (temps_ok={}, throughput_ok={}, settled={})",
+                r.plan.method, r.load_percent, r.temps_ok, r.throughput_ok, r.measurement.settled
+            )
+        })
+        .collect();
+    if violations.is_empty() {
+        println!("constraints: every run satisfied T_max and throughput.");
+    } else {
+        println!("constraint violations:");
+        for v in violations {
+            println!("  {v}");
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Generators for every table and figure in the paper.
+//!
+//! Each generator returns a [`FigureData`]: labeled series of `(x, y)`
+//! points that [`crate::report`] renders as ASCII or CSV. The mapping to the
+//! paper:
+//!
+//! | artifact | generator | content |
+//! |---|---|---|
+//! | Table I | [`table1`] | physical variables and units |
+//! | Fig. 1 | (see `coolopt-core::particles` and the consolidation example) | kinetic-particle instance |
+//! | Fig. 2 | [`fig2`] | measured vs predicted power over a load staircase |
+//! | Fig. 3 | [`fig3`] | measured vs predicted stable CPU temperature |
+//! | Fig. 4 | [`fig4`] | the eight evaluation scenarios |
+//! | Fig. 5 | [`fig5`] | same strategies with vs without consolidation |
+//! | Fig. 6 | [`fig6`] | all eight methods vs load |
+//! | Fig. 7 | [`fig7`] | AC control, no consolidation: Even / Bottom-up / Optimal |
+//! | Fig. 8 | [`fig8`] | AC control + consolidation: Even / Bottom-up / Optimal |
+//! | Fig. 9 | [`fig9`] | Bottom-up (#7) vs Optimal (#8) |
+//! | Fig. 10 | [`fig10`] | average power of every method |
+
+use crate::harness::Sweep;
+use crate::testbed::Testbed;
+use coolopt_alloc::{fig4_matrix, Method, Strategy};
+use coolopt_profiling::LowPassFilter;
+use coolopt_room::RoomObservation;
+use coolopt_units::{Seconds, Temperature};
+use serde::{Deserialize, Serialize};
+
+/// One labeled line of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// The data behind one regenerated figure or table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Short identifier (`"fig6"`, `"table1"` …).
+    pub id: String,
+    /// Human title (the paper's caption, abridged).
+    pub title: String,
+    /// Axis labels `(x, y)`.
+    pub axes: (String, String),
+    /// The series.
+    pub series: Vec<Series>,
+    /// Free-form preformatted text (for table-like artifacts).
+    pub text: Option<String>,
+}
+
+impl FigureData {
+    fn plot(id: &str, title: &str, x: &str, y: &str, series: Vec<Series>) -> FigureData {
+        FigureData {
+            id: id.to_string(),
+            title: title.to_string(),
+            axes: (x.to_string(), y.to_string()),
+            series,
+            text: None,
+        }
+    }
+}
+
+fn method_series(sweep: &Sweep, method: Method, label: &str) -> Series {
+    Series {
+        label: label.to_string(),
+        points: sweep.series(method),
+    }
+}
+
+/// Table I: physical variables and their units.
+pub fn table1() -> FigureData {
+    FigureData {
+        id: "table1".into(),
+        title: "Physical variables and their units".into(),
+        axes: (String::new(), String::new()),
+        series: Vec::new(),
+        text: Some(coolopt_units::table::render_table1()),
+    }
+}
+
+/// Fig. 4: the evaluation-scenario matrix.
+pub fn fig4() -> FigureData {
+    FigureData {
+        id: "fig4".into(),
+        title: "Different evaluation scenarios".into(),
+        axes: (String::new(), String::new()),
+        series: Vec::new(),
+        text: Some(fig4_matrix()),
+    }
+}
+
+/// Fig. 2: measured vs predicted power consumption over the paper's load
+/// staircase (0 → 10 → 25 → 50 → 75 % of capacity), sampled at 1 Hz on one
+/// machine and low-pass filtered, with the regression model's prediction
+/// alongside.
+pub fn fig2(testbed: &mut Testbed, dwell: Seconds) -> FigureData {
+    let levels = [0.0, 0.10, 0.25, 0.50, 0.75];
+    let n = testbed.room.len();
+    let power_model = *testbed.profile.model.power();
+    let room = &mut testbed.room;
+    room.force_all_on();
+    room.set_set_point(Temperature::from_celsius(19.0));
+
+    let mut measured = Vec::new();
+    let mut predicted = Vec::new();
+    let mut filter = LowPassFilter::with_time_constant(Seconds::new(20.0), Seconds::new(1.0));
+    let mut t = 0.0;
+    for &level in &levels {
+        room.set_loads(&vec![level; n]).expect("levels are valid");
+        let steps = dwell.as_secs_f64().round() as usize;
+        for _ in 0..steps {
+            room.step();
+            let watts = room.read_power(0).as_watts();
+            measured.push((t, filter.apply(watts)));
+            predicted.push((t, power_model.predict(level).as_watts()));
+            t += 1.0;
+        }
+    }
+    FigureData::plot(
+        "fig2",
+        "Measured vs predicted power consumption",
+        "Time (s)",
+        "Power (W)",
+        vec![
+            Series {
+                label: "Measured".into(),
+                points: measured,
+            },
+            Series {
+                label: "Predicted".into(),
+                points: predicted,
+            },
+        ],
+    )
+}
+
+/// Fig. 3: measured vs predicted stable CPU temperature for one server as
+/// load steps through the staircase at a fixed set point.
+pub fn fig3(testbed: &mut Testbed, dwell: Seconds) -> FigureData {
+    let levels = [0.0, 0.25, 0.50, 0.75, 1.0];
+    let n = testbed.room.len();
+    let model = testbed.profile.model.clone();
+    let room = &mut testbed.room;
+    room.force_all_on();
+    room.set_set_point(Temperature::from_celsius(19.0));
+
+    let mut measured = Vec::new();
+    let mut predicted = Vec::new();
+    let mut filter = LowPassFilter::with_time_constant(Seconds::new(30.0), Seconds::new(1.0));
+    let mut t = 0.0;
+    for &level in &levels {
+        room.set_loads(&vec![level; n]).expect("levels are valid");
+        let steps = dwell.as_secs_f64().round() as usize;
+        for _ in 0..steps {
+            room.step();
+            let cpu = room.read_cpu_temp(0).as_celsius();
+            measured.push((t, filter.apply(cpu)));
+            let obs = RoomObservation::capture(room);
+            let pred = model
+                .thermal(0)
+                .predict(obs.t_supply, obs.server_powers[0])
+                .as_celsius();
+            predicted.push((t, pred));
+            t += 1.0;
+        }
+    }
+    FigureData::plot(
+        "fig3",
+        "Stable temperature prediction vs measurement",
+        "Time (s)",
+        "CPU temperature (°C)",
+        vec![
+            Series {
+                label: "Measured".into(),
+                points: measured,
+            },
+            Series {
+                label: "Predicted".into(),
+                points: predicted,
+            },
+        ],
+    )
+}
+
+/// Fig. 5: each strategy with and without consolidation (#2 vs #3, #5 vs #7,
+/// #6 vs #8).
+pub fn fig5(sweep: &Sweep) -> FigureData {
+    FigureData::plot(
+        "fig5",
+        "Comparison of similar methods with and without consolidation",
+        "Load (%)",
+        "Power (W)",
+        vec![
+            method_series(sweep, Method::numbered(2), "#2"),
+            method_series(sweep, Method::numbered(3), "#3"),
+            method_series(sweep, Method::numbered(5), "#5"),
+            method_series(sweep, Method::numbered(7), "#7"),
+            method_series(sweep, Method::numbered(6), "#6"),
+            method_series(sweep, Method::numbered(8), "#8"),
+        ],
+    )
+}
+
+/// Fig. 6: all eight methods vs total load.
+pub fn fig6(sweep: &Sweep) -> FigureData {
+    FigureData::plot(
+        "fig6",
+        "Power consumption of all methods vs total load",
+        "Load (%)",
+        "Power (W)",
+        (1..=8)
+            .map(|n| method_series(sweep, Method::numbered(n), &format!("#{n}")))
+            .collect(),
+    )
+}
+
+/// Fig. 7: AC control without consolidation — Even (#4), Bottom-up (#5),
+/// Optimal (#6).
+pub fn fig7(sweep: &Sweep) -> FigureData {
+    FigureData::plot(
+        "fig7",
+        "AC control, no consolidation: load-distribution strategies",
+        "Load (%)",
+        "Power (W)",
+        vec![
+            method_series(sweep, Method::numbered(4), "Even"),
+            method_series(sweep, Method::numbered(5), "Bottom-up"),
+            method_series(sweep, Method::numbered(6), "Optimal"),
+        ],
+    )
+}
+
+/// Fig. 8: AC control with consolidation — Even (unnumbered in Fig. 4),
+/// Bottom-up (#7), Optimal (#8).
+pub fn fig8(sweep: &Sweep) -> FigureData {
+    FigureData::plot(
+        "fig8",
+        "AC control, consolidation: load-distribution strategies",
+        "Load (%)",
+        "Power (W)",
+        vec![
+            method_series(sweep, Method::new(Strategy::Even, true, true), "Even"),
+            method_series(sweep, Method::numbered(7), "Bottom-up"),
+            method_series(sweep, Method::numbered(8), "Optimal"),
+        ],
+    )
+}
+
+/// Fig. 9: the head-to-head the paper summarizes — Bottom-up (#7) vs
+/// Optimal (#8).
+pub fn fig9(sweep: &Sweep) -> FigureData {
+    FigureData::plot(
+        "fig9",
+        "Bottom-up (#7) vs Optimal (#8)",
+        "Load (%)",
+        "Power (W)",
+        vec![
+            method_series(sweep, Method::numbered(7), "Bottom-up"),
+            method_series(sweep, Method::numbered(8), "Optimal"),
+        ],
+    )
+}
+
+/// Fig. 10: average measured power of every method across the load sweep.
+pub fn fig10(sweep: &Sweep) -> FigureData {
+    let points: Vec<(f64, f64)> = (1..=8)
+        .filter_map(|n| {
+            sweep
+                .mean_power(Method::numbered(n))
+                .map(|w| (n as f64, w.as_watts()))
+        })
+        .collect();
+    FigureData::plot(
+        "fig10",
+        "Average power of all methods",
+        "Method #",
+        "Average power (W)",
+        vec![Series {
+            label: "Average power".into(),
+            points,
+        }],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_sweep, SweepOptions};
+
+    #[test]
+    fn table1_and_fig4_render() {
+        assert!(table1().text.unwrap().contains("c_air"));
+        assert!(fig4().text.unwrap().contains("Optimal"));
+    }
+
+    #[test]
+    fn fig2_and_fig3_track_the_model() {
+        let mut tb = Testbed::build_sized(3, 17).unwrap();
+        let f2 = fig2(&mut tb, Seconds::new(300.0));
+        assert_eq!(f2.series.len(), 2);
+        assert_eq!(f2.series[0].points.len(), f2.series[1].points.len());
+        // At the end of each dwell the filtered measurement approaches the
+        // prediction; compare the final staircase step.
+        let last_measured = f2.series[0].points.last().unwrap().1;
+        let last_predicted = f2.series[1].points.last().unwrap().1;
+        assert!(
+            (last_measured - last_predicted).abs() < 3.0,
+            "power: measured {last_measured} vs predicted {last_predicted}"
+        );
+
+        let f3 = fig3(&mut tb, Seconds::new(400.0));
+        let last_measured = f3.series[0].points.last().unwrap().1;
+        let last_predicted = f3.series[1].points.last().unwrap().1;
+        assert!(
+            (last_measured - last_predicted).abs() < 3.0,
+            "temp: measured {last_measured} vs predicted {last_predicted}"
+        );
+    }
+
+    #[test]
+    fn sweep_figures_have_the_right_series() {
+        let mut tb = Testbed::build_sized(3, 19).unwrap();
+        let mut methods = Method::all();
+        methods.push(Method::new(Strategy::Even, true, true));
+        let options = SweepOptions {
+            load_percents: vec![30.0, 80.0],
+            settle_max: Seconds::new(2500.0),
+            window: Seconds::new(30.0),
+            ..SweepOptions::default()
+        };
+        let sweep = run_sweep(&mut tb, &methods, &options);
+        assert_eq!(fig5(&sweep).series.len(), 6);
+        assert_eq!(fig6(&sweep).series.len(), 8);
+        assert_eq!(fig7(&sweep).series.len(), 3);
+        assert_eq!(fig8(&sweep).series.len(), 3);
+        assert_eq!(fig9(&sweep).series.len(), 2);
+        let f10 = fig10(&sweep);
+        assert_eq!(f10.series[0].points.len(), 8);
+    }
+}

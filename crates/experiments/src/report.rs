@@ -1,0 +1,173 @@
+//! Rendering figure data as ASCII tables and CSV.
+
+use crate::figures::FigureData;
+use std::fmt::Write as _;
+
+/// Renders a figure as a readable ASCII table: one row per x value, one
+/// column per series (plus a preformatted block for table-like artifacts).
+pub fn render_figure(fig: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} ({}) ==", fig.title, fig.id);
+    if let Some(text) = &fig.text {
+        out.push_str(text);
+        return out;
+    }
+    let xs = merged_xs(fig);
+    let _ = write!(out, "{:>10}", fig.axes.0);
+    for s in &fig.series {
+        let _ = write!(out, " {:>12}", truncate(&s.label, 12));
+    }
+    out.push('\n');
+    for &x in &xs {
+        let _ = write!(out, "{x:>10.1}");
+        for s in &fig.series {
+            match lookup(s.points.as_slice(), x) {
+                Some(y) => {
+                    let _ = write!(out, " {y:>12.1}");
+                }
+                None => {
+                    let _ = write!(out, " {:>12}", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "(y: {})", fig.axes.1);
+    out
+}
+
+/// Renders a figure as CSV: header `x,label1,label2,…`, one row per x.
+pub fn to_csv(fig: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{}", csv_escape(&fig.axes.0));
+    for s in &fig.series {
+        let _ = write!(out, ",{}", csv_escape(&s.label));
+    }
+    out.push('\n');
+    for &x in &merged_xs(fig) {
+        let _ = write!(out, "{x}");
+        for s in &fig.series {
+            match lookup(s.points.as_slice(), x) {
+                Some(y) => {
+                    let _ = write!(out, ",{y}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// All distinct x values across series, ascending. Dense series (e.g. the
+/// 1 Hz traces of Figs. 2–3) are thinned to at most 200 rows.
+fn merged_xs(fig: &FigureData) -> Vec<f64> {
+    let mut xs: Vec<f64> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+    xs.dedup();
+    if xs.len() > 200 {
+        let stride = xs.len().div_ceil(200);
+        xs = xs.into_iter().step_by(stride).collect();
+    }
+    xs
+}
+
+fn lookup(points: &[(f64, f64)], x: f64) -> Option<f64> {
+    points
+        .iter()
+        .find(|&&(px, _)| (px - x).abs() < 1e-9)
+        .map(|&(_, y)| y)
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    s.chars().take(n).collect()
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::Series;
+
+    fn sample() -> FigureData {
+        FigureData {
+            id: "figX".into(),
+            title: "Sample".into(),
+            axes: ("Load (%)".into(), "Power (W)".into()),
+            series: vec![
+                Series {
+                    label: "A".into(),
+                    points: vec![(10.0, 100.0), (20.0, 200.0)],
+                },
+                Series {
+                    label: "B".into(),
+                    points: vec![(20.0, 150.0)],
+                },
+            ],
+            text: None,
+        }
+    }
+
+    #[test]
+    fn ascii_contains_values_and_gaps() {
+        let s = render_figure(&sample());
+        assert!(s.contains("100.0"));
+        assert!(s.contains("150.0"));
+        assert!(s.contains('-'), "missing gap marker:\n{s}");
+        assert!(s.contains("Power (W)"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = to_csv(&sample());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("Load (%),A,B"));
+        assert_eq!(lines.next(), Some("10,100,"));
+        assert_eq!(lines.next(), Some("20,200,150"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_in_labels() {
+        let mut fig = sample();
+        fig.series[0].label = "a,b".into();
+        assert!(to_csv(&fig).starts_with("Load (%),\"a,b\",B"));
+    }
+
+    #[test]
+    fn text_figures_pass_through() {
+        let fig = FigureData {
+            id: "table1".into(),
+            title: "T".into(),
+            axes: (String::new(), String::new()),
+            series: vec![],
+            text: Some("BODY".into()),
+        };
+        assert!(render_figure(&fig).contains("BODY"));
+    }
+
+    #[test]
+    fn dense_series_are_thinned() {
+        let fig = FigureData {
+            id: "dense".into(),
+            title: "D".into(),
+            axes: ("t".into(), "v".into()),
+            series: vec![Series {
+                label: "x".into(),
+                points: (0..1000).map(|k| (k as f64, k as f64)).collect(),
+            }],
+            text: None,
+        };
+        assert!(to_csv(&fig).lines().count() <= 202);
+    }
+}

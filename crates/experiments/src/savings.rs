@@ -1,0 +1,117 @@
+//! Headline savings numbers.
+//!
+//! The paper's summary: the holistic optimum (#8) "saves 7 % of the total
+//! energy consumption on average over all load scenarios and is able to save
+//! up to 18 % in the best case compared to the next best baseline, method
+//! #7".
+
+use crate::harness::Sweep;
+use coolopt_alloc::Method;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Savings of one method relative to a baseline, across a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SavingsSummary {
+    /// Mean relative savings over shared load points (fraction, 0.07 = 7 %).
+    pub mean: f64,
+    /// Best-case relative savings.
+    pub max: f64,
+    /// Worst-case relative savings (can be negative).
+    pub min: f64,
+    /// Load percentage where the best case occurred.
+    pub max_at_load: f64,
+    /// Number of load points compared.
+    pub points: usize,
+}
+
+impl fmt::Display for SavingsSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "avg {:.1} %, max {:.1} % (at {:.0} % load), min {:.1} % over {} points",
+            self.mean * 100.0,
+            self.max * 100.0,
+            self.max_at_load,
+            self.min * 100.0,
+            self.points
+        )
+    }
+}
+
+/// Relative savings of `candidate` over `baseline` at every load both were
+/// swept at. Returns `None` when they share no load points.
+pub fn savings_summary(
+    sweep: &Sweep,
+    candidate: Method,
+    baseline: Method,
+) -> Option<SavingsSummary> {
+    let cand = sweep.series(candidate);
+    let base = sweep.series(baseline);
+    let mut savings = Vec::new();
+    for &(load, cw) in &cand {
+        if let Some(&(_, bw)) = base.iter().find(|&&(l, _)| (l - load).abs() < 1e-9) {
+            if bw > 0.0 {
+                savings.push((load, (bw - cw) / bw));
+            }
+        }
+    }
+    if savings.is_empty() {
+        return None;
+    }
+    let mean = savings.iter().map(|&(_, s)| s).sum::<f64>() / savings.len() as f64;
+    let (max_at_load, max) = savings
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite savings"))
+        .expect("non-empty");
+    let min = savings
+        .iter()
+        .map(|&(_, s)| s)
+        .fold(f64::INFINITY, f64::min);
+    Some(SavingsSummary {
+        mean,
+        max,
+        min,
+        max_at_load,
+        points: savings.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_sweep, SweepOptions};
+    use crate::testbed::Testbed;
+    use coolopt_units::Seconds;
+
+    #[test]
+    fn optimal_saves_over_bottom_up_on_a_small_rack() {
+        let mut tb = Testbed::build_sized(4, 23).unwrap();
+        let options = SweepOptions {
+            load_percents: vec![25.0, 50.0, 75.0],
+            settle_max: Seconds::new(3000.0),
+            window: Seconds::new(40.0),
+            ..SweepOptions::default()
+        };
+        let sweep = run_sweep(
+            &mut tb,
+            &[Method::numbered(7), Method::numbered(8)],
+            &options,
+        );
+        let s = savings_summary(&sweep, Method::numbered(8), Method::numbered(7)).unwrap();
+        assert_eq!(s.points, 3);
+        assert!(
+            s.mean > -0.02,
+            "optimal should not lose clearly to bottom-up: {s}"
+        );
+        assert!(s.max >= s.mean && s.mean >= s.min);
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn disjoint_methods_yield_none() {
+        let sweep = Sweep::default();
+        assert!(savings_summary(&sweep, Method::numbered(8), Method::numbered(7)).is_none());
+    }
+}

@@ -1,0 +1,66 @@
+//! The evaluation testbed: simulated rack + fitted models.
+
+use coolopt_profiling::{profile_room_full, ProfileError, ProfileOptions, RoomProfile};
+use coolopt_room::{presets, MachineRoom};
+
+/// A profiled, ready-to-evaluate machine room.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    /// The simulated room (the paper's rack of 20 Dell R210s).
+    pub room: MachineRoom,
+    /// Everything profiling produced (model, fits, calibrations).
+    pub profile: RoomProfile,
+}
+
+impl Testbed {
+    /// Builds the paper's 20-machine testbed and profiles it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError`] when profiling fails (it does not on the
+    /// shipped presets; the error path exists for custom rooms).
+    pub fn build(seed: u64) -> Result<Testbed, ProfileError> {
+        Testbed::build_sized(20, seed)
+    }
+
+    /// Builds a smaller rack (used by tests and quick demos).
+    ///
+    /// # Errors
+    ///
+    /// See [`Testbed::build`].
+    pub fn build_sized(machines: usize, seed: u64) -> Result<Testbed, ProfileError> {
+        let mut room = presets::parametric_rack(machines, seed);
+        let profile = profile_room_full(&mut room, &ProfileOptions::default())?;
+        Ok(Testbed { room, profile })
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.room.len()
+    }
+
+    /// `true` for an empty testbed (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.room.is_empty()
+    }
+
+    /// Converts a load percentage (the paper's x-axes run 10–100 %) into the
+    /// absolute total load `L` for this rack size.
+    pub fn load_from_percent(&self, percent: f64) -> f64 {
+        self.len() as f64 * percent / 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_profiles_a_small_testbed() {
+        let tb = Testbed::build_sized(3, 5).unwrap();
+        assert_eq!(tb.len(), 3);
+        assert!(!tb.is_empty());
+        assert_eq!(tb.profile.model.len(), 3);
+        assert!((tb.load_from_percent(50.0) - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,315 @@
+//! Physical configuration of a simulated server.
+
+use coolopt_units::{Conductance, FlowRate, HeatCapacity, Watts, C_AIR};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned when a [`ServerConfigBuilder`] describes an unphysical
+/// machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidServerConfig {
+    what: String,
+}
+
+impl fmt::Display for InvalidServerConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid server configuration: {}", self.what)
+    }
+}
+
+impl std::error::Error for InvalidServerConfig {}
+
+/// Physical parameters of one simulated server.
+///
+/// The names follow the paper's Table I: `nu_cpu`/`nu_box` are lumped heat
+/// capacities, `theta_cpu_box` is the CPU↔box-air heat-exchange rate, and
+/// `fan_flow` is the chassis air flow `F` (intake = outtake at steady state,
+/// per the paper's perfect-mixing assumption).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Heat capacity of the CPU package + heat sink (J/K).
+    pub nu_cpu: HeatCapacity,
+    /// Heat capacity of the air volume inside the chassis (J/K).
+    pub nu_box: HeatCapacity,
+    /// Heat-exchange rate between CPU and box air (W/K).
+    pub theta_cpu_box: Conductance,
+    /// Chassis fan air flow (m³/s).
+    pub fan_flow: FlowRate,
+    /// Load-independent power draw `w2` (W) while the machine is on.
+    pub idle_power: Watts,
+    /// Load-proportional power `w1` (W at 100 % load).
+    pub load_power: Watts,
+    /// Quadratic deviation from the linear power curve (W at 100 % load).
+    ///
+    /// Real machines are not perfectly linear in load; a small positive value
+    /// bows the curve upward at high load. The paper's linear Eq. 9 is then a
+    /// *fit*, not an identity — exactly the situation on the real testbed.
+    pub power_curvature: Watts,
+    /// Standard deviation of the slowly wandering power-draw disturbance (W).
+    pub power_noise_stddev: f64,
+    /// Fraction of CPU heat that bypasses the box-air node (dumped directly
+    /// into the exhaust stream); keeps the simulated thermal response from
+    /// being *exactly* the analytic model.
+    pub heat_bypass_fraction: f64,
+    /// CPU temperature at which frequency throttling begins derating the
+    /// served load (°C expressed as a `Temperature`). Real machines protect
+    /// themselves; evaluated operating points stay well below this.
+    pub throttle_start: coolopt_units::Temperature,
+    /// CPU temperature at which throttling has derated the machine to zero
+    /// throughput.
+    pub throttle_full: coolopt_units::Temperature,
+    /// Power drawn while "off" (management controller etc.), usually 0–3 W.
+    pub standby_power: Watts,
+    /// Boot duration in seconds; during boot the machine draws idle power
+    /// but serves no load.
+    pub boot_secs: f64,
+}
+
+impl ServerConfig {
+    /// Starts building a configuration from the R210-like defaults.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder::default()
+    }
+
+    /// A configuration resembling the paper's Dell PowerEdge R210 machines:
+    /// ~40 W idle, ~85 W at full load (Fig. 2 shows 30–90 W).
+    pub fn r210_like() -> ServerConfig {
+        ServerConfigBuilder::default()
+            .build()
+            .expect("default configuration is valid")
+    }
+
+    /// The advective conductance `F·c_air` of the chassis air stream (W/K).
+    pub fn flow_conductance(&self) -> Conductance {
+        self.fan_flow * C_AIR
+    }
+
+    /// The model coefficient `β = 1/(F·c_air) + 1/ϑ` of the paper's Eq. 6,
+    /// in K/W.
+    ///
+    /// This is what thermal profiling should approximately recover for this
+    /// machine (up to the simulator's extra physics).
+    pub fn beta_kelvin_per_watt(&self) -> f64 {
+        self.flow_conductance().resistance_kelvin_per_watt()
+            + self.theta_cpu_box.resistance_kelvin_per_watt()
+    }
+
+    /// Electrical power drawn at load `l ∈ [0, 1]` before noise (W).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if `l` is outside `[0, 1]`.
+    pub fn power_at_load(&self, l: f64) -> Watts {
+        debug_assert!((0.0..=1.0).contains(&l), "load fraction out of range: {l}");
+        self.idle_power + self.load_power * l + self.power_curvature * (l * l - l)
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig::r210_like()
+    }
+}
+
+/// Builder for [`ServerConfig`].
+///
+/// ```
+/// use coolopt_machine::ServerConfig;
+/// use coolopt_units::Watts;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = ServerConfig::builder()
+///     .idle_power(Watts::new(38.0))
+///     .load_power(Watts::new(47.0))
+///     .build()?;
+/// assert!((cfg.power_at_load(1.0).as_watts() - 85.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl Default for ServerConfigBuilder {
+    fn default() -> Self {
+        ServerConfigBuilder {
+            config: ServerConfig {
+                nu_cpu: HeatCapacity::joules_per_kelvin(120.0),
+                nu_box: HeatCapacity::joules_per_kelvin(60.0),
+                theta_cpu_box: Conductance::watts_per_kelvin(2.0),
+                fan_flow: FlowRate::cubic_meters_per_second(0.03),
+                idle_power: Watts::new(40.0),
+                load_power: Watts::new(45.0),
+                power_curvature: Watts::new(3.0),
+                power_noise_stddev: 0.8,
+                heat_bypass_fraction: 0.05,
+                throttle_start: coolopt_units::Temperature::from_kelvin(345.15), // 72 °C
+                throttle_full: coolopt_units::Temperature::from_kelvin(358.15),  // 85 °C
+                standby_power: Watts::ZERO,
+                boot_secs: 60.0,
+            },
+        }
+    }
+}
+
+macro_rules! setter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        pub fn $name(&mut self, value: $ty) -> &mut Self {
+            self.config.$name = value;
+            self
+        }
+    };
+}
+
+impl ServerConfigBuilder {
+    setter!(
+        /// Sets the CPU heat capacity (J/K).
+        nu_cpu: HeatCapacity
+    );
+    setter!(
+        /// Sets the box-air heat capacity (J/K).
+        nu_box: HeatCapacity
+    );
+    setter!(
+        /// Sets the CPU↔box heat-exchange rate (W/K).
+        theta_cpu_box: Conductance
+    );
+    setter!(
+        /// Sets the chassis fan flow (m³/s).
+        fan_flow: FlowRate
+    );
+    setter!(
+        /// Sets the idle power `w2` (W).
+        idle_power: Watts
+    );
+    setter!(
+        /// Sets the load-proportional power `w1` (W at full load).
+        load_power: Watts
+    );
+    setter!(
+        /// Sets the quadratic power-curve deviation (W).
+        power_curvature: Watts
+    );
+    setter!(
+        /// Sets the power-noise standard deviation (W).
+        power_noise_stddev: f64
+    );
+    setter!(
+        /// Sets the fraction of CPU heat bypassing the box-air node.
+        heat_bypass_fraction: f64
+    );
+    setter!(
+        /// Sets the throttling onset temperature.
+        throttle_start: coolopt_units::Temperature
+    );
+    setter!(
+        /// Sets the full-throttle (zero-throughput) temperature.
+        throttle_full: coolopt_units::Temperature
+    );
+    setter!(
+        /// Sets the standby ("off") power (W).
+        standby_power: Watts
+    );
+    setter!(
+        /// Sets the boot duration (s).
+        boot_secs: f64
+    );
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidServerConfig`] when any physical quantity is
+    /// non-positive where positivity is required, when the bypass fraction is
+    /// outside `[0, 1)`, or when powers are negative.
+    pub fn build(&self) -> Result<ServerConfig, InvalidServerConfig> {
+        let c = self.config;
+        let fail = |what: &str| {
+            Err(InvalidServerConfig {
+                what: what.to_string(),
+            })
+        };
+        if c.nu_cpu.as_joules_per_kelvin() <= 0.0 || c.nu_box.as_joules_per_kelvin() <= 0.0 {
+            return fail("heat capacities must be positive");
+        }
+        if c.theta_cpu_box.as_watts_per_kelvin() <= 0.0 {
+            return fail("theta_cpu_box must be positive");
+        }
+        if c.fan_flow.as_cubic_meters_per_second() <= 0.0 {
+            return fail("fan flow must be positive");
+        }
+        if c.idle_power.as_watts() < 0.0
+            || c.load_power.as_watts() < 0.0
+            || c.standby_power.as_watts() < 0.0
+        {
+            return fail("powers must be non-negative");
+        }
+        if !(0.0..1.0).contains(&c.heat_bypass_fraction) {
+            return fail("heat bypass fraction must be in [0, 1)");
+        }
+        if c.power_noise_stddev < 0.0 {
+            return fail("power noise stddev must be non-negative");
+        }
+        if c.boot_secs < 0.0 {
+            return fail("boot time must be non-negative");
+        }
+        if c.throttle_full <= c.throttle_start {
+            return fail("throttle_full must be above throttle_start");
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_r210_like() {
+        let c = ServerConfig::r210_like();
+        assert!((c.power_at_load(0.0).as_watts() - 40.0).abs() < 1e-9);
+        assert!((c.power_at_load(1.0).as_watts() - 85.0).abs() < 1e-9);
+        // Mid-load bows slightly below the chord of the linear fit.
+        assert!(c.power_at_load(0.5).as_watts() < 62.5);
+    }
+
+    #[test]
+    fn beta_matches_eq6() {
+        let c = ServerConfig::r210_like();
+        let expect = 1.0 / 36.0 + 0.5;
+        assert!((c.beta_kelvin_per_watt() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_rejects_unphysical_values() {
+        assert!(ServerConfig::builder()
+            .fan_flow(FlowRate::ZERO)
+            .build()
+            .is_err());
+        assert!(ServerConfig::builder()
+            .theta_cpu_box(Conductance::ZERO)
+            .build()
+            .is_err());
+        assert!(ServerConfig::builder()
+            .heat_bypass_fraction(1.0)
+            .build()
+            .is_err());
+        assert!(ServerConfig::builder()
+            .idle_power(Watts::new(-1.0))
+            .build()
+            .is_err());
+        assert!(ServerConfig::builder().power_noise_stddev(-0.1).build().is_err());
+        assert!(ServerConfig::builder().boot_secs(-1.0).build().is_err());
+    }
+
+    #[test]
+    fn error_message_is_informative() {
+        let err = ServerConfig::builder()
+            .fan_flow(FlowRate::ZERO)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("fan flow"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Emulated measurement hardware.
+//!
+//! The paper measures server power with *Watts Up Pro* meters (1 Hz, 0.1 W
+//! display resolution) and CPU temperature with `lm-sensors` (integer °C).
+//! Both paths add noise and quantization, which is why the paper low-pass
+//! filters its traces before regression; the emulation reproduces those
+//! artifacts so the profiling pipeline faces the same data quality.
+
+use coolopt_sim::noise::GaussianNoise;
+use coolopt_units::{Temperature, Watts};
+
+/// An `lm-sensors`-style CPU temperature sensor: Gaussian read noise followed
+/// by quantization to whole degrees Celsius.
+///
+/// ```
+/// use coolopt_machine::CpuTempSensor;
+/// use coolopt_units::Temperature;
+///
+/// let mut sensor = CpuTempSensor::new(1, 0.0); // noiseless for the doctest
+/// let reading = sensor.read(Temperature::from_celsius(54.4));
+/// assert_eq!(reading.as_celsius(), 54.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuTempSensor {
+    noise: GaussianNoise,
+}
+
+impl CpuTempSensor {
+    /// Default read-noise standard deviation (K) of the emulated sensor.
+    pub const DEFAULT_NOISE_STDDEV: f64 = 0.5;
+
+    /// Creates a sensor with read noise `stddev_kelvin`.
+    pub fn new(seed: u64, stddev_kelvin: f64) -> Self {
+        CpuTempSensor {
+            noise: GaussianNoise::new(seed ^ 0xC0FFEE, 0.0, stddev_kelvin),
+        }
+    }
+
+    /// Creates a sensor with the default noise level.
+    pub fn with_default_noise(seed: u64) -> Self {
+        Self::new(seed, Self::DEFAULT_NOISE_STDDEV)
+    }
+
+    /// Samples the sensor for a true temperature `actual`.
+    pub fn read(&mut self, actual: Temperature) -> Temperature {
+        let noisy = actual.as_celsius() + self.noise.sample();
+        Temperature::from_celsius(noisy.floor())
+    }
+}
+
+/// A Watts-Up-Pro-style power meter: Gaussian read noise followed by
+/// quantization to 0.1 W.
+///
+/// ```
+/// use coolopt_machine::PowerMeter;
+/// use coolopt_units::Watts;
+///
+/// let mut meter = PowerMeter::new(1, 0.0);
+/// assert_eq!(meter.read(Watts::new(47.234)).as_watts(), 47.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerMeter {
+    noise: GaussianNoise,
+}
+
+impl PowerMeter {
+    /// Default read-noise standard deviation (W) of the emulated meter.
+    pub const DEFAULT_NOISE_STDDEV: f64 = 0.3;
+
+    /// Display resolution of the meter (W).
+    pub const RESOLUTION_WATTS: f64 = 0.1;
+
+    /// Creates a meter with read noise `stddev_watts`.
+    pub fn new(seed: u64, stddev_watts: f64) -> Self {
+        PowerMeter {
+            noise: GaussianNoise::new(seed ^ 0x57A7_7500, 0.0, stddev_watts),
+        }
+    }
+
+    /// Creates a meter with the default noise level.
+    pub fn with_default_noise(seed: u64) -> Self {
+        Self::new(seed, Self::DEFAULT_NOISE_STDDEV)
+    }
+
+    /// Samples the meter for a true power `actual`. Readings never go
+    /// negative.
+    pub fn read(&mut self, actual: Watts) -> Watts {
+        let noisy = (actual.as_watts() + self.noise.sample()).max(0.0);
+        let quantized = (noisy / Self::RESOLUTION_WATTS).round() * Self::RESOLUTION_WATTS;
+        Watts::new(quantized)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temperature_quantizes_to_whole_degrees() {
+        let mut s = CpuTempSensor::new(0, 0.0);
+        assert_eq!(s.read(Temperature::from_celsius(61.99)).as_celsius(), 61.0);
+        assert_eq!(s.read(Temperature::from_celsius(62.0)).as_celsius(), 62.0);
+    }
+
+    #[test]
+    fn noisy_temperature_stays_near_truth() {
+        let mut s = CpuTempSensor::with_default_noise(4);
+        let truth = Temperature::from_celsius(55.3);
+        let n = 10_000;
+        let mean: f64 =
+            (0..n).map(|_| s.read(truth).as_celsius()).sum::<f64>() / n as f64;
+        // floor() biases readings down by ~0.5 °C on average.
+        assert!((mean - 54.8).abs() < 0.15, "mean reading {mean}");
+    }
+
+    #[test]
+    fn power_quantizes_to_tenth_watt() {
+        let mut m = PowerMeter::new(0, 0.0);
+        assert_eq!(m.read(Watts::new(84.97)).as_watts(), 85.0);
+        assert_eq!(m.read(Watts::new(84.93)).as_watts(), 84.9);
+    }
+
+    #[test]
+    fn power_reading_never_negative() {
+        let mut m = PowerMeter::new(9, 5.0);
+        for _ in 0..1000 {
+            assert!(m.read(Watts::ZERO).as_watts() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn meters_with_same_seed_agree() {
+        let mut a = PowerMeter::with_default_noise(11);
+        let mut b = PowerMeter::with_default_noise(11);
+        for k in 0..64 {
+            let p = Watts::new(40.0 + k as f64);
+            assert_eq!(a.read(p), b.read(p));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The cooling-power model (the paper's Eq. 10).
+
+use coolopt_units::{Temperature, Watts};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// `P_ac = c·f_ac·(T_SP − T_ac)`, with `c = c_air/η`.
+///
+/// The model is stored as an effective slope `cf` (W/K) and a reference set
+/// point. Only the slope enters the optimizer's decisions: Eqs. 21 and 22
+/// do not contain `c·f_ac` at all, and in the consolidation objective
+/// (Eq. 23) the set-point term is an additive constant for a fixed query.
+/// The reference point matters only when quoting absolute predicted power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoolingModel {
+    cf: f64,
+    t_sp: f64,
+}
+
+/// Error for a non-physical cooling model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidCoolingModel {
+    cf: f64,
+}
+
+impl fmt::Display for InvalidCoolingModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid cooling model: effective c·f_ac must be positive, got {}",
+            self.cf
+        )
+    }
+}
+
+impl std::error::Error for InvalidCoolingModel {}
+
+impl CoolingModel {
+    /// Creates the model from the effective slope `cf_watts_per_kelvin`
+    /// (= `c_air·f_ac/η` in the paper's notation, or a regression estimate)
+    /// and the reference set point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidCoolingModel`] unless the slope is positive and
+    /// finite.
+    pub fn new(
+        cf_watts_per_kelvin: f64,
+        t_sp: Temperature,
+    ) -> Result<Self, InvalidCoolingModel> {
+        if !(cf_watts_per_kelvin.is_finite() && cf_watts_per_kelvin > 0.0) {
+            return Err(InvalidCoolingModel {
+                cf: cf_watts_per_kelvin,
+            });
+        }
+        Ok(CoolingModel {
+            cf: cf_watts_per_kelvin,
+            t_sp: t_sp.as_kelvin(),
+        })
+    }
+
+    /// The effective slope `c·f_ac` (W/K).
+    pub fn cf(&self) -> f64 {
+        self.cf
+    }
+
+    /// The reference set point.
+    pub fn t_sp(&self) -> Temperature {
+        Temperature::from_kelvin(self.t_sp)
+    }
+
+    /// Predicted cooling power for cool-air temperature `t_ac` (Eq. 10),
+    /// clamped at zero (the unit cannot generate power by heating).
+    pub fn predict(&self, t_ac: Temperature) -> Watts {
+        Watts::new(self.cf * (self.t_sp - t_ac.as_kelvin())).clamp_non_negative()
+    }
+
+    /// Cooling-power *difference* between two supply temperatures; unlike
+    /// [`CoolingModel::predict`] this does not depend on the reference set
+    /// point.
+    pub fn savings(&self, from: Temperature, to: Temperature) -> Watts {
+        Watts::new(self.cf * (to - from).as_kelvin())
+    }
+}
+
+impl fmt::Display for CoolingModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "P_ac = {:.1}·(T_SP − T_ac) W, T_SP = {}",
+            self.cf,
+            self.t_sp()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CoolingModel {
+        CoolingModel::new(1000.0, Temperature::from_celsius(25.0)).unwrap()
+    }
+
+    #[test]
+    fn predict_is_linear_in_the_gap() {
+        let m = model();
+        let p = m.predict(Temperature::from_celsius(15.0));
+        assert!((p.as_watts() - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_clamps_at_zero() {
+        let m = model();
+        assert_eq!(m.predict(Temperature::from_celsius(30.0)), Watts::ZERO);
+    }
+
+    #[test]
+    fn savings_is_reference_free() {
+        let m = model();
+        let s = m.savings(
+            Temperature::from_celsius(15.0),
+            Temperature::from_celsius(17.0),
+        );
+        assert!((s.as_watts() - 2000.0).abs() < 1e-9);
+        // Consistent with predict where both are in range.
+        let direct = m.predict(Temperature::from_celsius(15.0))
+            - m.predict(Temperature::from_celsius(17.0));
+        assert!((s.as_watts() - direct.as_watts()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_positive_slope() {
+        assert!(CoolingModel::new(0.0, Temperature::from_celsius(25.0)).is_err());
+        assert!(CoolingModel::new(-5.0, Temperature::from_celsius(25.0)).is_err());
+        assert!(CoolingModel::new(f64::INFINITY, Temperature::from_celsius(25.0)).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! The paper's analytic models, as fitted artifacts.
+//!
+//! Everything in this crate is *simple on purpose*: the paper argues that a
+//! deliberately simplified linear model — fitted empirically — is enough to
+//! drive a provably optimal controller. The three models are:
+//!
+//! * [`PowerModel`] — Eq. 9: `P = w1·L + w2` (one model for the whole rack,
+//!   since the machines share a hardware configuration);
+//! * [`ThermalModel`] — Eq. 8: `T_cpu = α·T_ac + β·P + γ` (one per machine;
+//!   `α`, `β`, `γ` encode the machine's position in the room);
+//! * [`CoolingModel`] — Eq. 10: `P_ac = c·f_ac·(T_SP − T_ac)` with
+//!   `c = c_air/η` (fitted as an effective slope, since only the slope
+//!   matters to the optimizer).
+//!
+//! [`RoomModel`] bundles them with the CPU temperature cap `T_max` and
+//! derives the quantities the optimizer consumes: the per-machine constant
+//! `K_i` of Eq. 19 and the consolidation pair `(a_i, b_i) = (K_i, α_i/β_i)`.
+//!
+//! All temperatures are absolute (kelvin) internally, as in the paper's
+//! Table I.
+
+#![warn(missing_docs)]
+
+pub mod cooling;
+pub mod power;
+pub mod room;
+pub mod thermal;
+
+pub use cooling::CoolingModel;
+pub use power::PowerModel;
+pub use room::{InvalidModel, RoomModel};
+pub use thermal::ThermalModel;

@@ -1,0 +1,122 @@
+//! The computing-power model (the paper's Eq. 9).
+
+use coolopt_units::Watts;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// `P = w1·L + w2`: power is one load-dependent plus one load-independent
+/// component.
+///
+/// The paper adopts this from Heath et al. and verifies it empirically
+/// (its Fig. 2); `w1` and `w2` come out of least-squares fitting in
+/// [`coolopt-profiling`](https://docs.rs/coolopt-profiling).
+///
+/// ```
+/// use coolopt_model::PowerModel;
+/// use coolopt_units::Watts;
+///
+/// let m = PowerModel::new(Watts::new(45.0), Watts::new(40.0)).unwrap();
+/// assert_eq!(m.predict(0.0), Watts::new(40.0));
+/// assert_eq!(m.predict(1.0), Watts::new(85.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    w1: f64,
+    w2: f64,
+}
+
+/// Error for non-physical power coefficients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidPowerModel {
+    w1: f64,
+    w2: f64,
+}
+
+impl fmt::Display for InvalidPowerModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid power model: w1 = {} must be positive and w2 = {} non-negative",
+            self.w1, self.w2
+        )
+    }
+}
+
+impl std::error::Error for InvalidPowerModel {}
+
+impl PowerModel {
+    /// Creates the model from its coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidPowerModel`] unless `w1 > 0` and `w2 ≥ 0` (a machine
+    /// that draws less when busier would break every result downstream).
+    pub fn new(w1: Watts, w2: Watts) -> Result<Self, InvalidPowerModel> {
+        let (w1, w2) = (w1.as_watts(), w2.as_watts());
+        if !(w1.is_finite() && w1 > 0.0 && w2.is_finite() && w2 >= 0.0) {
+            return Err(InvalidPowerModel { w1, w2 });
+        }
+        Ok(PowerModel { w1, w2 })
+    }
+
+    /// The load-proportional coefficient `w1` (W per unit load).
+    pub fn w1(&self) -> Watts {
+        Watts::new(self.w1)
+    }
+
+    /// The load-independent coefficient `w2` (W).
+    pub fn w2(&self) -> Watts {
+        Watts::new(self.w2)
+    }
+
+    /// Predicted power at load fraction `l`.
+    pub fn predict(&self, l: f64) -> Watts {
+        Watts::new(self.w1 * l + self.w2)
+    }
+
+    /// The load at which the machine would draw `p` (inverse of
+    /// [`PowerModel::predict`]); may fall outside `[0, 1]`.
+    pub fn load_for_power(&self, p: Watts) -> f64 {
+        (p.as_watts() - self.w2) / self.w1
+    }
+}
+
+impl fmt::Display for PowerModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P = {:.2}·L + {:.2} W", self.w1, self.w2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predict_and_invert_round_trip() {
+        let m = PowerModel::new(Watts::new(45.0), Watts::new(40.0)).unwrap();
+        for l in [0.0, 0.25, 0.5, 1.0] {
+            assert!((m.load_for_power(m.predict(l)) - l).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_non_physical_coefficients() {
+        assert!(PowerModel::new(Watts::ZERO, Watts::new(40.0)).is_err());
+        assert!(PowerModel::new(Watts::new(-1.0), Watts::new(40.0)).is_err());
+        assert!(PowerModel::new(Watts::new(45.0), Watts::new(-0.1)).is_err());
+        assert!(PowerModel::new(Watts::new(f64::NAN), Watts::new(40.0)).is_err());
+    }
+
+    #[test]
+    fn display_shows_both_coefficients() {
+        let m = PowerModel::new(Watts::new(45.0), Watts::new(40.0)).unwrap();
+        let s = m.to_string();
+        assert!(s.contains("45.00") && s.contains("40.00"));
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        let e = PowerModel::new(Watts::ZERO, Watts::ZERO).unwrap_err();
+        assert!(e.to_string().contains("w1"));
+    }
+}

@@ -1,0 +1,281 @@
+//! The assembled room model: everything the optimizer needs to know.
+
+use crate::cooling::CoolingModel;
+use crate::power::PowerModel;
+use crate::thermal::ThermalModel;
+use coolopt_units::{Temperature, Watts};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error for inconsistent room models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidModel {
+    what: String,
+}
+
+impl fmt::Display for InvalidModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid room model: {}", self.what)
+    }
+}
+
+impl std::error::Error for InvalidModel {}
+
+/// The fitted model of one machine room: shared power model, per-machine
+/// thermal models, cooling model, and the CPU temperature cap `T_max`.
+///
+/// This is the input to every algorithm in `coolopt-core`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoomModel {
+    power: PowerModel,
+    thermal: Vec<ThermalModel>,
+    cooling: CoolingModel,
+    t_max: Temperature,
+    /// Highest supply temperature the cooling unit can actually deliver
+    /// (`None` = unbounded, the paper's idealization). Real units keep a
+    /// minimum refrigeration load, so the supply cannot float arbitrarily
+    /// close to the return; the profiling stage measures this ceiling.
+    #[serde(default)]
+    t_ac_max: Option<Temperature>,
+}
+
+impl RoomModel {
+    /// Assembles a room model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidModel`] when no thermal models are given or `t_max`
+    /// is not a valid absolute temperature.
+    pub fn new(
+        power: PowerModel,
+        thermal: Vec<ThermalModel>,
+        cooling: CoolingModel,
+        t_max: Temperature,
+    ) -> Result<Self, InvalidModel> {
+        if thermal.is_empty() {
+            return Err(InvalidModel {
+                what: "need at least one machine".into(),
+            });
+        }
+        if !t_max.is_physical() {
+            return Err(InvalidModel {
+                what: format!("t_max = {t_max} is not a physical temperature"),
+            });
+        }
+        Ok(RoomModel {
+            power,
+            thermal,
+            cooling,
+            t_max,
+            t_ac_max: None,
+        })
+    }
+
+    /// Sets the achievable supply-temperature ceiling (builder-style).
+    pub fn with_t_ac_max(mut self, t_ac_max: Temperature) -> Self {
+        self.t_ac_max = Some(t_ac_max);
+        self
+    }
+
+    /// Returns a copy of this model with a different CPU temperature cap —
+    /// deployments use this to plan against a guard band below the true
+    /// limit, absorbing fitted-model error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_max` is not a physical temperature.
+    pub fn with_t_max(&self, t_max: Temperature) -> Self {
+        assert!(t_max.is_physical(), "t_max must be a physical temperature");
+        RoomModel {
+            t_max,
+            ..self.clone()
+        }
+    }
+
+    /// The achievable supply-temperature ceiling, if profiled.
+    pub fn t_ac_max(&self) -> Option<Temperature> {
+        self.t_ac_max
+    }
+
+    /// `t_ac` clipped into the achievable range (identity when no ceiling
+    /// was profiled).
+    pub fn clamp_t_ac(&self, t_ac: Temperature) -> Temperature {
+        match self.t_ac_max {
+            Some(cap) => t_ac.min(cap),
+            None => t_ac,
+        }
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.thermal.len()
+    }
+
+    /// `true` when the model covers no machines (impossible after
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.thermal.is_empty()
+    }
+
+    /// The shared power model.
+    pub fn power(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// Machine `i`'s thermal model.
+    pub fn thermal(&self, i: usize) -> &ThermalModel {
+        &self.thermal[i]
+    }
+
+    /// All thermal models, machine order.
+    pub fn thermal_models(&self) -> &[ThermalModel] {
+        &self.thermal
+    }
+
+    /// The cooling model.
+    pub fn cooling(&self) -> &CoolingModel {
+        &self.cooling
+    }
+
+    /// The CPU temperature cap.
+    pub fn t_max(&self) -> Temperature {
+        self.t_max
+    }
+
+    /// Machine `i`'s `K_i` (Eq. 19).
+    pub fn k(&self, i: usize) -> f64 {
+        self.thermal[i].k_coefficient(self.t_max, &self.power)
+    }
+
+    /// Machine `i`'s `b_i = α_i/β_i` (W/K).
+    pub fn alpha_over_beta(&self, i: usize) -> f64 {
+        self.thermal[i].alpha_over_beta()
+    }
+
+    /// The consolidation pairs `(a_i, b_i) = (K_i, α_i/β_i)` for every
+    /// machine, in machine order (the set `A` of the paper's §III-B).
+    pub fn consolidation_pairs(&self) -> Vec<(f64, f64)> {
+        (0..self.len())
+            .map(|i| (self.k(i), self.alpha_over_beta(i)))
+            .collect()
+    }
+
+    /// Predicted total power (Eq. 23's left-hand side, computed directly):
+    /// computing power of the ON machines plus modeled cooling power at
+    /// `t_ac`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `on` and `loads` differ in length or index out of range.
+    pub fn predict_total_power(&self, on: &[usize], loads: &[f64], t_ac: Temperature) -> Watts {
+        assert_eq!(on.len(), loads.len(), "on-set and loads must align");
+        let computing: Watts = on
+            .iter()
+            .zip(loads)
+            .map(|(&i, &l)| {
+                assert!(i < self.len(), "machine index {i} out of range");
+                self.power.predict(l)
+            })
+            .sum();
+        computing + self.cooling.predict(t_ac)
+    }
+
+    /// Predicted CPU temperature of machine `i` at load `l` under cool-air
+    /// temperature `t_ac`.
+    pub fn predict_cpu_temp(&self, i: usize, l: f64, t_ac: Temperature) -> Temperature {
+        self.thermal[i].predict(t_ac, self.power.predict(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_model(n: usize) -> RoomModel {
+        let power = PowerModel::new(Watts::new(45.0), Watts::new(40.0)).unwrap();
+        let thermal = (0..n)
+            .map(|i| {
+                let h = i as f64 / n.max(2) as f64;
+                ThermalModel::new(0.95 - 0.2 * h, 0.5 + 0.05 * h, 30.0 + 10.0 * h).unwrap()
+            })
+            .collect();
+        let cooling = CoolingModel::new(1000.0, Temperature::from_celsius(25.0)).unwrap();
+        RoomModel::new(power, thermal, cooling, Temperature::from_celsius(70.0)).unwrap()
+    }
+
+    #[test]
+    fn accessors_and_pairs_agree() {
+        let m = sample_model(4);
+        assert_eq!(m.len(), 4);
+        let pairs = m.consolidation_pairs();
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            assert!((a - m.k(i)).abs() < 1e-12);
+            assert!((b - m.alpha_over_beta(i)).abs() < 1e-12);
+            assert!(a > 0.0, "K must be positive for a sane room");
+            assert!(b > 0.0);
+        }
+    }
+
+    #[test]
+    fn total_power_sums_computing_and_cooling() {
+        let m = sample_model(3);
+        let t_ac = Temperature::from_celsius(15.0);
+        let p = m.predict_total_power(&[0, 2], &[0.5, 1.0], t_ac);
+        let expect = 45.0 * 1.5 + 80.0 + m.cooling().predict(t_ac).as_watts();
+        assert!((p.as_watts() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = sample_model(5);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RoomModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn rejects_empty_or_unphysical() {
+        let power = PowerModel::new(Watts::new(45.0), Watts::new(40.0)).unwrap();
+        let cooling = CoolingModel::new(1000.0, Temperature::from_celsius(25.0)).unwrap();
+        assert!(RoomModel::new(power, vec![], cooling, Temperature::from_celsius(70.0)).is_err());
+        let thermal = vec![ThermalModel::new(0.9, 0.5, 30.0).unwrap()];
+        assert!(RoomModel::new(power, thermal, cooling, Temperature::from_kelvin(-3.0)).is_err());
+    }
+
+    #[test]
+    fn clamp_is_identity_without_a_ceiling_and_caps_with_one() {
+        let m = sample_model(2);
+        let hot = Temperature::from_celsius(35.0);
+        assert_eq!(m.clamp_t_ac(hot), hot);
+        let capped = m.clone().with_t_ac_max(Temperature::from_celsius(20.0));
+        assert_eq!(capped.clamp_t_ac(hot), Temperature::from_celsius(20.0));
+        assert_eq!(
+            capped.clamp_t_ac(Temperature::from_celsius(15.0)),
+            Temperature::from_celsius(15.0)
+        );
+    }
+
+    #[test]
+    fn with_t_max_changes_k_but_nothing_else() {
+        let m = sample_model(3);
+        let tighter = m.with_t_max(m.t_max() - coolopt_units::TempDelta::from_kelvin(5.0));
+        for i in 0..3 {
+            assert!(tighter.k(i) < m.k(i), "tighter cap must shrink K");
+            assert_eq!(tighter.alpha_over_beta(i), m.alpha_over_beta(i));
+        }
+        assert_eq!(tighter.power(), m.power());
+    }
+
+    #[test]
+    #[should_panic(expected = "physical temperature")]
+    fn with_t_max_rejects_unphysical() {
+        sample_model(1).with_t_max(Temperature::from_kelvin(-1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_machine_panics() {
+        let m = sample_model(2);
+        m.predict_total_power(&[5], &[0.5], Temperature::from_celsius(15.0));
+    }
+}

@@ -1,0 +1,195 @@
+//! The per-machine stable-temperature model (the paper's Eq. 8).
+
+use crate::power::PowerModel;
+use coolopt_units::{Temperature, Watts};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// `T_cpu = α·T_ac + β·P + γ`: steady-state CPU temperature as an affine
+/// function of the cooling-air temperature and the machine's power draw.
+///
+/// * `α` (dimensionless) — how strongly the cool-air temperature reaches this
+///   machine's inlet; position-dependent (Eq. 7).
+/// * `β` (K/W) — the machine's thermal resistance from Eq. 6,
+///   `1/(F·c_air) + 1/ϑ`.
+/// * `γ` (K) — affine offset, also position-dependent.
+///
+/// All temperatures are kelvin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+}
+
+/// Error for non-physical thermal coefficients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidThermalModel {
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+}
+
+impl fmt::Display for InvalidThermalModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid thermal model: need alpha > 0 (got {}), beta > 0 (got {}), finite gamma (got {})",
+            self.alpha, self.beta, self.gamma
+        )
+    }
+}
+
+impl std::error::Error for InvalidThermalModel {}
+
+impl ThermalModel {
+    /// Creates the model from its coefficients (`gamma_kelvin` is the affine
+    /// offset in kelvin).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidThermalModel`] unless `α > 0` and `β > 0` (a machine
+    /// whose CPU cools down when the room warms up, or when it draws more
+    /// power, is unphysical and would flip inequalities in the optimizer).
+    pub fn new(alpha: f64, beta: f64, gamma_kelvin: f64) -> Result<Self, InvalidThermalModel> {
+        if !(alpha.is_finite() && alpha > 0.0 && beta.is_finite() && beta > 0.0
+            && gamma_kelvin.is_finite())
+        {
+            return Err(InvalidThermalModel {
+                alpha,
+                beta,
+                gamma: gamma_kelvin,
+            });
+        }
+        Ok(ThermalModel {
+            alpha,
+            beta,
+            gamma: gamma_kelvin,
+        })
+    }
+
+    /// The cool-air coupling coefficient `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The power coefficient `β` (K/W).
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The affine offset `γ` (K).
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Predicted stable CPU temperature for cool-air temperature `t_ac` and
+    /// power draw `p` (Eq. 8).
+    pub fn predict(&self, t_ac: Temperature, p: Watts) -> Temperature {
+        Temperature::from_kelvin(
+            self.alpha * t_ac.as_kelvin() + self.beta * p.as_watts() + self.gamma,
+        )
+    }
+
+    /// The paper's Eq. 19 constant
+    /// `K = (T_max − β·w2 − γ) / (β·w1)`:
+    /// the load at which this machine reaches `T_max` when `T_ac = 0 K`.
+    pub fn k_coefficient(&self, t_max: Temperature, power: &PowerModel) -> f64 {
+        (t_max.as_kelvin() - self.beta * power.w2().as_watts() - self.gamma)
+            / (self.beta * power.w1().as_watts())
+    }
+
+    /// The consolidation coefficient `b = α/β` (W/K); the pair
+    /// `(K, α/β)` is the particle `(a_i, b_i)` of the paper's §III-B.
+    pub fn alpha_over_beta(&self) -> f64 {
+        self.alpha / self.beta
+    }
+
+    /// The load this machine may carry so that its CPU stays at `T_max`
+    /// given `t_ac` — Eq. 18:
+    /// `L = (T_max − α·T_ac − β·w2 − γ) / (β·w1) = K − (α/β)·T_ac/w1`.
+    pub fn load_at_cap(
+        &self,
+        t_max: Temperature,
+        t_ac: Temperature,
+        power: &PowerModel,
+    ) -> f64 {
+        self.k_coefficient(t_max, power)
+            - self.alpha_over_beta() * t_ac.as_kelvin() / power.w1().as_watts()
+    }
+}
+
+impl fmt::Display for ThermalModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "T_cpu = {:.3}·T_ac + {:.4}·P + {:.2} K",
+            self.alpha, self.beta, self.gamma
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn power() -> PowerModel {
+        PowerModel::new(Watts::new(45.0), Watts::new(40.0)).unwrap()
+    }
+
+    fn thermal() -> ThermalModel {
+        // α = 0.9, β = 0.5 K/W, γ = 40 K.
+        ThermalModel::new(0.9, 0.5, 40.0).unwrap()
+    }
+
+    #[test]
+    fn predict_matches_hand_computation() {
+        let m = thermal();
+        let t = m.predict(Temperature::from_kelvin(290.0), Watts::new(80.0));
+        assert!((t.as_kelvin() - (0.9 * 290.0 + 0.5 * 80.0 + 40.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq18_and_eq19_are_consistent() {
+        // At T_ac such that load_at_cap = l, predict(t_ac, P(l)) = T_max.
+        let m = thermal();
+        let p = power();
+        let t_max = Temperature::from_kelvin(343.0);
+        let t_ac = Temperature::from_kelvin(288.0);
+        let l = m.load_at_cap(t_max, t_ac, &p);
+        let cpu = m.predict(t_ac, p.predict(l));
+        assert!((cpu.as_kelvin() - t_max.as_kelvin()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_is_load_at_cap_with_zero_kelvin_air() {
+        let m = thermal();
+        let p = power();
+        let t_max = Temperature::from_kelvin(343.0);
+        let k = m.k_coefficient(t_max, &p);
+        let l0 = m.load_at_cap(t_max, Temperature::ZERO, &p);
+        assert!((k - l0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_at_cap_decreases_with_warmer_air() {
+        let m = thermal();
+        let p = power();
+        let t_max = Temperature::from_kelvin(343.0);
+        let cool = m.load_at_cap(t_max, Temperature::from_kelvin(285.0), &p);
+        let warm = m.load_at_cap(t_max, Temperature::from_kelvin(295.0), &p);
+        assert!(cool > warm);
+        // Slope is exactly (α/β)/w1 per kelvin.
+        assert!(((cool - warm) - m.alpha_over_beta() * 10.0 / 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_physical_coefficients() {
+        assert!(ThermalModel::new(0.0, 0.5, 40.0).is_err());
+        assert!(ThermalModel::new(-0.5, 0.5, 40.0).is_err());
+        assert!(ThermalModel::new(0.9, 0.0, 40.0).is_err());
+        assert!(ThermalModel::new(0.9, 0.5, f64::NAN).is_err());
+        let e = ThermalModel::new(0.0, 0.5, 40.0).unwrap_err();
+        assert!(e.to_string().contains("alpha"));
+    }
+}

@@ -1,0 +1,238 @@
+//! System profiling: turning a (simulated) machine room into a fitted
+//! [`RoomModel`].
+//!
+//! This reproduces the paper's §IV-A methodology end to end:
+//!
+//! 1. drive the room through a grid of steady operating points
+//!    ([`grid`] — the load staircase of the paper plus set-point variation);
+//! 2. fit the power model `P = w1·L + w2` by least squares over every
+//!    machine's `(load, measured power)` pairs ([`power_profile`], Fig. 2);
+//! 3. fit each machine's `T_cpu = α·T_ac + β·P + γ` ([`thermal_profile`],
+//!    Fig. 3);
+//! 4. fit the cooling model, measure the achievable supply ceiling, and
+//!    calibrate the `T_SP ↔ T_ac` mapping ([`crac_profile`]).
+//!
+//! ```no_run
+//! use coolopt_room::presets::testbed_rack20;
+//! use coolopt_profiling::profile_room;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut room = testbed_rack20(42);
+//! let model = profile_room(&mut room)?;
+//! assert_eq!(model.len(), 20);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod crac_profile;
+pub mod filter;
+pub mod grid;
+pub mod power_profile;
+pub mod regression;
+pub mod thermal_profile;
+
+pub use crac_profile::{fit_cooling_model, measure_t_ac_max, CoolingProfile};
+pub use filter::{moving_average, LowPassFilter};
+pub use grid::{default_grid, run_grid, OperatingPoint, PointRecord};
+pub use power_profile::{fit_power_model, PowerProfile};
+pub use regression::{fit_multi, fit_simple, MultiFit, RegressionError, SimpleFit};
+pub use thermal_profile::{fit_thermal_models, ThermalProfile};
+
+use coolopt_model::RoomModel;
+use coolopt_room::MachineRoom;
+use coolopt_units::{Seconds, Temperature};
+use std::fmt;
+
+/// Knobs of the profiling run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileOptions {
+    /// The CPU temperature cap the deployment will enforce.
+    pub t_max: Temperature,
+    /// Set points visited by the grid.
+    pub set_points: Vec<Temperature>,
+    /// Load used when probing the supply ceiling.
+    pub ceiling_probe_load: f64,
+    /// Settling budget per operating point (simulated time).
+    pub settle_max: Seconds,
+    /// Measurement window per operating point (simulated time).
+    pub window: Seconds,
+}
+
+impl Default for ProfileOptions {
+    fn default() -> Self {
+        ProfileOptions {
+            t_max: Temperature::from_celsius(60.0),
+            set_points: vec![
+                Temperature::from_celsius(16.0),
+                Temperature::from_celsius(19.0),
+                Temperature::from_celsius(22.0),
+            ],
+            ceiling_probe_load: 0.25,
+            settle_max: Seconds::new(4000.0),
+            window: Seconds::new(60.0),
+        }
+    }
+}
+
+/// Everything a full profiling run produces.
+///
+/// Serializable: deployments profile once, persist the result as JSON, and
+/// plan against the saved profile from then on (see the `coolopt` CLI).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RoomProfile {
+    /// The assembled model the optimizer consumes.
+    pub model: RoomModel,
+    /// Power-side fit and data (Fig. 2).
+    pub power: PowerProfile,
+    /// Thermal-side fits (Fig. 3).
+    pub thermal: ThermalProfile,
+    /// Cooling-side fit and calibrations.
+    pub cooling: CoolingProfile,
+    /// The raw steady-state records of the grid.
+    pub records: Vec<PointRecord>,
+}
+
+/// Error from a full profiling run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileError {
+    /// Power fit failed.
+    Power(power_profile::PowerProfileError),
+    /// A thermal fit failed.
+    Thermal(thermal_profile::ThermalProfileError),
+    /// Cooling calibration failed.
+    Cooling(crac_profile::CoolingProfileError),
+    /// The assembled model was rejected.
+    Model(String),
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Power(e) => write!(f, "{e}"),
+            ProfileError::Thermal(e) => write!(f, "{e}"),
+            ProfileError::Cooling(e) => write!(f, "{e}"),
+            ProfileError::Model(e) => write!(f, "model assembly failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// Runs the full §IV-A profiling pipeline with explicit options.
+///
+/// # Errors
+///
+/// Returns [`ProfileError`] when any fit fails or the assembled model is
+/// rejected.
+pub fn profile_room_full(
+    room: &mut MachineRoom,
+    options: &ProfileOptions,
+) -> Result<RoomProfile, ProfileError> {
+    let points = default_grid(room.len(), &options.set_points);
+    let records = run_grid(room, &points, options.settle_max, options.window);
+
+    let power = fit_power_model(&records).map_err(ProfileError::Power)?;
+    let thermal = fit_thermal_models(&records).map_err(ProfileError::Thermal)?;
+    let t_ac_max = measure_t_ac_max(room, options.ceiling_probe_load, options.settle_max);
+    let cooling = fit_cooling_model(&records, t_ac_max).map_err(ProfileError::Cooling)?;
+
+    let model = RoomModel::new(
+        power.model,
+        thermal.models.clone(),
+        cooling.model,
+        options.t_max,
+    )
+    .map_err(|e| ProfileError::Model(e.to_string()))?
+    .with_t_ac_max(cooling.t_ac_max);
+
+    Ok(RoomProfile {
+        model,
+        power,
+        thermal,
+        cooling,
+        records,
+    })
+}
+
+/// Runs the profiling pipeline with default options and returns just the
+/// model.
+///
+/// # Errors
+///
+/// See [`profile_room_full`].
+pub fn profile_room(room: &mut MachineRoom) -> Result<RoomModel, ProfileError> {
+    profile_room_full(room, &ProfileOptions::default()).map(|p| p.model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolopt_room::presets;
+
+    #[test]
+    fn profiles_a_small_rack_accurately() {
+        let mut room = presets::small_rack(4, 31);
+        let profile = profile_room_full(&mut room, &ProfileOptions::default()).unwrap();
+
+        // Power model close to the substrate's generating curve
+        // (w1 ≈ 45 − curvature bow, w2 ≈ 40).
+        let w1 = profile.model.power().w1().as_watts();
+        let w2 = profile.model.power().w2().as_watts();
+        assert!((40.0..50.0).contains(&w1), "w1 = {w1}");
+        assert!((36.0..44.0).contains(&w2), "w2 = {w2}");
+        assert!(profile.power.r2 > 0.98, "power r2 = {}", profile.power.r2);
+
+        // Thermal fits should explain the data well despite recirculation.
+        for (i, r2) in profile.thermal.r2.iter().enumerate() {
+            assert!(*r2 > 0.9, "machine {i} thermal r2 = {r2}");
+        }
+        // β within a factor of ~2 of the design value 1/(F·c)+1/ϑ ≈ 0.53.
+        for m in &profile.thermal.models {
+            assert!((0.2..1.2).contains(&m.beta()), "beta = {}", m.beta());
+            assert!((0.1..1.5).contains(&m.alpha()), "alpha = {}", m.alpha());
+        }
+
+        // Cooling slope positive; ceiling in a sane band.
+        assert!(profile.cooling.model.cf() > 0.0);
+        let ceiling = profile.cooling.t_ac_max.as_celsius();
+        assert!((10.0..30.0).contains(&ceiling), "t_ac_max = {ceiling}");
+
+        // The assembled model carries the ceiling.
+        assert!(profile.model.t_ac_max().is_some());
+    }
+
+    #[test]
+    fn fitted_model_predicts_held_out_operating_point() {
+        let mut room = presets::small_rack(4, 77);
+        let profile = profile_room_full(&mut room, &ProfileOptions::default()).unwrap();
+
+        // Visit a point not in the training grid and compare predictions.
+        let held_out = grid::OperatingPoint {
+            loads: vec![0.6, 0.3, 0.6, 0.3],
+            set_point: Temperature::from_celsius(18.0),
+        };
+        let record = grid::run_grid(
+            &mut room,
+            std::slice::from_ref(&held_out),
+            Seconds::new(4000.0),
+            Seconds::new(60.0),
+        )
+        .remove(0);
+
+        for i in 0..4 {
+            let predicted = profile.model.thermal(i).predict(
+                record.t_ac,
+                record.server_power[i],
+            );
+            let measured = record.cpu_temp[i];
+            let err = (predicted - measured).abs().as_kelvin();
+            // The paper reports "a few percent error"; allow 3 K here.
+            assert!(
+                err < 3.0,
+                "machine {i}: predicted {predicted}, measured {measured}"
+            );
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Fitting the computing-power model (Eq. 9) — the paper's first profiling
+//! experiment, whose output its Fig. 2 visualizes.
+
+use crate::grid::PointRecord;
+use crate::regression::{fit_simple, RegressionError};
+use coolopt_model::PowerModel;
+use coolopt_units::Watts;
+use serde::{Deserialize, Serialize};
+
+/// The fitted power model plus its training data and quality metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerProfile {
+    /// The fitted `P = w1·L + w2`.
+    pub model: PowerModel,
+    /// Pooled training samples `(load, measured watts)` across machines.
+    pub samples: Vec<(f64, f64)>,
+    /// Coefficient of determination of the fit.
+    pub r2: f64,
+    /// Root-mean-square error (W).
+    pub rmse: f64,
+}
+
+impl PowerProfile {
+    /// Predicted power at load `l`.
+    pub fn predict(&self, l: f64) -> Watts {
+        self.model.predict(l)
+    }
+}
+
+/// Pools every machine's `(load, measured power)` pair from the records and
+/// fits one power model — the paper fits a single model because "the power
+/// consumption coefficients are the same for all machines in our testbed".
+///
+/// # Errors
+///
+/// Returns [`RegressionError`] when the records cannot support a fit, or a
+/// stringly error when the fitted coefficients are unphysical.
+pub fn fit_power_model(records: &[PointRecord]) -> Result<PowerProfile, PowerProfileError> {
+    let mut loads = Vec::new();
+    let mut watts = Vec::new();
+    for r in records {
+        for (l, p) in r.loads.iter().zip(&r.server_power) {
+            loads.push(*l);
+            watts.push(p.as_watts());
+        }
+    }
+    let fit = fit_simple(&loads, &watts).map_err(PowerProfileError::Regression)?;
+    let model = PowerModel::new(Watts::new(fit.slope), Watts::new(fit.intercept))
+        .map_err(|e| PowerProfileError::Unphysical(e.to_string()))?;
+    Ok(PowerProfile {
+        model,
+        samples: loads.into_iter().zip(watts).collect(),
+        r2: fit.r2,
+        rmse: fit.rmse,
+    })
+}
+
+/// Error from power-model fitting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerProfileError {
+    /// The regression itself failed.
+    Regression(RegressionError),
+    /// The regression succeeded but produced non-physical coefficients.
+    Unphysical(String),
+}
+
+impl std::fmt::Display for PowerProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PowerProfileError::Regression(e) => write!(f, "power fit failed: {e}"),
+            PowerProfileError::Unphysical(e) => write!(f, "power fit unphysical: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PowerProfileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolopt_units::Temperature;
+
+    fn synthetic_records() -> Vec<PointRecord> {
+        // Two machines following P = 44·L + 41 with small systematic error.
+        [0.0, 0.25, 0.5, 0.75]
+            .iter()
+            .map(|&l| PointRecord {
+                loads: vec![l, l],
+                set_point: Temperature::from_celsius(20.0),
+                settled: true,
+                t_ac: Temperature::from_celsius(17.0),
+                t_return: Temperature::from_celsius(20.0),
+                server_power: vec![
+                    Watts::new(44.0 * l + 41.0 + 0.2),
+                    Watts::new(44.0 * l + 41.0 - 0.2),
+                ],
+                cpu_temp: vec![Temperature::from_celsius(50.0); 2],
+                cooling_power: Watts::new(3000.0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_the_generating_coefficients() {
+        let profile = fit_power_model(&synthetic_records()).unwrap();
+        assert!((profile.model.w1().as_watts() - 44.0).abs() < 1e-6);
+        assert!((profile.model.w2().as_watts() - 41.0).abs() < 1e-6);
+        assert!(profile.r2 > 0.999);
+        assert_eq!(profile.samples.len(), 8);
+        assert!((profile.rmse - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_records_error() {
+        assert!(matches!(
+            fit_power_model(&[]),
+            Err(PowerProfileError::Regression(_))
+        ));
+    }
+}

@@ -1,0 +1,319 @@
+//! Least-squares fitting (the paper's "off-the-shelf linear regression …
+//! least mean squares fitting technique"), implemented from scratch.
+//!
+//! Two entry points: [`fit_simple`] for one predictor (the power model,
+//! Eq. 9) and [`fit_multi`] for several (the thermal model, Eq. 8, with
+//! predictors `T_ac` and `P`). The multivariate solver forms the normal
+//! equations and solves them by Gaussian elimination with partial pivoting —
+//! adequate for the handful of well-conditioned predictors this system ever
+//! fits.
+
+use std::fmt;
+
+/// Error returned for degenerate regression inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegressionError {
+    /// Predictor and response lengths differ.
+    LengthMismatch {
+        /// Number of predictor rows.
+        x: usize,
+        /// Number of responses.
+        y: usize,
+    },
+    /// Fewer observations than coefficients.
+    Underdetermined {
+        /// Observations supplied.
+        observations: usize,
+        /// Coefficients requested.
+        coefficients: usize,
+    },
+    /// The normal equations are singular (e.g. a constant predictor).
+    Singular,
+    /// An input value was NaN or infinite.
+    NonFinite,
+}
+
+impl fmt::Display for RegressionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegressionError::LengthMismatch { x, y } => {
+                write!(f, "predictor rows ({x}) and responses ({y}) differ")
+            }
+            RegressionError::Underdetermined {
+                observations,
+                coefficients,
+            } => write!(
+                f,
+                "{observations} observations cannot determine {coefficients} coefficients"
+            ),
+            RegressionError::Singular => write!(f, "normal equations are singular"),
+            RegressionError::NonFinite => write!(f, "inputs contain non-finite values"),
+        }
+    }
+}
+
+impl std::error::Error for RegressionError {}
+
+/// Result of a simple (one-predictor) linear fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimpleFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination on the training data.
+    pub r2: f64,
+    /// Root-mean-square error on the training data.
+    pub rmse: f64,
+}
+
+impl SimpleFit {
+    /// Predicted response at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Result of a multivariate fit `y ≈ coeffs·x + intercept`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiFit {
+    /// One coefficient per predictor.
+    pub coefficients: Vec<f64>,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination on the training data.
+    pub r2: f64,
+    /// Root-mean-square error on the training data.
+    pub rmse: f64,
+}
+
+impl MultiFit {
+    /// Predicted response for the predictor row `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the number of coefficients.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.coefficients.len(), "predictor arity mismatch");
+        self.intercept
+            + x.iter()
+                .zip(&self.coefficients)
+                .map(|(xi, ci)| xi * ci)
+                .sum::<f64>()
+    }
+}
+
+/// Fits `y ≈ slope·x + intercept` by ordinary least squares.
+///
+/// # Errors
+///
+/// Returns [`RegressionError`] for mismatched lengths, fewer than two
+/// observations, non-finite inputs, or a constant `x`.
+pub fn fit_simple(x: &[f64], y: &[f64]) -> Result<SimpleFit, RegressionError> {
+    let rows: Vec<[f64; 1]> = x.iter().map(|&v| [v]).collect();
+    let multi = fit_multi(rows.iter().map(|r| r.as_slice()), y)?;
+    Ok(SimpleFit {
+        slope: multi.coefficients[0],
+        intercept: multi.intercept,
+        r2: multi.r2,
+        rmse: multi.rmse,
+    })
+}
+
+/// Fits `y ≈ Σ c_j·x_j + intercept` by ordinary least squares over predictor
+/// rows `xs`.
+///
+/// # Errors
+///
+/// Returns [`RegressionError`] for inconsistent arities, non-finite inputs,
+/// underdetermined systems, or singular normal equations.
+pub fn fit_multi<'a, I>(xs: I, y: &[f64]) -> Result<MultiFit, RegressionError>
+where
+    I: IntoIterator<Item = &'a [f64]>,
+{
+    let rows: Vec<&[f64]> = xs.into_iter().collect();
+    if rows.len() != y.len() {
+        return Err(RegressionError::LengthMismatch {
+            x: rows.len(),
+            y: y.len(),
+        });
+    }
+    let p = rows.first().map(|r| r.len()).unwrap_or(0);
+    if rows.iter().any(|r| r.len() != p) {
+        return Err(RegressionError::LengthMismatch {
+            x: rows.len(),
+            y: y.len(),
+        });
+    }
+    let dim = p + 1; // + intercept
+    if rows.len() < dim {
+        return Err(RegressionError::Underdetermined {
+            observations: rows.len(),
+            coefficients: dim,
+        });
+    }
+    if rows.iter().flat_map(|r| r.iter()).any(|v| !v.is_finite())
+        || y.iter().any(|v| !v.is_finite())
+    {
+        return Err(RegressionError::NonFinite);
+    }
+
+    // Normal equations: (XᵀX)·β = Xᵀy, with the intercept as column p.
+    let mut xtx = vec![vec![0.0; dim]; dim];
+    let mut xty = vec![0.0; dim];
+    let design = |row: &[f64], j: usize| if j == p { 1.0 } else { row[j] };
+    for (row, &yi) in rows.iter().zip(y) {
+        for a in 0..dim {
+            let xa = design(row, a);
+            xty[a] += xa * yi;
+            for (b, cell) in xtx[a].iter_mut().enumerate() {
+                *cell += xa * design(row, b);
+            }
+        }
+    }
+    let beta = solve_gaussian(&mut xtx, &mut xty)?;
+
+    let (coefficients, intercept) = (beta[..p].to_vec(), beta[p]);
+    let fit = MultiFit {
+        coefficients,
+        intercept,
+        r2: 0.0,
+        rmse: 0.0,
+    };
+    let n = y.len() as f64;
+    let mean = y.iter().sum::<f64>() / n;
+    let ss_tot: f64 = y.iter().map(|v| (v - mean).powi(2)).sum();
+    let ss_res: f64 = rows
+        .iter()
+        .zip(y)
+        .map(|(row, &yi)| (yi - fit.predict(row)).powi(2))
+        .sum();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    Ok(MultiFit {
+        r2,
+        rmse: (ss_res / n).sqrt(),
+        ..fit
+    })
+}
+
+/// Solves `A·x = b` in place by Gaussian elimination with partial pivoting.
+fn solve_gaussian(a: &mut [Vec<f64>], b: &mut [f64]) -> Result<Vec<f64>, RegressionError> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivot: the row with the largest magnitude in this column.
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite matrix")
+            })
+            .expect("non-empty column");
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(RegressionError::Singular);
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            for (k, cell) in rest[0].iter_mut().enumerate().skip(col) {
+                *cell -= factor * pivot_row[k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_fit_recovers_exact_line() {
+        let x: Vec<f64> = (0..20).map(|k| k as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 7.0).collect();
+        let fit = fit_simple(&x, &y).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-9);
+        assert!((fit.intercept + 7.0).abs() < 1e-9);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+        assert!(fit.rmse < 1e-9);
+    }
+
+    #[test]
+    fn multi_fit_recovers_exact_plane() {
+        let rows: Vec<[f64; 2]> = (0..30)
+            .map(|k| [(k % 5) as f64, (k / 5) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - 0.5 * r[1] + 4.0).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let fit = fit_multi(refs, &y).unwrap();
+        assert!((fit.coefficients[0] - 2.0).abs() < 1e-9);
+        assert!((fit.coefficients[1] + 0.5).abs() < 1e-9);
+        assert!((fit.intercept - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_fit_is_near_truth_with_good_r2() {
+        // Deterministic "noise" orthogonal-ish to the trend.
+        let x: Vec<f64> = (0..200).map(|k| k as f64 / 10.0).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(k, v)| 1.5 * v + 2.0 + if k % 2 == 0 { 0.2 } else { -0.2 })
+            .collect();
+        let fit = fit_simple(&x, &y).unwrap();
+        assert!((fit.slope - 1.5).abs() < 0.01);
+        assert!((fit.intercept - 2.0).abs() < 0.05);
+        assert!(fit.r2 > 0.99);
+        assert!((fit.rmse - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        assert_eq!(
+            fit_simple(&[1.0], &[1.0, 2.0]),
+            Err(RegressionError::LengthMismatch { x: 1, y: 2 })
+        );
+        assert!(matches!(
+            fit_simple(&[1.0], &[1.0]),
+            Err(RegressionError::Underdetermined { .. })
+        ));
+        // Constant predictor → singular.
+        assert_eq!(
+            fit_simple(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]),
+            Err(RegressionError::Singular)
+        );
+        assert_eq!(
+            fit_simple(&[1.0, f64::NAN, 3.0], &[1.0, 2.0, 3.0]),
+            Err(RegressionError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn constant_response_has_unit_r2_by_convention() {
+        let fit = fit_simple(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert!((fit.slope).abs() < 1e-9);
+        assert_eq!(fit.r2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn predict_with_wrong_arity_panics() {
+        let rows: Vec<[f64; 2]> = (0..10).map(|k| [k as f64, (k * k) as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] + r[1]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let fit = fit_multi(refs, &y).unwrap();
+        fit.predict(&[1.0]);
+    }
+}

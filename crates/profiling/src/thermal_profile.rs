@@ -1,0 +1,163 @@
+//! Fitting the per-machine stable-temperature models (Eq. 8) — the paper's
+//! second profiling experiment, whose output its Fig. 3 visualizes.
+//!
+//! Unlike the power model, "the thermal model coefficients are different
+//! among machines … due to the difference in the relative position of
+//! machines on our rack", so a separate regression runs per machine, with
+//! predictors `(T_ac, P_i)` and response `T_i^cpu` — all in kelvin, matching
+//! the model's absolute-temperature form.
+
+use crate::grid::PointRecord;
+use crate::regression::{fit_multi, MultiFit, RegressionError};
+use coolopt_model::ThermalModel;
+use serde::{Deserialize, Serialize};
+
+/// The fitted thermal models plus per-machine fit quality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalProfile {
+    /// One fitted model per machine.
+    pub models: Vec<ThermalModel>,
+    /// Per-machine coefficient of determination.
+    pub r2: Vec<f64>,
+    /// Per-machine RMSE (K).
+    pub rmse: Vec<f64>,
+}
+
+/// Error from thermal-model fitting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThermalProfileError {
+    /// Regression failure for one machine.
+    Regression {
+        /// Machine index.
+        machine: usize,
+        /// Underlying error.
+        source: RegressionError,
+    },
+    /// The fit produced coefficients the model rejects (e.g. negative α).
+    Unphysical {
+        /// Machine index.
+        machine: usize,
+        /// Description.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for ThermalProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThermalProfileError::Regression { machine, source } => {
+                write!(f, "thermal fit of machine {machine} failed: {source}")
+            }
+            ThermalProfileError::Unphysical { machine, what } => {
+                write!(f, "thermal fit of machine {machine} unphysical: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThermalProfileError {}
+
+/// Fits `T_cpu = α·T_ac + β·P + γ` for every machine from the grid records.
+///
+/// # Errors
+///
+/// Returns [`ThermalProfileError`] when any machine's regression fails or
+/// yields unphysical coefficients.
+pub fn fit_thermal_models(records: &[PointRecord]) -> Result<ThermalProfile, ThermalProfileError> {
+    let n = records.first().map(|r| r.loads.len()).unwrap_or(0);
+    let mut models = Vec::with_capacity(n);
+    let mut r2 = Vec::with_capacity(n);
+    let mut rmse = Vec::with_capacity(n);
+    for machine in 0..n {
+        let fit = fit_machine(records, machine)
+            .map_err(|source| ThermalProfileError::Regression { machine, source })?;
+        let model = ThermalModel::new(fit.coefficients[0], fit.coefficients[1], fit.intercept)
+            .map_err(|e| ThermalProfileError::Unphysical {
+                machine,
+                what: e.to_string(),
+            })?;
+        models.push(model);
+        r2.push(fit.r2);
+        rmse.push(fit.rmse);
+    }
+    Ok(ThermalProfile { models, r2, rmse })
+}
+
+fn fit_machine(records: &[PointRecord], machine: usize) -> Result<MultiFit, RegressionError> {
+    let rows: Vec<[f64; 2]> = records
+        .iter()
+        .map(|r| [r.t_ac.as_kelvin(), r.server_power[machine].as_watts()])
+        .collect();
+    let y: Vec<f64> = records
+        .iter()
+        .map(|r| r.cpu_temp[machine].as_kelvin())
+        .collect();
+    fit_multi(rows.iter().map(|r| r.as_slice()), &y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolopt_units::{Temperature, Watts};
+
+    /// Records generated exactly by known (α, β, γ) per machine.
+    fn synthetic_records() -> Vec<PointRecord> {
+        let alphas = [0.92, 0.80];
+        let betas = [0.5, 0.55];
+        let gammas = [20.0, 30.0];
+        let mut records = Vec::new();
+        for &t_ac_c in &[14.0, 17.0, 20.0] {
+            for &(l0, l1) in &[(0.0, 0.0), (0.5, 0.1), (0.1, 0.5), (0.75, 0.75)] {
+                let t_ac = Temperature::from_celsius(t_ac_c);
+                let p = [45.0 * l0 + 40.0, 45.0 * l1 + 40.0];
+                let cpu: Vec<Temperature> = (0..2)
+                    .map(|i| {
+                        Temperature::from_kelvin(
+                            alphas[i] * t_ac.as_kelvin() + betas[i] * p[i] + gammas[i],
+                        )
+                    })
+                    .collect();
+                records.push(PointRecord {
+                    loads: vec![l0, l1],
+                    set_point: Temperature::from_celsius(t_ac_c + 3.0),
+                    settled: true,
+                    t_ac,
+                    t_return: Temperature::from_celsius(t_ac_c + 3.0),
+                    server_power: vec![Watts::new(p[0]), Watts::new(p[1])],
+                    cpu_temp: cpu,
+                    cooling_power: Watts::new(3000.0),
+                });
+            }
+        }
+        records
+    }
+
+    #[test]
+    fn recovers_per_machine_coefficients() {
+        let profile = fit_thermal_models(&synthetic_records()).unwrap();
+        assert_eq!(profile.models.len(), 2);
+        assert!((profile.models[0].alpha() - 0.92).abs() < 1e-6);
+        assert!((profile.models[0].beta() - 0.5).abs() < 1e-6);
+        assert!((profile.models[0].gamma() - 20.0).abs() < 1e-4);
+        assert!((profile.models[1].alpha() - 0.80).abs() < 1e-6);
+        assert!((profile.models[1].beta() - 0.55).abs() < 1e-6);
+        assert!((profile.models[1].gamma() - 30.0).abs() < 1e-4);
+        assert!(profile.r2.iter().all(|&v| v > 0.999));
+        assert!(profile.rmse.iter().all(|&v| v < 1e-6));
+    }
+
+    #[test]
+    fn empty_records_yield_empty_profile() {
+        let profile = fit_thermal_models(&[]).unwrap();
+        assert!(profile.models.is_empty());
+    }
+
+    #[test]
+    fn too_few_points_error() {
+        let records: Vec<PointRecord> = synthetic_records().into_iter().take(2).collect();
+        assert!(matches!(
+            fit_thermal_models(&records),
+            Err(ThermalProfileError::Regression { machine: 0, .. })
+        ));
+    }
+}

@@ -1,0 +1,284 @@
+//! Air distribution: how supply air, recirculated exhaust and room air mix
+//! at each server's inlet, and what the CRAC's return stream sees.
+
+use coolopt_units::{FlowRate, Temperature};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned for a physically impossible air-distribution description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidAirDistribution {
+    what: String,
+}
+
+impl fmt::Display for InvalidAirDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid air distribution: {}", self.what)
+    }
+}
+
+impl std::error::Error for InvalidAirDistribution {}
+
+/// Mixing description for `n` servers.
+///
+/// Server `i`'s intake is a convex combination of the supply stream
+/// (fraction `supply_fraction[i]` — the physical origin of the paper's
+/// `α_i`), other servers' exhausts (`recirculation[i][j]`), and room air
+/// (the remainder). Each server's exhaust is captured by the return duct
+/// with `capture_fraction[i]`; the rest spills into the room.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AirDistribution {
+    supply_fraction: Vec<f64>,
+    recirculation: Vec<Vec<f64>>,
+    capture_fraction: Vec<f64>,
+}
+
+impl AirDistribution {
+    /// Validates and constructs a distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidAirDistribution`] when the dimensions disagree, any
+    /// fraction lies outside `[0, 1]`, a server recirculates its own exhaust
+    /// (`recirculation[i][i] != 0`), or a row's supply + recirculation
+    /// fractions exceed 1.
+    pub fn new(
+        supply_fraction: Vec<f64>,
+        recirculation: Vec<Vec<f64>>,
+        capture_fraction: Vec<f64>,
+    ) -> Result<Self, InvalidAirDistribution> {
+        let n = supply_fraction.len();
+        let fail = |what: String| Err(InvalidAirDistribution { what });
+        if recirculation.len() != n || capture_fraction.len() != n {
+            return fail(format!(
+                "dimension mismatch: supply {n}, recirculation {}, capture {}",
+                recirculation.len(),
+                capture_fraction.len()
+            ));
+        }
+        for (i, row) in recirculation.iter().enumerate() {
+            if row.len() != n {
+                return fail(format!("recirculation row {i} has length {}", row.len()));
+            }
+            if row[i] != 0.0 {
+                return fail(format!("server {i} cannot recirculate its own exhaust"));
+            }
+            let r_sum: f64 = row.iter().sum();
+            if row.iter().any(|&r| !(0.0..=1.0).contains(&r)) {
+                return fail(format!("recirculation row {i} has fraction outside [0,1]"));
+            }
+            let s = supply_fraction[i];
+            if !(0.0..=1.0).contains(&s) {
+                return fail(format!("supply fraction {s} of server {i} outside [0,1]"));
+            }
+            if s + r_sum > 1.0 + 1e-12 {
+                return fail(format!(
+                    "server {i}: supply + recirculation = {} exceeds 1",
+                    s + r_sum
+                ));
+            }
+        }
+        if capture_fraction
+            .iter()
+            .any(|&c| !(0.0..=1.0).contains(&c))
+        {
+            return fail("capture fraction outside [0,1]".to_string());
+        }
+        Ok(AirDistribution {
+            supply_fraction,
+            recirculation,
+            capture_fraction,
+        })
+    }
+
+    /// A uniform distribution: every server draws `supply` from the CRAC
+    /// stream and the rest from room air; no direct recirculation;
+    /// `capture` of every exhaust returns to the duct.
+    pub fn uniform(n: usize, supply: f64, capture: f64) -> Result<Self, InvalidAirDistribution> {
+        AirDistribution::new(
+            vec![supply; n],
+            vec![vec![0.0; n]; n],
+            vec![capture; n],
+        )
+    }
+
+    /// Number of servers described.
+    pub fn len(&self) -> usize {
+        self.supply_fraction.len()
+    }
+
+    /// `true` when describing zero servers.
+    pub fn is_empty(&self) -> bool {
+        self.supply_fraction.is_empty()
+    }
+
+    /// Supply fraction of server `i`.
+    pub fn supply_fraction(&self, i: usize) -> f64 {
+        self.supply_fraction[i]
+    }
+
+    /// Capture fraction of server `i`.
+    pub fn capture_fraction(&self, i: usize) -> f64 {
+        self.capture_fraction[i]
+    }
+
+    /// Inlet temperature of every server for the given supply temperature,
+    /// exhaust temperatures and room-air temperature.
+    pub fn inlet_temps(
+        &self,
+        t_supply: Temperature,
+        exhausts: &[Temperature],
+        t_room: Temperature,
+    ) -> Vec<Temperature> {
+        assert_eq!(exhausts.len(), self.len(), "exhaust vector size mismatch");
+        (0..self.len())
+            .map(|i| {
+                let s = self.supply_fraction[i];
+                let mut kelvin = s * t_supply.as_kelvin();
+                let mut r_sum = 0.0;
+                for (j, &r) in self.recirculation[i].iter().enumerate() {
+                    if r > 0.0 {
+                        kelvin += r * exhausts[j].as_kelvin();
+                        r_sum += r;
+                    }
+                }
+                kelvin += (1.0 - s - r_sum) * t_room.as_kelvin();
+                Temperature::from_kelvin(kelvin)
+            })
+            .collect()
+    }
+
+    /// Temperature of the CRAC's return stream: captured exhausts (weighted
+    /// by their flow) topped up with room air to fill the CRAC flow.
+    pub fn return_temp(
+        &self,
+        exhausts: &[Temperature],
+        flows: &[FlowRate],
+        t_room: Temperature,
+        crac_flow: FlowRate,
+    ) -> Temperature {
+        assert_eq!(exhausts.len(), self.len(), "exhaust vector size mismatch");
+        assert_eq!(flows.len(), self.len(), "flow vector size mismatch");
+        let f_ac = crac_flow.as_cubic_meters_per_second();
+        assert!(f_ac > 0.0, "CRAC flow must be positive");
+        let mut captured_flow = 0.0;
+        let mut captured_heat = 0.0; // flow-weighted temperature
+        for i in 0..self.len() {
+            let f = flows[i].as_cubic_meters_per_second() * self.capture_fraction[i];
+            captured_flow += f;
+            captured_heat += f * exhausts[i].as_kelvin();
+        }
+        // If servers push more captured air than the CRAC draws, the duct
+        // overflows into the room; the return is then pure (scaled) exhaust.
+        if captured_flow >= f_ac {
+            return Temperature::from_kelvin(captured_heat / captured_flow);
+        }
+        let makeup = f_ac - captured_flow;
+        Temperature::from_kelvin((captured_heat + makeup * t_room.as_kelvin()) / f_ac)
+    }
+
+    /// Total supply flow drawn directly by the servers (must not exceed the
+    /// CRAC flow; checked by [`crate::room::MachineRoom`] construction).
+    pub fn supply_flow_demand(&self, flows: &[FlowRate]) -> FlowRate {
+        assert_eq!(flows.len(), self.len(), "flow vector size mismatch");
+        FlowRate::cubic_meters_per_second(
+            self.supply_fraction
+                .iter()
+                .zip(flows)
+                .map(|(s, f)| s * f.as_cubic_meters_per_second())
+                .sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(c: f64) -> Temperature {
+        Temperature::from_celsius(c)
+    }
+
+    #[test]
+    fn uniform_inlets_interpolate_supply_and_room() {
+        let d = AirDistribution::uniform(3, 0.8, 0.9).unwrap();
+        let inlets = d.inlet_temps(t(10.0), &[t(30.0); 3], t(20.0));
+        for inlet in inlets {
+            assert!((inlet.as_celsius() - (0.8 * 10.0 + 0.2 * 20.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn recirculation_warms_the_inlet() {
+        let d = AirDistribution::new(
+            vec![0.8, 0.8],
+            vec![vec![0.0, 0.1], vec![0.0, 0.0]],
+            vec![0.9, 0.9],
+        )
+        .unwrap();
+        let inlets = d.inlet_temps(t(10.0), &[t(35.0), t(40.0)], t(20.0));
+        // Server 0 sees 0.8·10 + 0.1·40 + 0.1·20 = 14 °C.
+        assert!((inlets[0].as_celsius() - 14.0).abs() < 1e-9);
+        // Server 1 sees 0.8·10 + 0.2·20 = 12 °C.
+        assert!((inlets[1].as_celsius() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn return_mixes_captured_exhaust_with_room_air() {
+        let d = AirDistribution::uniform(2, 0.5, 0.5).unwrap();
+        let flows = [FlowRate::cubic_meters_per_second(0.1); 2];
+        // Captured: 0.5·0.1·2 = 0.1 m³/s of 40 °C; makeup 0.9 m³/s of 20 °C.
+        let ret = d.return_temp(
+            &[t(40.0), t(40.0)],
+            &flows,
+            t(20.0),
+            FlowRate::cubic_meters_per_second(1.0),
+        );
+        assert!((ret.as_celsius() - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overflowing_duct_returns_pure_exhaust_mix() {
+        let d = AirDistribution::uniform(1, 0.5, 1.0).unwrap();
+        let ret = d.return_temp(
+            &[t(42.0)],
+            &[FlowRate::cubic_meters_per_second(2.0)],
+            t(20.0),
+            FlowRate::cubic_meters_per_second(1.0),
+        );
+        assert!((ret.as_celsius() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn supply_demand_is_flow_weighted() {
+        let d = AirDistribution::new(
+            vec![0.5, 1.0],
+            vec![vec![0.0, 0.0], vec![0.0, 0.0]],
+            vec![1.0, 1.0],
+        )
+        .unwrap();
+        let demand = d.supply_flow_demand(&[
+            FlowRate::cubic_meters_per_second(0.04),
+            FlowRate::cubic_meters_per_second(0.02),
+        ]);
+        assert!((demand.as_cubic_meters_per_second() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_rows() {
+        // Self-recirculation.
+        assert!(AirDistribution::new(vec![0.5], vec![vec![0.1]], vec![1.0]).is_err());
+        // Row exceeding 1.
+        assert!(AirDistribution::new(
+            vec![0.9, 0.9],
+            vec![vec![0.0, 0.2], vec![0.0, 0.0]],
+            vec![1.0, 1.0],
+        )
+        .is_err());
+        // Fraction out of range.
+        assert!(AirDistribution::uniform(2, 1.5, 0.5).is_err());
+        assert!(AirDistribution::uniform(2, 0.5, -0.1).is_err());
+        // Dimension mismatch.
+        assert!(AirDistribution::new(vec![0.5], vec![], vec![1.0]).is_err());
+    }
+}

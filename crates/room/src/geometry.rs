@@ -1,0 +1,112 @@
+//! Rack geometry.
+//!
+//! The paper's machines differ thermally only through their position on the
+//! rack ("this is due to the difference in the relative position of machines
+//! on our rack"). Geometry is therefore deliberately simple: a rack is a
+//! vertical stack of slots; a slot's height determines how much of the
+//! CRAC's supply stream reaches it.
+
+use serde::{Deserialize, Serialize};
+
+/// Height of one rack unit in metres (1U ≈ 44.45 mm).
+pub const RACK_UNIT_METERS: f64 = 0.04445;
+
+/// One slot of a rack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RackSlot {
+    /// Slot index, 0 = bottom of the rack.
+    pub index: usize,
+    /// Height of the slot's centre above the floor (m).
+    pub height_m: f64,
+}
+
+/// A vertical rack of equally spaced slots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rack {
+    slots: Vec<RackSlot>,
+}
+
+impl Rack {
+    /// Creates a rack of `n` 1U slots whose first slot centre sits at
+    /// `base_height_m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `base_height_m` is negative.
+    pub fn new_1u(n: usize, base_height_m: f64) -> Self {
+        assert!(n > 0, "a rack must have at least one slot");
+        assert!(base_height_m >= 0.0, "base height must be non-negative");
+        let slots = (0..n)
+            .map(|index| RackSlot {
+                index,
+                height_m: base_height_m + index as f64 * RACK_UNIT_METERS,
+            })
+            .collect();
+        Rack { slots }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` if the rack has no slots (never true for a constructed rack).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The slots, bottom first.
+    pub fn slots(&self) -> &[RackSlot] {
+        &self.slots
+    }
+
+    /// A slot's height normalized to `[0, 1]` (0 = bottom slot, 1 = top).
+    pub fn relative_height(&self, index: usize) -> f64 {
+        if self.slots.len() == 1 {
+            return 0.0;
+        }
+        index as f64 / (self.slots.len() - 1) as f64
+    }
+
+    /// Iterator over the slots.
+    pub fn iter(&self) -> impl Iterator<Item = &RackSlot> {
+        self.slots.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_evenly_spaced() {
+        let rack = Rack::new_1u(4, 0.2);
+        assert_eq!(rack.len(), 4);
+        assert!(!rack.is_empty());
+        let heights: Vec<f64> = rack.iter().map(|s| s.height_m).collect();
+        for w in heights.windows(2) {
+            assert!((w[1] - w[0] - RACK_UNIT_METERS).abs() < 1e-12);
+        }
+        assert!((heights[0] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_height_spans_unit_interval() {
+        let rack = Rack::new_1u(20, 0.0);
+        assert_eq!(rack.relative_height(0), 0.0);
+        assert_eq!(rack.relative_height(19), 1.0);
+        assert!((rack.relative_height(10) - 10.0 / 19.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_slot_rack_is_at_zero() {
+        let rack = Rack::new_1u(1, 0.5);
+        assert_eq!(rack.relative_height(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn empty_rack_panics() {
+        Rack::new_1u(0, 0.0);
+    }
+}

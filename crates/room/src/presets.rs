@@ -1,0 +1,326 @@
+//! Ready-made machine rooms, including the paper's 20-machine testbed.
+
+use crate::airflow::AirDistribution;
+use crate::geometry::Rack;
+use crate::room::{MachineRoom, RoomConfig};
+use coolopt_cooling::{CracConfig, CracUnit};
+use coolopt_machine::{Server, ServerConfig, ServerId};
+use coolopt_units::{Conductance, FlowRate, HeatCapacity, Temperature, Watts};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the evaluation testbed: a rack of 20 R210-like machines cooled by
+/// one Challenger-like CRAC, mirroring the paper's §IV setup.
+///
+/// Machines lower in the rack receive a larger share of the supply stream
+/// (they sit in a "cooler spot", which is why the paper's bottom-up baseline
+/// fills the rack bottom first); upper machines ingest a little of their
+/// lower neighbour's exhaust. Per-machine manufacturing variation is drawn
+/// deterministically from `seed`, so two rooms built with the same seed are
+/// byte-for-byte identical in behaviour.
+pub fn testbed_rack20(seed: u64) -> MachineRoom {
+    parametric_rack(20, seed)
+}
+
+/// A smaller rack for fast unit tests; same structure as
+/// [`testbed_rack20`], scaled down.
+pub fn small_rack(n: usize, seed: u64) -> MachineRoom {
+    parametric_rack(n, seed)
+}
+
+/// Knobs of [`parametric_rack_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RackOptions {
+    /// Number of machines.
+    pub machines: usize,
+    /// Seed for per-machine manufacturing variation and noise.
+    pub seed: u64,
+    /// Multiplier on the exhaust→inlet recirculation coefficients (1.0 =
+    /// the default preset; 0.0 = no direct recirculation; 2.0 = strongly
+    /// recirculating, which the linear fitted model represents poorly).
+    pub recirculation_scale: f64,
+    /// Span of the supply-air share across the rack: the bottom slot draws
+    /// `base_supply` of its intake from the supply stream, the top slot
+    /// `base_supply − supply_span`.
+    pub supply_span: f64,
+    /// Supply-air share of the bottom slot (distance of the rack from the
+    /// CRAC outlet; 0.92 for the default rack right under the vent).
+    pub base_supply: f64,
+}
+
+impl Default for RackOptions {
+    fn default() -> Self {
+        RackOptions {
+            machines: 20,
+            seed: 0,
+            recirculation_scale: 1.0,
+            supply_span: 0.45,
+            base_supply: 0.92,
+        }
+    }
+}
+
+/// Builds a rack of `n` machines with position-dependent air distribution.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or if `n` is large enough that the servers would
+/// demand more supply air than the CRAC provides (n ≳ 60 with the default
+/// configuration).
+pub fn parametric_rack(n: usize, seed: u64) -> MachineRoom {
+    parametric_rack_with(RackOptions {
+        machines: n,
+        seed,
+        ..RackOptions::default()
+    })
+}
+
+/// Builds a rack with explicit air-distribution knobs (used by the
+/// ablation studies).
+///
+/// # Panics
+///
+/// Same conditions as [`parametric_rack`], plus unphysical option values
+/// (negative scales, supply span outside `[0, 0.9]`).
+pub fn parametric_rack_with(options: RackOptions) -> MachineRoom {
+    let RackOptions {
+        machines: n,
+        seed,
+        recirculation_scale,
+        supply_span,
+        base_supply,
+    } = options;
+    assert!(n > 0, "rack must hold at least one machine");
+    assert!(
+        (0.0..=2.5).contains(&recirculation_scale),
+        "recirculation scale {recirculation_scale} out of range"
+    );
+    assert!(
+        (0.0..=0.9).contains(&supply_span),
+        "supply span {supply_span} out of range"
+    );
+    assert!(
+        supply_span < base_supply && base_supply <= 0.95,
+        "base supply {base_supply} must exceed the span and stay below 0.95"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7E57_BED5);
+    let rack = Rack::new_1u(n, 0.2);
+
+    let mut servers = Vec::with_capacity(n);
+    for i in 0..n {
+        // Small manufacturing spread; the paper fits one power model for all
+        // machines, which works because the spread is small.
+        let jitter = |rng: &mut StdRng, frac: f64| 1.0 + frac * (rng.random::<f64>() * 2.0 - 1.0);
+        let config = ServerConfig::builder()
+            .fan_flow(FlowRate::cubic_meters_per_second(0.03 * jitter(&mut rng, 0.08)))
+            .theta_cpu_box(Conductance::watts_per_kelvin(2.0 * jitter(&mut rng, 0.05)))
+            .idle_power(Watts::new(40.0 * jitter(&mut rng, 0.02)))
+            .load_power(Watts::new(45.0 * jitter(&mut rng, 0.02)))
+            .nu_cpu(HeatCapacity::joules_per_kelvin(120.0 * jitter(&mut rng, 0.05)))
+            .nu_box(HeatCapacity::joules_per_kelvin(60.0 * jitter(&mut rng, 0.05)))
+            .build()
+            .expect("preset server configuration is valid");
+        servers.push(Server::new(
+            ServerId(i),
+            config,
+            seed.wrapping_add(i as u64),
+            Temperature::from_celsius(24.0),
+        ));
+    }
+
+    // Supply share falls off with height: the bottom slot draws ~92 % of its
+    // intake from the cool supply stream, the top slot ~47 %.
+    let supply_fraction: Vec<f64> = (0..n)
+        .map(|i| base_supply - supply_span * rack.relative_height(i))
+        .collect();
+    // Each machine above the bottom ingests a little of the exhaust of the
+    // machine directly below it (hot air rises along the rack face).
+    let mut recirculation = vec![vec![0.0; n]; n];
+    for i in 1..n {
+        recirculation[i][i - 1] =
+            recirculation_scale * (0.04 + 0.04 * rack.relative_height(i));
+    }
+    let capture_fraction = vec![0.85; n];
+    let air = AirDistribution::new(supply_fraction, recirculation, capture_fraction)
+        .expect("preset air distribution is valid");
+
+    let crac = CracUnit::new(CracConfig::challenger_like());
+    MachineRoom::new(servers, crac, air, rack, RoomConfig::default(), seed)
+        .expect("preset room is consistent")
+}
+
+/// Two racks in one room at different distances from the CRAC — the "within
+/// or across racks" situation the paper contrasts itself against rack-level
+/// schemes with. The near rack (machines `0..n_per_rack`) sits under the
+/// vent (supply share 0.92 → 0.72); the far rack (`n_per_rack..2·n_per_rack`)
+/// across the aisle sees a weaker stream (0.60 → 0.40).
+///
+/// # Panics
+///
+/// Panics if `n_per_rack == 0`.
+pub fn dual_zone_room(n_per_rack: usize, seed: u64) -> MachineRoom {
+    assert!(n_per_rack > 0, "each rack must hold at least one machine");
+    let near = parametric_rack_with(RackOptions {
+        machines: n_per_rack,
+        seed,
+        supply_span: 0.20,
+        base_supply: 0.92,
+        ..RackOptions::default()
+    });
+    // Same seed as the near rack: slot-for-slot identical manufacturing
+    // jitter, so near/far comparisons isolate the *positional* effect.
+    let far = parametric_rack_with(RackOptions {
+        machines: n_per_rack,
+        seed,
+        supply_span: 0.20,
+        base_supply: 0.60,
+        ..RackOptions::default()
+    });
+
+    // Recombine into one room: concatenate server configs, air paths and
+    // geometry, renumbering machines into the combined index space.
+    let n = 2 * n_per_rack;
+    let mut servers = Vec::with_capacity(n);
+    let mut supply = Vec::with_capacity(n);
+    let mut capture = Vec::with_capacity(n);
+    let mut recirc = vec![vec![0.0; n]; n];
+    for (offset, room) in [(0usize, &near), (n_per_rack, &far)] {
+        for (i, server) in room.servers().iter().enumerate() {
+            let combined = offset + i;
+            servers.push(Server::new(
+                ServerId(combined),
+                *server.config(),
+                seed.wrapping_add(combined as u64),
+                Temperature::from_celsius(24.0),
+            ));
+            supply.push(room.air_distribution().supply_fraction(i));
+            capture.push(room.air_distribution().capture_fraction(i));
+            if i > 0 {
+                // Preserve each rack's internal neighbour recirculation.
+                recirc[combined][combined - 1] =
+                    0.04 + 0.04 * room.rack().relative_height(i);
+            }
+        }
+    }
+    let air = AirDistribution::new(supply, recirc, capture)
+        .expect("combined air distribution is valid");
+    let rack = Rack::new_1u(n, 0.2);
+    let crac = CracUnit::new(CracConfig::challenger_like());
+    MachineRoom::new(servers, crac, air, rack, RoomConfig::default(), seed)
+        .expect("dual-zone room is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_zone_room_has_a_clear_near_far_split() {
+        let room = dual_zone_room(4, 3);
+        assert_eq!(room.len(), 8);
+        let air = room.air_distribution();
+        // Every near-rack machine draws more supply air than any far one.
+        let near_min = (0..4)
+            .map(|i| air.supply_fraction(i))
+            .fold(f64::INFINITY, f64::min);
+        let far_max = (4..8)
+            .map(|i| air.supply_fraction(i))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            near_min > far_max,
+            "near rack min {near_min} should exceed far rack max {far_max}"
+        );
+        // And the far rack really runs warmer at equal load.
+        use coolopt_units::Seconds;
+        let mut room = room;
+        room.force_all_on();
+        room.set_loads(&[0.8; 8]).unwrap();
+        room.set_set_point(Temperature::from_celsius(17.0));
+        assert!(room.settle(Seconds::new(6000.0), 5.0));
+        // Slot-for-slot paired comparison (same manufacturing jitter in both
+        // racks by construction): every far machine runs warmer than its
+        // near twin.
+        for i in 0..4 {
+            let near_t = room.servers()[i].cpu_temp();
+            let far_t = room.servers()[i + 4].cpu_temp();
+            assert!(
+                far_t > near_t,
+                "far twin {i} at {far_t} not warmer than near {near_t}"
+            );
+        }
+        let mean = |r: std::ops::Range<usize>| {
+            let len = r.len() as f64;
+            r.map(|i| room.servers()[i].cpu_temp().as_celsius()).sum::<f64>() / len
+        };
+        assert!(
+            mean(4..8) > mean(0..4) + 0.4,
+            "far rack should be clearly warmer on average"
+        );
+    }
+
+    #[test]
+    fn testbed_has_twenty_machines() {
+        let room = testbed_rack20(1);
+        assert_eq!(room.len(), 20);
+        assert_eq!(room.rack().len(), 20);
+    }
+
+    #[test]
+    fn same_seed_same_room_different_seed_different_room() {
+        let a = testbed_rack20(5);
+        let b = testbed_rack20(5);
+        let c = testbed_rack20(6);
+        for i in 0..20 {
+            assert_eq!(
+                a.servers()[i].config().fan_flow,
+                b.servers()[i].config().fan_flow
+            );
+        }
+        assert!(
+            (0..20).any(|i| a.servers()[i].config().fan_flow
+                != c.servers()[i].config().fan_flow)
+        );
+    }
+
+    #[test]
+    fn bottom_machines_get_more_supply_air() {
+        let room = testbed_rack20(2);
+        let air = room.air_distribution();
+        assert!(air.supply_fraction(0) > air.supply_fraction(19));
+        assert!(air.supply_fraction(0) > 0.9);
+        assert!(air.supply_fraction(19) < 0.5);
+    }
+
+    #[test]
+    fn bottom_machines_really_run_cooler() {
+        use coolopt_units::Seconds;
+        let mut room = small_rack(8, 9);
+        room.force_all_on();
+        room.set_loads(&[0.7; 8]).unwrap();
+        room.set_set_point(Temperature::from_celsius(25.0));
+        assert!(room.settle(Seconds::new(6000.0), 5.0));
+        // Inlet air is strictly cooler lower in the rack by construction.
+        let air = room.air_state();
+        assert!(
+            air.inlets[0] < air.inlets[7],
+            "bottom inlet {} should be cooler than top inlet {}",
+            air.inlets[0],
+            air.inlets[7]
+        );
+        // CPU temperatures carry per-machine manufacturing jitter, so compare
+        // rack halves rather than individual machines.
+        let mean = |range: std::ops::Range<usize>| {
+            let len = range.len() as f64;
+            range
+                .map(|i| room.servers()[i].cpu_temp().as_celsius())
+                .sum::<f64>()
+                / len
+        };
+        let bottom_half = mean(0..4);
+        let top_half = mean(4..8);
+        assert!(
+            top_half > bottom_half + 0.5,
+            "top half {top_half:.2} °C should be warmer than bottom half {bottom_half:.2} °C"
+        );
+    }
+}

@@ -1,0 +1,552 @@
+//! The composed machine-room ODE system.
+
+use crate::airflow::AirDistribution;
+use crate::envelope::Envelope;
+use crate::geometry::Rack;
+use coolopt_cooling::{CracMode, CracUnit};
+use coolopt_machine::{CpuTempSensor, PowerMeter, Server};
+use coolopt_sim::ode::{Dynamics, Integrator, Rk4};
+use coolopt_sim::SimClock;
+use coolopt_units::{HeatCapacity, Seconds, Temperature, Watts, C_AIR};
+use std::fmt;
+
+/// Error returned when assembling an inconsistent machine room.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidRoom {
+    what: String,
+}
+
+impl fmt::Display for InvalidRoom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid machine room: {}", self.what)
+    }
+}
+
+impl std::error::Error for InvalidRoom {}
+
+/// Room-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoomConfig {
+    /// Lumped heat capacity of the room air (J/K).
+    pub room_air_capacity: HeatCapacity,
+    /// Envelope and auxiliary loads.
+    pub envelope: Envelope,
+    /// Integration step.
+    pub dt: Seconds,
+    /// Initial temperature of every thermal node.
+    pub initial_temp: Temperature,
+}
+
+impl Default for RoomConfig {
+    fn default() -> Self {
+        RoomConfig {
+            room_air_capacity: HeatCapacity::joules_per_kelvin(60_000.0),
+            envelope: Envelope::new(
+                coolopt_units::Conductance::watts_per_kelvin(120.0),
+                Temperature::from_celsius(25.0),
+                Watts::new(800.0),
+            ),
+            dt: Seconds::new(1.0),
+            initial_temp: Temperature::from_celsius(24.0),
+        }
+    }
+}
+
+/// The simulated machine room: `n` servers, one CRAC, air paths, envelope.
+///
+/// The continuous state is
+/// `[T_cpu_0, T_box_0, …, T_cpu_{n−1}, T_box_{n−1}, T_room, crac_integral]`;
+/// [`MachineRoom::step`] advances it with RK4 and then lets the discrete
+/// parts (boot timers, noise processes) catch up.
+#[derive(Debug, Clone)]
+pub struct MachineRoom {
+    servers: Vec<Server>,
+    crac: CracUnit,
+    air: AirDistribution,
+    rack: Rack,
+    config: RoomConfig,
+    t_room: Temperature,
+    clock: SimClock,
+    temp_sensors: Vec<CpuTempSensor>,
+    power_meters: Vec<PowerMeter>,
+}
+
+/// View of the instantaneous air-path temperatures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AirState {
+    /// CRAC return-stream temperature.
+    pub t_return: Temperature,
+    /// CRAC supply temperature `T_ac`.
+    pub t_supply: Temperature,
+    /// Per-server inlet temperatures `T_in`.
+    pub inlets: Vec<Temperature>,
+}
+
+impl MachineRoom {
+    /// Assembles a machine room.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRoom`] if the component counts disagree or the
+    /// servers collectively demand more supply air than the CRAC provides.
+    pub fn new(
+        servers: Vec<Server>,
+        crac: CracUnit,
+        air: AirDistribution,
+        rack: Rack,
+        config: RoomConfig,
+        sensor_seed: u64,
+    ) -> Result<Self, InvalidRoom> {
+        let n = servers.len();
+        if n == 0 {
+            return Err(InvalidRoom {
+                what: "a machine room needs at least one server".into(),
+            });
+        }
+        if air.len() != n || rack.len() != n {
+            return Err(InvalidRoom {
+                what: format!(
+                    "component mismatch: {n} servers, air distribution for {}, rack of {}",
+                    air.len(),
+                    rack.len()
+                ),
+            });
+        }
+        let max_flows: Vec<_> = servers.iter().map(|s| s.config().fan_flow).collect();
+        let demand = air.supply_flow_demand(&max_flows);
+        if demand.as_cubic_meters_per_second()
+            > crac.config().flow.as_cubic_meters_per_second()
+        {
+            return Err(InvalidRoom {
+                what: format!(
+                    "servers demand {demand} of supply air but the CRAC provides {}",
+                    crac.config().flow
+                ),
+            });
+        }
+        let t0 = config.initial_temp;
+        let mut servers = servers;
+        for s in &mut servers {
+            s.sync_thermal_state(t0, t0);
+        }
+        let temp_sensors = (0..n)
+            .map(|i| CpuTempSensor::with_default_noise(sensor_seed.wrapping_add(i as u64)))
+            .collect();
+        let power_meters = (0..n)
+            .map(|i| {
+                PowerMeter::with_default_noise(sensor_seed.wrapping_add(1000 + i as u64))
+            })
+            .collect();
+        Ok(MachineRoom {
+            servers,
+            crac,
+            air,
+            rack,
+            config,
+            t_room: t0,
+            clock: SimClock::new(config.dt),
+            temp_sensors,
+            power_meters,
+        })
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// `true` when the room holds no servers (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// The servers.
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// Mutable access to one server.
+    pub fn server_mut(&mut self, i: usize) -> &mut Server {
+        &mut self.servers[i]
+    }
+
+    /// The cooling unit.
+    pub fn crac(&self) -> &CracUnit {
+        &self.crac
+    }
+
+    /// Mutable access to the cooling unit.
+    pub fn crac_mut(&mut self) -> &mut CracUnit {
+        &mut self.crac
+    }
+
+    /// The rack geometry.
+    pub fn rack(&self) -> &Rack {
+        &self.rack
+    }
+
+    /// The air-distribution description.
+    pub fn air_distribution(&self) -> &AirDistribution {
+        &self.air
+    }
+
+    /// The room configuration.
+    pub fn config(&self) -> &RoomConfig {
+        &self.config
+    }
+
+    /// Room-air temperature.
+    pub fn room_temp(&self) -> Temperature {
+        self.t_room
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Seconds {
+        self.clock.now()
+    }
+
+    /// Commands the CRAC's return-air set point.
+    pub fn set_set_point(&mut self, t_sp: Temperature) {
+        self.crac.set_mode(CracMode::ReturnSetPoint(t_sp));
+    }
+
+    /// Powers every machine on instantly (skipping boot) with zero load.
+    pub fn force_all_on(&mut self) {
+        for s in &mut self.servers {
+            s.force_on();
+        }
+    }
+
+    /// Applies an ON-set: machines in `on` are forced on, all others off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn apply_on_set(&mut self, on: &[usize]) {
+        for s in &mut self.servers {
+            s.power_off();
+        }
+        for &i in on {
+            self.servers[i].force_on();
+        }
+    }
+
+    /// Like [`MachineRoom::apply_on_set`], but *realistically*: newly
+    /// started machines go through their boot transient (drawing idle power
+    /// while serving nothing), machines already on stay on, and machines not
+    /// in `on` shut down. Used by online controllers, where boot latency is
+    /// part of the cost of a consolidation decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn command_on_set(&mut self, on: &[usize]) {
+        for (i, s) in self.servers.iter_mut().enumerate() {
+            if on.contains(&i) {
+                s.power_on();
+            } else {
+                s.power_off();
+            }
+        }
+    }
+
+    /// Commands per-server load fractions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`coolopt_machine::server::InvalidLoad`] if any
+    /// fraction is outside `[0, 1]`.
+    pub fn set_loads(&mut self, loads: &[f64]) -> Result<(), coolopt_machine::server::InvalidLoad> {
+        assert_eq!(loads.len(), self.servers.len(), "load vector size mismatch");
+        for (s, &l) in self.servers.iter_mut().zip(loads) {
+            s.set_load(l)?;
+        }
+        Ok(())
+    }
+
+    /// Instantaneous air-path temperatures for the current state.
+    pub fn air_state(&self) -> AirState {
+        let exhausts: Vec<_> = self.servers.iter().map(|s| s.exhaust_temp()).collect();
+        let flows: Vec<_> = self.servers.iter().map(|s| s.air_flow()).collect();
+        let t_return =
+            self.air
+                .return_temp(&exhausts, &flows, self.t_room, self.crac.config().flow);
+        let t_supply = self.crac.supply_temp(t_return, self.crac.integral());
+        let inlets = self.air.inlet_temps(t_supply, &exhausts, self.t_room);
+        AirState {
+            t_return,
+            t_supply,
+            inlets,
+        }
+    }
+
+    /// Total electrical power of the computing side (sum of server draws).
+    pub fn computing_power(&self) -> Watts {
+        self.servers.iter().map(|s| s.power_draw()).sum()
+    }
+
+    /// Electrical power of the cooling unit.
+    pub fn cooling_power(&self) -> Watts {
+        let air = self.air_state();
+        self.crac.electrical_power(air.t_return, self.crac.integral())
+    }
+
+    /// Total room power: computing + cooling, the paper's `P_total`.
+    pub fn total_power(&self) -> Watts {
+        self.computing_power() + self.cooling_power()
+    }
+
+    /// Reads server `i`'s CPU temperature through its (noisy, quantized)
+    /// sensor.
+    pub fn read_cpu_temp(&mut self, i: usize) -> Temperature {
+        let t = self.servers[i].cpu_temp();
+        self.temp_sensors[i].read(t)
+    }
+
+    /// Reads server `i`'s power draw through its (noisy, quantized) meter.
+    pub fn read_power(&mut self, i: usize) -> Watts {
+        let p = self.servers[i].power_draw();
+        self.power_meters[i].read(p)
+    }
+
+    const EXTRA_STATES: usize = 2; // room air + CRAC integral
+
+    fn dim_internal(&self) -> usize {
+        2 * self.servers.len() + Self::EXTRA_STATES
+    }
+
+    fn pack_state(&self) -> Vec<f64> {
+        let mut x = Vec::with_capacity(self.dim_internal());
+        for s in &self.servers {
+            x.push(s.cpu_temp().as_kelvin());
+            x.push(s.exhaust_temp().as_kelvin());
+        }
+        x.push(self.t_room.as_kelvin());
+        x.push(self.crac.integral());
+        x
+    }
+
+    fn unpack_state(&mut self, x: &[f64]) {
+        for (i, s) in self.servers.iter_mut().enumerate() {
+            s.sync_thermal_state(
+                Temperature::from_kelvin(x[2 * i]),
+                Temperature::from_kelvin(x[2 * i + 1]),
+            );
+        }
+        self.t_room = Temperature::from_kelvin(x[x.len() - 2]);
+        self.crac.sync_integral(x[x.len() - 1]);
+    }
+
+    /// Advances the simulation by one step `dt`.
+    pub fn step(&mut self) {
+        let mut state = self.pack_state();
+        let t = self.clock.now();
+        let dt = self.clock.dt();
+        Rk4::new().step(&*self, t, dt, &mut state);
+        self.unpack_state(&state);
+        for s in &mut self.servers {
+            s.advance(dt.as_secs_f64());
+        }
+        self.clock.tick();
+    }
+
+    /// Runs the simulation for (at least) `duration`.
+    pub fn run_for(&mut self, duration: Seconds) {
+        let n = self.clock.ticks_for(duration);
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Runs until the total power and the hottest CPU temperature are both
+    /// trend-steady (means of two consecutive 120-sample windows within
+    /// `power_tol` watts and 0.2 K respectively — measurement noise is
+    /// averaged out, only the settling trend matters), or until `max`
+    /// simulated time has elapsed.
+    ///
+    /// Returns `true` if steady state was reached.
+    pub fn settle(&mut self, max: Seconds, power_tol: f64) -> bool {
+        use coolopt_sim::TrendDetector;
+        let mut power = TrendDetector::new(120, power_tol);
+        let mut temp = TrendDetector::new(120, 0.2);
+        let n = self.clock.ticks_for(max);
+        for _ in 0..n {
+            self.step();
+            power.observe(self.total_power().as_watts());
+            let hottest = self
+                .servers
+                .iter()
+                .map(|s| s.cpu_temp().as_kelvin())
+                .fold(f64::NEG_INFINITY, f64::max);
+            temp.observe(hottest);
+            if power.is_steady() && temp.is_steady() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Dynamics for MachineRoom {
+    fn dim(&self) -> usize {
+        self.dim_internal()
+    }
+
+    fn derivatives(&self, _t: Seconds, x: &[f64], dx: &mut [f64]) {
+        let n = self.servers.len();
+        let t_room = Temperature::from_kelvin(x[2 * n]);
+        let integral = x[2 * n + 1];
+
+        let exhausts: Vec<Temperature> = (0..n)
+            .map(|i| Temperature::from_kelvin(x[2 * i + 1]))
+            .collect();
+        let flows: Vec<_> = self.servers.iter().map(|s| s.air_flow()).collect();
+
+        let t_return = self
+            .air
+            .return_temp(&exhausts, &flows, t_room, self.crac.config().flow);
+        let t_supply = self.crac.supply_temp(t_return, integral);
+        let inlets = self.air.inlet_temps(t_supply, &exhausts, t_room);
+
+        let mut spilled_heat = Watts::ZERO;
+        for (i, server) in self.servers.iter().enumerate() {
+            let t_cpu = Temperature::from_kelvin(x[2 * i]);
+            let t_box = exhausts[i];
+            let (d_cpu, d_box) = server.thermal_rates(inlets[i], t_cpu, t_box);
+            dx[2 * i] = d_cpu.as_kelvin_per_second();
+            dx[2 * i + 1] = d_box.as_kelvin_per_second();
+            let spill_conductance =
+                (flows[i] * (1.0 - self.air.capture_fraction(i))) * C_AIR;
+            spilled_heat += spill_conductance * (t_box - t_room);
+        }
+
+        // Supply air not drawn by servers spills into the room.
+        let excess_supply = coolopt_units::FlowRate::cubic_meters_per_second(
+            self.crac.config().flow.as_cubic_meters_per_second()
+                - self.air.supply_flow_demand(&flows).as_cubic_meters_per_second(),
+        );
+        let supply_spill = (excess_supply * C_AIR) * (t_supply - t_room);
+        let envelope_gain = self.config.envelope.heat_gain(t_room);
+
+        let room_heat = spilled_heat + supply_spill + envelope_gain;
+        dx[2 * n] = (room_heat / self.config.room_air_capacity).as_kelvin_per_second();
+        dx[2 * n + 1] = self.crac.integral_rate(t_return, integral);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn settles_and_regulates_return_at_set_point() {
+        let mut room = presets::small_rack(4, 7);
+        room.force_all_on();
+        room.set_loads(&[0.5; 4]).unwrap();
+        room.set_set_point(Temperature::from_celsius(17.0));
+        let ok = room.settle(Seconds::new(4000.0), 5.0);
+        assert!(ok, "room failed to settle");
+        let air = room.air_state();
+        assert!(
+            (air.t_return.as_celsius() - 17.0).abs() < 0.3,
+            "return at {}, wanted 17 °C",
+            air.t_return
+        );
+        // Supply must sit below return by load/(f·c).
+        assert!(air.t_supply < air.t_return);
+    }
+
+    #[test]
+    fn energy_balances_at_steady_state() {
+        // At steady state the coil must extract servers + envelope heat.
+        let mut room = presets::small_rack(4, 3);
+        room.force_all_on();
+        room.set_loads(&[0.8; 4]).unwrap();
+        room.set_set_point(Temperature::from_celsius(16.0));
+        assert!(room.settle(Seconds::new(6000.0), 2.0));
+        let air = room.air_state();
+        let coil = room
+            .crac()
+            .cooling_load(air.t_return, room.crac().integral());
+        let generated = room.computing_power()
+            + room.config().envelope.heat_gain(room.room_temp());
+        let rel = (coil.as_watts() - generated.as_watts()).abs() / generated.as_watts();
+        assert!(
+            rel < 0.05,
+            "coil {coil} vs generated {generated} (rel err {rel})"
+        );
+    }
+
+    #[test]
+    fn higher_set_point_cuts_cooling_power() {
+        let measure = |sp: f64| {
+            let mut room = presets::small_rack(6, 11);
+            room.force_all_on();
+            room.set_loads(&[0.8; 6]).unwrap();
+            room.set_set_point(Temperature::from_celsius(sp));
+            assert!(room.settle(Seconds::new(6000.0), 2.0));
+            room.total_power().as_watts()
+        };
+        let cold = measure(16.0);
+        let warm = measure(22.0);
+        assert!(
+            warm < cold - 250.0,
+            "raising the set point 6 K should save well over 0.25 kW (cold={cold}, warm={warm})"
+        );
+    }
+
+    #[test]
+    fn loaded_machines_run_hotter() {
+        let mut room = presets::small_rack(4, 5);
+        room.force_all_on();
+        room.set_loads(&[0.0, 0.0, 1.0, 1.0]).unwrap();
+        room.set_set_point(Temperature::from_celsius(24.0));
+        assert!(room.settle(Seconds::new(5000.0), 5.0));
+        let idle = room.servers()[0].cpu_temp();
+        let busy = room.servers()[2].cpu_temp();
+        assert!(
+            (busy - idle).as_kelvin() > 10.0,
+            "busy {} vs idle {}",
+            busy,
+            idle
+        );
+    }
+
+    #[test]
+    fn off_machines_do_not_heat() {
+        let mut room = presets::small_rack(3, 5);
+        room.apply_on_set(&[0]);
+        room.set_loads(&[1.0, 0.0, 0.0]).unwrap();
+        room.set_set_point(Temperature::from_celsius(24.0));
+        assert!(room.settle(Seconds::new(5000.0), 5.0));
+        let on = room.servers()[0].cpu_temp();
+        let off = room.servers()[1].cpu_temp();
+        assert!((on - off).as_kelvin() > 20.0);
+        assert_eq!(room.servers()[1].power_draw(), Watts::ZERO);
+    }
+
+    #[test]
+    fn observation_paths_work() {
+        let mut room = presets::small_rack(2, 5);
+        room.force_all_on();
+        room.set_loads(&[0.5, 0.5]).unwrap();
+        room.run_for(Seconds::new(100.0));
+        let t = room.read_cpu_temp(0);
+        let p = room.read_power(0);
+        assert!(t.as_celsius() > 10.0 && t.as_celsius() < 90.0);
+        assert!(p.as_watts() > 30.0 && p.as_watts() < 100.0);
+        assert!(room.total_power() > room.computing_power());
+    }
+
+    #[test]
+    fn construction_rejects_mismatched_components() {
+        let room = presets::small_rack(3, 5);
+        let servers = room.servers().to_vec();
+        let crac = room.crac().clone();
+        let air = AirDistribution::uniform(2, 0.5, 0.8).unwrap();
+        let rack = Rack::new_1u(3, 0.0);
+        let result = MachineRoom::new(servers, crac, air, rack, *room.config(), 0);
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! Deterministic, seeded noise sources.
+//!
+//! Sensor emulation (power meters, `lm-sensors` CPU readings) and the
+//! physical substrate both need noise that is (a) Gaussian-ish, matching the
+//! measurement noise the paper smooths away with a low-pass filter, and
+//! (b) fully reproducible so that experiments regenerate identical numbers.
+//! Gaussian variates are produced with the Box–Muller transform over the
+//! `rand` uniform source — we deliberately avoid extra distribution crates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A stream of independent Gaussian samples `N(mean, stddev²)`.
+///
+/// ```
+/// use coolopt_sim::GaussianNoise;
+/// let mut noise = GaussianNoise::new(7, 0.0, 1.0);
+/// let first = noise.sample();
+/// // The stream is deterministic for a fixed seed:
+/// assert_eq!(GaussianNoise::new(7, 0.0, 1.0).sample(), first);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianNoise {
+    rng: StdRng,
+    mean: f64,
+    stddev: f64,
+    /// Box–Muller produces two variates per transform; the spare is cached.
+    spare: Option<f64>,
+}
+
+impl GaussianNoise {
+    /// Creates a seeded Gaussian source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stddev` is negative or not finite.
+    pub fn new(seed: u64, mean: f64, stddev: f64) -> Self {
+        assert!(
+            stddev.is_finite() && stddev >= 0.0,
+            "stddev must be finite and non-negative, got {stddev}"
+        );
+        GaussianNoise {
+            rng: StdRng::seed_from_u64(seed),
+            mean,
+            stddev,
+            spare: None,
+        }
+    }
+
+    /// Draws the next sample.
+    pub fn sample(&mut self) -> f64 {
+        self.mean + self.stddev * self.standard()
+    }
+
+    /// Draws a standard-normal variate via Box–Muller.
+    fn standard(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // u1 ∈ (0, 1] to keep ln(u1) finite.
+        let u1: f64 = 1.0 - self.rng.random::<f64>();
+        let u2: f64 = self.rng.random::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+/// An Ornstein–Uhlenbeck process: temporally correlated noise.
+///
+/// `dx = -x/τ · dt + σ·√(2/τ) · dW`. Used for slowly wandering disturbances
+/// such as ambient-temperature drift, where white noise would be unrealistic.
+#[derive(Debug, Clone)]
+pub struct OrnsteinUhlenbeck {
+    gaussian: GaussianNoise,
+    tau: f64,
+    sigma: f64,
+    value: f64,
+}
+
+impl OrnsteinUhlenbeck {
+    /// Creates a zero-mean OU process with correlation time `tau_secs` and
+    /// stationary standard deviation `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau_secs <= 0` or `sigma < 0`.
+    pub fn new(seed: u64, tau_secs: f64, sigma: f64) -> Self {
+        assert!(tau_secs > 0.0, "correlation time must be positive");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        OrnsteinUhlenbeck {
+            gaussian: GaussianNoise::new(seed, 0.0, 1.0),
+            tau: tau_secs,
+            sigma,
+            value: 0.0,
+        }
+    }
+
+    /// Advances the process by `dt_secs` and returns the new value.
+    ///
+    /// Uses the exact discretization of the OU transition kernel, so any
+    /// step size is admissible.
+    pub fn step(&mut self, dt_secs: f64) -> f64 {
+        let decay = (-dt_secs / self.tau).exp();
+        let stddev = self.sigma * (1.0 - decay * decay).sqrt();
+        self.value = self.value * decay + stddev * self.gaussian.sample();
+        self.value
+    }
+
+    /// Current value without advancing.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_is_deterministic_per_seed() {
+        let a: Vec<f64> = {
+            let mut g = GaussianNoise::new(123, 1.0, 2.0);
+            (0..16).map(|_| g.sample()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut g = GaussianNoise::new(123, 1.0, 2.0);
+            (0..16).map(|_| g.sample()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<f64> = {
+            let mut g = GaussianNoise::new(124, 1.0, 2.0);
+            (0..16).map(|_| g.sample()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gaussian_moments_are_close() {
+        let mut g = GaussianNoise::new(42, 3.0, 0.5);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.01, "mean was {mean}");
+        assert!((var - 0.25).abs() < 0.01, "variance was {var}");
+    }
+
+    #[test]
+    fn zero_stddev_is_constant() {
+        let mut g = GaussianNoise::new(1, 5.0, 0.0);
+        for _ in 0..10 {
+            assert_eq!(g.sample(), 5.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stddev")]
+    fn negative_stddev_panics() {
+        GaussianNoise::new(0, 0.0, -1.0);
+    }
+
+    #[test]
+    fn ou_stays_near_stationary_band_and_is_correlated() {
+        let mut ou = OrnsteinUhlenbeck::new(9, 100.0, 1.0);
+        let mut values = Vec::new();
+        for _ in 0..50_000 {
+            values.push(ou.step(1.0));
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        assert!(mean.abs() < 0.2, "OU mean drifted: {mean}");
+        // Lag-1 autocorrelation should be close to exp(-1/τ) ≈ 0.99.
+        let var = values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        let cov: f64 = values
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>()
+            / (values.len() - 1) as f64;
+        let rho = cov / var;
+        assert!(rho > 0.95, "lag-1 autocorrelation too low: {rho}");
+    }
+
+    #[test]
+    fn ou_exact_discretization_is_step_size_invariant_in_mean() {
+        // Deterministic part: with sigma = 0 the process just decays.
+        let mut ou = OrnsteinUhlenbeck::new(5, 10.0, 0.0);
+        ou.value = 8.0;
+        ou.step(10.0);
+        assert!((ou.value() - 8.0 * (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "correlation time")]
+    fn ou_rejects_non_positive_tau() {
+        OrnsteinUhlenbeck::new(0, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Continuous dynamics and fixed-step integrators.
+
+use coolopt_units::Seconds;
+
+/// A system of ordinary differential equations `dx/dt = f(t, x)`.
+///
+/// State is a flat `f64` vector; the owner of the dynamics decides what each
+/// slot means (the machine-room model, for instance, packs every server's
+/// CPU and box-air temperature plus the room and CRAC nodes into one vector).
+pub trait Dynamics {
+    /// Number of state variables.
+    fn dim(&self) -> usize;
+
+    /// Writes `f(t, x)` into `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may assume (and may panic otherwise) that
+    /// `x.len() == dx.len() == self.dim()`.
+    fn derivatives(&self, t: Seconds, x: &[f64], dx: &mut [f64]);
+}
+
+impl<D: Dynamics + ?Sized> Dynamics for &D {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn derivatives(&self, t: Seconds, x: &[f64], dx: &mut [f64]) {
+        (**self).derivatives(t, x, dx)
+    }
+}
+
+/// A fixed-step ODE integrator.
+pub trait Integrator {
+    /// Advances `state` in place from `t` to `t + dt`.
+    fn step<D: Dynamics>(&self, dynamics: &D, t: Seconds, dt: Seconds, state: &mut [f64]);
+
+    /// Integrates for `n` steps of length `dt`, starting at `t0`.
+    ///
+    /// Returns the time at the end of the run.
+    fn run<D: Dynamics>(
+        &self,
+        dynamics: &D,
+        t0: Seconds,
+        dt: Seconds,
+        n: usize,
+        state: &mut [f64],
+    ) -> Seconds {
+        let mut t = t0;
+        for _ in 0..n {
+            self.step(dynamics, t, dt, state);
+            t += dt;
+        }
+        t
+    }
+}
+
+/// First-order forward-Euler integration.
+///
+/// Cheap and adequate for the heavily damped thermal networks in this
+/// workspace when the step is small relative to the fastest time constant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForwardEuler;
+
+impl ForwardEuler {
+    /// Creates a forward-Euler integrator.
+    pub fn new() -> Self {
+        ForwardEuler
+    }
+}
+
+impl Integrator for ForwardEuler {
+    fn step<D: Dynamics>(&self, dynamics: &D, t: Seconds, dt: Seconds, state: &mut [f64]) {
+        assert_eq!(state.len(), dynamics.dim(), "state size mismatch");
+        let h = dt.as_secs_f64();
+        let mut dx = vec![0.0; state.len()];
+        dynamics.derivatives(t, state, &mut dx);
+        for (x, d) in state.iter_mut().zip(&dx) {
+            *x += h * d;
+        }
+    }
+}
+
+/// Classic fourth-order Runge–Kutta integration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Rk4;
+
+impl Rk4 {
+    /// Creates an RK4 integrator.
+    pub fn new() -> Self {
+        Rk4
+    }
+}
+
+impl Integrator for Rk4 {
+    fn step<D: Dynamics>(&self, dynamics: &D, t: Seconds, dt: Seconds, state: &mut [f64]) {
+        let n = dynamics.dim();
+        assert_eq!(state.len(), n, "state size mismatch");
+        let h = dt.as_secs_f64();
+        let mut k1 = vec![0.0; n];
+        let mut k2 = vec![0.0; n];
+        let mut k3 = vec![0.0; n];
+        let mut k4 = vec![0.0; n];
+        let mut tmp = vec![0.0; n];
+
+        dynamics.derivatives(t, state, &mut k1);
+        for i in 0..n {
+            tmp[i] = state[i] + 0.5 * h * k1[i];
+        }
+        dynamics.derivatives(t + dt / 2.0, &tmp, &mut k2);
+        for i in 0..n {
+            tmp[i] = state[i] + 0.5 * h * k2[i];
+        }
+        dynamics.derivatives(t + dt / 2.0, &tmp, &mut k3);
+        for i in 0..n {
+            tmp[i] = state[i] + h * k3[i];
+        }
+        dynamics.derivatives(t + dt, &tmp, &mut k4);
+        for i in 0..n {
+            state[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// dx/dt = a·x (scalar exponential).
+    struct Exp {
+        a: f64,
+    }
+    impl Dynamics for Exp {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn derivatives(&self, _t: Seconds, x: &[f64], dx: &mut [f64]) {
+            dx[0] = self.a * x[0];
+        }
+    }
+
+    /// Harmonic oscillator: x'' = -ω²x as a 2-state system.
+    struct Oscillator {
+        omega: f64,
+    }
+    impl Dynamics for Oscillator {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn derivatives(&self, _t: Seconds, x: &[f64], dx: &mut [f64]) {
+            dx[0] = x[1];
+            dx[1] = -self.omega * self.omega * x[0];
+        }
+    }
+
+    /// Time-dependent system dx/dt = t (solution x = t²/2).
+    struct Ramp;
+    impl Dynamics for Ramp {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn derivatives(&self, t: Seconds, _x: &[f64], dx: &mut [f64]) {
+            dx[0] = t.as_secs_f64();
+        }
+    }
+
+    #[test]
+    fn euler_decay_converges_with_small_steps() {
+        let sys = Exp { a: -1.0 };
+        let mut x = vec![1.0];
+        ForwardEuler::new().run(&sys, Seconds::ZERO, Seconds::new(1e-3), 1000, &mut x);
+        assert!((x[0] - (-1.0f64).exp()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rk4_decay_is_much_more_accurate_than_euler() {
+        let sys = Exp { a: -1.0 };
+        let mut xe = vec![1.0];
+        let mut xr = vec![1.0];
+        ForwardEuler::new().run(&sys, Seconds::ZERO, Seconds::new(0.1), 10, &mut xe);
+        Rk4::new().run(&sys, Seconds::ZERO, Seconds::new(0.1), 10, &mut xr);
+        let exact = (-1.0f64).exp();
+        assert!((xr[0] - exact).abs() < 1e-6);
+        assert!((xr[0] - exact).abs() < (xe[0] - exact).abs() / 100.0);
+    }
+
+    #[test]
+    fn rk4_oscillator_conserves_energy_approximately() {
+        let sys = Oscillator { omega: 2.0 };
+        let mut x = vec![1.0, 0.0];
+        // One full period: T = 2π/ω = π.
+        let steps = 10_000;
+        let dt = Seconds::new(std::f64::consts::PI / steps as f64);
+        Rk4::new().run(&sys, Seconds::ZERO, dt, steps, &mut x);
+        assert!((x[0] - 1.0).abs() < 1e-6, "position after a period: {}", x[0]);
+        assert!(x[1].abs() < 1e-5, "velocity after a period: {}", x[1]);
+    }
+
+    #[test]
+    fn integrators_pass_correct_time_to_dynamics() {
+        // For dx/dt = t, x(2) = 2. RK4 is exact for polynomials up to t³.
+        let mut x = vec![0.0];
+        Rk4::new().run(&Ramp, Seconds::ZERO, Seconds::new(0.5), 4, &mut x);
+        assert!((x[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rk4_shows_fourth_order_convergence() {
+        // Halving the step must cut the global error by ~2⁴ = 16.
+        let sys = Exp { a: -1.0 };
+        let error_at = |steps: usize| {
+            let mut x = vec![1.0];
+            let dt = Seconds::new(1.0 / steps as f64);
+            Rk4::new().run(&sys, Seconds::ZERO, dt, steps, &mut x);
+            (x[0] - (-1.0f64).exp()).abs()
+        };
+        let coarse = error_at(16);
+        let fine = error_at(32);
+        let ratio = coarse / fine;
+        assert!(
+            (10.0..24.0).contains(&ratio),
+            "error ratio {ratio} inconsistent with 4th-order convergence"
+        );
+    }
+
+    #[test]
+    fn euler_shows_first_order_convergence() {
+        let sys = Exp { a: -1.0 };
+        let error_at = |steps: usize| {
+            let mut x = vec![1.0];
+            let dt = Seconds::new(1.0 / steps as f64);
+            ForwardEuler::new().run(&sys, Seconds::ZERO, dt, steps, &mut x);
+            (x[0] - (-1.0f64).exp()).abs()
+        };
+        let ratio = error_at(64) / error_at(128);
+        assert!(
+            (1.7..2.3).contains(&ratio),
+            "error ratio {ratio} inconsistent with 1st-order convergence"
+        );
+    }
+
+    #[test]
+    fn run_returns_final_time() {
+        let sys = Exp { a: 0.0 };
+        let mut x = vec![1.0];
+        let t = Rk4::new().run(&sys, Seconds::new(5.0), Seconds::new(0.5), 10, &mut x);
+        assert!((t.as_secs_f64() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "state size mismatch")]
+    fn mismatched_state_panics() {
+        let sys = Exp { a: 1.0 };
+        let mut x = vec![1.0, 2.0];
+        Rk4::new().step(&sys, Seconds::ZERO, Seconds::new(0.1), &mut x);
+    }
+
+    #[test]
+    fn dynamics_usable_through_reference() {
+        let sys = Exp { a: -1.0 };
+        let sys_ref: &dyn Fn() = &|| {};
+        let _ = sys_ref; // silence
+        let mut x = vec![1.0];
+        // `&Exp` also implements Dynamics via the blanket impl.
+        Rk4::new().step(&&sys, Seconds::ZERO, Seconds::new(0.1), &mut x);
+        assert!(x[0] < 1.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Time-series recording and summary statistics.
+
+use coolopt_units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// A recorded scalar time series (e.g. a power-meter or temperature trace).
+///
+/// Samples are appended in time order; [`TimeSeries::push`] enforces
+/// monotonically non-decreasing time stamps.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Creates an empty series with capacity for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        TimeSeries {
+            times: Vec::with_capacity(n),
+            values: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the last recorded time stamp.
+    pub fn push(&mut self, t: Seconds, value: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(
+                t.as_secs_f64() >= last,
+                "samples must be time-ordered: {} < {last}",
+                t.as_secs_f64()
+            );
+        }
+        self.times.push(t.as_secs_f64());
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The raw time stamps (seconds).
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Iterates over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Seconds, f64)> + '_ {
+        self.times
+            .iter()
+            .zip(&self.values)
+            .map(|(&t, &v)| (Seconds::new(t), v))
+    }
+
+    /// Returns the subseries with `t >= t0` (used to discard warm-up
+    /// transients before computing steady-state statistics).
+    pub fn after(&self, t0: Seconds) -> TimeSeries {
+        let start = self.times.partition_point(|&t| t < t0.as_secs_f64());
+        TimeSeries {
+            times: self.times[start..].to_vec(),
+            values: self.values[start..].to_vec(),
+        }
+    }
+
+    /// Summary statistics over all samples, or `None` when empty.
+    pub fn stats(&self) -> Option<TraceStats> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let n = self.values.len() as f64;
+        let mean = self.values.iter().sum::<f64>() / n;
+        let var = self.values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in &self.values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Some(TraceStats {
+            count: self.values.len(),
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+        })
+    }
+
+    /// Mean of samples with `t >= t0` — the typical "steady-state average".
+    pub fn mean_after(&self, t0: Seconds) -> Option<f64> {
+        self.after(t0).stats().map(|s| s.mean)
+    }
+
+    /// Trapezoidal time-integral of the series (`∫ v dt`), e.g. energy from a
+    /// power trace.
+    pub fn integral(&self) -> f64 {
+        let mut acc = 0.0;
+        for i in 1..self.values.len() {
+            let dt = self.times[i] - self.times[i - 1];
+            acc += 0.5 * (self.values[i] + self.values[i - 1]) * dt;
+        }
+        acc
+    }
+}
+
+impl FromIterator<(Seconds, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (Seconds, f64)>>(iter: I) -> Self {
+        let mut ts = TimeSeries::new();
+        for (t, v) in iter {
+            ts.push(t, v);
+        }
+        ts
+    }
+}
+
+impl Extend<(Seconds, f64)> for TimeSeries {
+    fn extend<I: IntoIterator<Item = (Seconds, f64)>>(&mut self, iter: I) {
+        for (t, v) in iter {
+            self.push(t, v);
+        }
+    }
+}
+
+/// Summary statistics of a [`TimeSeries`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[f64]) -> TimeSeries {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Seconds::new(i as f64), v))
+            .collect()
+    }
+
+    #[test]
+    fn stats_of_known_series() {
+        let ts = series(&[1.0, 2.0, 3.0, 4.0]);
+        let s = ts.stats().unwrap();
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.min - 1.0).abs() < 1e-12);
+        assert!((s.max - 4.0).abs() < 1e-12);
+        assert!((s.stddev - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_has_no_stats() {
+        assert!(TimeSeries::new().stats().is_none());
+        assert!(TimeSeries::new().is_empty());
+    }
+
+    #[test]
+    fn after_discards_warmup() {
+        let ts = series(&[10.0, 10.0, 1.0, 1.0]);
+        let tail = ts.after(Seconds::new(2.0));
+        assert_eq!(tail.len(), 2);
+        assert!((tail.stats().unwrap().mean - 1.0).abs() < 1e-12);
+        assert_eq!(ts.mean_after(Seconds::new(2.0)), Some(1.0));
+    }
+
+    #[test]
+    fn integral_is_trapezoidal() {
+        // v = t on [0, 3] → ∫ = 4.5.
+        let ts = series(&[0.0, 1.0, 2.0, 3.0]);
+        assert!((ts.integral() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_push_panics() {
+        let mut ts = TimeSeries::new();
+        ts.push(Seconds::new(1.0), 0.0);
+        ts.push(Seconds::new(0.5), 0.0);
+    }
+
+    #[test]
+    fn extend_and_iter_round_trip() {
+        let mut ts = TimeSeries::with_capacity(3);
+        ts.extend((0..3).map(|i| (Seconds::new(i as f64), i as f64 * 2.0)));
+        let collected: Vec<(f64, f64)> =
+            ts.iter().map(|(t, v)| (t.as_secs_f64(), v)).collect();
+        assert_eq!(collected, vec![(0.0, 0.0), (1.0, 2.0), (2.0, 4.0)]);
+    }
+}

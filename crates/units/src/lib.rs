@@ -1,0 +1,45 @@
+//! Typed physical quantities for the CoolOpt machine-room model.
+//!
+//! The paper's Table I lists the physical variables of the model: absolute
+//! temperatures (K), heat capacities (J/K), heat-exchange rates (J K⁻¹ s⁻¹,
+//! i.e. W/K), air flows (m³/s), the volumetric heat-capacity density of air
+//! (J K⁻¹ m⁻³) and heat-producing rates (W). This crate gives each of those a
+//! dedicated newtype so that model code cannot accidentally mix, say, an
+//! absolute temperature with a temperature *difference*, or a heat capacity
+//! with a thermal conductance.
+//!
+//! All quantities are thin wrappers over `f64` and are `Copy`; arithmetic is
+//! provided only where it is dimensionally meaningful:
+//!
+//! ```
+//! use coolopt_units::{Temperature, Watts, Conductance};
+//!
+//! let cpu = Temperature::from_celsius(65.0);
+//! let air = Temperature::from_celsius(25.0);
+//! let theta = Conductance::watts_per_kelvin(2.0);
+//! // Heat flowing from the CPU into the box air (Eq. 3 of the paper):
+//! let q: Watts = theta * (cpu - air);
+//! assert!((q.as_watts() - 80.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+mod proptests;
+
+pub mod power;
+pub mod table;
+pub mod temperature;
+pub mod thermal;
+pub mod time;
+
+pub use power::{Joules, Watts};
+pub use table::{physical_variables, PhysicalVariable};
+pub use temperature::{TempDelta, TempRate, Temperature};
+pub use thermal::{Conductance, FlowRate, HeatCapacity, VolumetricHeatCapacity};
+pub use time::Seconds;
+
+/// Volumetric heat capacity of air at roughly room conditions.
+///
+/// ≈ 1.2 kg/m³ density × ≈ 1006 J/(kg·K) specific heat ≈ 1200 J/(K·m³); this
+/// is the constant the paper denotes `c_air` (units J K⁻¹ m⁻³ in Table I).
+pub const C_AIR: VolumetricHeatCapacity = VolumetricHeatCapacity::joules_per_kelvin_m3(1200.0);

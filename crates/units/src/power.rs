@@ -1,0 +1,273 @@
+//! Power (heat-producing rate) and energy quantities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use crate::time::Seconds;
+
+/// A power (rate of energy use or heat production), in watts.
+///
+/// This is the paper's `P` (Table I: heat-producing rate, J/s).
+///
+/// ```
+/// use coolopt_units::{Watts, Seconds};
+/// let p = Watts::new(85.0);
+/// let e = p * Seconds::new(3600.0);
+/// assert!((e.as_joules() - 306_000.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Watts(f64);
+
+impl Watts {
+    /// Zero power.
+    pub const ZERO: Watts = Watts(0.0);
+
+    /// Creates a power of `w` watts.
+    pub const fn new(w: f64) -> Self {
+        Watts(w)
+    }
+
+    /// Returns the power in watts.
+    pub const fn as_watts(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the power in kilowatts.
+    pub fn as_kilowatts(self) -> f64 {
+        self.0 / 1000.0
+    }
+
+    /// Returns the larger of `self` and `other`.
+    pub fn max(self, other: Watts) -> Watts {
+        Watts(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of `self` and `other`.
+    pub fn min(self, other: Watts) -> Watts {
+        Watts(self.0.min(other.0))
+    }
+
+    /// Clamps negative power to zero (useful for actuators that cannot
+    /// produce negative output).
+    pub fn clamp_non_negative(self) -> Watts {
+        Watts(self.0.max(0.0))
+    }
+
+    /// `true` if the value is finite.
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl fmt::Display for Watts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.abs() >= 1000.0 {
+            write!(f, "{:.3} kW", self.as_kilowatts())
+        } else {
+            write!(f, "{:.1} W", self.0)
+        }
+    }
+}
+
+/// An amount of energy, in joules.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Joules(f64);
+
+impl Joules {
+    /// Zero energy.
+    pub const ZERO: Joules = Joules(0.0);
+
+    /// Creates an energy of `j` joules.
+    pub const fn new(j: f64) -> Self {
+        Joules(j)
+    }
+
+    /// Returns the energy in joules.
+    pub const fn as_joules(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the energy in kilowatt-hours.
+    pub fn as_kwh(self) -> f64 {
+        self.0 / 3.6e6
+    }
+}
+
+impl fmt::Display for Joules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} J", self.0)
+    }
+}
+
+// --- arithmetic ---
+
+impl Add for Watts {
+    type Output = Watts;
+    fn add(self, rhs: Watts) -> Watts {
+        Watts(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Watts {
+    type Output = Watts;
+    fn sub(self, rhs: Watts) -> Watts {
+        Watts(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Watts {
+    type Output = Watts;
+    fn neg(self) -> Watts {
+        Watts(-self.0)
+    }
+}
+
+impl AddAssign for Watts {
+    fn add_assign(&mut self, rhs: Watts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for Watts {
+    fn sub_assign(&mut self, rhs: Watts) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Watts {
+    type Output = Watts;
+    fn mul(self, rhs: f64) -> Watts {
+        Watts(self.0 * rhs)
+    }
+}
+
+impl Mul<Watts> for f64 {
+    type Output = Watts;
+    fn mul(self, rhs: Watts) -> Watts {
+        Watts(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Watts {
+    type Output = Watts;
+    fn div(self, rhs: f64) -> Watts {
+        Watts(self.0 / rhs)
+    }
+}
+
+/// Ratio of two powers (dimensionless).
+impl Div for Watts {
+    type Output = f64;
+    fn div(self, rhs: Watts) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Watts {
+    fn sum<I: Iterator<Item = Watts>>(iter: I) -> Watts {
+        Watts(iter.map(|w| w.0).sum())
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.as_secs_f64())
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    fn mul(self, rhs: Watts) -> Joules {
+        rhs * self
+    }
+}
+
+impl Add for Joules {
+    type Output = Joules;
+    fn add(self, rhs: Joules) -> Joules {
+        Joules(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Joules {
+    type Output = Joules;
+    fn sub(self, rhs: Joules) -> Joules {
+        Joules(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign for Joules {
+    fn add_assign(&mut self, rhs: Joules) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.as_secs_f64())
+    }
+}
+
+impl Sum for Joules {
+    fn sum<I: Iterator<Item = Joules>>(iter: I) -> Joules {
+        Joules(iter.map(|j| j.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_arithmetic() {
+        let a = Watts::new(40.0);
+        let b = Watts::new(45.0);
+        assert!(((a + b).as_watts() - 85.0).abs() < 1e-12);
+        assert!(((b - a).as_watts() - 5.0).abs() < 1e-12);
+        assert!(((a * 2.0).as_watts() - 80.0).abs() < 1e-12);
+        assert!(((a / 4.0).as_watts() - 10.0).abs() < 1e-12);
+        assert!((a / b - 40.0 / 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_accumulates_from_power() {
+        let mut e = Joules::ZERO;
+        for _ in 0..60 {
+            e += Watts::new(100.0) * Seconds::new(1.0);
+        }
+        assert!((e.as_joules() - 6000.0).abs() < 1e-9);
+        assert!((e / Seconds::new(60.0) - Watts::new(100.0)).as_watts().abs() < 1e-9);
+    }
+
+    #[test]
+    fn kwh_conversion() {
+        let e = Watts::new(1000.0) * Seconds::new(3600.0);
+        assert!((e.as_kwh() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_non_negative() {
+        assert_eq!(Watts::new(-3.0).clamp_non_negative(), Watts::ZERO);
+        assert_eq!(Watts::new(3.0).clamp_non_negative(), Watts::new(3.0));
+    }
+
+    #[test]
+    fn display_scales_to_kilowatts() {
+        assert_eq!(format!("{}", Watts::new(50.0)), "50.0 W");
+        assert_eq!(format!("{}", Watts::new(12_345.0)), "12.345 kW");
+    }
+
+    #[test]
+    fn sums() {
+        let p: Watts = (1..=4).map(|k| Watts::new(k as f64)).sum();
+        assert!((p.as_watts() - 10.0).abs() < 1e-12);
+        let e: Joules = (1..=4).map(|k| Joules::new(k as f64)).sum();
+        assert!((e.as_joules() - 10.0).abs() < 1e-12);
+    }
+}

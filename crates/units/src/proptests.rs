@@ -1,0 +1,103 @@
+//! Property-based tests of the quantity arithmetic.
+//!
+//! The typed layer only earns its keep if its arithmetic is exactly the
+//! arithmetic of the underlying `f64`s — these properties pin that down, so
+//! model code can reason algebraically about quantities.
+
+#![cfg(test)]
+
+use crate::{Conductance, Joules, Seconds, TempDelta, TempRate, Temperature, Watts};
+use proptest::prelude::*;
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1e6..1e6f64
+}
+
+fn positive() -> impl Strategy<Value = f64> {
+    1e-3..1e6f64
+}
+
+proptest! {
+    #[test]
+    fn temperature_delta_algebra_is_exact(a in finite(), b in finite(), c in finite()) {
+        let t = Temperature::from_kelvin(a);
+        let d1 = TempDelta::from_kelvin(b);
+        let d2 = TempDelta::from_kelvin(c);
+        // (t + d1) + d2 == t + (d1 + d2) — f64 addition is associative here
+        // because every operation maps to the same f64 sequence.
+        let lhs = (t + d1) + d2;
+        let rhs1 = t + (d1 + d2);
+        // f64 addition is NOT associative in general; the typed layer must
+        // agree with the *untyped* f64 expression of the same shape instead.
+        prop_assert_eq!(lhs.as_kelvin(), a + b + c);
+        prop_assert_eq!(rhs1.as_kelvin(), a + (b + c));
+        // Subtracting what was added restores the original bits.
+        prop_assert_eq!(((t + d1) - d1).as_kelvin(), (a + b) - b);
+    }
+
+    #[test]
+    fn temperature_difference_and_application_are_inverse(a in finite(), b in finite()) {
+        let x = Temperature::from_kelvin(a);
+        let y = Temperature::from_kelvin(b);
+        prop_assert_eq!((y + (x - y)).as_kelvin(), b + (a - b));
+    }
+
+    #[test]
+    fn power_time_energy_identities(w in finite(), s in positive()) {
+        let p = Watts::new(w);
+        let t = Seconds::new(s);
+        let e: Joules = p * t;
+        prop_assert_eq!(e.as_joules(), w * s);
+        prop_assert_eq!((e / t).as_watts(), (w * s) / s);
+    }
+
+    #[test]
+    fn conductance_heat_identities(g in positive(), dk in finite()) {
+        let c = Conductance::watts_per_kelvin(g);
+        let d = TempDelta::from_kelvin(dk);
+        let q: Watts = c * d;
+        prop_assert_eq!(q.as_watts(), g * dk);
+        // Resistance is the exact reciprocal.
+        prop_assert_eq!(c.resistance_kelvin_per_watt(), 1.0 / g);
+    }
+
+    #[test]
+    fn rate_integration_matches_f64(r in finite(), s in positive()) {
+        let rate = TempRate::from_kelvin_per_second(r);
+        let dt = Seconds::new(s);
+        prop_assert_eq!((rate * dt).as_kelvin(), r * s);
+    }
+
+    #[test]
+    fn celsius_kelvin_round_trip_within_ulp(c in -200.0f64..1000.0) {
+        let t = Temperature::from_celsius(c);
+        prop_assert!((t.as_celsius() - c).abs() <= 1e-12 * c.abs().max(1.0));
+    }
+
+    #[test]
+    fn ordering_is_consistent_with_kelvin(a in finite(), b in finite()) {
+        let x = Temperature::from_kelvin(a);
+        let y = Temperature::from_kelvin(b);
+        prop_assert_eq!(x < y, a < b);
+        prop_assert_eq!(x.max(y).as_kelvin(), a.max(b));
+        prop_assert_eq!(x.min(y).as_kelvin(), a.min(b));
+    }
+
+    #[test]
+    fn serde_round_trips_every_quantity(v in finite(), s in positive()) {
+        macro_rules! roundtrip {
+            ($value:expr, $ty:ty) => {{
+                let json = serde_json::to_string(&$value).unwrap();
+                let back: $ty = serde_json::from_str(&json).unwrap();
+                prop_assert_eq!(back, $value);
+            }};
+        }
+        roundtrip!(Temperature::from_kelvin(s), Temperature);
+        roundtrip!(TempDelta::from_kelvin(v), TempDelta);
+        roundtrip!(TempRate::from_kelvin_per_second(v), TempRate);
+        roundtrip!(Watts::new(v), Watts);
+        roundtrip!(Joules::new(v), Joules);
+        roundtrip!(Seconds::new(s), Seconds);
+        roundtrip!(Conductance::watts_per_kelvin(s), Conductance);
+    }
+}

@@ -1,0 +1,105 @@
+//! Reproduction of the paper's Table I: physical variables and their units.
+
+use std::fmt;
+
+/// One row of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PhysicalVariable {
+    /// Symbol used in the paper (machine index omitted, as in the paper).
+    pub symbol: &'static str,
+    /// SI unit string.
+    pub unit: &'static str,
+    /// Physical meaning.
+    pub meaning: &'static str,
+}
+
+impl fmt::Display for PhysicalVariable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<18} {:<14} {}", self.symbol, self.unit, self.meaning)
+    }
+}
+
+/// The rows of Table I, in the paper's order.
+///
+/// ```
+/// let rows = coolopt_units::physical_variables();
+/// assert_eq!(rows.len(), 6);
+/// assert_eq!(rows[0].symbol, "T, T_box, T_in");
+/// ```
+pub fn physical_variables() -> &'static [PhysicalVariable] {
+    &[
+        PhysicalVariable {
+            symbol: "T, T_box, T_in",
+            unit: "K",
+            meaning: "(Kelvin) Temperature",
+        },
+        PhysicalVariable {
+            symbol: "nu_cpu, nu_box",
+            unit: "J K^-1",
+            meaning: "Heat Capacity",
+        },
+        PhysicalVariable {
+            symbol: "theta_cpu,box",
+            unit: "J K^-1 s^-1",
+            meaning: "Heat Exchange Rate",
+        },
+        PhysicalVariable {
+            symbol: "F_in, F_out",
+            unit: "m^3 s^-1",
+            meaning: "Air Flow",
+        },
+        PhysicalVariable {
+            symbol: "c_air",
+            unit: "J K^-1 m^-3",
+            meaning: "Heat Capacity Density",
+        },
+        PhysicalVariable {
+            symbol: "P_cpu",
+            unit: "J s^-1",
+            meaning: "Heat Producing Rate",
+        },
+    ]
+}
+
+/// Renders Table I as an ASCII table, matching the paper's layout.
+pub fn render_table1() -> String {
+    let mut out = String::from("Table I: Physical variables and their units\n");
+    out.push_str(&format!(
+        "{:<18} {:<14} {}\n",
+        "Variable", "Unit", "Physical Meaning"
+    ));
+    out.push_str(&"-".repeat(64));
+    out.push('\n');
+    for row in physical_variables() {
+        out.push_str(&row.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_paper_rows() {
+        let rows = physical_variables();
+        assert_eq!(rows.len(), 6);
+        let units: Vec<_> = rows.iter().map(|r| r.unit).collect();
+        assert!(units.contains(&"K"));
+        assert!(units.contains(&"J K^-1"));
+        assert!(units.contains(&"J K^-1 s^-1"));
+        assert!(units.contains(&"m^3 s^-1"));
+        assert!(units.contains(&"J K^-1 m^-3"));
+        assert!(units.contains(&"J s^-1"));
+    }
+
+    #[test]
+    fn rendering_contains_header_and_every_symbol() {
+        let s = render_table1();
+        assert!(s.contains("Physical Meaning"));
+        for row in physical_variables() {
+            assert!(s.contains(row.symbol));
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Thermal transport quantities: heat capacity, conductance, air flow.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Div, Mul, Sub};
+
+use crate::power::Watts;
+use crate::temperature::{TempDelta, TempRate};
+
+/// A lumped heat capacity, in joules per kelvin (Table I: `ν`).
+///
+/// Dividing a heat flow by a heat capacity yields a temperature rate, which
+/// is how the thermal ODEs of the paper (Eqs. 1–2) are integrated.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct HeatCapacity(f64);
+
+impl HeatCapacity {
+    /// Creates a heat capacity of `jpk` joules per kelvin.
+    pub const fn joules_per_kelvin(jpk: f64) -> Self {
+        HeatCapacity(jpk)
+    }
+
+    /// Returns the value in joules per kelvin.
+    pub const fn as_joules_per_kelvin(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for HeatCapacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} J/K", self.0)
+    }
+}
+
+/// A thermal conductance (heat-exchange rate), in watts per kelvin
+/// (Table I: `ϑ`, J K⁻¹ s⁻¹).
+///
+/// Multiplying by a temperature difference yields heat flow (Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Conductance(f64);
+
+impl Conductance {
+    /// Zero conductance (perfect insulation).
+    pub const ZERO: Conductance = Conductance(0.0);
+
+    /// Creates a conductance of `wpk` watts per kelvin.
+    pub const fn watts_per_kelvin(wpk: f64) -> Self {
+        Conductance(wpk)
+    }
+
+    /// Returns the value in watts per kelvin.
+    pub const fn as_watts_per_kelvin(self) -> f64 {
+        self.0
+    }
+
+    /// The thermal resistance `1/ϑ`, in kelvin per watt.
+    ///
+    /// This is the quantity that appears in the paper's `β` coefficient
+    /// (Eq. 6): `β = 1/(F·c_air) + 1/ϑ`.
+    pub fn resistance_kelvin_per_watt(self) -> f64 {
+        1.0 / self.0
+    }
+}
+
+impl fmt::Display for Conductance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} W/K", self.0)
+    }
+}
+
+/// A volumetric air-flow rate, in cubic metres per second (Table I: `F`).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct FlowRate(f64);
+
+impl FlowRate {
+    /// Zero flow.
+    pub const ZERO: FlowRate = FlowRate(0.0);
+
+    /// Creates a flow of `m3s` cubic metres per second.
+    pub const fn cubic_meters_per_second(m3s: f64) -> Self {
+        FlowRate(m3s)
+    }
+
+    /// Returns the flow in cubic metres per second.
+    pub const fn as_cubic_meters_per_second(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for FlowRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} m³/s", self.0)
+    }
+}
+
+/// Volumetric heat capacity of a fluid, in J K⁻¹ m⁻³ (Table I: `c_air`).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct VolumetricHeatCapacity(f64);
+
+impl VolumetricHeatCapacity {
+    /// Creates a volumetric heat capacity of `v` J K⁻¹ m⁻³.
+    pub const fn joules_per_kelvin_m3(v: f64) -> Self {
+        VolumetricHeatCapacity(v)
+    }
+
+    /// Returns the value in J K⁻¹ m⁻³.
+    pub const fn as_joules_per_kelvin_m3(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for VolumetricHeatCapacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} J/(K·m³)", self.0)
+    }
+}
+
+// --- arithmetic ---
+
+impl Mul<TempDelta> for Conductance {
+    type Output = Watts;
+    fn mul(self, rhs: TempDelta) -> Watts {
+        Watts::new(self.0 * rhs.as_kelvin())
+    }
+}
+
+impl Mul<Conductance> for TempDelta {
+    type Output = Watts;
+    fn mul(self, rhs: Conductance) -> Watts {
+        rhs * self
+    }
+}
+
+impl Add for Conductance {
+    type Output = Conductance;
+    fn add(self, rhs: Conductance) -> Conductance {
+        Conductance(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Conductance {
+    type Output = Conductance;
+    fn sub(self, rhs: Conductance) -> Conductance {
+        Conductance(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Conductance {
+    type Output = Conductance;
+    fn mul(self, rhs: f64) -> Conductance {
+        Conductance(self.0 * rhs)
+    }
+}
+
+impl Sum for Conductance {
+    fn sum<I: Iterator<Item = Conductance>>(iter: I) -> Conductance {
+        Conductance(iter.map(|c| c.0).sum())
+    }
+}
+
+/// `F · c_air` — the advective conductance of an air stream (W/K).
+impl Mul<VolumetricHeatCapacity> for FlowRate {
+    type Output = Conductance;
+    fn mul(self, rhs: VolumetricHeatCapacity) -> Conductance {
+        Conductance(self.0 * rhs.0)
+    }
+}
+
+impl Mul<FlowRate> for VolumetricHeatCapacity {
+    type Output = Conductance;
+    fn mul(self, rhs: FlowRate) -> Conductance {
+        rhs * self
+    }
+}
+
+impl Add for FlowRate {
+    type Output = FlowRate;
+    fn add(self, rhs: FlowRate) -> FlowRate {
+        FlowRate(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for FlowRate {
+    type Output = FlowRate;
+    fn mul(self, rhs: f64) -> FlowRate {
+        FlowRate(self.0 * rhs)
+    }
+}
+
+impl Sum for FlowRate {
+    fn sum<I: Iterator<Item = FlowRate>>(iter: I) -> FlowRate {
+        FlowRate(iter.map(|f| f.0).sum())
+    }
+}
+
+/// `Q / ν` — heating a lumped mass (K/s). This is the right-hand side of the
+/// paper's Eqs. 1–2.
+impl Div<HeatCapacity> for Watts {
+    type Output = TempRate;
+    fn div(self, rhs: HeatCapacity) -> TempRate {
+        TempRate::from_kelvin_per_second(self.as_watts() / rhs.0)
+    }
+}
+
+/// `Q / ϑ` — steady-state temperature drop across a conductance (K).
+impl Div<Conductance> for Watts {
+    type Output = TempDelta;
+    fn div(self, rhs: Conductance) -> TempDelta {
+        TempDelta::from_kelvin(self.as_watts() / rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conductance_times_delta_is_heat() {
+        let q = Conductance::watts_per_kelvin(2.0) * TempDelta::from_kelvin(30.0);
+        assert!((q.as_watts() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flow_times_cair_is_conductance() {
+        let c = FlowRate::cubic_meters_per_second(0.03) * crate::C_AIR;
+        assert!((c.as_watts_per_kelvin() - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heat_over_capacity_is_rate() {
+        let r = Watts::new(100.0) / HeatCapacity::joules_per_kelvin(50.0);
+        assert!((r.as_kelvin_per_second() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heat_over_conductance_is_delta() {
+        let d = Watts::new(60.0) / Conductance::watts_per_kelvin(2.0);
+        assert!((d.as_kelvin() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_from_eq6_matches_manual_computation() {
+        // β = 1/(F·c_air) + 1/ϑ, with F = 0.03 m³/s, ϑ = 2 W/K.
+        let advective = FlowRate::cubic_meters_per_second(0.03) * crate::C_AIR;
+        let theta = Conductance::watts_per_kelvin(2.0);
+        let beta = advective.resistance_kelvin_per_watt() + theta.resistance_kelvin_per_watt();
+        assert!((beta - (1.0 / 36.0 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_sums_and_scales() {
+        let total: Conductance = (1..=3)
+            .map(|k| Conductance::watts_per_kelvin(k as f64))
+            .sum();
+        assert!((total.as_watts_per_kelvin() - 6.0).abs() < 1e-12);
+        assert!(((total * 0.5).as_watts_per_kelvin() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(!format!("{}", HeatCapacity::joules_per_kelvin(1.0)).is_empty());
+        assert!(!format!("{}", Conductance::ZERO).is_empty());
+        assert!(!format!("{}", FlowRate::ZERO).is_empty());
+        assert!(!format!("{}", crate::C_AIR).is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! Simulation time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A duration or time stamp on the simulation clock, in seconds.
+///
+/// The simulator uses a single monotonically increasing clock; `Seconds` is
+/// used both for instants (time since simulation start) and durations, which
+/// is adequate because the simulation epoch is always zero.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Seconds(f64);
+
+impl Seconds {
+    /// Time zero / the zero duration.
+    pub const ZERO: Seconds = Seconds(0.0);
+
+    /// Creates a time value of `s` seconds.
+    pub const fn new(s: f64) -> Self {
+        Seconds(s)
+    }
+
+    /// Creates a time value from whole minutes.
+    pub fn from_minutes(m: f64) -> Self {
+        Seconds(m * 60.0)
+    }
+
+    /// Returns the value as `f64` seconds.
+    pub const fn as_secs_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value in minutes.
+    pub fn as_minutes(self) -> f64 {
+        self.0 / 60.0
+    }
+
+    /// Returns the larger of `self` and `other`.
+    pub fn max(self, other: Seconds) -> Seconds {
+        Seconds(self.0.max(other.0))
+    }
+
+    /// `true` if this is a valid, non-negative time.
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} s", self.0)
+    }
+}
+
+impl Add for Seconds {
+    type Output = Seconds;
+    fn add(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Seconds {
+    fn add_assign(&mut self, rhs: Seconds) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Seconds {
+    type Output = Seconds;
+    fn sub(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Seconds {
+    type Output = Seconds;
+    fn mul(self, rhs: f64) -> Seconds {
+        Seconds(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Seconds {
+    type Output = Seconds;
+    fn div(self, rhs: f64) -> Seconds {
+        Seconds(self.0 / rhs)
+    }
+}
+
+/// Ratio of two durations (dimensionless), e.g. number of steps.
+impl Div for Seconds {
+    type Output = f64;
+    fn div(self, rhs: Seconds) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minutes_round_trip() {
+        let t = Seconds::from_minutes(15.0);
+        assert!((t.as_secs_f64() - 900.0).abs() < 1e-12);
+        assert!((t.as_minutes() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Seconds::new(10.0);
+        let b = Seconds::new(4.0);
+        assert!(((a + b).as_secs_f64() - 14.0).abs() < 1e-12);
+        assert!(((a - b).as_secs_f64() - 6.0).abs() < 1e-12);
+        assert!((a / b - 2.5).abs() < 1e-12);
+        assert!(((a * 2.0).as_secs_f64() - 20.0).abs() < 1e-12);
+        assert!(((a / 2.0).as_secs_f64() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(Seconds::ZERO.is_valid());
+        assert!(!Seconds::new(-1.0).is_valid());
+        assert!(!Seconds::new(f64::INFINITY).is_valid());
+    }
+}

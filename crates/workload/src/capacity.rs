@@ -1,0 +1,103 @@
+//! Machine capacity: the files/second a machine can sustain.
+//!
+//! The paper measures each machine's capacity ("the maximum number of html
+//! files that a machine could process on average per second") before the
+//! profiling experiments, so that "load" can be expressed as a fraction of
+//! capacity. [`Capacity::measure`] performs that benchmark for the current
+//! host; experiments that need determinism construct capacities directly.
+
+use crate::generator::DocumentGenerator;
+use crate::job::process_document;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Instant;
+
+/// Sustained processing capacity of one machine, in documents per second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Capacity {
+    files_per_second: f64,
+}
+
+impl Capacity {
+    /// Creates a capacity of `files_per_second` documents per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not finite and positive.
+    pub fn new(files_per_second: f64) -> Self {
+        assert!(
+            files_per_second.is_finite() && files_per_second > 0.0,
+            "capacity must be finite and positive, got {files_per_second}"
+        );
+        Capacity { files_per_second }
+    }
+
+    /// The capacity in documents per second.
+    pub fn files_per_second(&self) -> f64 {
+        self.files_per_second
+    }
+
+    /// Documents per second at load fraction `l`.
+    pub fn throughput_at(&self, l: f64) -> f64 {
+        self.files_per_second * l.clamp(0.0, 1.0)
+    }
+
+    /// Benchmarks the current host: processes `n_docs` synthetic documents
+    /// of `words_per_doc` words flat out and divides by wall-clock time.
+    ///
+    /// This is a *real* measurement (it depends on the machine running the
+    /// tests); use [`Capacity::new`] where determinism matters.
+    pub fn measure(n_docs: usize, words_per_doc: usize) -> Capacity {
+        assert!(n_docs > 0, "must process at least one document");
+        let mut generator = DocumentGenerator::new(0xCAFE, words_per_doc);
+        let docs = generator.batch(n_docs);
+        let start = Instant::now();
+        let mut total_words = 0u64;
+        for doc in &docs {
+            total_words += process_document(doc).total();
+        }
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        // Defeat over-aggressive optimizers: the count must be observable.
+        assert!(total_words > 0);
+        Capacity::new(n_docs as f64 / elapsed)
+    }
+}
+
+impl fmt::Display for Capacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} files/s", self.files_per_second)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_scales_with_load() {
+        let c = Capacity::new(200.0);
+        assert_eq!(c.throughput_at(0.5), 100.0);
+        assert_eq!(c.throughput_at(0.0), 0.0);
+        assert_eq!(c.throughput_at(1.0), 200.0);
+        // Out-of-range loads are clamped.
+        assert_eq!(c.throughput_at(2.0), 200.0);
+        assert_eq!(c.throughput_at(-1.0), 0.0);
+    }
+
+    #[test]
+    fn measurement_returns_positive_capacity() {
+        let c = Capacity::measure(50, 100);
+        assert!(c.files_per_second() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        Capacity::new(0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Capacity::new(10.0)).is_empty());
+    }
+}

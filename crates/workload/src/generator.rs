@@ -1,0 +1,144 @@
+//! Seeded synthetic-document source.
+//!
+//! Generates HTML documents whose word frequencies follow an approximate
+//! Zipf distribution over a fixed vocabulary, resembling the click-stream /
+//! crawl batches the paper's introduction motivates. Fully deterministic per
+//! seed so experiments are reproducible.
+
+use crate::job::Document;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Vocabulary used by the generator.
+const VOCABULARY: &[&str] = &[
+    "data", "center", "energy", "cooling", "computing", "thermal", "load", "server", "rack",
+    "temperature", "power", "optimal", "model", "machine", "room", "workload", "allocation",
+    "consolidation", "holistic", "constraint", "throughput", "steady", "state", "batch",
+    "processing", "cloud", "cluster", "air", "flow", "heat",
+];
+
+/// A deterministic generator of synthetic HTML documents.
+///
+/// ```
+/// use coolopt_workload::DocumentGenerator;
+/// let mut g = DocumentGenerator::new(1, 50);
+/// let a = g.next_document();
+/// assert!(a.html.starts_with("<html>"));
+/// // Same seed ⇒ same stream.
+/// assert_eq!(DocumentGenerator::new(1, 50).next_document(), a);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DocumentGenerator {
+    rng: StdRng,
+    words_per_doc: usize,
+    next_id: u64,
+    /// Cumulative Zipf weights over [`VOCABULARY`].
+    cumulative: Vec<f64>,
+}
+
+impl DocumentGenerator {
+    /// Creates a generator emitting documents of roughly `words_per_doc`
+    /// words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words_per_doc == 0`.
+    pub fn new(seed: u64, words_per_doc: usize) -> Self {
+        assert!(words_per_doc > 0, "documents must contain at least one word");
+        let mut cumulative = Vec::with_capacity(VOCABULARY.len());
+        let mut acc = 0.0;
+        for rank in 1..=VOCABULARY.len() {
+            acc += 1.0 / rank as f64; // Zipf with s = 1
+            cumulative.push(acc);
+        }
+        DocumentGenerator {
+            rng: StdRng::seed_from_u64(seed ^ 0xD0C5),
+            words_per_doc,
+            next_id: 0,
+            cumulative,
+        }
+    }
+
+    /// Size of the generator's vocabulary.
+    pub fn vocabulary_size() -> usize {
+        VOCABULARY.len()
+    }
+
+    /// Produces the next document in the stream.
+    pub fn next_document(&mut self) -> Document {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut html = String::from("<html><head><title>doc</title>");
+        html.push_str("<script>function f(){return 42;}</script></head><body><p>");
+        for k in 0..self.words_per_doc {
+            if k > 0 && k % 12 == 0 {
+                html.push_str("</p><p>");
+            }
+            html.push_str(self.sample_word());
+            html.push(' ');
+        }
+        html.push_str("</p></body></html>");
+        Document { id, html }
+    }
+
+    /// Produces a batch of `n` documents.
+    pub fn batch(&mut self, n: usize) -> Vec<Document> {
+        (0..n).map(|_| self.next_document()).collect()
+    }
+
+    fn sample_word(&mut self) -> &'static str {
+        let total = *self.cumulative.last().expect("non-empty vocabulary");
+        let u: f64 = self.rng.random::<f64>() * total;
+        let idx = self.cumulative.partition_point(|&c| c < u);
+        VOCABULARY[idx.min(VOCABULARY.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::process_document;
+
+    #[test]
+    fn documents_have_sequential_ids_and_requested_length() {
+        let mut g = DocumentGenerator::new(3, 40);
+        let batch = g.batch(5);
+        for (i, doc) in batch.iter().enumerate() {
+            assert_eq!(doc.id, i as u64);
+            let hist = process_document(doc);
+            // The <script> body must not leak into the histogram.
+            assert_eq!(hist.count("function"), 0);
+            assert_eq!(hist.count("return"), 0);
+            // Title contributes one word; body the other 40.
+            assert_eq!(hist.total(), 41, "doc {i} had {} words", hist.total());
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_zipf() {
+        let mut g = DocumentGenerator::new(9, 200);
+        let mut hist = crate::job::WordHistogram::new();
+        for doc in g.batch(100) {
+            hist.merge(&process_document(&doc));
+        }
+        // Rank-1 word should be clearly more frequent than a mid-rank word.
+        let top = hist.top(1);
+        assert_eq!(top[0].0, "data");
+        assert!(hist.count("data") > 3 * hist.count("air"));
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        let a: Vec<_> = DocumentGenerator::new(7, 30).batch(10);
+        let b: Vec<_> = DocumentGenerator::new(7, 30).batch(10);
+        assert_eq!(a, b);
+        let c: Vec<_> = DocumentGenerator::new(8, 30).batch(10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn zero_length_documents_are_rejected() {
+        DocumentGenerator::new(0, 0);
+    }
+}

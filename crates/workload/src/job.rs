@@ -1,0 +1,221 @@
+//! The text-processing kernel: HTML in, word histogram out.
+
+use std::collections::HashMap;
+
+/// An input file for the workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Opaque identifier (file name, URL, …).
+    pub id: u64,
+    /// Raw HTML content.
+    pub html: String,
+}
+
+/// A case-folded word histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WordHistogram {
+    counts: HashMap<String, u64>,
+    total: u64,
+}
+
+impl WordHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        WordHistogram::default()
+    }
+
+    /// Count of one word (zero when absent).
+    pub fn count(&self, word: &str) -> u64 {
+        self.counts.get(word).copied().unwrap_or(0)
+    }
+
+    /// Total number of word occurrences counted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct words.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Adds one occurrence of `word` (lower-cased by the caller).
+    fn add(&mut self, word: &str) {
+        *self.counts.entry(word.to_string()).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Merges another histogram into this one (the reduce step when several
+    /// machines process shares of the stream).
+    pub fn merge(&mut self, other: &WordHistogram) {
+        for (w, c) in &other.counts {
+            *self.counts.entry(w.clone()).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+
+    /// The `n` most frequent words, ties broken alphabetically.
+    pub fn top(&self, n: usize) -> Vec<(String, u64)> {
+        let mut items: Vec<(String, u64)> =
+            self.counts.iter().map(|(w, &c)| (w.clone(), c)).collect();
+        items.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        items.truncate(n);
+        items
+    }
+}
+
+/// Extracts the text of an HTML document (drops tags, script and style
+/// bodies, decodes the handful of entities that matter for counting) and
+/// produces its word histogram.
+///
+/// ```
+/// use coolopt_workload::{process_document, Document};
+///
+/// let doc = Document {
+///     id: 1,
+///     html: "<html><body><h1>Hello</h1> <p>hello world</p></body></html>".into(),
+/// };
+/// let hist = process_document(&doc);
+/// assert_eq!(hist.count("hello"), 2);
+/// assert_eq!(hist.count("world"), 1);
+/// ```
+pub fn process_document(doc: &Document) -> WordHistogram {
+    let mut hist = WordHistogram::new();
+    let text = extract_text(&doc.html);
+    let mut word = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() || ch == '\'' {
+            word.extend(ch.to_lowercase());
+        } else if !word.is_empty() {
+            hist.add(&word);
+            word.clear();
+        }
+    }
+    if !word.is_empty() {
+        hist.add(&word);
+    }
+    hist
+}
+
+/// Strips tags and skips `<script>`/`<style>` bodies.
+fn extract_text(html: &str) -> String {
+    let mut out = String::with_capacity(html.len());
+    let mut rest = html;
+    let mut skip_until: Option<&str> = None;
+    while let Some(open) = rest.find('<') {
+        if skip_until.is_none() {
+            out.push_str(&rest[..open]);
+            out.push(' ');
+        }
+        let after = &rest[open + 1..];
+        let close = match after.find('>') {
+            Some(c) => c,
+            None => {
+                // Unterminated tag: drop the remainder entirely.
+                rest = "";
+                break;
+            }
+        };
+        let tag = after[..close].trim().to_ascii_lowercase();
+        if let Some(end_tag) = skip_until {
+            if tag == end_tag {
+                skip_until = None;
+            }
+        } else if tag.starts_with("script") {
+            skip_until = Some("/script");
+        } else if tag.starts_with("style") {
+            skip_until = Some("/style");
+        }
+        rest = &after[close + 1..];
+    }
+    if skip_until.is_none() {
+        out.push_str(rest);
+    }
+    decode_entities(&out)
+}
+
+fn decode_entities(s: &str) -> String {
+    s.replace("&amp;", "&")
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&nbsp;", " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(html: &str) -> Document {
+        Document {
+            id: 0,
+            html: html.to_string(),
+        }
+    }
+
+    #[test]
+    fn counts_words_case_insensitively() {
+        let h = process_document(&doc("<p>Rust rust RUST</p>"));
+        assert_eq!(h.count("rust"), 3);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.distinct(), 1);
+    }
+
+    #[test]
+    fn skips_script_and_style_bodies() {
+        let h = process_document(&doc(
+            "<script>var hidden = 1;</script><style>.x{color:red}</style><b>visible</b>",
+        ));
+        assert_eq!(h.count("visible"), 1);
+        assert_eq!(h.count("hidden"), 0);
+        assert_eq!(h.count("color"), 0);
+    }
+
+    #[test]
+    fn decodes_common_entities() {
+        let h = process_document(&doc("<p>fish&nbsp;and&amp;chips</p>"));
+        assert_eq!(h.count("fish"), 1);
+        assert_eq!(h.count("and"), 1);
+        assert_eq!(h.count("chips"), 1);
+    }
+
+    #[test]
+    fn tags_split_words() {
+        let h = process_document(&doc("<em>data</em><em>center</em>"));
+        assert_eq!(h.count("data"), 1);
+        assert_eq!(h.count("center"), 1);
+        assert_eq!(h.count("datacenter"), 0);
+    }
+
+    #[test]
+    fn unterminated_tag_is_dropped_not_counted() {
+        let h = process_document(&doc("ok <unterminated"));
+        assert_eq!(h.count("ok"), 1);
+        assert_eq!(h.count("unterminated"), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = process_document(&doc("alpha beta"));
+        let b = process_document(&doc("beta gamma"));
+        a.merge(&b);
+        assert_eq!(a.count("alpha"), 1);
+        assert_eq!(a.count("beta"), 2);
+        assert_eq!(a.count("gamma"), 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn top_orders_by_frequency_then_alphabetically() {
+        let h = process_document(&doc("b b a a c"));
+        let top = h.top(2);
+        assert_eq!(top, vec![("a".to_string(), 2), ("b".to_string(), 2)]);
+    }
+
+    #[test]
+    fn apostrophes_stay_inside_words() {
+        let h = process_document(&doc("don't panic"));
+        assert_eq!(h.count("don't"), 1);
+        assert_eq!(h.count("panic"), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Batch workload for the CoolOpt machine room.
+//!
+//! The paper's testbed ran "a text processing application, resembling data
+//! mining applications": take HTML files, extract the meaningful text, and
+//! produce a word histogram. This crate implements that application (it is
+//! small, but *real* — the examples actually run it), plus the pieces the
+//! evaluation needs around it:
+//!
+//! * [`job`] — the HTML → word-histogram kernel;
+//! * [`generator`] — a seeded synthetic-document source;
+//! * [`capacity`] — measuring a machine's capacity in files/second, as the
+//!   paper does before profiling ("the maximum number of html files that a
+//!   machine could process on average per second was measured before the
+//!   experiment");
+//! * [`loadvec`] — validated per-machine load-fraction vectors, the unit the
+//!   optimizer speaks;
+//! * [`balancer`] — a deterministic weighted dispatcher that realizes a load
+//!   vector over an incoming file stream, playing the paper's "central load
+//!   balancer";
+//! * [`queue`] — a discrete-event M/D/1 bank measuring the response-time
+//!   cost of running consolidated machines at high utilization (beyond the
+//!   paper).
+
+#![warn(missing_docs)]
+
+pub mod balancer;
+pub mod capacity;
+pub mod generator;
+pub mod job;
+pub mod loadvec;
+pub mod queue;
+
+pub use balancer::{DispatchStats, LoadBalancer};
+pub use capacity::Capacity;
+pub use generator::DocumentGenerator;
+pub use job::{process_document, Document, WordHistogram};
+pub use loadvec::{InvalidLoadVector, LoadVector};
+pub use queue::{simulate_queueing, QueueStats};

@@ -1,0 +1,219 @@
+//! Validated per-machine load-fraction vectors.
+//!
+//! This is the currency between the optimizer and the room: entry `i` is the
+//! fraction of machine `i`'s capacity assigned to it. The paper's total load
+//! `L` is the sum of these fractions (so `L = 20` means "the whole rack flat
+//! out" and `L = 10` is the 50 % column of its figures).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// Error returned for malformed load vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvalidLoadVector {
+    /// A fraction was outside `[0, 1]` or not finite.
+    FractionOutOfRange {
+        /// Machine index.
+        index: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// The vector was empty.
+    Empty,
+    /// A requested total load exceeds what the machines can serve.
+    TotalExceedsCapacity {
+        /// Requested total.
+        requested: f64,
+        /// Number of machines available.
+        machines: usize,
+    },
+}
+
+impl fmt::Display for InvalidLoadVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidLoadVector::FractionOutOfRange { index, value } => {
+                write!(f, "load fraction {value} of machine {index} outside [0, 1]")
+            }
+            InvalidLoadVector::Empty => write!(f, "load vector is empty"),
+            InvalidLoadVector::TotalExceedsCapacity {
+                requested,
+                machines,
+            } => write!(
+                f,
+                "total load {requested} exceeds the capacity of {machines} machines"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InvalidLoadVector {}
+
+/// A per-machine load assignment; entry `i ∈ [0, 1]` is machine `i`'s load
+/// fraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadVector {
+    fractions: Vec<f64>,
+}
+
+impl LoadVector {
+    /// Validates and constructs a load vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidLoadVector`] when the vector is empty or any entry is
+    /// outside `[0, 1]`.
+    pub fn new(fractions: Vec<f64>) -> Result<Self, InvalidLoadVector> {
+        if fractions.is_empty() {
+            return Err(InvalidLoadVector::Empty);
+        }
+        for (index, &value) in fractions.iter().enumerate() {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(InvalidLoadVector::FractionOutOfRange { index, value });
+            }
+        }
+        Ok(LoadVector { fractions })
+    }
+
+    /// The even (standard load-balancing) split of total load `total` over
+    /// `machines` machines — the paper's **Even** baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidLoadVector`] when `machines == 0` or
+    /// `total > machines`.
+    pub fn even(machines: usize, total: f64) -> Result<Self, InvalidLoadVector> {
+        if machines == 0 {
+            return Err(InvalidLoadVector::Empty);
+        }
+        if !total.is_finite() || total < 0.0 || total > machines as f64 + 1e-9 {
+            return Err(InvalidLoadVector::TotalExceedsCapacity {
+                requested: total,
+                machines,
+            });
+        }
+        LoadVector::new(vec![(total / machines as f64).min(1.0); machines])
+    }
+
+    /// All machines idle.
+    pub fn zeros(machines: usize) -> Result<Self, InvalidLoadVector> {
+        if machines == 0 {
+            return Err(InvalidLoadVector::Empty);
+        }
+        LoadVector::new(vec![0.0; machines])
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.fractions.len()
+    }
+
+    /// `true` when the vector covers zero machines (impossible after
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.fractions.is_empty()
+    }
+
+    /// The fractions as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.fractions
+    }
+
+    /// Sum of the fractions — the paper's total load `L`.
+    pub fn total(&self) -> f64 {
+        self.fractions.iter().sum()
+    }
+
+    /// Indices of machines with non-zero load.
+    pub fn busy_machines(&self) -> Vec<usize> {
+        self.fractions
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l > 0.0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Iterates over the fractions.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.fractions.iter().copied()
+    }
+}
+
+impl Index<usize> for LoadVector {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.fractions[i]
+    }
+}
+
+impl AsRef<[f64]> for LoadVector {
+    fn as_ref(&self) -> &[f64] {
+        &self.fractions
+    }
+}
+
+impl<'a> IntoIterator for &'a LoadVector {
+    type Item = f64;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, f64>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.fractions.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_covers_total() {
+        let v = LoadVector::even(20, 12.0).unwrap();
+        assert_eq!(v.len(), 20);
+        assert!((v.total() - 12.0).abs() < 1e-9);
+        assert!((v[0] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_rejects_impossible_totals() {
+        assert!(matches!(
+            LoadVector::even(4, 5.0),
+            Err(InvalidLoadVector::TotalExceedsCapacity { .. })
+        ));
+        assert!(LoadVector::even(0, 0.0).is_err());
+        assert!(LoadVector::even(4, -1.0).is_err());
+    }
+
+    #[test]
+    fn new_validates_fractions() {
+        assert!(LoadVector::new(vec![]).is_err());
+        assert!(matches!(
+            LoadVector::new(vec![0.5, 1.2]),
+            Err(InvalidLoadVector::FractionOutOfRange { index: 1, .. })
+        ));
+        assert!(LoadVector::new(vec![0.0, f64::NAN]).is_err());
+        assert!(LoadVector::new(vec![0.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn busy_machines_skips_idle() {
+        let v = LoadVector::new(vec![0.0, 0.4, 0.0, 1.0]).unwrap();
+        assert_eq!(v.busy_machines(), vec![1, 3]);
+    }
+
+    #[test]
+    fn zeros_and_iteration() {
+        let v = LoadVector::zeros(3).unwrap();
+        assert_eq!(v.total(), 0.0);
+        assert_eq!((&v).into_iter().count(), 3);
+        assert_eq!(v.as_ref(), &[0.0, 0.0, 0.0]);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn error_messages_are_meaningful() {
+        let e = LoadVector::new(vec![2.0]).unwrap_err();
+        assert!(e.to_string().contains("outside [0, 1]"));
+        assert!(InvalidLoadVector::Empty.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Discrete-event queueing: what consolidation does to response time.
+//!
+//! The paper argues (§V, discussing Gandhi et al.) that "minimizing energy
+//! consumption with given load has more practical significance" than
+//! maximizing capacity under a power budget, because clusters rarely
+//! saturate. The flip side it leaves unquantified: consolidation runs fewer
+//! machines at higher utilization, and queueing delay explodes as
+//! utilization → 1. This module makes that trade-off measurable.
+//!
+//! The model is a bank of parallel single-server queues fed by one Poisson
+//! arrival stream through the [`crate::balancer::LoadBalancer`]
+//! (so machine `i` sees arrival rate `λ·share_i`), each serving documents in
+//! deterministic time `1/capacity_i` — per-machine M/D/1, matching the
+//! text-processing workload whose per-document cost is nearly constant.
+
+use crate::balancer::LoadBalancer;
+use crate::capacity::Capacity;
+use crate::job::Document;
+use crate::loadvec::LoadVector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error from a queueing simulation setup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueSimError {
+    what: String,
+}
+
+impl fmt::Display for QueueSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "queue simulation: {}", self.what)
+    }
+}
+
+impl std::error::Error for QueueSimError {}
+
+/// Response-time statistics of a queueing run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Documents completed.
+    pub completed: u64,
+    /// Mean response time (waiting + service), in seconds.
+    pub mean_response: f64,
+    /// 95th-percentile response time, in seconds.
+    pub p95_response: f64,
+    /// Maximum observed response time, in seconds.
+    pub max_response: f64,
+    /// Highest per-machine utilization `λ_i/μ_i` implied by the dispatch.
+    pub peak_utilization: f64,
+}
+
+/// Simulates `n_docs` Poisson arrivals at `arrival_rate` documents/second,
+/// dispatched by smooth weighted round robin according to `loads`, each
+/// machine serving deterministically at its capacity.
+///
+/// # Errors
+///
+/// Returns [`QueueSimError`] when the shapes disagree, the arrival rate is
+/// non-positive, or the assignment leaves the stream undispatchable
+/// (all-zero loads with a positive arrival rate).
+pub fn simulate_queueing(
+    loads: &LoadVector,
+    capacities: &[Capacity],
+    arrival_rate: f64,
+    n_docs: usize,
+    seed: u64,
+) -> Result<QueueStats, QueueSimError> {
+    if loads.len() != capacities.len() {
+        return Err(QueueSimError {
+            what: format!(
+                "{} loads vs {} capacities",
+                loads.len(),
+                capacities.len()
+            ),
+        });
+    }
+    if !(arrival_rate.is_finite() && arrival_rate > 0.0) {
+        return Err(QueueSimError {
+            what: format!("arrival rate must be positive, got {arrival_rate}"),
+        });
+    }
+    if n_docs == 0 {
+        return Err(QueueSimError {
+            what: "need at least one document".into(),
+        });
+    }
+    let mut balancer = LoadBalancer::new(loads, capacities).map_err(|e| QueueSimError {
+        what: e.to_string(),
+    })?;
+    if balancer.total_weight() <= 0.0 {
+        return Err(QueueSimError {
+            what: "no machine has positive load; stream cannot be dispatched".into(),
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0DE1_A7ED);
+    let n = loads.len();
+    // Per-machine time at which its server frees up.
+    let mut free_at = vec![0.0_f64; n];
+    let service: Vec<f64> = capacities
+        .iter()
+        .map(|c| 1.0 / c.files_per_second())
+        .collect();
+
+    let mut responses = Vec::with_capacity(n_docs);
+    let mut now = 0.0_f64;
+    let doc = Document {
+        id: 0,
+        html: String::new(),
+    };
+    for _ in 0..n_docs {
+        // Exponential inter-arrival times ⇒ Poisson arrivals.
+        let u: f64 = 1.0 - rng.random::<f64>();
+        now += -u.ln() / arrival_rate;
+        let machine = balancer
+            .dispatch(&doc)
+            .expect("positive total weight guarantees dispatch");
+        let start = now.max(free_at[machine]);
+        let done = start + service[machine];
+        free_at[machine] = done;
+        responses.push(done - now);
+    }
+
+    responses.sort_by(|a, b| a.partial_cmp(b).expect("finite response times"));
+    let completed = responses.len() as u64;
+    let mean = responses.iter().sum::<f64>() / responses.len() as f64;
+    let p95 = responses[((responses.len() as f64 * 0.95) as usize).min(responses.len() - 1)];
+    let max = *responses.last().expect("non-empty");
+
+    // Implied utilization: machine i receives arrival_rate·share_i and
+    // serves at capacity_i.
+    let stats = balancer.stats();
+    let peak_utilization = (0..n)
+        .map(|i| arrival_rate * stats.share(i) * service[i])
+        .fold(0.0, f64::max);
+
+    Ok(QueueStats {
+        completed,
+        mean_response: mean,
+        p95_response: p95,
+        max_response: max,
+        peak_utilization,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps(n: usize, fps: f64) -> Vec<Capacity> {
+        vec![Capacity::new(fps); n]
+    }
+
+    #[test]
+    fn light_load_response_approaches_service_time() {
+        // Utilization ≈ 0.1: responses barely queue.
+        let loads = LoadVector::new(vec![0.5; 4]).unwrap();
+        let stats = simulate_queueing(&loads, &caps(4, 100.0), 40.0, 20_000, 7).unwrap();
+        assert_eq!(stats.completed, 20_000);
+        assert!(
+            stats.mean_response < 0.012,
+            "mean {} should be near the 10 ms service time",
+            stats.mean_response
+        );
+        assert!((stats.peak_utilization - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn high_utilization_inflates_waiting_time() {
+        let loads = LoadVector::new(vec![0.5; 4]).unwrap();
+        // Same machines, 9× the arrivals: utilization 0.9.
+        let light = simulate_queueing(&loads, &caps(4, 100.0), 40.0, 20_000, 7).unwrap();
+        let heavy = simulate_queueing(&loads, &caps(4, 100.0), 360.0, 20_000, 7).unwrap();
+        assert!(heavy.peak_utilization > 0.85);
+        // A plain M/D/1 at ρ = 0.9 would see ~5.5× the service time; the
+        // smooth round-robin dispatcher de-bursts each machine's arrivals
+        // (per-machine inter-arrivals are Erlang-k, not exponential), which
+        // softens but does not remove the blow-up.
+        assert!(
+            heavy.mean_response > 1.8 * light.mean_response,
+            "heavy {} vs light {}",
+            heavy.mean_response,
+            light.mean_response
+        );
+        assert!(heavy.p95_response >= heavy.mean_response);
+        assert!(heavy.max_response >= heavy.p95_response);
+    }
+
+    #[test]
+    fn consolidation_trades_latency_for_energy() {
+        // The same total stream served by 2 machines (consolidated, ρ = 0.8)
+        // vs spread over 8 (ρ = 0.2): consolidation pays in response time.
+        let spread = LoadVector::new(vec![0.2; 8]).unwrap();
+        let consolidated =
+            LoadVector::new(vec![0.8, 0.8, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        let rate = 160.0; // docs/s against 100 docs/s machines
+        let s = simulate_queueing(&spread, &caps(8, 100.0), rate, 30_000, 3).unwrap();
+        let c = simulate_queueing(&consolidated, &caps(8, 100.0), rate, 30_000, 3).unwrap();
+        assert!(c.peak_utilization > 0.75 && s.peak_utilization < 0.25);
+        assert!(
+            c.p95_response > 2.0 * s.p95_response,
+            "consolidated p95 {} should clearly exceed spread p95 {}",
+            c.p95_response,
+            s.p95_response
+        );
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let loads = LoadVector::new(vec![0.4, 0.6]).unwrap();
+        let a = simulate_queueing(&loads, &caps(2, 50.0), 30.0, 5000, 11).unwrap();
+        let b = simulate_queueing(&loads, &caps(2, 50.0), 30.0, 5000, 11).unwrap();
+        assert_eq!(a, b);
+        let c = simulate_queueing(&loads, &caps(2, 50.0), 30.0, 5000, 12).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        let loads = LoadVector::new(vec![0.5]).unwrap();
+        assert!(simulate_queueing(&loads, &caps(2, 50.0), 10.0, 100, 0).is_err());
+        assert!(simulate_queueing(&loads, &caps(1, 50.0), 0.0, 100, 0).is_err());
+        assert!(simulate_queueing(&loads, &caps(1, 50.0), 10.0, 0, 0).is_err());
+        let idle = LoadVector::zeros(2).unwrap();
+        assert!(simulate_queueing(&idle, &caps(2, 50.0), 10.0, 100, 0).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Beyond the paper: heterogeneous hardware.
+//!
+//! The paper assumes one shared power model ("the same hardware
+//! configuration"); its closed form leans on that. `coolopt-core::hetero`
+//! generalizes the joint optimization to per-machine power curves — this
+//! example mixes two server generations in one rack and shows how the
+//! generalized optimum (a) matches the paper's closed form when the rack is
+//! actually homogeneous, and (b) steers load toward the efficient machines
+//! when it is not.
+//!
+//! ```text
+//! cargo run --example mixed_hardware
+//! ```
+
+use coolopt::core::hetero::{optimal_allocation_hetero, HeteroMachine};
+use coolopt::core::{optimal_allocation_clamped, ConsolidationIndex, PowerTerms};
+use coolopt::model::{CoolingModel, PowerModel, RoomModel, ThermalModel};
+use coolopt::units::{Temperature, Watts};
+
+fn thermal(slot: usize, n: usize) -> ThermalModel {
+    let h = slot as f64 / n.max(2) as f64;
+    let alpha = 0.95 - 0.2 * h;
+    let gamma = (290.0 + 4.0 * h) - alpha * 290.0;
+    ThermalModel::new(alpha, 0.5 + 0.04 * h, gamma).expect("valid thermal model")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 8;
+    let t_max = Temperature::from_celsius(65.0);
+    let cooling = CoolingModel::new(300.0, Temperature::from_celsius(45.0))?;
+    let ceiling = Temperature::from_celsius(21.0);
+
+    // --- A homogeneous rack: the generalization must agree with the paper.
+    let shared = PowerModel::new(Watts::new(45.0), Watts::new(40.0))?;
+    let machines: Vec<HeteroMachine> = (0..n)
+        .map(|i| HeteroMachine {
+            power: shared,
+            thermal: thermal(i, n),
+        })
+        .collect();
+    let load = 4.0;
+    let hetero = optimal_allocation_hetero(&machines, &cooling, t_max, load, Some(ceiling))?;
+
+    let model = RoomModel::new(
+        shared,
+        (0..n).map(|i| thermal(i, n)).collect(),
+        cooling,
+        t_max,
+    )?
+    .with_t_ac_max(ceiling);
+    let on: Vec<usize> = (0..n).collect();
+    let paper = optimal_allocation_clamped(&model, &on, load)?;
+    println!("homogeneous rack, L = {load}:");
+    println!(
+        "  paper closed form : T_ac = {}, total computing {:.1} W",
+        model.clamp_t_ac(paper.t_ac),
+        paper
+            .loads
+            .iter()
+            .map(|&l| shared.predict(l).as_watts())
+            .sum::<f64>()
+    );
+    println!(
+        "  generalized LP    : T_ac = {}, total computing {:.1} W  (must agree)",
+        hetero.t_ac,
+        hetero.computing.as_watts()
+    );
+
+    // --- Mix in old, inefficient machines (slots 0–3: 70 W/load, 55 W idle).
+    let old_gen = PowerModel::new(Watts::new(70.0), Watts::new(55.0))?;
+    let mixed: Vec<HeteroMachine> = (0..n)
+        .map(|i| HeteroMachine {
+            power: if i < 4 { old_gen } else { shared },
+            thermal: thermal(i, n),
+        })
+        .collect();
+    let sol = optimal_allocation_hetero(&mixed, &cooling, t_max, load, Some(ceiling))?;
+    println!("\nmixed rack (slots 0–3 are an older, hungrier generation), L = {load}:");
+    for (i, &l) in sol.loads.iter().enumerate() {
+        let gen = if i < 4 { "old" } else { "new" };
+        println!("  machine {i} ({gen}): {:>5.1} % load", l * 100.0);
+    }
+    println!(
+        "  T_ac = {}, computing {}, cooling {}, total {}",
+        sol.t_ac,
+        sol.computing,
+        sol.cooling,
+        sol.total()
+    );
+
+    // --- Consolidation across a mixed fleet: enumerate ON-sets by brute
+    //     combination of the paper's index (per-class) — here simply compare
+    //     "prefer new machines" vs "prefer old" front ends.
+    let new_first: Vec<HeteroMachine> = (4..n).chain(0..4).map(|i| mixed[i]).collect();
+    let few_new = optimal_allocation_hetero(&new_first[..5], &cooling, t_max, load, Some(ceiling))?;
+    let few_old = optimal_allocation_hetero(&mixed[..5], &cooling, t_max, load, Some(ceiling))?;
+    println!(
+        "\nserving L = {load} on 5 machines: new-generation subset {} vs old-heavy subset {}",
+        few_new.total(),
+        few_old.total()
+    );
+
+    // And the paper's own index still answers the homogeneous sub-questions.
+    let index = ConsolidationIndex::build(&model.consolidation_pairs())?;
+    let pick = index
+        .query_min_power(&PowerTerms::from_model(&model), load, Some(&model))?
+        .expect("servable");
+    println!(
+        "paper's Algorithm 1+2 on the homogeneous rack picks {} machines: {:?}",
+        pick.k, pick.on
+    );
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! The paper positions itself against rack-granularity schemes: "we
+//! addressed load distribution at the machine level (as well as selection of
+//! those machines to power on) within or across racks." This test profiles a
+//! two-rack room (near/far from the CRAC) and checks that the machine-level
+//! optimum actually exploits the cross-rack structure.
+
+use coolopt::alloc::{Method, Planner};
+use coolopt::profiling::{profile_room_full, ProfileOptions};
+use coolopt::room::presets::dual_zone_room;
+use coolopt::units::Seconds;
+
+#[test]
+fn optimal_consolidation_prefers_the_near_rack() {
+    let per_rack = 4;
+    let mut room = dual_zone_room(per_rack, 11);
+    let profile = profile_room_full(&mut room, &ProfileOptions::default())
+        .expect("dual-zone room profiles cleanly");
+
+    // The fitted models must expose the split. (Not through α: set-point
+    // changes shift supply and room air almost 1:1, so α fits near 1 for
+    // everyone; the position lands in γ — and therefore in the headroom
+    // constant K of Eq. 19, which is what the consolidation machinery
+    // consumes.)
+    let mean_k = |range: std::ops::Range<usize>| {
+        let len = range.len() as f64;
+        range.map(|i| profile.model.k(i)).sum::<f64>() / len
+    };
+    let k_near = mean_k(0..per_rack);
+    let k_far = mean_k(per_rack..2 * per_rack);
+    assert!(
+        k_near > k_far + 0.02,
+        "near rack should carry more headroom: K̄ near {k_near:.3} vs far {k_far:.3}"
+    );
+
+    // At a load one rack could carry, the holistic optimum consolidates
+    // onto the *highest-headroom machines* — which is machine-level, not
+    // rack-level, selection: per-unit manufacturing variation rivals the
+    // cross-rack position effect in this room, and the machine-level
+    // optimizer exploits both. (This is precisely the paper's argument
+    // against rack-granularity schemes: "we addressed load distribution at
+    // the machine level … within or across racks".)
+    let planner = Planner::new(&profile.model, &profile.cooling.set_points);
+    let plan = planner
+        .plan(Method::numbered(8), 2.0)
+        .expect("low load plans");
+    assert!(
+        plan.on.len() < 2 * per_rack,
+        "low load should not need both racks fully on"
+    );
+    // With the supply ceiling saturating the power objective, every size-k
+    // subset costs the same *power*; the planner's tie-break must then pick
+    // the maximum-thermal-margin subset — exactly the ratio optimum the
+    // paper's select(A, k, L) problem defines.
+    let k = plan.on.len();
+    // Compare against the ratio optimum of the *guarded* model the planner
+    // actually optimizes.
+    let (ratio_optimal, _) = coolopt::core::brute::brute_force_select(
+        &planner.model().consolidation_pairs(),
+        k,
+        2.0,
+    )
+    .expect("feasible select instance");
+    let mut picked = plan.on.clone();
+    picked.sort_unstable();
+    assert_eq!(
+        picked, ratio_optimal,
+        "tie-break should select the maximum-margin subset"
+    );
+    let _ = mean_k(0..1); // keep the helper exercised in both assertions
+
+    // Deploy and verify it holds on the simulator.
+    room.apply_on_set(&plan.on);
+    room.set_loads(&plan.loads).unwrap();
+    room.set_set_point(plan.set_point);
+    assert!(room.settle(Seconds::new(5000.0), 5.0));
+    for server in room.servers() {
+        assert!(
+            server.cpu_temp() <= profile.model.t_max(),
+            "{} exceeded T_max in the dual-zone deployment",
+            server.id()
+        );
+    }
+}

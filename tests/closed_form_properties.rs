@@ -1,0 +1,173 @@
+//! Property-based tests of the closed-form optimum (Eqs. 19/21/22) over
+//! randomly generated (physically plausible) room models.
+
+use coolopt::core::{
+    loads_for_t_ac, optimal_allocation, optimal_allocation_clamped,
+};
+use coolopt::model::{CoolingModel, PowerModel, RoomModel, ThermalModel};
+use coolopt::units::{Temperature, Watts};
+use proptest::prelude::*;
+
+/// Strategy producing plausible rack models: α paired with γ so machine
+/// inlets at a 290 K supply sit 0–8 K above it.
+fn room_model(n: std::ops::Range<usize>) -> impl Strategy<Value = RoomModel> {
+    (
+        prop::collection::vec((0.7f64..1.0, 0.4f64..0.7, 0.0f64..8.0), n),
+        30.0f64..60.0,   // w1
+        20.0f64..60.0,   // w2
+        100.0f64..800.0, // cf
+    )
+        .prop_map(|(machines, w1, w2, cf)| {
+            let power = PowerModel::new(Watts::new(w1), Watts::new(w2)).unwrap();
+            let thermal = machines
+                .iter()
+                .map(|&(alpha, beta, spread)| {
+                    let gamma = (290.0 + spread) - alpha * 290.0;
+                    ThermalModel::new(alpha, beta, gamma).unwrap()
+                })
+                .collect();
+            let cooling = CoolingModel::new(cf, Temperature::from_celsius(45.0)).unwrap();
+            RoomModel::new(power, thermal, cooling, Temperature::from_celsius(65.0)).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn closed_form_conserves_load_and_pins_every_machine_at_t_max(
+        model in room_model(1..10),
+        load_frac in 0.05f64..0.95,
+    ) {
+        let on: Vec<usize> = (0..model.len()).collect();
+        let load = load_frac * model.len() as f64;
+        if let Ok(sol) = optimal_allocation(&model, &on, load) {
+            let total: f64 = sol.loads.iter().sum();
+            prop_assert!((total - load).abs() < 1e-6, "Σ loads = {total} ≠ {load}");
+            for (&i, &l) in sol.on.iter().zip(&sol.loads) {
+                let t = model.predict_cpu_temp(i, l, sol.t_ac);
+                prop_assert!(
+                    (t.as_kelvin() - model.t_max().as_kelvin()).abs() < 1e-6,
+                    "machine {i} at {t}, not at T_max (Eq. 17 violated)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn t_ac_is_strictly_decreasing_in_load(model in room_model(2..8)) {
+        let on: Vec<usize> = (0..model.len()).collect();
+        let l1 = 0.2 * model.len() as f64;
+        let l2 = 0.7 * model.len() as f64;
+        if let (Ok(a), Ok(b)) = (
+            optimal_allocation(&model, &on, l1),
+            optimal_allocation(&model, &on, l2),
+        ) {
+            prop_assert!(a.t_ac > b.t_ac, "more load must need cooler air");
+            // Slope matches Eq. 21 exactly: dT_ac/dL = −w1/Σ(α/β).
+            let slope = (b.t_ac - a.t_ac).as_kelvin() / (l2 - l1);
+            let expect = -model.power().w1().as_watts() / a.s_sum;
+            prop_assert!((slope - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clamped_solution_is_feasible_and_no_worse_constrained(
+        model in room_model(2..8),
+        load_frac in 0.05f64..0.98,
+    ) {
+        let on: Vec<usize> = (0..model.len()).collect();
+        let load = load_frac * model.len() as f64;
+        if let Ok(sol) = optimal_allocation_clamped(&model, &on, load) {
+            let total: f64 = sol.loads.iter().sum();
+            prop_assert!((total - load).abs() < 1e-6);
+            for (&i, &l) in sol.on.iter().zip(&sol.loads) {
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&l), "load {l} out of bounds");
+                let t = model.predict_cpu_temp(i, l, sol.t_ac);
+                prop_assert!(
+                    t.as_kelvin() <= model.t_max().as_kelvin() + 1e-6,
+                    "machine {i} above T_max in the clamped solution"
+                );
+            }
+            // When the raw solution is feasible the clamped one matches it.
+            if let Ok(raw) = optimal_allocation(&model, &on, load) {
+                if raw.loads.iter().all(|l| (0.0..=1.0).contains(l)) {
+                    prop_assert!(!sol.clamped);
+                    prop_assert!((sol.t_ac - raw.t_ac).abs().as_kelvin() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clamped_t_ac_never_exceeds_unclamped(
+        model in room_model(2..8),
+        load_frac in 0.05f64..0.98,
+    ) {
+        // The capacity constraints can only *restrict* the feasible set, so
+        // the achievable T_ac never improves.
+        let on: Vec<usize> = (0..model.len()).collect();
+        let load = load_frac * model.len() as f64;
+        if let (Ok(raw), Ok(cl)) = (
+            optimal_allocation(&model, &on, load),
+            optimal_allocation_clamped(&model, &on, load),
+        ) {
+            prop_assert!(cl.t_ac <= raw.t_ac + coolopt::units::TempDelta::from_kelvin(1e-9));
+        }
+    }
+
+    #[test]
+    fn loads_for_fixed_t_ac_respect_caps(
+        model in room_model(2..8),
+        load_frac in 0.05f64..0.9,
+        t_ac_c in 8.0f64..22.0,
+    ) {
+        let on: Vec<usize> = (0..model.len()).collect();
+        let load = load_frac * model.len() as f64;
+        let t_ac = Temperature::from_celsius(t_ac_c);
+        if let Ok(loads) = loads_for_t_ac(&model, &on, load, t_ac) {
+            prop_assert!((loads.iter().sum::<f64>() - load).abs() < 1e-6);
+            for (&i, &l) in on.iter().zip(&loads) {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&l));
+                let t = model.predict_cpu_temp(i, l, t_ac);
+                prop_assert!(
+                    t.as_kelvin() <= model.t_max().as_kelvin() + 1e-6,
+                    "machine {i} above T_max at the commanded T_ac"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subset_optimum_is_never_better_than_superset_for_t_ac(
+        model in room_model(3..8),
+        load_frac in 0.05f64..0.5,
+    ) {
+        // Adding a machine to the ON-set always allows an equal-or-warmer
+        // T_ac (K_i > 0 adds headroom; the optimizer spreads load thinner).
+        let n = model.len();
+        let load = load_frac * (n - 1) as f64;
+        let subset: Vec<usize> = (0..n - 1).collect();
+        let full: Vec<usize> = (0..n).collect();
+        if let (Ok(a), Ok(b)) = (
+            optimal_allocation(&model, &subset, load),
+            optimal_allocation(&model, &full, load),
+        ) {
+            // Only meaningful while both optima are interior: a machine the
+            // raw closed form would run at negative load (it cannot even
+            // idle at the subset's T_ac) breaks the monotonicity, which is
+            // exactly why the capacity-aware variants exist.
+            let interior = |s: &coolopt::core::ClosedFormSolution| {
+                s.loads.iter().all(|l| (0.0..=1.0).contains(l))
+            };
+            if interior(&a) && interior(&b) {
+                prop_assert!(
+                    b.t_ac + coolopt::units::TempDelta::from_kelvin(1e-9) >= a.t_ac,
+                    "superset gave cooler air: {} vs {}",
+                    b.t_ac,
+                    a.t_ac
+                );
+            }
+        }
+    }
+}

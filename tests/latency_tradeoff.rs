@@ -1,0 +1,67 @@
+//! The response-time side of consolidation, as a regression test: the
+//! holistic optimum consolidates to *partial* per-machine loads and pays a
+//! small latency premium, while the bottom-up baseline fills machines to
+//! ρ = 1 and destroys tail latency. (See the `ablation` binary, study 5.)
+
+use coolopt::alloc::{Method, Planner};
+use coolopt::experiments::Testbed;
+use coolopt::workload::{simulate_queueing, Capacity, LoadVector};
+
+#[test]
+fn holistic_consolidation_keeps_latency_sane_where_bottom_up_saturates() {
+    let machines = 6;
+    let testbed = Testbed::build_sized(machines, 47).expect("testbed builds");
+    let planner = Planner::new(
+        &testbed.profile.model,
+        &testbed.profile.cooling.set_points,
+    );
+
+    let total_load = 0.3 * machines as f64;
+    let capacity = 100.0; // docs/s per machine
+    let arrival = total_load * capacity;
+    let capacities = vec![Capacity::new(capacity); machines];
+
+    let p95_of = |method: Method| {
+        let plan = planner.plan(method, total_load).expect("plannable");
+        let loads = LoadVector::new(plan.loads.clone()).expect("valid loads");
+        simulate_queueing(&loads, &capacities, arrival, 40_000, 5)
+            .expect("queue sim runs")
+    };
+
+    let spread = p95_of(Method::numbered(4));
+    let bottom_up = p95_of(Method::numbered(7));
+    let holistic = p95_of(Method::numbered(8));
+
+    // Bottom-up fills its machines completely: utilization pinned at 1.
+    assert!(
+        bottom_up.peak_utilization > 0.99,
+        "bottom-up should saturate: ρ = {}",
+        bottom_up.peak_utilization
+    );
+    // The holistic optimum consolidates but keeps real headroom.
+    assert!(
+        holistic.peak_utilization < 0.95,
+        "holistic should keep headroom: ρ = {}",
+        holistic.peak_utilization
+    );
+    // Tail latency: bottom-up is at least an order of magnitude worse than
+    // the holistic allocation; the holistic premium over full spreading
+    // stays within a small factor.
+    assert!(
+        bottom_up.p95_response > 10.0 * holistic.p95_response,
+        "bottom-up p95 {} should dwarf holistic p95 {}",
+        bottom_up.p95_response,
+        holistic.p95_response
+    );
+    // The three policies order as expected: spreading is latency-cheapest,
+    // the holistic consolidation pays a bounded premium, bottom-up explodes.
+    assert!(spread.p95_response <= holistic.p95_response);
+    assert!(
+        holistic.p95_response < 15.0 * spread.p95_response,
+        "holistic p95 {} should stay within a bounded factor of spread p95 {} \
+         (on this small rack the optimizer consolidates tightly, ρ ≈ {:.2})",
+        holistic.p95_response,
+        spread.p95_response,
+        holistic.peak_utilization
+    );
+}

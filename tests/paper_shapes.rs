@@ -1,0 +1,104 @@
+//! The qualitative results of the paper's evaluation, certified on a small
+//! simulated rack (the full 20-machine sweep lives in the `reproduce`
+//! binary and the benchmark harness; this test keeps CI fast).
+
+use coolopt::alloc::{Method, Strategy};
+use coolopt::experiments::{run_sweep, savings_summary, SweepOptions, Testbed};
+use coolopt::units::Seconds;
+
+fn small_sweep() -> (Testbed, coolopt::experiments::Sweep) {
+    let mut testbed = Testbed::build_sized(6, 42).expect("testbed builds");
+    let mut methods = Method::all();
+    methods.push(Method::new(Strategy::Even, true, true));
+    let options = SweepOptions {
+        load_percents: vec![20.0, 50.0, 80.0],
+        settle_max: Seconds::new(3500.0),
+        window: Seconds::new(40.0),
+        ..SweepOptions::default()
+    };
+    let sweep = run_sweep(&mut testbed, &methods, &options);
+    (testbed, sweep)
+}
+
+#[test]
+fn the_papers_qualitative_results_hold() {
+    let (_testbed, sweep) = small_sweep();
+
+    // Every numbered method ran at every load.
+    assert_eq!(sweep.len(), 27, "9 methods × 3 loads expected");
+
+    // (1) Power grows monotonically with load for every method.
+    for n in 1..=8 {
+        let series = sweep.series(Method::numbered(n));
+        assert_eq!(series.len(), 3, "method #{n} missing runs");
+        assert!(
+            series.windows(2).all(|w| w[1].1 > w[0].1),
+            "method #{n} power not increasing: {series:?}"
+        );
+    }
+
+    // (2) Consolidation helps, most at low load (Fig. 5): #3 ≤ #2, #7 ≤ #5.
+    for (with, without) in [(3u8, 2u8), (7, 5)] {
+        let s = savings_summary(
+            &sweep,
+            Method::numbered(with),
+            Method::numbered(without),
+        )
+        .expect("shared loads");
+        assert!(
+            s.mean > 0.0,
+            "consolidated #{with} should beat #{without}: {s}"
+        );
+        let series_savings: Vec<(f64, f64)> = sweep
+            .series(Method::numbered(without))
+            .iter()
+            .zip(sweep.series(Method::numbered(with)))
+            .map(|(&(l, base), (_, cons))| (l, (base - cons) / base))
+            .collect();
+        assert!(
+            series_savings.first().unwrap().1 >= series_savings.last().unwrap().1 - 0.02,
+            "consolidation benefit should not grow with load: {series_savings:?}"
+        );
+    }
+
+    // (3) With AC control and no consolidation (Fig. 7), Optimal is never
+    //     beaten by Even or Bottom-up.
+    for baseline in [4u8, 5u8] {
+        let s = savings_summary(&sweep, Method::numbered(6), Method::numbered(baseline))
+            .expect("shared loads");
+        assert!(
+            s.min > -0.02,
+            "#6 lost to #{baseline} somewhere: {s}"
+        );
+    }
+
+    // (4) The headline (Fig. 9): Optimal #8 beats the best baseline #7.
+    let headline = savings_summary(&sweep, Method::numbered(8), Method::numbered(7))
+        .expect("shared loads");
+    assert!(
+        headline.mean > 0.03,
+        "expected clear average savings of #8 over #7, got {headline}"
+    );
+    assert!(headline.min > -0.02, "#8 lost at some load: {headline}");
+
+    // (5) AC control helps the same strategy (#4 ≤ #1, #5 ≤ #2 on average).
+    for (controlled, fixed) in [(4u8, 1u8), (5, 2)] {
+        let s = savings_summary(
+            &sweep,
+            Method::numbered(controlled),
+            Method::numbered(fixed),
+        )
+        .expect("shared loads");
+        assert!(
+            s.mean > -0.02,
+            "AC control should not hurt #{fixed}: {s}"
+        );
+    }
+
+    // (6) No run violated temperature or throughput constraints.
+    for run in sweep.iter() {
+        assert!(run.temps_ok, "{} violated T_max", run.plan.method);
+        assert!(run.throughput_ok, "{} broke throughput", run.plan.method);
+        assert!(run.measurement.settled, "{} never settled", run.plan.method);
+    }
+}
