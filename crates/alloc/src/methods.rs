@@ -94,7 +94,11 @@ impl fmt::Display for Method {
             f,
             "{} [{}, {}]",
             self.strategy,
-            if self.ac_control { "AC control" } else { "no AC control" },
+            if self.ac_control {
+                "AC control"
+            } else {
+                "no AC control"
+            },
             if self.consolidation {
                 "consolidation"
             } else {

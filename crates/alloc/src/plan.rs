@@ -4,12 +4,14 @@ use crate::methods::{Method, Strategy};
 use crate::strategies::{bottom_up_loads, coolness_order, even_loads};
 use coolopt_cooling::SetPointTable;
 use coolopt_core::{
-    loads_for_t_ac, optimal_allocation_clamped, ConsolidationIndex, PowerTerms, SolveError,
+    loads_for_t_ac, optimal_allocation_clamped, ConsolidationIndex, IndexBuilder, ModelFingerprint,
+    PowerTerms, SolveError,
 };
 use coolopt_model::RoomModel;
 use coolopt_units::{TempDelta, Temperature};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Error from planning.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +79,29 @@ impl AllocationPlan {
     }
 }
 
+/// The consolidation solver engine a [`Planner`] memoizes: the Algorithm 1
+/// index plus the Eq. 23 terms, stamped with the fingerprint of the model
+/// they were built from.
+#[derive(Debug, Clone)]
+struct SolverEngine {
+    index: ConsolidationIndex,
+    terms: PowerTerms,
+}
+
+impl SolverEngine {
+    fn for_model(model: &RoomModel) -> Result<Self, SolveError> {
+        let builder = IndexBuilder::new(&model.consolidation_pairs())?;
+        #[cfg(feature = "parallel")]
+        let index = builder.build_parallel();
+        #[cfg(not(feature = "parallel"))]
+        let index = builder.build();
+        Ok(SolverEngine {
+            index,
+            terms: PowerTerms::from_model(model),
+        })
+    }
+}
+
 /// Plans allocations for one profiled room.
 ///
 /// Planning happens against a *guarded* copy of the model whose `T_max` sits
@@ -84,33 +109,42 @@ impl AllocationPlan {
 /// of error (the paper: "a few percent error"), and a deployment that plans
 /// exactly to the limit would breach it whenever the model errs warm. The
 /// guard applies to every method equally, so comparisons stay fair.
+///
+/// # Engine reuse
+///
+/// The first consolidating `Optimal` plan builds the `O(n³ log n)`
+/// consolidation index; the planner memoizes it (keyed by the guarded
+/// model's [`ModelFingerprint`]) so every later [`Planner::plan`] against
+/// the same model is a pure `O(n³)`-scan query with no rebuild. Swapping
+/// the model with [`Planner::set_model`] invalidates the engine exactly
+/// when the fingerprint changes.
 #[derive(Debug, Clone)]
-pub struct Planner<'a> {
+pub struct Planner {
     model: RoomModel,
-    set_points: &'a SetPointTable,
+    set_points: SetPointTable,
     t_ac_floor: Temperature,
+    guard: TempDelta,
+    engine: OnceLock<SolverEngine>,
 }
 
 /// Default guard band between the true `T_max` and the planning target.
 pub const DEFAULT_GUARD: TempDelta = TempDelta::from_kelvin(2.0);
 
-impl<'a> Planner<'a> {
+impl Planner {
     /// Creates a planner with an 8 °C supply floor (typical coil limit) and
     /// the default 2 K guard band.
-    pub fn new(model: &RoomModel, set_points: &'a SetPointTable) -> Self {
-        Planner {
-            model: model.with_t_max(model.t_max() - DEFAULT_GUARD),
-            set_points,
-            t_ac_floor: Temperature::from_celsius(8.0),
-        }
+    pub fn new(model: &RoomModel, set_points: &SetPointTable) -> Self {
+        Self::with_guard(model, set_points, DEFAULT_GUARD)
     }
 
     /// Creates a planner with an explicit guard band.
-    pub fn with_guard(model: &RoomModel, set_points: &'a SetPointTable, guard: TempDelta) -> Self {
+    pub fn with_guard(model: &RoomModel, set_points: &SetPointTable, guard: TempDelta) -> Self {
         Planner {
             model: model.with_t_max(model.t_max() - guard),
-            set_points,
+            set_points: set_points.clone(),
             t_ac_floor: Temperature::from_celsius(8.0),
+            guard,
+            engine: OnceLock::new(),
         }
     }
 
@@ -123,6 +157,34 @@ impl<'a> Planner<'a> {
     /// The (guarded) model this planner works from.
     pub fn model(&self) -> &RoomModel {
         &self.model
+    }
+
+    /// Fingerprint of the guarded model the memoized engine is keyed by.
+    pub fn fingerprint(&self) -> ModelFingerprint {
+        ModelFingerprint::of_model(&self.model)
+    }
+
+    /// Replaces the planner's model (re-applying the guard band). The
+    /// memoized solver engine is dropped only if the new model actually
+    /// fingerprints differently — re-setting an identical model keeps the
+    /// index.
+    pub fn set_model(&mut self, model: &RoomModel) {
+        let guarded = model.with_t_max(model.t_max() - self.guard);
+        if ModelFingerprint::of_model(&guarded) != self.fingerprint() {
+            self.engine = OnceLock::new();
+        }
+        self.model = guarded;
+    }
+
+    /// The memoized engine, built on first use.
+    fn engine(&self) -> Result<&SolverEngine, SolveError> {
+        if let Some(engine) = self.engine.get() {
+            return Ok(engine);
+        }
+        let built = SolverEngine::for_model(&self.model)?;
+        // A concurrent plan() may have won the race; its engine is
+        // equivalent (same fingerprint), so either winner is correct.
+        Ok(self.engine.get_or_init(|| built))
     }
 
     /// Plans `method` for `total_load`.
@@ -158,9 +220,11 @@ impl<'a> Planner<'a> {
         total_load: f64,
     ) -> Result<(Vec<usize>, Vec<f64>), PolicyError> {
         let n = self.model.len();
-        let all: Vec<usize> = (0..n).collect();
+        // Only the non-consolidating branches turn every machine on; built
+        // lazily so the hot consolidating path does not allocate it.
+        let all = || (0..n).collect::<Vec<usize>>();
         match (method.strategy, method.consolidation) {
-            (Strategy::Even, false) => Ok((all, even_loads(n, total_load))),
+            (Strategy::Even, false) => Ok((all(), even_loads(n, total_load))),
             (Strategy::Even, true) => {
                 // Minimum machine count, coolest spots first, even within.
                 let k = (total_load.ceil() as usize).clamp(usize::from(total_load > 0.0), n);
@@ -195,7 +259,7 @@ impl<'a> Planner<'a> {
                         .map(|(i, _)| i)
                         .collect()
                 } else {
-                    all
+                    all()
                 };
                 Ok((on, loads))
             }
@@ -204,27 +268,23 @@ impl<'a> Planner<'a> {
                     if total_load <= 0.0 {
                         Vec::new()
                     } else {
-                        let index = ConsolidationIndex::build(&self.model.consolidation_pairs())?;
-                        let terms = PowerTerms::from_model(&self.model);
-                        index
-                            .query_min_power(&terms, total_load, Some(&self.model))?
+                        let engine = self.engine()?;
+                        engine
+                            .index
+                            .query_min_power(&engine.terms, total_load, Some(&self.model))?
                             .ok_or(SolveError::Infeasible {
-                                reason: "no subset can carry this load within capacity"
-                                    .to_string(),
+                                reason: "no subset can carry this load within capacity".to_string(),
                             })?
                             .on
                     }
                 } else {
-                    all
+                    all()
                 };
                 if on.is_empty() {
                     return Ok((on, vec![0.0; n]));
                 }
                 let solution = optimal_allocation_clamped(&self.model, &on, total_load)?;
-                let mut full = vec![0.0; n];
-                for (&i, &l) in solution.on.iter().zip(&solution.loads) {
-                    full[i] = l;
-                }
+                let mut full = solution.full_loads(n);
                 // If the actuator cannot reach the model-optimal supply
                 // temperature, redistribute for the capped temperature
                 // (power-equivalent; keeps headroom balanced).
@@ -248,9 +308,7 @@ impl<'a> Planner<'a> {
         for &i in on {
             let th = self.model.thermal(i);
             let p = self.model.power().predict(loads[i]);
-            let cap = (self.model.t_max().as_kelvin()
-                - th.beta() * p.as_watts()
-                - th.gamma())
+            let cap = (self.model.t_max().as_kelvin() - th.beta() * p.as_watts() - th.gamma())
                 / th.alpha();
             t = t.min(cap);
         }
@@ -324,9 +382,21 @@ mod tests {
 
     fn table() -> SetPointTable {
         SetPointTable::from_measurements(&[
-            (1.0, Temperature::from_celsius(20.0), Temperature::from_celsius(18.5)),
-            (4.0, Temperature::from_celsius(20.0), Temperature::from_celsius(17.5)),
-            (8.0, Temperature::from_celsius(20.0), Temperature::from_celsius(16.0)),
+            (
+                1.0,
+                Temperature::from_celsius(20.0),
+                Temperature::from_celsius(18.5),
+            ),
+            (
+                4.0,
+                Temperature::from_celsius(20.0),
+                Temperature::from_celsius(17.5),
+            ),
+            (
+                8.0,
+                Temperature::from_celsius(20.0),
+                Temperature::from_celsius(16.0),
+            ),
         ])
         .unwrap()
     }
@@ -338,9 +408,9 @@ mod tests {
         let planner = Planner::new(&m, &t);
         for method in Method::all() {
             for load in [0.5, 2.0, 5.0, 7.5] {
-                let plan = planner.plan(method, load).unwrap_or_else(|e| {
-                    panic!("{method} failed at load {load}: {e}")
-                });
+                let plan = planner
+                    .plan(method, load)
+                    .unwrap_or_else(|e| panic!("{method} failed at load {load}: {e}"));
                 assert!(
                     (plan.total_load() - load).abs() < 1e-6,
                     "{method} lost load: {} vs {load}",
@@ -364,14 +434,19 @@ mod tests {
         let m = model(8);
         let t = table();
         let planner = Planner::new(&m, &t);
-        for method in [Method::numbered(3), Method::numbered(7), Method::numbered(8)] {
+        for method in [
+            Method::numbered(3),
+            Method::numbered(7),
+            Method::numbered(8),
+        ] {
             let plan = planner.plan(method, 1.5).unwrap();
-            assert!(
-                plan.on.len() < 8,
-                "{method} kept everything on at low load"
-            );
+            assert!(plan.on.len() < 8, "{method} kept everything on at low load");
         }
-        for method in [Method::numbered(1), Method::numbered(4), Method::numbered(6)] {
+        for method in [
+            Method::numbered(1),
+            Method::numbered(4),
+            Method::numbered(6),
+        ] {
             let plan = planner.plan(method, 1.5).unwrap();
             assert_eq!(plan.on.len(), 8, "{method} must keep all machines on");
         }

@@ -44,7 +44,11 @@ fn bench_exact_query(c: &mut Criterion) {
         let terms = PowerTerms::from_model(&model);
         let load = n as f64 * 0.4;
         group.bench_function(BenchmarkId::new("model_free", n), |b| {
-            b.iter(|| index.query_min_power(black_box(&terms), load, None).unwrap());
+            b.iter(|| {
+                index
+                    .query_min_power(black_box(&terms), load, None)
+                    .unwrap()
+            });
         });
         group.bench_function(BenchmarkId::new("capacity_checked", n), |b| {
             b.iter(|| {
@@ -98,7 +102,6 @@ fn bench_heuristics(c: &mut Criterion) {
     });
     group.finish();
 }
-
 
 /// Lean measurement settings so the whole suite (including the simulator-
 /// backed figure benches) completes in minutes rather than an hour, while

@@ -1,0 +1,131 @@
+//! Benchmarks of the solver-engine refactor: what does an index build cost
+//! as the room grows, and what does planner memoization buy during online
+//! replanning?
+//!
+//! * `engine_build_vs_n` — one-shot [`IndexBuilder`] builds for rooms of
+//!   20…200 machines (the paper's `O(n³ log n)` Algorithm 1), serial and —
+//!   under `--features parallel` — chunked across threads.
+//! * `plan_latency` — a single `plan()` on a 20-machine room, cold (fresh
+//!   planner, pays the index build) vs warm (memoized engine, pure query).
+//! * `replan_trace` — a full 24-step sinusoidal replanning trace, fresh
+//!   planner per step vs one memoized planner for the whole trace.
+
+use coolopt_alloc::{Method, Planner};
+use coolopt_bench::{synthetic_model, synthetic_pairs};
+use coolopt_cooling::SetPointTable;
+use coolopt_core::IndexBuilder;
+use coolopt_experiments::runtime::sinusoidal_trace;
+use coolopt_units::{Seconds, Temperature};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const ROOM: usize = 20;
+const TRACE_STEPS: usize = 24;
+
+fn set_points(machines: usize) -> SetPointTable {
+    let sp = Temperature::from_celsius(20.0);
+    SetPointTable::from_measurements(&[
+        (0.1 * machines as f64, sp, Temperature::from_celsius(18.5)),
+        (0.5 * machines as f64, sp, Temperature::from_celsius(17.5)),
+        (1.0 * machines as f64, sp, Temperature::from_celsius(16.0)),
+    ])
+    .expect("valid set-point table")
+}
+
+fn trace_loads(machines: usize) -> Vec<f64> {
+    sinusoidal_trace(machines, 0.15, 0.85, Seconds::new(14_400.0), TRACE_STEPS)
+        .into_iter()
+        .map(|p| p.load)
+        .collect()
+}
+
+fn bench_build_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_build_vs_n");
+    group.sample_size(10);
+    for n in [20usize, 50, 100, 200] {
+        let pairs = synthetic_pairs(n, 7);
+        group.bench_with_input(BenchmarkId::new("serial", n), &pairs, |b, pairs| {
+            b.iter(|| {
+                IndexBuilder::new(black_box(pairs))
+                    .expect("synthetic pairs are well-formed")
+                    .build()
+            });
+        });
+        #[cfg(feature = "parallel")]
+        group.bench_with_input(BenchmarkId::new("parallel", n), &pairs, |b, pairs| {
+            b.iter(|| {
+                IndexBuilder::new(black_box(pairs))
+                    .expect("synthetic pairs are well-formed")
+                    .build_parallel()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_latency(c: &mut Criterion) {
+    let model = synthetic_model(ROOM, 7);
+    let table = set_points(ROOM);
+    let method = Method::numbered(8);
+    let load = 0.4 * ROOM as f64;
+
+    let mut group = c.benchmark_group("plan_latency");
+    group.sample_size(10);
+    // Cold: every plan() pays a full consolidation-index build — what the
+    // harness did before planners were reused.
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let planner = Planner::new(black_box(&model), &table);
+            planner.plan(method, load).expect("plannable")
+        });
+    });
+    // Warm: the engine is memoized, so plan() is a pure query.
+    let planner = Planner::new(&model, &table);
+    planner.plan(method, load).expect("plannable"); // populate the engine
+    group.bench_function("warm", |b| {
+        b.iter(|| black_box(&planner).plan(method, load).expect("plannable"));
+    });
+    group.finish();
+}
+
+fn bench_replan_trace(c: &mut Criterion) {
+    let model = synthetic_model(ROOM, 7);
+    let table = set_points(ROOM);
+    let method = Method::numbered(8);
+    let loads = trace_loads(ROOM);
+
+    let mut group = c.benchmark_group("replan_trace");
+    group.sample_size(10);
+    group.bench_function(
+        BenchmarkId::new("fresh_planner_per_step", TRACE_STEPS),
+        |b| {
+            b.iter(|| {
+                loads
+                    .iter()
+                    .map(|&l| {
+                        let planner = Planner::new(black_box(&model), &table);
+                        planner.plan(method, l).expect("plannable").total_load()
+                    })
+                    .sum::<f64>()
+            });
+        },
+    );
+    group.bench_function(BenchmarkId::new("memoized_planner", TRACE_STEPS), |b| {
+        b.iter(|| {
+            let planner = Planner::new(black_box(&model), &table);
+            loads
+                .iter()
+                .map(|&l| planner.plan(method, l).expect("plannable").total_load())
+                .sum::<f64>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build_vs_n,
+    bench_plan_latency,
+    bench_replan_trace
+);
+criterion_main!(benches);

@@ -57,13 +57,7 @@ fn bench_method_runs(c: &mut Criterion) {
     for n in [1u8, 7, 8] {
         group.bench_function(format!("method_{n}_at_50pct"), |b| {
             b.iter(|| {
-                run_method(
-                    black_box(&mut testbed),
-                    Method::numbered(n),
-                    50.0,
-                    &options,
-                )
-                .unwrap()
+                run_method(black_box(&mut testbed), Method::numbered(n), 50.0, &options).unwrap()
             });
         });
     }
@@ -95,7 +89,6 @@ fn bench_sweep_figures(c: &mut Criterion) {
     });
     group.finish();
 }
-
 
 /// Lean measurement settings so the whole suite (including the simulator-
 /// backed figure benches) completes in minutes rather than an hour, while

@@ -48,15 +48,15 @@ fn bench_regression(c: &mut Criterion) {
     });
     let rows: Vec<[f64; 2]> = x.iter().map(|&v| [v, (v * 0.3).cos()]).collect();
     group.bench_function("multi_2pred_1000_points", |b| {
-        b.iter(|| {
-            fit_multi(rows.iter().map(|r| r.as_slice()), black_box(&y)).unwrap()
-        });
+        b.iter(|| fit_multi(rows.iter().map(|r| r.as_slice()), black_box(&y)).unwrap());
     });
     group.finish();
 }
 
 fn bench_workload(c: &mut Criterion) {
-    use coolopt_workload::{process_document, Capacity, DocumentGenerator, LoadBalancer, LoadVector};
+    use coolopt_workload::{
+        process_document, Capacity, DocumentGenerator, LoadBalancer, LoadVector,
+    };
     let mut group = c.benchmark_group("workload");
     let mut generator = DocumentGenerator::new(5, 400);
     let doc = generator.next_document();
@@ -76,7 +76,6 @@ fn bench_workload(c: &mut Criterion) {
     });
     group.finish();
 }
-
 
 /// Lean measurement settings so the whole suite (including the simulator-
 /// backed figure benches) completes in minutes rather than an hour, while

@@ -434,8 +434,7 @@ mod tests {
         let back: CracConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(c, back);
         let mode = CracMode::ReturnSetPoint(Temperature::from_celsius(23.0));
-        let back: CracMode =
-            serde_json::from_str(&serde_json::to_string(&mode).unwrap()).unwrap();
+        let back: CracMode = serde_json::from_str(&serde_json::to_string(&mode).unwrap()).unwrap();
         assert_eq!(mode, back);
     }
 
@@ -449,7 +448,10 @@ mod tests {
             .build()
             .is_err());
         assert!(CracConfig::builder().gains(0.0, 0.1).build().is_err());
-        assert!(CracConfig::builder().fan_power(Watts::new(-1.0)).build().is_err());
+        assert!(CracConfig::builder()
+            .fan_power(Watts::new(-1.0))
+            .build()
+            .is_err());
         assert!(CracConfig::builder().min_valve(1.0).build().is_err());
         assert!(CracConfig::builder().min_valve(-0.1).build().is_err());
     }

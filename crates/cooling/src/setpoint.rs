@@ -150,11 +150,9 @@ mod tests {
 
     #[test]
     fn unsorted_measurements_are_sorted() {
-        let tab = SetPointTable::from_measurements(&[
-            (20.0, t(25.0), t(10.0)),
-            (4.0, t(25.0), t(20.0)),
-        ])
-        .unwrap();
+        let tab =
+            SetPointTable::from_measurements(&[(20.0, t(25.0), t(10.0)), (4.0, t(25.0), t(20.0))])
+                .unwrap();
         assert!((tab.offset_at(4.0).as_kelvin() - 5.0).abs() < 1e-12);
         assert_eq!(tab.len(), 2);
         assert!(!tab.is_empty());

@@ -62,8 +62,7 @@ pub fn brute_force_subsets(
             None => true,
             Some(b) => {
                 let eps = 1e-9 * (1.0 + b.relative_power.abs());
-                rel < b.relative_power - eps
-                    || ((rel - b.relative_power).abs() <= eps && k < b.k)
+                rel < b.relative_power - eps || ((rel - b.relative_power).abs() <= eps && k < b.k)
             }
         };
         if better {
@@ -110,7 +109,11 @@ pub fn brute_force_select(
             continue;
         }
         let ratio = (sum_a - total_load) / sum_b;
-        if best.as_ref().map(|&(_, r)| ratio > r + 1e-15).unwrap_or(true) {
+        if best
+            .as_ref()
+            .map(|&(_, r)| ratio > r + 1e-15)
+            .unwrap_or(true)
+        {
             let on: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
             best = Some((on, ratio));
         }

@@ -172,9 +172,21 @@ pub fn optimal_allocation_clamped(
     let s_sum: f64 = b.iter().sum();
 
     let cap = |t: f64| -> Vec<f64> {
-        k.iter().zip(&b).map(|(&ki, &bi)| ki - bi * t / w1).collect()
+        k.iter()
+            .zip(&b)
+            .map(|(&ki, &bi)| ki - bi * t / w1)
+            .collect()
     };
-    let g = |t: f64| -> f64 { cap(t).iter().map(|c| c.clamp(0.0, 1.0)).sum() };
+    // Allocation-free servable load: the bisection below evaluates this
+    // dozens of times per solve, so it must not build the `cap` vector and
+    // pays the `t/w1` division once, not once per machine.
+    let g = |t: f64| -> f64 {
+        let tw = t / w1;
+        k.iter()
+            .zip(&b)
+            .map(|(&ki, &bi)| (ki - bi * tw).clamp(0.0, 1.0))
+            .sum()
+    };
 
     // Warmest admissible air: every ON machine must at least idle legally.
     let t_ub = k
@@ -199,9 +211,15 @@ pub fn optimal_allocation_clamped(
     let t_star = if g(t_ub) >= total_load {
         t_ub
     } else {
-        // Bisect the largest t with g(t) ≥ L; g is non-increasing.
-        let (mut lo, mut hi) = (0.0, t_ub);
+        // Bisect the largest t with g(t) ≥ L; g is non-increasing. Once the
+        // bracket is one ULP wide the midpoint rounds onto an endpoint and
+        // no further iteration can move either bound, so break early — the
+        // result is bit-identical to running out the full count.
+        let (mut lo, mut hi) = (0.0_f64, t_ub);
         for _ in 0..200 {
+            if hi <= lo.next_up() {
+                break;
+            }
             let mid = 0.5 * (lo + hi);
             if g(mid) >= total_load {
                 lo = mid;
@@ -276,10 +294,7 @@ pub fn loads_for_t_ac(
     // cannot be part of an ON-set at this supply temperature at all.
     if let Some(pos) = raw_caps.iter().position(|&c| c < 0.0) {
         return Err(SolveError::Infeasible {
-            reason: format!(
-                "machine {} exceeds T_max even idle at {t_ac}",
-                on[pos]
-            ),
+            reason: format!("machine {} exceeds T_max even idle at {t_ac}", on[pos]),
         });
     }
     let caps: Vec<f64> = raw_caps.iter().map(|c| c.clamp(0.0, 1.0)).collect();
@@ -435,7 +450,11 @@ mod tests {
         assert!((fixed.loads.iter().sum::<f64>() - 1.95).abs() < 1e-9);
         // The exact optimum pins the cool machine at 100 % and gives the
         // warm one the rest, with T_ac keeping the warm one at T_max.
-        assert!((fixed.loads[0] - 1.0).abs() < 1e-6, "loads {:?}", fixed.loads);
+        assert!(
+            (fixed.loads[0] - 1.0).abs() < 1e-6,
+            "loads {:?}",
+            fixed.loads
+        );
         assert!((fixed.loads[1] - 0.95).abs() < 1e-6);
         // No machine exceeds T_max at the clamped T_ac.
         for (&i, &l) in fixed.on.iter().zip(&fixed.loads) {

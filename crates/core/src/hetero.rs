@@ -84,10 +84,7 @@ fn min_computing_at(
     t_max: Temperature,
     load: f64,
 ) -> Option<(Vec<f64>, f64)> {
-    if machines
-        .iter()
-        .any(|m| m.overheats_idle(t_ac, t_max))
-    {
+    if machines.iter().any(|m| m.overheats_idle(t_ac, t_max)) {
         return None; // some machine cannot even be on at this temperature
     }
     let mut loads = vec![0.0; machines.len()];
@@ -202,10 +199,7 @@ pub fn optimal_allocation_hetero(
     // Ternary search on the convex objective over [0, hi].
     let objective = |t: f64| -> f64 {
         let (_, computing) = feasible(t).expect("within feasible range");
-        computing
-            + cooling
-                .predict(Temperature::from_kelvin(t))
-                .as_watts()
+        computing + cooling.predict(Temperature::from_kelvin(t)).as_watts()
     };
     let (mut lo, mut hi_t) = (0.0, hi);
     for _ in 0..200 {
@@ -266,8 +260,7 @@ mod tests {
         let t_max = Temperature::from_celsius(70.0);
         let load = 3.0;
 
-        let hetero =
-            optimal_allocation_hetero(&machines, &cooling(), t_max, load, None).unwrap();
+        let hetero = optimal_allocation_hetero(&machines, &cooling(), t_max, load, None).unwrap();
 
         let model = RoomModel::new(
             shared_power(),
@@ -305,8 +298,7 @@ mod tests {
                 thermal: thermal(i, 4),
             })
             .collect();
-        machines[0].power =
-            PowerModel::new(Watts::new(90.0), Watts::new(40.0)).unwrap();
+        machines[0].power = PowerModel::new(Watts::new(90.0), Watts::new(40.0)).unwrap();
         let sol = optimal_allocation_hetero(
             &machines,
             &cooling(),
@@ -336,8 +328,7 @@ mod tests {
             })
             .collect();
         let t_max = Temperature::from_celsius(62.0);
-        let sol =
-            optimal_allocation_hetero(&machines, &cooling(), t_max, 4.2, None).unwrap();
+        let sol = optimal_allocation_hetero(&machines, &cooling(), t_max, 4.2, None).unwrap();
         assert!((sol.loads.iter().sum::<f64>() - 4.2).abs() < 1e-6);
         for (m, &l) in machines.iter().zip(&sol.loads) {
             assert!((0.0..=1.0 + 1e-9).contains(&l));
@@ -375,13 +366,7 @@ mod tests {
     #[test]
     fn rejects_degenerate_inputs() {
         assert!(matches!(
-            optimal_allocation_hetero(
-                &[],
-                &cooling(),
-                Temperature::from_celsius(70.0),
-                0.0,
-                None
-            ),
+            optimal_allocation_hetero(&[], &cooling(), Temperature::from_celsius(70.0), 0.0, None),
             Err(SolveError::EmptyOnSet)
         ));
         let machines = vec![HeteroMachine {

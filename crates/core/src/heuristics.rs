@@ -38,7 +38,9 @@ pub fn greedy_by_ratio(pairs: &[(f64, f64)], k: usize) -> Option<Vec<usize>> {
     idx.sort_by(|&i, &j| {
         let ri = pairs[i].0 / pairs[i].1;
         let rj = pairs[j].0 / pairs[j].1;
-        rj.partial_cmp(&ri).expect("ratios are finite").then(i.cmp(&j))
+        rj.partial_cmp(&ri)
+            .expect("ratios are finite")
+            .then(i.cmp(&j))
     });
     idx.truncate(k);
     idx.sort_unstable();
@@ -70,7 +72,9 @@ pub fn greedy_incremental(pairs: &[(f64, f64)], k: usize, total_load: f64) -> Op
                 with_j.push(j);
                 let ri = subset_ratio(pairs, &with_i, total_load).unwrap_or(f64::NEG_INFINITY);
                 let rj = subset_ratio(pairs, &with_j, total_load).unwrap_or(f64::NEG_INFINITY);
-                ri.partial_cmp(&rj).expect("ratios are finite").then(j.cmp(&i))
+                ri.partial_cmp(&rj)
+                    .expect("ratios are finite")
+                    .then(j.cmp(&i))
             })?;
         chosen.push(next);
     }

@@ -25,12 +25,27 @@
 //!   returns the provable minimum — the exact variant the evaluation uses;
 //! * [`ConsolidationIndex::max_load`] solves the paper's intermediate
 //!   `maxL(A, P_b, k)` problem.
+//!
+//! # Construction vs. querying
+//!
+//! Construction is split out into [`IndexBuilder`], which walks the order
+//! snapshots (serially, or one chunk of snapshots per thread with the
+//! `parallel` feature — both produce bit-identical tables) and emits a
+//! [`ConsolidationIndex`] whose statuses live in a struct-of-arrays
+//! [`StatusTable`]: the `lmax` binary search of Algorithm 2 and the
+//! full-table scan of the exact query each touch only the columns they
+//! need instead of striding over `O(n³)` six-field rows.
 
 use crate::closed_form::optimal_allocation_clamped;
 use crate::error::SolveError;
 use crate::particles::{OrderSnapshot, ParticleSystem};
 use coolopt_model::RoomModel;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every [`ConsolidationIndex`] construction in this process — the
+/// observable that lets tests assert an engine rebuilt nothing.
+static INDEX_BUILDS: AtomicU64 = AtomicU64::new(0);
 
 /// The constants of the Eq. 23 objective.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -78,6 +93,54 @@ impl PowerTerms {
     }
 }
 
+/// A digest of everything a consolidation engine is built from: the
+/// particle pairs `(a_i, b_i)` and the Eq. 23 [`PowerTerms`].
+///
+/// Two models with equal fingerprints build interchangeable indices, so a
+/// cached engine can be reused as long as the fingerprint matches (FNV-1a
+/// over the exact f64 bit patterns — any bitwise model change produces a
+/// different digest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelFingerprint(u64);
+
+impl ModelFingerprint {
+    /// Fingerprints a model's consolidation inputs.
+    pub fn of_model(model: &RoomModel) -> Self {
+        Self::of_parts(&model.consolidation_pairs(), &PowerTerms::from_model(model))
+    }
+
+    /// Fingerprints explicit pairs + terms.
+    pub fn of_parts(pairs: &[(f64, f64)], terms: &PowerTerms) -> Self {
+        let mut hash: u64 = 0xcbf29ce484222325;
+        let mut eat = |bits: u64| {
+            for byte in bits.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x100000001b3);
+            }
+        };
+        eat(pairs.len() as u64);
+        for &(a, b) in pairs {
+            eat(a.to_bits());
+            eat(b.to_bits());
+        }
+        eat(terms.w2.to_bits());
+        eat(terms.rho.to_bits());
+        match terms.t_cap {
+            None => eat(0),
+            Some(cap) => {
+                eat(1);
+                eat(cap.to_bits());
+            }
+        }
+        ModelFingerprint(hash)
+    }
+
+    /// The raw 64-bit digest.
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Tie tolerance for comparing relative powers: scaled to the magnitude so
 /// it stays meaningful for kilowatt-scale objectives (a fixed 1e-12 would be
 /// below one ULP there).
@@ -85,9 +148,11 @@ fn tie_eps(reference: f64) -> f64 {
     1e-9 * (1.0 + reference.abs())
 }
 
-/// One precomputed status: the best size-`k` subset on one order interval.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct Status {
+/// One status while under construction: the best size-`k` subset on one
+/// order interval. Only the builder sees this row form; queries read the
+/// column form in [`StatusTable`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct StatusRecord {
     /// Interval start (event time).
     since: f64,
     /// Snapshot index into `orders`.
@@ -100,6 +165,181 @@ struct Status {
     sum_b: f64,
     /// Maximum servable load at the interval start: `sum_a − since·sum_b`.
     lmax: f64,
+}
+
+/// Struct-of-arrays storage for the `O(n³)` statuses, sorted by increasing
+/// `lmax` (Algorithm 1, last line).
+///
+/// Algorithm 2 binary-searches only `lmax`; the exact query's hot loop
+/// reads `sum_a`, `k`, `sum_b` and never `since`/`snapshot` until a
+/// candidate survives its bound. Keeping each field contiguous lets those
+/// scans run at cache-line density instead of striding over 48-byte rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct StatusTable {
+    since: Vec<f64>,
+    snapshot: Vec<usize>,
+    k: Vec<usize>,
+    sum_a: Vec<f64>,
+    sum_b: Vec<f64>,
+    /// `1 / sum_b`, precomputed so the query's bound pass multiplies
+    /// instead of divides (bounds only prune; exact values are recomputed
+    /// with true division before a candidate is returned).
+    inv_sum_b: Vec<f64>,
+    lmax: Vec<f64>,
+}
+
+impl StatusTable {
+    /// Sorts the records by `lmax` (stable, exactly as the row form did)
+    /// and transposes them into columns.
+    fn from_records(mut records: Vec<StatusRecord>) -> Self {
+        records.sort_by(|x, y| x.lmax.partial_cmp(&y.lmax).expect("lmax is finite"));
+        let mut table = StatusTable {
+            since: Vec::with_capacity(records.len()),
+            snapshot: Vec::with_capacity(records.len()),
+            k: Vec::with_capacity(records.len()),
+            sum_a: Vec::with_capacity(records.len()),
+            sum_b: Vec::with_capacity(records.len()),
+            inv_sum_b: Vec::with_capacity(records.len()),
+            lmax: Vec::with_capacity(records.len()),
+        };
+        for r in records {
+            table.since.push(r.since);
+            table.snapshot.push(r.snapshot);
+            table.k.push(r.k);
+            table.sum_a.push(r.sum_a);
+            table.sum_b.push(r.sum_b);
+            table.inv_sum_b.push(1.0 / r.sum_b);
+            table.lmax.push(r.lmax);
+        }
+        table
+    }
+
+    fn len(&self) -> usize {
+        self.lmax.len()
+    }
+}
+
+/// Algorithm 1's construction side, split from the query-side
+/// [`ConsolidationIndex`].
+///
+/// The builder owns the kinetic-particle system and its order snapshots;
+/// [`IndexBuilder::build`] walks every snapshot serially, and (with the
+/// `parallel` feature) [`IndexBuilder::build_parallel`] distributes
+/// contiguous snapshot chunks over `std::thread::scope` workers. Each
+/// snapshot's prefix sums are computed independently in snapshot order, and
+/// both paths concatenate chunks back in that order before the same stable
+/// sort — so the resulting tables are bit-identical.
+#[derive(Debug, Clone)]
+pub struct IndexBuilder {
+    system: ParticleSystem,
+    orders: Vec<OrderSnapshot>,
+    pairs: Vec<(f64, f64)>,
+}
+
+impl IndexBuilder {
+    /// Prepares the particle system and its order snapshots for the pairs
+    /// `(a_i, b_i) = (K_i, α_i/β_i)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DegenerateModel`] for empty input or
+    /// non-positive speeds `b_i`.
+    pub fn new(pairs: &[(f64, f64)]) -> Result<Self, SolveError> {
+        let system = ParticleSystem::new(pairs).map_err(|e| SolveError::DegenerateModel {
+            what: e.to_string(),
+        })?;
+        let orders = system.orders();
+        Ok(IndexBuilder {
+            system,
+            orders,
+            pairs: pairs.to_vec(),
+        })
+    }
+
+    /// Number of order snapshots the build will walk (`O(n²)`).
+    pub fn snapshot_count(&self) -> usize {
+        self.orders.len()
+    }
+
+    /// Prefix sums of one snapshot: `n` statuses in prefix order.
+    fn snapshot_records(&self, snapshot: usize) -> Vec<StatusRecord> {
+        let snap = &self.orders[snapshot];
+        let mut records = Vec::with_capacity(snap.order.len());
+        let mut sum_a = 0.0;
+        let mut sum_b = 0.0;
+        for (pos, &i) in snap.order.iter().enumerate() {
+            sum_a += self.pairs[i].0;
+            sum_b += self.pairs[i].1;
+            records.push(StatusRecord {
+                since: snap.since,
+                snapshot,
+                k: pos + 1,
+                sum_a,
+                sum_b,
+                lmax: sum_a - snap.since * sum_b,
+            });
+        }
+        records
+    }
+
+    /// Serial build: walks snapshots in order.
+    pub fn build(self) -> ConsolidationIndex {
+        let n = self.system.len();
+        let mut records = Vec::with_capacity(self.orders.len() * n);
+        for snapshot in 0..self.orders.len() {
+            records.extend(self.snapshot_records(snapshot));
+        }
+        self.finish(records)
+    }
+
+    /// Parallel build: contiguous snapshot chunks, one per worker thread,
+    /// re-concatenated in snapshot order. Bit-identical to [`build`]:
+    /// every status is computed by the same per-snapshot arithmetic, and
+    /// the final stable sort sees the records in the same sequence.
+    ///
+    /// [`build`]: IndexBuilder::build
+    #[cfg(feature = "parallel")]
+    pub fn build_parallel(self) -> ConsolidationIndex {
+        let snapshots = self.orders.len();
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(snapshots.max(1));
+        if workers <= 1 {
+            return self.build();
+        }
+        let chunk = snapshots.div_ceil(workers);
+        let n = self.system.len();
+        let mut records = Vec::with_capacity(snapshots * n);
+        std::thread::scope(|scope| {
+            let builder = &self;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(snapshots);
+                    scope.spawn(move || {
+                        (lo..hi)
+                            .flat_map(|s| builder.snapshot_records(s))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                records.extend(handle.join().expect("index build worker panicked"));
+            }
+        });
+        self.finish(records)
+    }
+
+    fn finish(self, records: Vec<StatusRecord>) -> ConsolidationIndex {
+        let statuses = StatusTable::from_records(records);
+        INDEX_BUILDS.fetch_add(1, Ordering::Relaxed);
+        ConsolidationIndex {
+            system: self.system,
+            orders: self.orders,
+            statuses,
+        }
+    }
 }
 
 /// A chosen consolidation: which machines to power on.
@@ -123,8 +363,7 @@ pub struct Consolidation {
 pub struct ConsolidationIndex {
     system: ParticleSystem,
     orders: Vec<OrderSnapshot>,
-    /// All statuses, sorted by increasing `lmax` (Algorithm 1, last line).
-    statuses: Vec<Status>,
+    statuses: StatusTable,
 }
 
 impl ConsolidationIndex {
@@ -135,34 +374,26 @@ impl ConsolidationIndex {
     /// Returns [`SolveError::DegenerateModel`] for empty input or
     /// non-positive speeds `b_i`.
     pub fn build(pairs: &[(f64, f64)]) -> Result<Self, SolveError> {
-        let system = ParticleSystem::new(pairs).map_err(|e| SolveError::DegenerateModel {
-            what: e.to_string(),
-        })?;
-        let orders = system.orders();
-        let n = system.len();
-        let mut statuses = Vec::with_capacity(orders.len() * n);
-        for (snapshot, snap) in orders.iter().enumerate() {
-            let mut sum_a = 0.0;
-            let mut sum_b = 0.0;
-            for (pos, &i) in snap.order.iter().enumerate() {
-                sum_a += pairs[i].0;
-                sum_b += pairs[i].1;
-                statuses.push(Status {
-                    since: snap.since,
-                    snapshot,
-                    k: pos + 1,
-                    sum_a,
-                    sum_b,
-                    lmax: sum_a - snap.since * sum_b,
-                });
-            }
-        }
-        statuses.sort_by(|x, y| x.lmax.partial_cmp(&y.lmax).expect("lmax is finite"));
-        Ok(ConsolidationIndex {
-            system,
-            orders,
-            statuses,
-        })
+        Ok(IndexBuilder::new(pairs)?.build())
+    }
+
+    /// [`build`], constructed with one snapshot chunk per thread.
+    /// Bit-identical output; see [`IndexBuilder::build_parallel`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`build`].
+    ///
+    /// [`build`]: ConsolidationIndex::build
+    #[cfg(feature = "parallel")]
+    pub fn build_parallel(pairs: &[(f64, f64)]) -> Result<Self, SolveError> {
+        Ok(IndexBuilder::new(pairs)?.build_parallel())
+    }
+
+    /// How many times any index has been built in this process. The
+    /// engine-reuse tests assert this stays flat across replans.
+    pub fn build_count() -> u64 {
+        INDEX_BUILDS.load(Ordering::Relaxed)
     }
 
     /// Number of machines indexed.
@@ -194,11 +425,11 @@ impl ConsolidationIndex {
     /// evaluates the power objective (the paper notes "the algorithm itself
     /// does not make use of `P_b`").
     pub fn query_online(&self, total_load: f64) -> Option<Consolidation> {
-        let idx = self
-            .statuses
-            .partition_point(|s| s.lmax <= total_load);
-        let status = self.statuses.get(idx)?;
-        Some(self.materialize(status, total_load))
+        let idx = self.statuses.lmax.partition_point(|&l| l <= total_load);
+        if idx >= self.statuses.len() {
+            return None;
+        }
+        Some(self.materialize(idx, total_load))
     }
 
     /// Exact minimum-power query: evaluates every status at the exact ratio
@@ -230,64 +461,138 @@ impl ConsolidationIndex {
                 max: self.len() as f64,
             });
         }
-        let mut best: Option<Consolidation> = None;
-        for status in &self.statuses {
-            if status.sum_a <= total_load {
-                continue; // would require t ≤ 0, i.e. T_ac ≤ 0 K
+        let statuses = &self.statuses;
+        // A capacity model that cannot index every machine the table refers
+        // to must go through the validating slow path.
+        let model_covers = capacity_model.is_none_or(|m| m.len() >= self.len());
+
+        // Scalar, allocation-free evaluation of status `idx`: the achieved
+        // `(t, relative_power)`. Without a capacity model this is the exact
+        // ratio; with one it mirrors `optimal_allocation`'s fast path
+        // arithmetic operation-for-operation (so results match the
+        // materialized solve bit-for-bit) and only falls back to the full
+        // clamped solve when a per-machine bound is active. `None` means
+        // the subset cannot serve the load within capacity.
+        let eval_scalar = |idx: usize| -> Option<(f64, f64)> {
+            let k = statuses.k[idx];
+            let t = match capacity_model {
+                None => (statuses.sum_a[idx] - total_load) / statuses.sum_b[idx],
+                Some(model) => {
+                    let on = &self.orders[statuses.snapshot[idx]].order[..k];
+                    let w1 = model.power().w1().as_watts();
+                    let mut fast = None;
+                    if model_covers {
+                        let k_sum: f64 = on.iter().map(|&i| model.k(i)).sum();
+                        let s_sum: f64 = on.iter().map(|&i| model.alpha_over_beta(i)).sum();
+                        let t_ac_kelvin = (k_sum - total_load) * w1 / s_sum;
+                        let unclamped_ok = s_sum > 0.0
+                            && s_sum.is_finite()
+                            && t_ac_kelvin.is_finite()
+                            && t_ac_kelvin > 0.0
+                            && on.iter().all(|&i| {
+                                let l = model.k(i)
+                                    - (k_sum - total_load) * model.alpha_over_beta(i) / s_sum;
+                                (0.0..=1.0).contains(&l)
+                            });
+                        if unclamped_ok {
+                            fast = Some(t_ac_kelvin / w1);
+                        }
+                    }
+                    match fast {
+                        Some(t) => t,
+                        None => {
+                            let sol = optimal_allocation_clamped(model, on, total_load).ok()?;
+                            sol.t_ac.as_kelvin() / w1
+                        }
+                    }
+                }
+            };
+            Some((t, terms.relative_power(k, t)))
+        };
+
+        // Branch-and-bound seed: one hot pass over the sum_a/k/sum_b columns
+        // computes every status's optimistic bound (∞ marks infeasibility:
+        // `sum_a ≤ L` would need t ≤ 0, and k machines carry at most k
+        // load), remembering the smallest. The bound of any status is a
+        // lower bound on its achievable value, so evaluating the argmin
+        // candidate up front lets the selection loop below prune nearly
+        // every other evaluation. Bounds multiply by the precomputed
+        // `1/sum_b` column; accepted candidates are re-evaluated with exact
+        // division by `eval_scalar`.
+        let mut best: Option<(usize, f64, f64)> = None; // (idx, t, rel)
+        let mut bounds = vec![f64::INFINITY; statuses.len()];
+        let mut seed: Option<(usize, f64)> = None;
+        for (idx, bound) in bounds.iter_mut().enumerate() {
+            let sum_a = statuses.sum_a[idx];
+            let k = statuses.k[idx];
+            if sum_a <= total_load || total_load > k as f64 {
+                continue;
             }
-            if total_load > status.k as f64 {
-                continue; // k machines cannot carry more than k load
+            let t_optimistic = (sum_a - total_load) * statuses.inv_sum_b[idx];
+            let rel_optimistic = terms.relative_power(k, t_optimistic);
+            *bound = rel_optimistic;
+            if seed.is_none_or(|(_, r)| rel_optimistic < r) {
+                seed = Some((idx, rel_optimistic));
             }
-            let t_optimistic = (status.sum_a - total_load) / status.sum_b;
-            let rel_optimistic = terms.relative_power(status.k, t_optimistic);
-            let bound_beats_best = match &best {
+        }
+        let seed_idx = seed.map(|(idx, _)| idx);
+        if let Some(idx) = seed_idx {
+            if let Some((t, rel)) = eval_scalar(idx) {
+                best = Some((idx, t, rel));
+            }
+        }
+
+        // Selection loop over the precomputed bounds; since/snapshot stay
+        // cold until a candidate survives the optimistic bound (under
+        // capacity clamping a worse-bound status can still win, so every
+        // feasible status is considered).
+        for (idx, &rel_optimistic) in bounds.iter().enumerate() {
+            if rel_optimistic.is_infinite() || Some(idx) == seed_idx {
+                continue; // infeasible, or already evaluated as the seed
+            }
+            let k = statuses.k[idx];
+            let bound_beats_best = match best {
                 None => true,
-                Some(b) => {
+                Some((b_idx, _, b_rel)) => {
                     // Relative tolerance: the rel values carry the full
                     // magnitude of ρ·t (tens of kilowatts), where a fixed
                     // 1e-12 would be absorbed below one ULP.
-                    let eps = tie_eps(b.relative_power);
-                    rel_optimistic < b.relative_power - eps
-                        || (rel_optimistic < b.relative_power + eps && status.k <= b.k)
+                    let eps = tie_eps(b_rel);
+                    rel_optimistic < b_rel - eps
+                        || (rel_optimistic < b_rel + eps && k <= statuses.k[b_idx])
                 }
             };
             if !bound_beats_best {
                 continue;
             }
-            let mut candidate = self.materialize(status, total_load);
-            match capacity_model {
-                None => candidate.relative_power = rel_optimistic,
-                Some(model) => {
-                    let w1 = model.power().w1().as_watts();
-                    match optimal_allocation_clamped(model, &candidate.on, total_load) {
-                        Ok(sol) => {
-                            candidate.t = sol.t_ac.as_kelvin() / w1;
-                            candidate.relative_power =
-                                terms.relative_power(status.k, candidate.t);
-                        }
-                        Err(_) => continue,
-                    }
-                }
-            }
-            let better = match &best {
+            let Some((t, rel)) = eval_scalar(idx) else {
+                continue;
+            };
+            let better = match best {
                 None => true,
-                Some(b) => {
-                    let eps = tie_eps(b.relative_power);
-                    candidate.relative_power < b.relative_power - eps
-                        || (candidate.relative_power < b.relative_power + eps
-                            && (candidate.k < b.k
+                Some((b_idx, b_t, b_rel)) => {
+                    let eps = tie_eps(b_rel);
+                    rel < b_rel - eps
+                        || (rel < b_rel + eps
+                            && (k < statuses.k[b_idx]
                                 // Power tie at equal size (typical when the
                                 // supply ceiling saturates the objective):
                                 // prefer the subset with the most thermal
                                 // margin, i.e. the warmest achievable ratio.
-                                || (candidate.k == b.k && candidate.t > b.t + 1e-9)))
+                                || (k == statuses.k[b_idx] && t > b_t + 1e-9)))
                 }
             };
             if better {
-                best = Some(candidate);
+                best = Some((idx, t, rel));
             }
         }
-        Ok(best)
+        // Only the winner is materialized into an owned prefix vector.
+        Ok(best.map(|(idx, t, rel)| {
+            let mut winner = self.materialize(idx, total_load);
+            winner.t = t;
+            winner.relative_power = rel;
+            winner
+        }))
     }
 
     /// The paper's *intermediate* algorithm, before it tightens to
@@ -304,7 +609,11 @@ impl ConsolidationIndex {
     /// Returns `None` when no subset size can serve the load with `t ≥ 0`.
     ///
     /// [`max_load`]: ConsolidationIndex::max_load
-    pub fn query_budget_search(&self, terms: &PowerTerms, total_load: f64) -> Option<Consolidation> {
+    pub fn query_budget_search(
+        &self,
+        terms: &PowerTerms,
+        total_load: f64,
+    ) -> Option<Consolidation> {
         if !total_load.is_finite() || total_load < 0.0 || terms.rho <= 0.0 {
             return None;
         }
@@ -318,9 +627,7 @@ impl ConsolidationIndex {
             // numerically cleaner): t = 0 is the cheapest-feasibility limit,
             // t_hi the largest ratio any size-k subset can reach at L = 0.
             let (mut lo_t, mut hi_t) = (0.0_f64, 0.0_f64);
-            let lmax_at_zero = self
-                .max_load_at_t(0.0, k)
-                .expect("k validated against n");
+            let lmax_at_zero = self.max_load_at_t(0.0, k).expect("k validated against n");
             if lmax_at_zero <= total_load {
                 continue; // even the best subset at t = 0 cannot serve L
             }
@@ -341,9 +648,7 @@ impl ConsolidationIndex {
             for _ in 0..96 {
                 let mid = 0.5 * (lo_t + hi_t);
                 let p_b = terms.relative_power(k, mid);
-                let lmax = self
-                    .max_load_at_t(mid, k)
-                    .unwrap_or(f64::NEG_INFINITY);
+                let lmax = self.max_load_at_t(mid, k).unwrap_or(f64::NEG_INFINITY);
                 let _ = p_b; // the budget is implied by (k, t); kept for clarity
                 if lmax >= total_load {
                     lo_t = mid;
@@ -357,8 +662,7 @@ impl ConsolidationIndex {
                 None => true,
                 Some(b) => {
                     let eps = tie_eps(b.relative_power);
-                    rel < b.relative_power - eps
-                        || (rel < b.relative_power + eps && k < b.k)
+                    rel < b.relative_power - eps || (rel < b.relative_power + eps && k < b.k)
                 }
             };
             if better {
@@ -425,12 +729,14 @@ impl ConsolidationIndex {
         )
     }
 
-    fn materialize(&self, status: &Status, total_load: f64) -> Consolidation {
-        let on: Vec<usize> = self.orders[status.snapshot].order[..status.k].to_vec();
-        let t = (status.sum_a - total_load) / status.sum_b;
+    /// Expands the status at column index `idx` into a [`Consolidation`].
+    fn materialize(&self, idx: usize, total_load: f64) -> Consolidation {
+        let k = self.statuses.k[idx];
+        let on: Vec<usize> = self.orders[self.statuses.snapshot[idx]].order[..k].to_vec();
+        let t = (self.statuses.sum_a[idx] - total_load) / self.statuses.sum_b[idx];
         Consolidation {
             on,
-            k: status.k,
+            k,
             t,
             relative_power: f64::NAN, // filled by callers that know the terms
         }
@@ -457,6 +763,59 @@ mod tests {
         assert_eq!(idx.len(), 4);
         assert!(idx.order_count() <= 1 + 4 * 3 / 2);
         assert_eq!(idx.status_count(), idx.order_count() * 4);
+    }
+
+    #[test]
+    fn statuses_are_sorted_by_lmax() {
+        let idx = ConsolidationIndex::build(&footnote_pairs()).unwrap();
+        assert!(idx.statuses.lmax.windows(2).all(|w| w[0] <= w[1]));
+        // Columns stay row-consistent: lmax = sum_a − since·sum_b.
+        for i in 0..idx.statuses.len() {
+            let expect = idx.statuses.sum_a[i] - idx.statuses.since[i] * idx.statuses.sum_b[i];
+            assert_eq!(idx.statuses.lmax[i], expect);
+        }
+    }
+
+    #[test]
+    fn builder_and_one_shot_build_agree() {
+        let pairs = footnote_pairs();
+        let via_builder = IndexBuilder::new(&pairs).unwrap().build();
+        let one_shot = ConsolidationIndex::build(&pairs).unwrap();
+        assert_eq!(via_builder, one_shot);
+        assert!(IndexBuilder::new(&pairs).unwrap().snapshot_count() >= 1);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        let pairs = footnote_pairs();
+        let serial = ConsolidationIndex::build(&pairs).unwrap();
+        let parallel = ConsolidationIndex::build_parallel(&pairs).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn build_counter_increments_per_build() {
+        let before = ConsolidationIndex::build_count();
+        let _ = ConsolidationIndex::build(&footnote_pairs()).unwrap();
+        let _ = ConsolidationIndex::build(&footnote_pairs()).unwrap();
+        assert!(ConsolidationIndex::build_count() >= before + 2);
+    }
+
+    #[test]
+    fn fingerprint_tracks_inputs_bitwise() {
+        let pairs = footnote_pairs();
+        let t = terms();
+        let base = ModelFingerprint::of_parts(&pairs, &t);
+        assert_eq!(base, ModelFingerprint::of_parts(&pairs, &t));
+        let mut nudged = pairs.clone();
+        nudged[2].0 += 1e-12;
+        assert_ne!(base, ModelFingerprint::of_parts(&nudged, &t));
+        let capped = PowerTerms {
+            t_cap: Some(0.9),
+            ..t
+        };
+        assert_ne!(base, ModelFingerprint::of_parts(&pairs, &capped));
     }
 
     #[test]
@@ -572,10 +931,7 @@ mod tests {
     fn unservable_load_returns_none() {
         let idx = ConsolidationIndex::build(&footnote_pairs()).unwrap();
         // Σa = 13.2; a load beyond it can never give t > 0.
-        assert!(idx
-            .query_min_power(&terms(), 14.0, None)
-            .unwrap()
-            .is_none());
+        assert!(idx.query_min_power(&terms(), 14.0, None).unwrap().is_none());
     }
 
     #[test]

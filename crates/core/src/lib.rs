@@ -47,7 +47,7 @@ pub use closed_form::{
 };
 pub use error::SolveError;
 pub use hetero::{optimal_allocation_hetero, HeteroMachine, HeteroSolution};
-pub use index::{Consolidation, ConsolidationIndex, PowerTerms};
+pub use index::{Consolidation, ConsolidationIndex, IndexBuilder, ModelFingerprint, PowerTerms};
 pub use particles::{Event, OrderSnapshot, ParticleSystem};
 pub use predict::{consolidated_power, PowerBreakdown};
 

@@ -79,14 +79,19 @@ mod tests {
         let theta = cf * m.cooling().t_sp().as_kelvin() + w1 * l;
         let t = (sol.k_sum - l) / sol.s_sum; // = T_ac / w1
         let eq23 = 5.0 * w2 - rho * t + theta;
-        assert!(m.cooling().predict(sol.t_ac).as_watts() > 0.0, "premise: no clamp");
+        assert!(
+            m.cooling().predict(sol.t_ac).as_watts() > 0.0,
+            "premise: no clamp"
+        );
         assert!(
             (pb.total.as_watts() - eq23).abs() < 1e-6,
             "direct {} vs Eq.23 {}",
             pb.total,
             eq23
         );
-        assert!((pb.total.as_watts() - pb.computing.as_watts() - pb.cooling.as_watts()).abs() < 1e-9);
+        assert!(
+            (pb.total.as_watts() - pb.computing.as_watts() - pb.cooling.as_watts()).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -96,9 +101,7 @@ mod tests {
         let a = consolidated_power(&m, &optimal_allocation(&m, &on, 3.0).unwrap());
         let b = consolidated_power(&m, &optimal_allocation(&m, &on, 3.8).unwrap());
         // ΔP_computing = w1·ΔL.
-        assert!(
-            ((b.computing - a.computing).as_watts() - 45.0 * 0.8).abs() < 1e-9
-        );
+        assert!(((b.computing - a.computing).as_watts() - 45.0 * 0.8).abs() < 1e-9);
         // Cooling got more expensive with more load (T_ac had to drop).
         assert!(b.cooling > a.cooling);
     }

@@ -19,7 +19,7 @@
 //!   erodes the savings.
 
 use crate::figures::{FigureData, Series};
-use crate::harness::{run_method, SweepOptions};
+use crate::harness::{run_method_with, scenario_planner, SweepOptions};
 use crate::savings::savings_summary;
 use crate::testbed::Testbed;
 use coolopt_alloc::{Method, Strategy};
@@ -30,19 +30,17 @@ use serde::{Deserialize, Serialize};
 
 /// Holistic optimum (#8) vs the separate optimization of computing and
 /// cooling, across loads.
-pub fn separate_vs_holistic(
-    testbed: &mut Testbed,
-    options: &SweepOptions,
-) -> FigureData {
+pub fn separate_vs_holistic(testbed: &mut Testbed, options: &SweepOptions) -> FigureData {
     let separate = Method::new(Strategy::SeparateOpt, true, true);
     let holistic = Method::numbered(8);
+    let planner = scenario_planner(testbed, options);
     let mut sep_points = Vec::new();
     let mut hol_points = Vec::new();
     for &pct in &options.load_percents {
-        if let Ok(run) = run_method(testbed, separate, pct, options) {
+        if let Ok(run) = run_method_with(&planner, testbed, separate, pct, options) {
             sep_points.push((pct, run.total_power().as_watts()));
         }
-        if let Ok(run) = run_method(testbed, holistic, pct, options) {
+        if let Ok(run) = run_method_with(&planner, testbed, holistic, pct, options) {
             hol_points.push((pct, run.total_power().as_watts()));
         }
     }
@@ -93,7 +91,10 @@ pub fn guard_band_study(
                 guard: TempDelta::from_kelvin(g),
                 ..base_options.clone()
             };
-            run_method(testbed, method, load_percent, &options)
+            // Each guard changes the planner's effective model, so this
+            // study necessarily builds one planner (one engine) per guard.
+            let planner = scenario_planner(testbed, &options);
+            run_method_with(&planner, testbed, method, load_percent, &options)
                 .ok()
                 .map(|run| GuardOutcome {
                     guard_kelvin: g,
@@ -145,19 +146,16 @@ pub fn recirculation_study(
             let mean_thermal_r2 =
                 profile.thermal.r2.iter().sum::<f64>() / profile.thermal.r2.len() as f64;
             let mut testbed = Testbed { room, profile };
+            let planner = scenario_planner(&testbed, options);
             let mut sweep = crate::harness::Sweep::default();
             let methods = [Method::numbered(7), Method::numbered(8)];
-            sweep = {
-                let mut s = sweep;
-                for &pct in &options.load_percents {
-                    for &m in &methods {
-                        if let Ok(run) = run_method(&mut testbed, m, pct, options) {
-                            s.insert(m, pct, run);
-                        }
+            for &pct in &options.load_percents {
+                for &m in &methods {
+                    if let Ok(run) = run_method_with(&planner, &mut testbed, m, pct, options) {
+                        sweep.insert(m, pct, run);
                     }
                 }
-                s
-            };
+            }
             let summary = savings_summary(&sweep, Method::numbered(8), Method::numbered(7))
                 .expect("both methods ran");
             RecirculationOutcome {
@@ -196,10 +194,11 @@ pub fn seed_study(machines: usize, seeds: &[u64], options: &SweepOptions) -> Vec
         .map(|&seed| {
             let mut testbed =
                 Testbed::build_sized(machines, seed).expect("preset testbed profiles cleanly");
+            let planner = scenario_planner(&testbed, options);
             let mut sweep = crate::harness::Sweep::default();
             for &pct in &options.load_percents {
                 for m in [Method::numbered(7), Method::numbered(8)] {
-                    if let Ok(run) = run_method(&mut testbed, m, pct, options) {
+                    if let Ok(run) = run_method_with(&planner, &mut testbed, m, pct, options) {
                         sweep.insert(m, pct, run);
                     }
                 }

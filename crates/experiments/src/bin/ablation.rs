@@ -15,7 +15,8 @@ use coolopt_alloc::Method;
 use coolopt_experiments::ablations::{
     guard_band_study, recirculation_study, seed_study, separate_vs_holistic,
 };
-use coolopt_experiments::runtime::{run_load_trace, sinusoidal_trace, RuntimeOptions};
+use coolopt_experiments::harness::scenario_planner;
+use coolopt_experiments::runtime::{run_load_trace_with, sinusoidal_trace, RuntimeOptions};
 use coolopt_experiments::{render_figure, SweepOptions, Testbed};
 use coolopt_units::Seconds;
 
@@ -32,6 +33,9 @@ fn main() {
         load_percents: vec![20.0, 40.0, 60.0, 80.0],
         ..SweepOptions::default()
     };
+    // One planner (one consolidation-index build) serves every study that
+    // keeps the default guard; its engine is memoized across all queries.
+    let planner = scenario_planner(&testbed, &options);
 
     // --- 1: separate vs holistic -------------------------------------------
     eprintln!("study 1: separate vs holistic optimization…");
@@ -41,7 +45,10 @@ fn main() {
     // --- 2: guard band -------------------------------------------------------
     eprintln!("study 2: guard band sweep…");
     println!("== Guard band vs safety and energy (method #8, 60 % load) ==");
-    println!("{:>8} {:>12} {:>12} {:>6}", "guard K", "power W", "max CPU °C", "safe");
+    println!(
+        "{:>8} {:>12} {:>12} {:>6}",
+        "guard K", "power W", "max CPU °C", "safe"
+    );
     for o in guard_band_study(
         &mut testbed,
         Method::numbered(8),
@@ -81,7 +88,10 @@ fn main() {
     // --- 4: seed sensitivity ---------------------------------------------------
     eprintln!("study 4: seed sensitivity (re-profiles per seed; slow)…");
     println!("== Testbed-instance sensitivity of #8-over-#7 savings ==");
-    println!("{:>6} {:>14} {:>14} {:>14}", "seed", "mean savings", "max", "min");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "seed", "mean savings", "max", "min"
+    );
     for o in seed_study(8, &[seed, seed + 1, seed + 2], &quick) {
         println!(
             "{:>6} {:>13.1} % {:>13.1} % {:>13.1} %",
@@ -101,12 +111,7 @@ fn main() {
         "method", "peak rho", "mean resp", "p95 resp", "vs spread"
     );
     {
-        use coolopt_alloc::Planner;
         use coolopt_workload::{simulate_queueing, Capacity, LoadVector};
-        let planner = Planner::new(
-            &testbed.profile.model,
-            &testbed.profile.cooling.set_points,
-        );
         let total_load = 0.3 * machines as f64;
         let capacity = 100.0; // docs/s per machine
         let arrival = total_load * capacity; // the offered stream
@@ -138,13 +143,14 @@ fn main() {
     // --- 6: dynamic load ------------------------------------------------------
     eprintln!("study 6: dynamic load with online replanning…");
     println!("== Online replanning over a diurnal trace (4 h simulated) ==");
-    let trace = sinusoidal_trace(machines, 0.15, 0.85, Seconds::new(14_400.0), 16);
+    let trace = sinusoidal_trace(machines, 0.15, 0.85, Seconds::new(14_400.0), 24);
     for (label, method) in [
         ("holistic #8 (replanned)", Method::numbered(8)),
         ("even #4 (replanned)", Method::numbered(4)),
         ("static even #1", Method::numbered(1)),
     ] {
-        let outcome = run_load_trace(
+        let outcome = run_load_trace_with(
+            &planner,
             &mut testbed,
             method,
             &trace,

@@ -10,8 +10,7 @@
 
 use coolopt_alloc::{Method, Strategy};
 use coolopt_experiments::{
-    figures, render_figure, run_sweep, savings_summary, to_csv, FigureData, SweepOptions,
-    Testbed,
+    figures, render_figure, run_sweep, savings_summary, to_csv, FigureData, SweepOptions, Testbed,
 };
 use coolopt_units::Seconds;
 use std::path::PathBuf;

@@ -60,7 +60,23 @@ impl MethodRun {
     }
 }
 
+/// The planner a scenario should build **once** and reuse for every run
+/// against the same testbed: the planner memoizes its solver engine, so the
+/// expensive consolidation index is built on the first `plan()` and every
+/// later load point or method is a pure query.
+pub fn scenario_planner(testbed: &Testbed, options: &SweepOptions) -> Planner {
+    Planner::with_guard(
+        &testbed.profile.model,
+        &testbed.profile.cooling.set_points,
+        options.guard,
+    )
+}
+
 /// Applies `method` at `load_percent` to the testbed's room and measures it.
+///
+/// Convenience wrapper that builds a throwaway [`Planner`]; sweeps and
+/// studies that run many loads should build one with [`scenario_planner`]
+/// and call [`run_method_with`] instead.
 ///
 /// # Errors
 ///
@@ -71,18 +87,29 @@ pub fn run_method(
     load_percent: f64,
     options: &SweepOptions,
 ) -> Result<MethodRun, PolicyError> {
-    let plan = {
-        let planner = Planner::with_guard(
-            &testbed.profile.model,
-            &testbed.profile.cooling.set_points,
-            options.guard,
-        );
-        planner.plan(method, testbed.load_from_percent(load_percent))?
-    };
+    let planner = scenario_planner(testbed, options);
+    run_method_with(&planner, testbed, method, load_percent, options)
+}
+
+/// Like [`run_method`], but reuses a caller-owned planner (and therefore
+/// its memoized solver engine) instead of building one per run.
+///
+/// # Errors
+///
+/// Returns [`PolicyError`] when the method cannot plan this load.
+pub fn run_method_with(
+    planner: &Planner,
+    testbed: &mut Testbed,
+    method: Method,
+    load_percent: f64,
+    options: &SweepOptions,
+) -> Result<MethodRun, PolicyError> {
+    let plan = planner.plan(method, testbed.load_from_percent(load_percent))?;
 
     let room = &mut testbed.room;
     room.apply_on_set(&plan.on);
-    room.set_loads(&plan.loads).expect("plans carry valid loads");
+    room.set_loads(&plan.loads)
+        .expect("plans carry valid loads");
     room.set_set_point(plan.set_point);
     let measurement = SteadyMeasurement::collect(room, options.settle_max, options.window);
 
@@ -209,9 +236,10 @@ impl Sweep {
 /// `None` for them.
 pub fn run_sweep(testbed: &mut Testbed, methods: &[Method], options: &SweepOptions) -> Sweep {
     let mut sweep = Sweep::default();
+    let planner = scenario_planner(testbed, options);
     for &percent in &options.load_percents {
         for &method in methods {
-            if let Ok(run) = run_method(testbed, method, percent, options) {
+            if let Ok(run) = run_method_with(&planner, testbed, method, percent, options) {
                 let (m, l) = key(method, percent);
                 sweep.runs.entry(l).or_default().push((m, run));
             }
@@ -257,10 +285,7 @@ mod tests {
         // More load, more power — for every method.
         for m in methods {
             let s = sweep.series(m);
-            assert!(
-                s[1].1 > s[0].1,
-                "{m}: power did not grow with load: {s:?}"
-            );
+            assert!(s[1].1 > s[0].1, "{m}: power did not grow with load: {s:?}");
         }
         assert!(sweep.mean_power(Method::numbered(1)).is_some());
         assert!(sweep.get(Method::numbered(8), 25.0).is_some());

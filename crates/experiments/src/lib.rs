@@ -30,7 +30,9 @@ pub mod savings;
 pub mod testbed;
 
 pub use figures::{FigureData, Series};
-pub use harness::{run_method, run_sweep, MethodRun, Sweep, SweepOptions};
+pub use harness::{
+    run_method, run_method_with, run_sweep, scenario_planner, MethodRun, Sweep, SweepOptions,
+};
 pub use report::{render_figure, to_csv};
 pub use savings::{savings_summary, SavingsSummary};
 pub use testbed::Testbed;

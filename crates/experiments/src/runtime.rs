@@ -116,23 +116,47 @@ pub fn run_load_trace(
     total: Seconds,
     options: &RuntimeOptions,
 ) -> Result<TraceOutcome, PolicyError> {
+    let planner = Planner::with_guard(
+        &testbed.profile.model,
+        &testbed.profile.cooling.set_points,
+        options.guard,
+    );
+    run_load_trace_with(&planner, testbed, method, trace, total, options)
+}
+
+/// Like [`run_load_trace`], but reuses a caller-owned planner so several
+/// trace runs (e.g. one per method in an ablation) share one memoized
+/// solver engine. `options.guard` is ignored; the planner's own guard
+/// applies.
+///
+/// # Errors
+///
+/// Returns [`PolicyError`] only if the *initial* plan fails, as with
+/// [`run_load_trace`].
+///
+/// # Panics
+///
+/// Panics if `trace` is empty or not time-sorted.
+pub fn run_load_trace_with(
+    planner: &Planner,
+    testbed: &mut Testbed,
+    method: Method,
+    trace: &[TracePoint],
+    total: Seconds,
+    options: &RuntimeOptions,
+) -> Result<TraceOutcome, PolicyError> {
     assert!(!trace.is_empty(), "trace must have at least one point");
     assert!(
         trace.windows(2).all(|w| w[0].at <= w[1].at),
         "trace must be time-sorted"
     );
 
-    let planner = Planner::with_guard(
-        &testbed.profile.model,
-        &testbed.profile.cooling.set_points,
-        options.guard,
-    );
     let t_max = testbed.profile.model.t_max();
 
-    let apply = |room: &mut coolopt_room::MachineRoom,
-                 plan: &coolopt_alloc::AllocationPlan| {
+    let apply = |room: &mut coolopt_room::MachineRoom, plan: &coolopt_alloc::AllocationPlan| {
         room.command_on_set(&plan.on);
-        room.set_loads(&plan.loads).expect("plans carry valid loads");
+        room.set_loads(&plan.loads)
+            .expect("plans carry valid loads");
         room.set_set_point(plan.set_point);
     };
 
@@ -161,7 +185,8 @@ pub fn run_load_trace(
 
         // Demand changes take effect immediately and force a replan.
         let mut demand_changed = false;
-        while trace_idx + 1 < trace.len() && trace[trace_idx + 1].at.as_secs_f64() <= now.as_secs_f64()
+        while trace_idx + 1 < trace.len()
+            && trace[trace_idx + 1].at.as_secs_f64() <= now.as_secs_f64()
         {
             trace_idx += 1;
             demand_changed = true;
@@ -208,7 +233,11 @@ pub fn run_load_trace(
         duration,
         mean_power: energy / duration,
         violation_seconds,
-        served_fraction: if requested > 0.0 { served / requested } else { 1.0 },
+        served_fraction: if requested > 0.0 {
+            served / requested
+        } else {
+            1.0
+        },
         replans,
         plan_failures,
         power_series,
@@ -267,9 +296,7 @@ mod tests {
         assert!(!outcome.power_series.is_empty());
         // Power after the step up must exceed power before it.
         let late = outcome.power_series.after(Seconds::new(4000.0));
-        let before = outcome
-            .power_series
-            .after(Seconds::new(1500.0));
+        let before = outcome.power_series.after(Seconds::new(1500.0));
         let _ = before;
         let late_mean = late.stats().unwrap().mean;
         let early_series: Vec<f64> = outcome

@@ -300,7 +300,10 @@ mod tests {
             .idle_power(Watts::new(-1.0))
             .build()
             .is_err());
-        assert!(ServerConfig::builder().power_noise_stddev(-0.1).build().is_err());
+        assert!(ServerConfig::builder()
+            .power_noise_stddev(-0.1)
+            .build()
+            .is_err());
         assert!(ServerConfig::builder().boot_secs(-1.0).build().is_err());
     }
 

@@ -107,8 +107,7 @@ mod tests {
         let mut s = CpuTempSensor::with_default_noise(4);
         let truth = Temperature::from_celsius(55.3);
         let n = 10_000;
-        let mean: f64 =
-            (0..n).map(|_| s.read(truth).as_celsius()).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| s.read(truth).as_celsius()).sum::<f64>() / n as f64;
         // floor() biases readings down by ~0.5 °C on average.
         assert!((mean - 54.8).abs() < 0.15, "mean reading {mean}");
     }

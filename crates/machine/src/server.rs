@@ -76,7 +76,8 @@ impl Server {
             t_box: initial_temp,
             // Power wanders slowly (τ = 30 s) around the nominal curve.
             power_noise: OrnsteinUhlenbeck::new(
-                seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(id.0 as u64),
+                seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(id.0 as u64),
                 30.0,
                 config.power_noise_stddev,
             ),
@@ -495,7 +496,10 @@ mod tests {
             tc > s.config().throttle_start,
             "premise broken: the throttle band should have been reached, got {tc}"
         );
-        assert!(s.throttle_factor() < 1.0, "the machine must actually derate");
+        assert!(
+            s.throttle_factor() < 1.0,
+            "the machine must actually derate"
+        );
     }
 
     #[test]

@@ -44,10 +44,7 @@ impl CoolingModel {
     ///
     /// Returns [`InvalidCoolingModel`] unless the slope is positive and
     /// finite.
-    pub fn new(
-        cf_watts_per_kelvin: f64,
-        t_sp: Temperature,
-    ) -> Result<Self, InvalidCoolingModel> {
+    pub fn new(cf_watts_per_kelvin: f64, t_sp: Temperature) -> Result<Self, InvalidCoolingModel> {
         if !(cf_watts_per_kelvin.is_finite() && cf_watts_per_kelvin > 0.0) {
             return Err(InvalidCoolingModel {
                 cf: cf_watts_per_kelvin,
@@ -124,8 +121,8 @@ mod tests {
         );
         assert!((s.as_watts() - 2000.0).abs() < 1e-9);
         // Consistent with predict where both are in range.
-        let direct = m.predict(Temperature::from_celsius(15.0))
-            - m.predict(Temperature::from_celsius(17.0));
+        let direct =
+            m.predict(Temperature::from_celsius(15.0)) - m.predict(Temperature::from_celsius(17.0));
         assert!((s.as_watts() - direct.as_watts()).abs() < 1e-9);
     }
 

@@ -52,7 +52,10 @@ impl ThermalModel {
     /// whose CPU cools down when the room warms up, or when it draws more
     /// power, is unphysical and would flip inequalities in the optimizer).
     pub fn new(alpha: f64, beta: f64, gamma_kelvin: f64) -> Result<Self, InvalidThermalModel> {
-        if !(alpha.is_finite() && alpha > 0.0 && beta.is_finite() && beta > 0.0
+        if !(alpha.is_finite()
+            && alpha > 0.0
+            && beta.is_finite()
+            && beta > 0.0
             && gamma_kelvin.is_finite())
         {
             return Err(InvalidThermalModel {
@@ -108,12 +111,7 @@ impl ThermalModel {
     /// The load this machine may carry so that its CPU stays at `T_max`
     /// given `t_ac` — Eq. 18:
     /// `L = (T_max − α·T_ac − β·w2 − γ) / (β·w1) = K − (α/β)·T_ac/w1`.
-    pub fn load_at_cap(
-        &self,
-        t_max: Temperature,
-        t_ac: Temperature,
-        power: &PowerModel,
-    ) -> f64 {
+    pub fn load_at_cap(&self, t_max: Temperature, t_ac: Temperature, power: &PowerModel) -> f64 {
         self.k_coefficient(t_max, power)
             - self.alpha_over_beta() * t_ac.as_kelvin() / power.w1().as_watts()
     }

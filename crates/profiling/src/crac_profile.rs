@@ -117,9 +117,8 @@ pub fn fit_cooling_model(
             .expect("finite powers")
     });
     let median = by_power[by_power.len() / 2];
-    let t_sp_ref = Temperature::from_kelvin(
-        median.t_ac.as_kelvin() + median.cooling_power.as_watts() / cf,
-    );
+    let t_sp_ref =
+        Temperature::from_kelvin(median.t_ac.as_kelvin() + median.cooling_power.as_watts() / cf);
     let model = CoolingModel::new(cf, t_sp_ref)
         .map_err(|e| CoolingProfileError::Unphysical(e.to_string()))?;
 
@@ -204,8 +203,7 @@ mod tests {
         let mut records = synthetic_records();
         // Corrupt one record into a pinned-valve state (return far below SP).
         records[0].t_return = Temperature::from_celsius(10.0);
-        let profile =
-            fit_cooling_model(&records, Temperature::from_celsius(21.0)).unwrap();
+        let profile = fit_cooling_model(&records, Temperature::from_celsius(21.0)).unwrap();
         // The table still exists and interpolates.
         assert!(profile.set_points.len() >= 2);
     }

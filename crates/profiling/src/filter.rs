@@ -116,9 +116,7 @@ mod tests {
 
     #[test]
     fn series_filtering_preserves_timestamps() {
-        let series: TimeSeries = (0..5)
-            .map(|k| (Seconds::new(k as f64), k as f64))
-            .collect();
+        let series: TimeSeries = (0..5).map(|k| (Seconds::new(k as f64), k as f64)).collect();
         let out = LowPassFilter::new(1.0).apply_series(&series);
         assert_eq!(out.times(), series.times());
         assert_eq!(out.values(), series.values()); // alpha = 1 is identity

@@ -119,9 +119,7 @@ mod tests {
         assert_eq!(grid.len(), 14); // 7 patterns × 2 set points
         assert!(grid.iter().all(|p| p.loads.len() == 4));
         // The alternating patterns are present.
-        assert!(grid
-            .iter()
-            .any(|p| p.loads == vec![0.8, 0.1, 0.8, 0.1]));
+        assert!(grid.iter().any(|p| p.loads == vec![0.8, 0.1, 0.8, 0.1]));
     }
 
     #[test]
@@ -137,12 +135,7 @@ mod tests {
                 set_point: Temperature::from_celsius(19.0),
             },
         ];
-        let records = run_grid(
-            &mut room,
-            &points,
-            Seconds::new(4000.0),
-            Seconds::new(60.0),
-        );
+        let records = run_grid(&mut room, &points, Seconds::new(4000.0), Seconds::new(60.0));
         assert_eq!(records.len(), 2);
         for r in &records {
             assert!(r.settled, "grid point failed to settle");

@@ -222,10 +222,10 @@ mod tests {
         .remove(0);
 
         for i in 0..4 {
-            let predicted = profile.model.thermal(i).predict(
-                record.t_ac,
-                record.server_power[i],
-            );
+            let predicted = profile
+                .model
+                .thermal(i)
+                .predict(record.t_ac, record.server_power[i]);
             let measured = record.cpu_temp[i];
             let err = (predicted - measured).abs().as_kelvin();
             // The paper reports "a few percent error"; allow 3 K here.

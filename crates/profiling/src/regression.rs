@@ -188,7 +188,11 @@ where
         .zip(y)
         .map(|(row, &yi)| (yi - fit.predict(row)).powi(2))
         .sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     Ok(MultiFit {
         r2,
         rmse: (ss_res / n).sqrt(),
@@ -252,9 +256,7 @@ mod tests {
 
     #[test]
     fn multi_fit_recovers_exact_plane() {
-        let rows: Vec<[f64; 2]> = (0..30)
-            .map(|k| [(k % 5) as f64, (k / 5) as f64])
-            .collect();
+        let rows: Vec<[f64; 2]> = (0..30).map(|k| [(k % 5) as f64, (k / 5) as f64]).collect();
         let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - 0.5 * r[1] + 4.0).collect();
         let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
         let fit = fit_multi(refs, &y).unwrap();

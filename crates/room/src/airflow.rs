@@ -78,10 +78,7 @@ impl AirDistribution {
                 ));
             }
         }
-        if capture_fraction
-            .iter()
-            .any(|&c| !(0.0..=1.0).contains(&c))
-        {
+        if capture_fraction.iter().any(|&c| !(0.0..=1.0).contains(&c)) {
             return fail("capture fraction outside [0,1]".to_string());
         }
         Ok(AirDistribution {
@@ -95,11 +92,7 @@ impl AirDistribution {
     /// stream and the rest from room air; no direct recirculation;
     /// `capture` of every exhaust returns to the duct.
     pub fn uniform(n: usize, supply: f64, capture: f64) -> Result<Self, InvalidAirDistribution> {
-        AirDistribution::new(
-            vec![supply; n],
-            vec![vec![0.0; n]; n],
-            vec![capture; n],
-        )
+        AirDistribution::new(vec![supply; n], vec![vec![0.0; n]; n], vec![capture; n])
     }
 
     /// Number of servers described.

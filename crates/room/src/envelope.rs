@@ -48,7 +48,11 @@ impl Envelope {
     /// An adiabatic room with no auxiliary load (useful in unit tests where
     /// the only heat source should be the servers).
     pub fn adiabatic() -> Self {
-        Envelope::new(Conductance::ZERO, Temperature::from_celsius(25.0), Watts::ZERO)
+        Envelope::new(
+            Conductance::ZERO,
+            Temperature::from_celsius(25.0),
+            Watts::ZERO,
+        )
     }
 
     /// Net heat flowing *into* the room air at room temperature `t_room`

@@ -108,8 +108,7 @@ impl SteadyMeasurement {
                 let c = obs.cpu_temps[i].as_celsius();
                 cpu_temps[i] += c;
                 max_cpu = max_cpu.max(c);
-                max_cpu_true =
-                    max_cpu_true.max(room.servers()[i].cpu_temp().as_celsius());
+                max_cpu_true = max_cpu_true.max(room.servers()[i].cpu_temp().as_celsius());
             }
             t_supply += obs.t_supply.as_celsius();
             t_return += obs.t_return.as_celsius();

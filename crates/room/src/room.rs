@@ -114,9 +114,7 @@ impl MachineRoom {
         }
         let max_flows: Vec<_> = servers.iter().map(|s| s.config().fan_flow).collect();
         let demand = air.supply_flow_demand(&max_flows);
-        if demand.as_cubic_meters_per_second()
-            > crac.config().flow.as_cubic_meters_per_second()
-        {
+        if demand.as_cubic_meters_per_second() > crac.config().flow.as_cubic_meters_per_second() {
             return Err(InvalidRoom {
                 what: format!(
                     "servers demand {demand} of supply air but the CRAC provides {}",
@@ -133,9 +131,7 @@ impl MachineRoom {
             .map(|i| CpuTempSensor::with_default_noise(sensor_seed.wrapping_add(i as u64)))
             .collect();
         let power_meters = (0..n)
-            .map(|i| {
-                PowerMeter::with_default_noise(sensor_seed.wrapping_add(1000 + i as u64))
-            })
+            .map(|i| PowerMeter::with_default_noise(sensor_seed.wrapping_add(1000 + i as u64)))
             .collect();
         Ok(MachineRoom {
             servers,
@@ -288,7 +284,8 @@ impl MachineRoom {
     /// Electrical power of the cooling unit.
     pub fn cooling_power(&self) -> Watts {
         let air = self.air_state();
-        self.crac.electrical_power(air.t_return, self.crac.integral())
+        self.crac
+            .electrical_power(air.t_return, self.crac.integral())
     }
 
     /// Total room power: computing + cooling, the paper's `P_total`.
@@ -415,15 +412,17 @@ impl Dynamics for MachineRoom {
             let (d_cpu, d_box) = server.thermal_rates(inlets[i], t_cpu, t_box);
             dx[2 * i] = d_cpu.as_kelvin_per_second();
             dx[2 * i + 1] = d_box.as_kelvin_per_second();
-            let spill_conductance =
-                (flows[i] * (1.0 - self.air.capture_fraction(i))) * C_AIR;
+            let spill_conductance = (flows[i] * (1.0 - self.air.capture_fraction(i))) * C_AIR;
             spilled_heat += spill_conductance * (t_box - t_room);
         }
 
         // Supply air not drawn by servers spills into the room.
         let excess_supply = coolopt_units::FlowRate::cubic_meters_per_second(
             self.crac.config().flow.as_cubic_meters_per_second()
-                - self.air.supply_flow_demand(&flows).as_cubic_meters_per_second(),
+                - self
+                    .air
+                    .supply_flow_demand(&flows)
+                    .as_cubic_meters_per_second(),
         );
         let supply_spill = (excess_supply * C_AIR) * (t_supply - t_room);
         let envelope_gain = self.config.envelope.heat_gain(t_room);
@@ -469,8 +468,7 @@ mod tests {
         let coil = room
             .crac()
             .cooling_load(air.t_return, room.crac().integral());
-        let generated = room.computing_power()
-            + room.config().envelope.heat_gain(room.room_temp());
+        let generated = room.computing_power() + room.config().envelope.heat_gain(room.room_temp());
         let rel = (coil.as_watts() - generated.as_watts()).abs() / generated.as_watts();
         assert!(
             rel < 0.05,

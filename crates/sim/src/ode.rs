@@ -191,7 +191,11 @@ mod tests {
         let steps = 10_000;
         let dt = Seconds::new(std::f64::consts::PI / steps as f64);
         Rk4::new().run(&sys, Seconds::ZERO, dt, steps, &mut x);
-        assert!((x[0] - 1.0).abs() < 1e-6, "position after a period: {}", x[0]);
+        assert!(
+            (x[0] - 1.0).abs() < 1e-6,
+            "position after a period: {}",
+            x[0]
+        );
         assert!(x[1].abs() < 1e-5, "velocity after a period: {}", x[1]);
     }
 

@@ -212,8 +212,7 @@ mod tests {
     fn extend_and_iter_round_trip() {
         let mut ts = TimeSeries::with_capacity(3);
         ts.extend((0..3).map(|i| (Seconds::new(i as f64), i as f64 * 2.0)));
-        let collected: Vec<(f64, f64)> =
-            ts.iter().map(|(t, v)| (t.as_secs_f64(), v)).collect();
+        let collected: Vec<(f64, f64)> = ts.iter().map(|(t, v)| (t.as_secs_f64(), v)).collect();
         assert_eq!(collected, vec![(0.0, 0.0), (1.0, 2.0), (2.0, 4.0)]);
     }
 }

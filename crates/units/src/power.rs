@@ -242,7 +242,12 @@ mod tests {
             e += Watts::new(100.0) * Seconds::new(1.0);
         }
         assert!((e.as_joules() - 6000.0).abs() < 1e-9);
-        assert!((e / Seconds::new(60.0) - Watts::new(100.0)).as_watts().abs() < 1e-9);
+        assert!(
+            (e / Seconds::new(60.0) - Watts::new(100.0))
+                .as_watts()
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

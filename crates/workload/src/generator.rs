@@ -11,10 +11,36 @@ use rand::{Rng, SeedableRng};
 
 /// Vocabulary used by the generator.
 const VOCABULARY: &[&str] = &[
-    "data", "center", "energy", "cooling", "computing", "thermal", "load", "server", "rack",
-    "temperature", "power", "optimal", "model", "machine", "room", "workload", "allocation",
-    "consolidation", "holistic", "constraint", "throughput", "steady", "state", "batch",
-    "processing", "cloud", "cluster", "air", "flow", "heat",
+    "data",
+    "center",
+    "energy",
+    "cooling",
+    "computing",
+    "thermal",
+    "load",
+    "server",
+    "rack",
+    "temperature",
+    "power",
+    "optimal",
+    "model",
+    "machine",
+    "room",
+    "workload",
+    "allocation",
+    "consolidation",
+    "holistic",
+    "constraint",
+    "throughput",
+    "steady",
+    "state",
+    "batch",
+    "processing",
+    "cloud",
+    "cluster",
+    "air",
+    "flow",
+    "heat",
 ];
 
 /// A deterministic generator of synthetic HTML documents.
@@ -44,7 +70,10 @@ impl DocumentGenerator {
     ///
     /// Panics if `words_per_doc == 0`.
     pub fn new(seed: u64, words_per_doc: usize) -> Self {
-        assert!(words_per_doc > 0, "documents must contain at least one word");
+        assert!(
+            words_per_doc > 0,
+            "documents must contain at least one word"
+        );
         let mut cumulative = Vec::with_capacity(VOCABULARY.len());
         let mut acc = 0.0;
         for rank in 1..=VOCABULARY.len() {

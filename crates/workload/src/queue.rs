@@ -69,11 +69,7 @@ pub fn simulate_queueing(
 ) -> Result<QueueStats, QueueSimError> {
     if loads.len() != capacities.len() {
         return Err(QueueSimError {
-            what: format!(
-                "{} loads vs {} capacities",
-                loads.len(),
-                capacities.len()
-            ),
+            what: format!("{} loads vs {} capacities", loads.len(), capacities.len()),
         });
     }
     if !(arrival_rate.is_finite() && arrival_rate > 0.0) {
@@ -193,8 +189,7 @@ mod tests {
         // The same total stream served by 2 machines (consolidated, ρ = 0.8)
         // vs spread over 8 (ρ = 0.2): consolidation pays in response time.
         let spread = LoadVector::new(vec![0.2; 8]).unwrap();
-        let consolidated =
-            LoadVector::new(vec![0.8, 0.8, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        let consolidated = LoadVector::new(vec![0.8, 0.8, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
         let rate = 160.0; // docs/s against 100 docs/s machines
         let s = simulate_queueing(&spread, &caps(8, 100.0), rate, 30_000, 3).unwrap();
         let c = simulate_queueing(&consolidated, &caps(8, 100.0), rate, 30_000, 3).unwrap();

@@ -78,12 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     room.apply_on_set(&sol.on);
     room.set_loads(&sol.full_loads(room.len()))?;
     let t_target = model.clamp_t_ac(sol.t_ac);
-    room.set_set_point(
-        profile
-            .cooling
-            .set_points
-            .set_point_for(t_target, load),
-    );
+    room.set_set_point(profile.cooling.set_points.set_point_for(t_target, load));
     room.settle(Seconds::new(4000.0), 5.0);
     println!(
         "\nvalidation at L = {load}: model predicts {}, simulator measures {}",

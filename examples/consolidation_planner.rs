@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fig1 = ParticleSystem::new(&[(4.0, 1.0), (1.0, 3.0), (5.0, 2.0), (3.5, 1.5)])?;
     println!("Fig. 1 — kinetic-particle system (x_i(t) = a_i − b_i·t):");
     for e in fig1.events() {
-        println!("  event: particle {} meets particle {} at t = {}", e.p, e.q, e.t);
+        println!(
+            "  event: particle {} meets particle {} at t = {}",
+            e.p, e.q, e.t
+        );
     }
     for snap in fig1.orders() {
         println!("  order from t = {:>3}: {:?}", snap.since, snap.order);

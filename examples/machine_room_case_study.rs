@@ -27,14 +27,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The three-way comparison the paper's conclusions rest on:
     // naive practice (#1), the prior state of the art (#7), this paper (#8).
-    let methods = [Method::numbered(1), Method::numbered(7), Method::numbered(8)];
+    let methods = [
+        Method::numbered(1),
+        Method::numbered(7),
+        Method::numbered(8),
+    ];
     let options = SweepOptions {
         load_percents: vec![20.0, 50.0, 80.0],
         settle_max: Seconds::new(4000.0),
         window: Seconds::new(60.0),
         ..SweepOptions::default()
     };
-    println!("sweeping {} methods × {} loads…", methods.len(), options.load_percents.len());
+    println!(
+        "sweeping {} methods × {} loads…",
+        methods.len(),
+        options.load_percents.len()
+    );
     let sweep = run_sweep(&mut testbed, &methods, &options);
 
     println!("\n{}", render_figure(&figures::fig9(&sweep)));

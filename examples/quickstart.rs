@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("profiling the rack (the paper's §IV-A staircases)…");
     let profile = profile_room_full(&mut room, &ProfileOptions::default())?;
-    println!("  power model   : {}  (r² = {:.4})", profile.model.power(), profile.power.r2);
+    println!(
+        "  power model   : {}  (r² = {:.4})",
+        profile.model.power(),
+        profile.power.r2
+    );
     println!(
         "  cooling model : {}  (supply ceiling {:.1} °C)",
         profile.model.cooling(),
@@ -46,10 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // set-point calibration), let the room settle, and measure.
     let planner = Planner::new(&profile.model, &profile.cooling.set_points);
     let plan = planner.plan(Method::numbered(8), total_load)?;
-    println!(
-        "\nplanner (with guard band) selects machines {:?}",
-        plan.on
-    );
+    println!("\nplanner (with guard band) selects machines {:?}", plan.on);
     room.apply_on_set(&plan.on);
     room.set_loads(&plan.loads)?;
     room.set_set_point(plan.set_point);
@@ -65,10 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|s| s.cpu_temp())
         .fold(coolopt::units::Temperature::ZERO, |a, b| a.max(b));
-    println!(
-        "hottest CPU: {hottest} (limit {})",
-        profile.model.t_max()
-    );
+    println!("hottest CPU: {hottest} (limit {})", profile.model.t_max());
 
     // And actually run the batch workload through the load balancer.
     let loads = LoadVector::new(plan.loads.clone())?;

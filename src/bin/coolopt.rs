@@ -54,7 +54,7 @@ coolopt — joint optimization of computing and cooling energy
 USAGE:
   coolopt profile --machines N [--seed S] --out FILE   profile a simulated rack
   coolopt solve   --profile FILE --load L              optimal ON-set + loads + T_ac
-  coolopt plan    --profile FILE --method 1..8 --load-percent P
+  coolopt plan    --profile FILE --method 1..8 --load-percent P[,P2,…]
   coolopt methods                                      list the paper's methods";
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -100,8 +100,8 @@ fn cmd_profile(flags: &HashMap<String, String>) -> Result<(), String> {
 
     eprintln!("building and profiling a {machines}-machine rack (seed {seed})…");
     let mut room = presets::parametric_rack(machines, seed);
-    let profile = profile_room_full(&mut room, &ProfileOptions::default())
-        .map_err(|e| e.to_string())?;
+    let profile =
+        profile_room_full(&mut room, &ProfileOptions::default()).map_err(|e| e.to_string())?;
     eprintln!(
         "fitted: {} | {} machines | supply ceiling {:.1} °C",
         profile.model.power(),
@@ -141,23 +141,30 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
     if !(1..=8).contains(&method_no) {
         return Err(format!("method must be 1..=8, got {method_no}"));
     }
-    let percent: f64 = parse(required(flags, "load-percent")?, "load percent")?;
-    let load = percent / 100.0 * profile.model.len() as f64;
+    let percents: Vec<f64> = required(flags, "load-percent")?
+        .split(',')
+        .map(|p| parse(p.trim(), "load percent"))
+        .collect::<Result<_, _>>()?;
 
+    // One planner for every requested load point: the consolidation index
+    // is built on the first plan and reused as a pure query afterwards.
     let planner = Planner::new(&profile.model, &profile.cooling.set_points);
     let method = Method::numbered(method_no);
-    let plan = planner.plan(method, load).map_err(|e| e.to_string())?;
-    println!("{method} at {percent} % load (L = {load:.2}):");
-    println!(
-        "  machines on : {} of {}",
-        plan.on.len(),
-        profile.model.len()
-    );
-    println!("  set point   : {}", plan.set_point);
-    println!("  T_ac target : {}", plan.t_ac_target);
-    for (i, &l) in plan.loads.iter().enumerate() {
-        if l > 0.0 {
-            println!("  machine {i:>3}: {:>5.1} %", l * 100.0);
+    for &percent in &percents {
+        let load = percent / 100.0 * profile.model.len() as f64;
+        let plan = planner.plan(method, load).map_err(|e| e.to_string())?;
+        println!("{method} at {percent} % load (L = {load:.2}):");
+        println!(
+            "  machines on : {} of {}",
+            plan.on.len(),
+            profile.model.len()
+        );
+        println!("  set point   : {}", plan.set_point);
+        println!("  T_ac target : {}", plan.t_ac_target);
+        for (i, &l) in plan.loads.iter().enumerate() {
+            if l > 0.0 {
+                println!("  machine {i:>3}: {:>5.1} %", l * 100.0);
+            }
         }
     }
     Ok(())

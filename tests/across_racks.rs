@@ -54,12 +54,9 @@ fn optimal_consolidation_prefers_the_near_rack() {
     let k = plan.on.len();
     // Compare against the ratio optimum of the *guarded* model the planner
     // actually optimizes.
-    let (ratio_optimal, _) = coolopt::core::brute::brute_force_select(
-        &planner.model().consolidation_pairs(),
-        k,
-        2.0,
-    )
-    .expect("feasible select instance");
+    let (ratio_optimal, _) =
+        coolopt::core::brute::brute_force_select(&planner.model().consolidation_pairs(), k, 2.0)
+            .expect("feasible select instance");
     let mut picked = plan.on.clone();
     picked.sort_unstable();
     assert_eq!(

@@ -1,9 +1,7 @@
 //! Property-based tests of the closed-form optimum (Eqs. 19/21/22) over
 //! randomly generated (physically plausible) room models.
 
-use coolopt::core::{
-    loads_for_t_ac, optimal_allocation, optimal_allocation_clamped,
-};
+use coolopt::core::{loads_for_t_ac, optimal_allocation, optimal_allocation_clamped};
 use coolopt::model::{CoolingModel, PowerModel, RoomModel, ThermalModel};
 use coolopt::units::{Temperature, Watts};
 use proptest::prelude::*;

@@ -11,10 +11,7 @@ use coolopt::workload::{simulate_queueing, Capacity, LoadVector};
 fn holistic_consolidation_keeps_latency_sane_where_bottom_up_saturates() {
     let machines = 6;
     let testbed = Testbed::build_sized(machines, 47).expect("testbed builds");
-    let planner = Planner::new(
-        &testbed.profile.model,
-        &testbed.profile.cooling.set_points,
-    );
+    let planner = Planner::new(&testbed.profile.model, &testbed.profile.cooling.set_points);
 
     let total_load = 0.3 * machines as f64;
     let capacity = 100.0; // docs/s per machine
@@ -24,8 +21,7 @@ fn holistic_consolidation_keeps_latency_sane_where_bottom_up_saturates() {
     let p95_of = |method: Method| {
         let plan = planner.plan(method, total_load).expect("plannable");
         let loads = LoadVector::new(plan.loads.clone()).expect("valid loads");
-        simulate_queueing(&loads, &capacities, arrival, 40_000, 5)
-            .expect("queue sim runs")
+        simulate_queueing(&loads, &capacities, arrival, 40_000, 5).expect("queue sim runs")
     };
 
     let spread = p95_of(Method::numbered(4));

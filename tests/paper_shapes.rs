@@ -39,12 +39,8 @@ fn the_papers_qualitative_results_hold() {
 
     // (2) Consolidation helps, most at low load (Fig. 5): #3 ≤ #2, #7 ≤ #5.
     for (with, without) in [(3u8, 2u8), (7, 5)] {
-        let s = savings_summary(
-            &sweep,
-            Method::numbered(with),
-            Method::numbered(without),
-        )
-        .expect("shared loads");
+        let s = savings_summary(&sweep, Method::numbered(with), Method::numbered(without))
+            .expect("shared loads");
         assert!(
             s.mean > 0.0,
             "consolidated #{with} should beat #{without}: {s}"
@@ -66,15 +62,12 @@ fn the_papers_qualitative_results_hold() {
     for baseline in [4u8, 5u8] {
         let s = savings_summary(&sweep, Method::numbered(6), Method::numbered(baseline))
             .expect("shared loads");
-        assert!(
-            s.min > -0.02,
-            "#6 lost to #{baseline} somewhere: {s}"
-        );
+        assert!(s.min > -0.02, "#6 lost to #{baseline} somewhere: {s}");
     }
 
     // (4) The headline (Fig. 9): Optimal #8 beats the best baseline #7.
-    let headline = savings_summary(&sweep, Method::numbered(8), Method::numbered(7))
-        .expect("shared loads");
+    let headline =
+        savings_summary(&sweep, Method::numbered(8), Method::numbered(7)).expect("shared loads");
     assert!(
         headline.mean > 0.03,
         "expected clear average savings of #8 over #7, got {headline}"
@@ -89,10 +82,7 @@ fn the_papers_qualitative_results_hold() {
             Method::numbered(fixed),
         )
         .expect("shared loads");
-        assert!(
-            s.mean > -0.02,
-            "AC control should not hurt #{fixed}: {s}"
-        );
+        assert!(s.mean > -0.02, "AC control should not hurt #{fixed}: {s}");
     }
 
     // (6) No run violated temperature or throughput constraints.

@@ -85,7 +85,15 @@ fn the_cli_binary_round_trips_a_profile() {
 
     // Bad invocations fail with a message, not a panic.
     let bad = std::process::Command::new(exe)
-        .args(["plan", "--profile", profile_path.to_str().unwrap(), "--method", "9", "--load-percent", "10"])
+        .args([
+            "plan",
+            "--profile",
+            profile_path.to_str().unwrap(),
+            "--method",
+            "9",
+            "--load-percent",
+            "10",
+        ])
         .output()
         .unwrap();
     assert!(!bad.status.success());

@@ -1,0 +1,283 @@
+//! Offline stand-in for `criterion`, vendored into the workspace.
+//!
+//! Bench targets built against this crate keep the familiar structure —
+//! `criterion_group!`/`criterion_main!`, benchmark groups, `Bencher::iter` —
+//! but the measurement engine is a plain wall-clock sampler: warm up for the
+//! configured time, then time batches until the measurement window closes and
+//! report the mean per-iteration latency. No statistics, plots, or baselines.
+//!
+//! Like the real crate, it detects how it was launched: `cargo bench` passes
+//! `--bench` to the target and gets full timed runs, while `cargo test`
+//! (which also executes `harness = false` bench targets) omits it and gets a
+//! single-iteration smoke run so the tier-1 gate stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver holding the measurement configuration.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 10, "criterion requires at least 10 samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long to run the routine before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the length of the sampling window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        let samples = self.sample_size;
+        self.run(&label, samples, f);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, sample_size: usize, mut f: F) {
+        let mut bencher = Bencher {
+            bench_mode: self.bench_mode,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size,
+            mean: None,
+        };
+        f(&mut bencher);
+        if self.bench_mode {
+            match bencher.mean {
+                Some(mean) => println!("{label:<50} time: {}", format_duration(mean)),
+                None => println!("{label:<50} (no iterations recorded)"),
+            }
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing the driver's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the driver's sample count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 10, "criterion requires at least 10 samples");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run(&label, samples, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. Present for API compatibility.
+    pub fn finish(self) {}
+}
+
+/// A benchmark label, optionally `function/parameter` shaped.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` label.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// A parameter-only label.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Times the routine handed to [`Bencher::iter`].
+pub struct Bencher {
+    bench_mode: bool,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its mean wall-clock latency.
+    /// In smoke mode (no `--bench` on the command line) it runs exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.bench_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+
+        // Warm-up: run untimed until the window closes, tracking a rough
+        // per-iteration cost to size the measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as u64 / warm_iters.max(1);
+
+        // Size each sample so sample_size batches fill the measurement window.
+        let budget_per_sample =
+            self.measurement_time.as_nanos() as u64 / self.sample_size.max(1) as u64;
+        let batch = (budget_per_sample / per_iter.max(1)).max(1);
+
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let window = Instant::now();
+        while window.elapsed() < self.measurement_time {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.mean = Some(total / iters.max(1) as u32);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions under one entry point, mirroring criterion's
+/// two accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_routine_once() {
+        // Unit tests are not launched with --bench, so this exercises the
+        // same path `cargo test` takes through a bench target.
+        let mut criterion = Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        assert!(!criterion.bench_mode);
+
+        let mut runs = 0;
+        let mut group = criterion.benchmark_group("smoke");
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("count", 3), &3, |b, &_n| {
+            b.iter(|| runs += 1)
+        });
+        group.finish();
+        assert_eq!(runs, 2);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("build", 40).to_string(), "build/40");
+        assert_eq!(BenchmarkId::from_parameter(40).to_string(), "40");
+    }
+}

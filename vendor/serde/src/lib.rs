@@ -1,0 +1,367 @@
+//! Offline stand-in for `serde`, vendored into the workspace.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the slice of serde's surface the workspace actually uses: the
+//! [`Serialize`] / [`Deserialize`] traits (value-tree based rather than
+//! visitor based), derive macros for plain structs and enums (via the
+//! sibling `serde_derive` shim), and impls for the primitive, tuple and
+//! container types appearing in the model structs. `serde_json` (also
+//! vendored) renders the [`Value`] tree to JSON text and back.
+//!
+//! Supported derive shapes — exactly what the workspace contains:
+//!
+//! * named-field structs, honouring `#[serde(default)]` on fields;
+//! * newtype / tuple structs (serialized transparently as the inner value,
+//!   which is also what real serde does for newtypes in JSON);
+//! * enums with unit variants (`"Variant"`) and newtype variants
+//!   (`{"Variant": value}`), matching serde's externally-tagged default.
+
+use std::fmt;
+
+/// A parsed or to-be-rendered serialization tree (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats, as real serde_json does).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer beyond `i64` range.
+    UInt(u64),
+    /// A finite float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as a float, if it is numeric (or `null`, which maps to NaN
+    /// so that serialized non-finite floats round-trip structurally).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) => i64::try_from(u).ok(),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Some(f as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(i) => u64::try_from(i).ok(),
+            Value::UInt(u) => Some(u),
+            Value::Float(f) if f.fract() == 0.0 && (0.0..1.9e19).contains(&f) => Some(f as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an object's field list.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a field of an object by name (first match wins, like serde).
+pub fn get_field<'a>(fields: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with a free-form message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+
+    /// The standard "missing field" error.
+    pub fn missing_field(type_name: &str, field: &str) -> Self {
+        Error::custom(format!("missing field `{field}` of `{type_name}`"))
+    }
+
+    /// The standard "wrong shape" error.
+    pub fn invalid_type(expected: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Int(_) | Value::UInt(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        Error::custom(format!("invalid type: expected {expected}, found {kind}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type renderable to a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to the serialization tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of the serialization tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// --- primitive impls -------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let i = value
+                    .as_i64()
+                    .ok_or_else(|| Error::invalid_type("integer", value))?;
+                <$t>::try_from(i).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let u = value
+                    .as_u64()
+                    .ok_or_else(|| Error::invalid_type("integer", value))?;
+                <$t>::try_from(u).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let f = *self as f64;
+                if f.is_finite() {
+                    Value::Float(f)
+                } else {
+                    Value::Null // real serde_json also emits null for NaN/inf
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                value
+                    .as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| Error::invalid_type("number", value))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::invalid_type("boolean", value)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::invalid_type("string", value))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::invalid_type("array", value))?
+            .iter()
+            .map(Deserialize::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| Error::invalid_type("array", value))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected a tuple of {expected}, found {} elements",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containers_round_trip_structurally() {
+        let v = vec![(1.5f64, 2.0f64), (3.0, 4.25)];
+        let tree = v.to_value();
+        let back: Vec<(f64, f64)> = Deserialize::from_value(&tree).unwrap();
+        assert_eq!(back, v);
+
+        let opt: Option<String> = None;
+        assert_eq!(opt.to_value(), Value::Null);
+        let some: Option<u32> = Deserialize::from_value(&Value::Int(7)).unwrap();
+        assert_eq!(some, Some(7));
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null_and_read_back_as_nan() {
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+        let back: f64 = Deserialize::from_value(&Value::Null).unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn errors_describe_the_mismatch() {
+        let err = String::from_value(&Value::Int(3)).unwrap_err();
+        assert!(err.to_string().contains("expected string"));
+        let err = <Vec<f64>>::from_value(&Value::Bool(true)).unwrap_err();
+        assert!(err.to_string().contains("expected array"));
+    }
+}

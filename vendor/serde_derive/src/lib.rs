@@ -1,0 +1,392 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented without `syn`/`quote` (crates.io is unreachable in this build
+//! environment): the item is parsed directly from the `proc_macro` token
+//! stream and the impl is emitted as source text. The parser covers exactly
+//! the shapes the workspace derives on:
+//!
+//! * named-field structs (`#[serde(default)]` honoured per field);
+//! * tuple structs, serialized transparently when they have one field;
+//! * enums of unit and newtype variants (externally tagged, like serde).
+//!
+//! Generics, struct variants, and other serde attributes are rejected with a
+//! clear panic at compile time rather than miscompiled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the item under derive.
+enum Item {
+    Named {
+        name: String,
+        /// `(field_name, has_serde_default)`
+        fields: Vec<(String, bool)>,
+    },
+    Tuple {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        /// `(variant_name, has_payload)`
+        variants: Vec<(String, bool)>,
+    },
+}
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Named { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|(f, _)| {
+                    format!(
+                        "__fields.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(__fields)\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+             ::serde::Serialize::to_value(&self.0)\n\
+             }}\n}}\n"
+        ),
+        Item::Tuple { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Array(vec![{}])\n\
+                 }}\n}}\n",
+                items.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, payload)| {
+                    if *payload {
+                        format!(
+                            "{name}::{v}(__inner) => ::serde::Value::Object(vec![(\
+                             \"{v}\".to_string(), ::serde::Serialize::to_value(__inner))]),\n"
+                        )
+                    } else {
+                        format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n")
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}\n"
+            )
+        }
+    };
+    body.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Named { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|(f, has_default)| {
+                    let fallback = if *has_default {
+                        "::std::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return ::std::result::Result::Err(\
+                             ::serde::Error::missing_field(\"{name}\", \"{f}\"))"
+                        )
+                    };
+                    format!(
+                        "{f}: match ::serde::get_field(__fields, \"{f}\") {{\n\
+                         ::std::option::Option::Some(__v) => \
+                         ::serde::Deserialize::from_value(__v)?,\n\
+                         ::std::option::Option::None => {fallback},\n\
+                         }},\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let __fields = __value.as_object().ok_or_else(|| \
+                 ::serde::Error::invalid_type(\"object\", __value))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> \
+             ::std::result::Result<Self, ::serde::Error> {{\n\
+             ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))\n\
+             }}\n}}\n"
+        ),
+        Item::Tuple { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let __items = __value.as_array().ok_or_else(|| \
+                 ::serde::Error::invalid_type(\"array\", __value))?;\n\
+                 if __items.len() != {arity} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"wrong tuple arity for `{name}`\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({elems}))\n\
+                 }}\n}}\n",
+                elems = elems.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, payload)| !payload)
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|(_, payload)| *payload)
+                .map(|(v, _)| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if let ::std::option::Option::Some(__s) = __value.as_str() {{\n\
+                 return match __s {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n}};\n\
+                 }}\n\
+                 if let ::std::option::Option::Some(__fields) = __value.as_object() {{\n\
+                 if __fields.len() == 1 {{\n\
+                 let (__key, __inner) = &__fields[0];\n\
+                 return match __key.as_str() {{\n{payload_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n}};\n\
+                 }}\n}}\n\
+                 ::std::result::Result::Err(::serde::Error::invalid_type(\
+                 \"externally tagged enum\", __value))\n\
+                 }}\n}}\n"
+            )
+        }
+    };
+    body.parse().expect("generated Deserialize impl parses")
+}
+
+// --- token-level parsing ---------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected a type name, found `{other}`"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Named {
+                fields: parse_named_fields(g.stream()),
+                name,
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Tuple {
+                arity: count_tuple_fields(g.stream()),
+                name,
+            },
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                variants: parse_variants(&name, g.stream()),
+                name,
+            },
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde impls for a `{other}` item"),
+    }
+}
+
+/// Skips attributes at `tokens[*i]`, returning `true` if any of them was
+/// `#[serde(default)]`.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if is_serde_attr_with(g.stream(), "default") {
+                has_default = true;
+            }
+            *i += 1;
+        } else {
+            panic!("malformed attribute: `#` not followed by a bracket group");
+        }
+    }
+    has_default
+}
+
+/// Recognizes `serde(<word>)` inside an attribute's bracket group.
+fn is_serde_attr_with(stream: TokenStream, word: &str) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(w) if w.to_string() == word))
+        }
+        _ => false,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        // `pub(crate)`, `pub(super)`, …
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let has_default = skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected a field name, found `{other}`"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{field}`, found `{other}`"),
+        }
+        // Consume the type: commas nested in `<…>` belong to the type, and
+        // parenthesized tuples arrive as single groups, so tracking angle
+        // depth is all the lookahead a field boundary needs.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push((field, has_default));
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        panic!("cannot derive serde impls for a unit-like tuple struct");
+    }
+    let mut fields = 1;
+    let mut angle_depth = 0i32;
+    for (idx, token) in tokens.iter().enumerate() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            // A trailing comma does not start a new field.
+            TokenTree::Punct(p)
+                if p.as_char() == ',' && angle_depth == 0 && idx + 1 < tokens.len() =>
+            {
+                fields += 1
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+fn parse_variants(enum_name: &str, stream: TokenStream) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let variant = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected a variant of `{enum_name}`, found `{other}`"),
+        };
+        i += 1;
+        let mut payload = false;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if count_tuple_fields(g.stream()) != 1 {
+                    panic!(
+                        "variant `{enum_name}::{variant}` has more than one field; \
+                         the serde shim only supports newtype variants"
+                    );
+                }
+                payload = true;
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => panic!(
+                "variant `{enum_name}::{variant}` is a struct variant; \
+                 the serde shim only supports unit and newtype variants"
+            ),
+            _ => {}
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(other) => panic!("expected `,` after `{enum_name}::{variant}`, found `{other}`"),
+        }
+        variants.push((variant, payload));
+    }
+    variants
+}
