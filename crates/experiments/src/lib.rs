@@ -17,6 +17,15 @@
 //! 5. [`savings`] — the headline numbers (average/maximum savings of the
 //!    optimal method over the best baseline).
 //!
+//! Beyond the paper, [`runtime`] replans online over load traces on the
+//! numeric substrate, and [`replay`] replays the same controller on the
+//! analytic linear-RC transient model (exact-step propagator) for fast
+//! design sweeps.
+//!
+//! With the `parallel` feature, [`harness::run_sweep`] and the ablation
+//! studies fan independent scenarios across scoped threads with
+//! deterministic ordering — output is bit-identical to the serial run.
+//!
 //! [`RoomModel`]: coolopt_model::RoomModel
 
 #![warn(missing_docs)]
@@ -24,15 +33,20 @@
 pub mod ablations;
 pub mod figures;
 pub mod harness;
+pub mod replay;
 pub mod report;
 pub mod runtime;
 pub mod savings;
 pub mod testbed;
 
 pub use figures::{FigureData, Series};
+#[cfg(feature = "parallel")]
+pub use harness::run_sweep_with_workers;
 pub use harness::{
-    run_method, run_method_with, run_sweep, scenario_planner, MethodRun, Sweep, SweepOptions,
+    run_method, run_method_with, run_sweep, run_sweep_serial, scenario_planner, MethodRun, Sweep,
+    SweepOptions,
 };
+pub use replay::{replay_trace, replay_trace_with, ReplayEngine, ReplayOptions, ReplayOutcome};
 pub use report::{render_figure, to_csv};
 pub use savings::{savings_summary, SavingsSummary};
 pub use testbed::Testbed;

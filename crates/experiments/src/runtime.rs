@@ -12,7 +12,7 @@
 
 use crate::testbed::Testbed;
 use coolopt_alloc::{Method, Planner, PolicyError};
-use coolopt_sim::TimeSeries;
+use coolopt_sim::{SoaRecorder, TimeSeries};
 use coolopt_units::{Joules, Seconds, TempDelta, Watts};
 use serde::{Deserialize, Serialize};
 
@@ -29,6 +29,12 @@ pub struct TracePoint {
 /// A diurnal-looking test trace: load swings sinusoidally between
 /// `min_frac` and `max_frac` of rack capacity over `duration`, quantized
 /// into `steps` plateaus (batch arrival waves).
+///
+/// # Panics
+///
+/// Panics when `steps` is zero, either fraction is non-finite or outside
+/// `[0, 1]`, `min_frac > max_frac`, or `duration` is not positive and
+/// finite.
 pub fn sinusoidal_trace(
     machines: usize,
     min_frac: f64,
@@ -38,8 +44,21 @@ pub fn sinusoidal_trace(
 ) -> Vec<TracePoint> {
     assert!(steps > 0, "need at least one plateau");
     assert!(
-        0.0 <= min_frac && min_frac <= max_frac && max_frac <= 1.0,
+        min_frac.is_finite() && max_frac.is_finite(),
+        "fractions must be finite, got min {min_frac}, max {max_frac}"
+    );
+    assert!(
+        min_frac <= max_frac,
+        "min_frac {min_frac} must not exceed max_frac {max_frac}"
+    );
+    assert!(
+        0.0 <= min_frac && max_frac <= 1.0,
         "fractions must satisfy 0 ≤ min ≤ max ≤ 1"
+    );
+    let secs = duration.as_secs_f64();
+    assert!(
+        secs.is_finite() && secs > 0.0,
+        "duration must be positive and finite, got {secs} s"
     );
     (0..steps)
         .map(|k| {
@@ -177,8 +196,13 @@ pub fn run_load_trace_with(
     let mut served = 0.0;
     let mut requested = 0.0;
     let mut violation_seconds = 0.0;
-    let mut power_series = TimeSeries::new();
-    let mut next_record = Seconds::ZERO;
+    // Power is recorded into a preallocated SoA column with decimation:
+    // every step offers a sample, the recorder keeps one per
+    // `record_every` without growing or branching on wall-clock time.
+    let every = (options.record_every.as_secs_f64() / dt.as_secs_f64())
+        .round()
+        .max(1.0) as usize;
+    let mut recorder = SoaRecorder::new(1, every, steps / every + 1);
 
     for _ in 0..steps {
         let now = testbed.room.now() - t0;
@@ -221,10 +245,7 @@ pub fn run_load_trace_with(
         if testbed.room.servers().iter().any(|s| s.cpu_temp() > t_max) {
             violation_seconds += dt.as_secs_f64();
         }
-        if now.as_secs_f64() >= next_record.as_secs_f64() {
-            power_series.push(now, p.as_watts());
-            next_record = now + options.record_every;
-        }
+        recorder.offer(now, &[p.as_watts()]);
     }
 
     let duration = Seconds::new(steps as f64 * dt.as_secs_f64());
@@ -240,7 +261,7 @@ pub fn run_load_trace_with(
         },
         replans,
         plan_failures,
-        power_series,
+        power_series: recorder.to_series(0),
     })
 }
 
@@ -260,6 +281,36 @@ mod tests {
         assert!(min >= 2.0 - 1e-9 && max <= 8.0 + 1e-9);
         assert!(max > 7.5, "peak should approach the requested maximum");
         assert!(trace.windows(2).all(|w| w[0].at < w[1].at));
+    }
+
+    #[test]
+    fn sinusoidal_trace_hits_both_boundary_plateaus() {
+        // Even step counts place plateaus exactly at phase 0 (minimum) and
+        // phase π (maximum).
+        let trace = sinusoidal_trace(8, 0.25, 0.75, Seconds::new(1200.0), 6);
+        assert!((trace[0].load - 0.25 * 8.0).abs() < 1e-12, "{trace:?}");
+        assert!((trace[3].load - 0.75 * 8.0).abs() < 1e-12, "{trace:?}");
+        // A degenerate band is a constant trace, not an error.
+        let flat = sinusoidal_trace(8, 0.5, 0.5, Seconds::new(1200.0), 4);
+        assert!(flat.iter().all(|p| (p.load - 4.0).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "min_frac")]
+    fn sinusoidal_trace_rejects_inverted_band() {
+        sinusoidal_trace(8, 0.8, 0.2, Seconds::new(100.0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn sinusoidal_trace_rejects_nan_fraction() {
+        sinusoidal_trace(8, f64::NAN, 0.5, Seconds::new(100.0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn sinusoidal_trace_rejects_nonpositive_duration() {
+        sinusoidal_trace(8, 0.2, 0.8, Seconds::new(0.0), 4);
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //! derives the quantities the optimizer consumes: the per-machine constant
 //! `K_i` of Eq. 19 and the consolidation pair `(a_i, b_i) = (K_i, α_i/β_i)`.
 //!
+//! [`transient`] lifts the steady-state fit back into a linear-RC dynamic
+//! system ([`RcNetwork`]): between control events the network is LTI, so an
+//! exact-step [`coolopt_sim::Propagator`] replays its transients with one
+//! matrix–vector product per step.
+//!
 //! All temperatures are absolute (kelvin) internally, as in the paper's
 //! Table I.
 
@@ -25,8 +30,10 @@ pub mod cooling;
 pub mod power;
 pub mod room;
 pub mod thermal;
+pub mod transient;
 
 pub use cooling::CoolingModel;
 pub use power::PowerModel;
 pub use room::{InvalidModel, RoomModel};
 pub use thermal::ThermalModel;
+pub use transient::{RcNetwork, RcParams};

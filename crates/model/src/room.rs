@@ -19,6 +19,12 @@ impl fmt::Display for InvalidModel {
     }
 }
 
+impl InvalidModel {
+    pub(crate) fn new(what: String) -> Self {
+        InvalidModel { what }
+    }
+}
+
 impl std::error::Error for InvalidModel {}
 
 /// The fitted model of one machine room: shared power model, per-machine

@@ -123,22 +123,36 @@ impl AirDistribution {
         exhausts: &[Temperature],
         t_room: Temperature,
     ) -> Vec<Temperature> {
+        let mut out = Vec::with_capacity(self.len());
+        self.inlet_temps_into(t_supply, exhausts, t_room, &mut out);
+        out
+    }
+
+    /// Like [`AirDistribution::inlet_temps`], but writes into `out`
+    /// (cleared first) so simulation hot loops can reuse one buffer instead
+    /// of allocating per derivative evaluation.
+    pub fn inlet_temps_into(
+        &self,
+        t_supply: Temperature,
+        exhausts: &[Temperature],
+        t_room: Temperature,
+        out: &mut Vec<Temperature>,
+    ) {
         assert_eq!(exhausts.len(), self.len(), "exhaust vector size mismatch");
-        (0..self.len())
-            .map(|i| {
-                let s = self.supply_fraction[i];
-                let mut kelvin = s * t_supply.as_kelvin();
-                let mut r_sum = 0.0;
-                for (j, &r) in self.recirculation[i].iter().enumerate() {
-                    if r > 0.0 {
-                        kelvin += r * exhausts[j].as_kelvin();
-                        r_sum += r;
-                    }
+        out.clear();
+        for i in 0..self.len() {
+            let s = self.supply_fraction[i];
+            let mut kelvin = s * t_supply.as_kelvin();
+            let mut r_sum = 0.0;
+            for (j, &r) in self.recirculation[i].iter().enumerate() {
+                if r > 0.0 {
+                    kelvin += r * exhausts[j].as_kelvin();
+                    r_sum += r;
                 }
-                kelvin += (1.0 - s - r_sum) * t_room.as_kelvin();
-                Temperature::from_kelvin(kelvin)
-            })
-            .collect()
+            }
+            kelvin += (1.0 - s - r_sum) * t_room.as_kelvin();
+            out.push(Temperature::from_kelvin(kelvin));
+        }
     }
 
     /// Temperature of the CRAC's return stream: captured exhausts (weighted

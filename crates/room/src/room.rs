@@ -6,8 +6,9 @@ use crate::geometry::Rack;
 use coolopt_cooling::{CracMode, CracUnit};
 use coolopt_machine::{CpuTempSensor, PowerMeter, Server};
 use coolopt_sim::ode::{Dynamics, Integrator, Rk4};
-use coolopt_sim::SimClock;
-use coolopt_units::{HeatCapacity, Seconds, Temperature, Watts, C_AIR};
+use coolopt_sim::{SimClock, SimScratch};
+use coolopt_units::{FlowRate, HeatCapacity, Seconds, Temperature, Watts, C_AIR};
+use std::cell::RefCell;
 use std::fmt;
 
 /// Error returned when assembling an inconsistent machine room.
@@ -69,6 +70,22 @@ pub struct MachineRoom {
     clock: SimClock,
     temp_sensors: Vec<CpuTempSensor>,
     power_meters: Vec<PowerMeter>,
+    /// Persistent packed-state buffer for [`MachineRoom::step`].
+    ode_state: Vec<f64>,
+    /// Persistent integrator workspace for [`MachineRoom::step`].
+    scratch: SimScratch,
+    /// Air-path temporaries for [`Dynamics::derivatives`] (which only gets
+    /// `&self`, hence the interior mutability). Never held across a call.
+    air_buffers: RefCell<AirBuffers>,
+}
+
+/// Reused air-path temporaries: exhaust temperatures, per-server flows and
+/// inlet temperatures.
+#[derive(Debug, Clone, Default)]
+struct AirBuffers {
+    exhausts: Vec<Temperature>,
+    flows: Vec<FlowRate>,
+    inlets: Vec<Temperature>,
 }
 
 /// View of the instantaneous air-path temperatures.
@@ -143,6 +160,13 @@ impl MachineRoom {
             clock: SimClock::new(config.dt),
             temp_sensors,
             power_meters,
+            ode_state: Vec::with_capacity(2 * n + Self::EXTRA_STATES),
+            scratch: SimScratch::with_dim(2 * n + Self::EXTRA_STATES),
+            air_buffers: RefCell::new(AirBuffers {
+                exhausts: Vec::with_capacity(n),
+                flows: Vec::with_capacity(n),
+                inlets: Vec::with_capacity(n),
+            }),
         })
     }
 
@@ -283,9 +307,26 @@ impl MachineRoom {
 
     /// Electrical power of the cooling unit.
     pub fn cooling_power(&self) -> Watts {
-        let air = self.air_state();
-        self.crac
-            .electrical_power(air.t_return, self.crac.integral())
+        let t_return = self.current_return_temp();
+        self.crac.electrical_power(t_return, self.crac.integral())
+    }
+
+    /// Return-stream temperature for the *current* state, computed through
+    /// the reused air buffers (no allocation — this sits inside settle and
+    /// recording loops).
+    fn current_return_temp(&self) -> Temperature {
+        let mut buffers = self.air_buffers.borrow_mut();
+        let AirBuffers {
+            exhausts, flows, ..
+        } = &mut *buffers;
+        exhausts.clear();
+        flows.clear();
+        for s in &self.servers {
+            exhausts.push(s.exhaust_temp());
+            flows.push(s.air_flow());
+        }
+        self.air
+            .return_temp(exhausts, flows, self.t_room, self.crac.config().flow)
     }
 
     /// Total room power: computing + cooling, the paper's `P_total`.
@@ -312,15 +353,14 @@ impl MachineRoom {
         2 * self.servers.len() + Self::EXTRA_STATES
     }
 
-    fn pack_state(&self) -> Vec<f64> {
-        let mut x = Vec::with_capacity(self.dim_internal());
+    fn pack_state_into(&self, x: &mut Vec<f64>) {
+        x.clear();
         for s in &self.servers {
             x.push(s.cpu_temp().as_kelvin());
             x.push(s.exhaust_temp().as_kelvin());
         }
         x.push(self.t_room.as_kelvin());
         x.push(self.crac.integral());
-        x
     }
 
     fn unpack_state(&mut self, x: &[f64]) {
@@ -335,16 +375,25 @@ impl MachineRoom {
     }
 
     /// Advances the simulation by one step `dt`.
+    ///
+    /// The hot path is allocation-free: the packed state and the integrator
+    /// workspace live on the room and are taken out for the duration of the
+    /// step (the integrator needs `&self` while the buffers are borrowed
+    /// mutably).
     pub fn step(&mut self) {
-        let mut state = self.pack_state();
+        let mut state = std::mem::take(&mut self.ode_state);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.pack_state_into(&mut state);
         let t = self.clock.now();
         let dt = self.clock.dt();
-        Rk4::new().step(&*self, t, dt, &mut state);
+        Rk4::new().step_with(&*self, t, dt, &mut state, &mut scratch);
         self.unpack_state(&state);
         for s in &mut self.servers {
             s.advance(dt.as_secs_f64());
         }
         self.clock.tick();
+        self.ode_state = state;
+        self.scratch = scratch;
     }
 
     /// Runs the simulation for (at least) `duration`.
@@ -394,16 +443,28 @@ impl Dynamics for MachineRoom {
         let t_room = Temperature::from_kelvin(x[2 * n]);
         let integral = x[2 * n + 1];
 
-        let exhausts: Vec<Temperature> = (0..n)
-            .map(|i| Temperature::from_kelvin(x[2 * i + 1]))
-            .collect();
-        let flows: Vec<_> = self.servers.iter().map(|s| s.air_flow()).collect();
+        // Borrow the reused air-path temporaries for the whole evaluation;
+        // nothing below re-enters `derivatives`, so the RefCell never
+        // double-borrows.
+        let mut buffers = self.air_buffers.borrow_mut();
+        let AirBuffers {
+            exhausts,
+            flows,
+            inlets,
+        } = &mut *buffers;
+        exhausts.clear();
+        flows.clear();
+        for (i, s) in self.servers.iter().enumerate() {
+            exhausts.push(Temperature::from_kelvin(x[2 * i + 1]));
+            flows.push(s.air_flow());
+        }
 
         let t_return = self
             .air
-            .return_temp(&exhausts, &flows, t_room, self.crac.config().flow);
+            .return_temp(exhausts, flows, t_room, self.crac.config().flow);
         let t_supply = self.crac.supply_temp(t_return, integral);
-        let inlets = self.air.inlet_temps(t_supply, &exhausts, t_room);
+        self.air
+            .inlet_temps_into(t_supply, exhausts, t_room, inlets);
 
         let mut spilled_heat = Watts::ZERO;
         for (i, server) in self.servers.iter().enumerate() {
@@ -417,11 +478,11 @@ impl Dynamics for MachineRoom {
         }
 
         // Supply air not drawn by servers spills into the room.
-        let excess_supply = coolopt_units::FlowRate::cubic_meters_per_second(
+        let excess_supply = FlowRate::cubic_meters_per_second(
             self.crac.config().flow.as_cubic_meters_per_second()
                 - self
                     .air
-                    .supply_flow_demand(&flows)
+                    .supply_flow_demand(flows)
                     .as_cubic_meters_per_second(),
         );
         let supply_spill = (excess_supply * C_AIR) * (t_supply - t_room);
@@ -535,6 +596,37 @@ mod tests {
         assert!(t.as_celsius() > 10.0 && t.as_celsius() < 90.0);
         assert!(p.as_watts() > 30.0 && p.as_watts() < 100.0);
         assert!(room.total_power() > room.computing_power());
+    }
+
+    #[test]
+    fn cloned_rooms_evolve_bit_identically() {
+        // Parallel sweeps run each scenario on a clone of the entry-state
+        // room; that is only sound if a clone replays the exact trajectory,
+        // including the persistent ODE/scratch/air buffers and noise state.
+        let mut a = presets::small_rack(4, 13);
+        a.force_all_on();
+        a.set_loads(&[0.3, 0.9, 0.6, 0.0]).unwrap();
+        a.set_set_point(Temperature::from_celsius(18.0));
+        a.run_for(Seconds::new(50.0));
+        let mut b = a.clone();
+        for _ in 0..200 {
+            a.step();
+            b.step();
+        }
+        for (sa, sb) in a.servers().iter().zip(b.servers()) {
+            assert_eq!(
+                sa.cpu_temp().as_kelvin().to_bits(),
+                sb.cpu_temp().as_kelvin().to_bits()
+            );
+            assert_eq!(sa.exhaust_temp(), sb.exhaust_temp());
+        }
+        assert_eq!(a.room_temp(), b.room_temp());
+        assert_eq!(a.crac().integral().to_bits(), b.crac().integral().to_bits());
+        assert_eq!(
+            a.read_cpu_temp(2),
+            b.read_cpu_temp(2),
+            "sensor noise must clone"
+        );
     }
 
     #[test]

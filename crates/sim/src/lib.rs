@@ -7,6 +7,12 @@
 //!
 //! * [`ode`] — an [`ode::Dynamics`] trait for systems described by
 //!   `dx/dt = f(t, x)` plus forward-Euler and RK4 fixed-step integrators;
+//! * [`linear`] — a [`linear::LinearDynamics`] trait for LTI systems
+//!   `dx/dt = A·x + b` and an exact-step [`linear::Propagator`]
+//!   (`x ← Φ·x + Γ` with `Φ = exp(A·h)`), the fast path for event-free
+//!   intervals of the room's thermal network;
+//! * [`scratch`] — reusable state-sized buffers so hot loops never touch the
+//!   allocator;
 //! * [`trace`] — time-series recording with summary statistics;
 //! * [`noise`] — deterministic, seeded Gaussian and Ornstein–Uhlenbeck noise
 //!   sources used to emulate sensor and physical-process noise;
@@ -40,13 +46,17 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod linear;
 pub mod noise;
 pub mod ode;
+pub mod scratch;
 pub mod steady;
 pub mod trace;
 
 pub use clock::SimClock;
+pub use linear::{LinearDynamics, LinearOde, Propagator, PropagatorCache};
 pub use noise::{GaussianNoise, OrnsteinUhlenbeck};
 pub use ode::{Dynamics, ForwardEuler, Integrator, Rk4};
+pub use scratch::SimScratch;
 pub use steady::{SteadyStateDetector, TrendDetector};
-pub use trace::{TimeSeries, TraceStats};
+pub use trace::{SoaRecorder, TimeSeries, TraceStats};

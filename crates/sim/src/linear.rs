@@ -1,0 +1,591 @@
+//! Exact-step propagation of linear time-invariant dynamics.
+//!
+//! Between control events the machine-room thermal network is linear:
+//! `dx/dt = A·x + b` with `A` and `b` constant. Its transient therefore has
+//! the closed form
+//!
+//! ```text
+//! x(t + h) = Φ·x(t) + Γ,   Φ = exp(A·h),   Γ = ∫₀ʰ exp(A·s) ds · b
+//! ```
+//!
+//! so replaying an event-free interval needs *one* matrix–vector product per
+//! step — exact for any step size — instead of hundreds of Euler or RK4
+//! sub-steps. [`Propagator::new`] precomputes `(Φ, Γ)` once per
+//! `(dt, control input)` pair via scaling-and-squaring of the augmented
+//! matrix `[[A, b], [0, 0]]` (which also handles singular `A` without ever
+//! forming `A⁻¹`), and [`PropagatorCache`] memoizes the pairs across replan
+//! events.
+//!
+//! The generic [`Dynamics`]/[`Integrator`](crate::ode::Integrator) path
+//! stays available through [`LinearOde`], both as the fallback for systems
+//! that are *not* LTI and as the oracle in equivalence tests.
+
+use crate::ode::Dynamics;
+use coolopt_units::Seconds;
+use std::collections::HashMap;
+
+/// A linear time-invariant system `dx/dt = A·x + b`.
+///
+/// `A` and `b` must be constant for the lifetime of the value; systems whose
+/// coefficients change at control events implement this per event (e.g. by
+/// returning a cheap view bound to the current input).
+pub trait LinearDynamics {
+    /// Number of state variables `n`.
+    fn dim(&self) -> usize;
+
+    /// Writes the `n×n` system matrix `A` in row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may assume (and may panic otherwise) that
+    /// `a.len() == self.dim()²`.
+    fn matrix(&self, a: &mut [f64]);
+
+    /// Writes the constant forcing vector `b`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may assume (and may panic otherwise) that
+    /// `b.len() == self.dim()`.
+    fn bias(&self, b: &mut [f64]);
+}
+
+impl<L: LinearDynamics + ?Sized> LinearDynamics for &L {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn matrix(&self, a: &mut [f64]) {
+        (**self).matrix(a)
+    }
+    fn bias(&self, b: &mut [f64]) {
+        (**self).bias(b)
+    }
+}
+
+/// A [`LinearDynamics`] system materialized as dense `A`, `b` and exposed
+/// through the generic [`Dynamics`] trait.
+///
+/// This is the bridge to the fixed-step integrators: build it once per
+/// control input (the only allocation), then Euler/RK4 evaluate
+/// `A·x + b` without touching the allocator. Used as the fallback path and
+/// as the oracle the [`Propagator`] is tested against.
+#[derive(Debug, Clone)]
+pub struct LinearOde {
+    dim: usize,
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl LinearOde {
+    /// Materializes `sys` into dense coefficients.
+    pub fn new<L: LinearDynamics>(sys: &L) -> Self {
+        let dim = sys.dim();
+        let mut a = vec![0.0; dim * dim];
+        let mut b = vec![0.0; dim];
+        sys.matrix(&mut a);
+        sys.bias(&mut b);
+        LinearOde { dim, a, b }
+    }
+
+    /// The system matrix `A`, row-major.
+    pub fn a(&self) -> &[f64] {
+        &self.a
+    }
+
+    /// The forcing vector `b`.
+    pub fn b(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// Solves `A·x = −b` for the fixed point `x*` (where `dx/dt = 0`) by
+    /// Gaussian elimination with partial pivoting.
+    ///
+    /// Returns `None` when `A` is (numerically) singular — the system then
+    /// has no unique equilibrium.
+    pub fn steady_state(&self) -> Option<Vec<f64>> {
+        let n = self.dim;
+        let mut m = self.a.clone();
+        let mut rhs: Vec<f64> = self.b.iter().map(|v| -v).collect();
+        for col in 0..n {
+            let pivot = (col..n)
+                .max_by(|&i, &j| {
+                    m[i * n + col]
+                        .abs()
+                        .partial_cmp(&m[j * n + col].abs())
+                        .expect("finite matrix")
+                })
+                .expect("non-empty column");
+            if m[pivot * n + col].abs() < 1e-300 {
+                return None;
+            }
+            if pivot != col {
+                for k in 0..n {
+                    m.swap(col * n + k, pivot * n + k);
+                }
+                rhs.swap(col, pivot);
+            }
+            let inv = 1.0 / m[col * n + col];
+            for row in col + 1..n {
+                let factor = m[row * n + col] * inv;
+                if factor == 0.0 {
+                    continue;
+                }
+                for k in col..n {
+                    m[row * n + k] -= factor * m[col * n + k];
+                }
+                rhs[row] -= factor * rhs[col];
+            }
+        }
+        for row in (0..n).rev() {
+            let mut acc = rhs[row];
+            for k in row + 1..n {
+                acc -= m[row * n + k] * rhs[k];
+            }
+            rhs[row] = acc / m[row * n + row];
+        }
+        Some(rhs)
+    }
+}
+
+impl Dynamics for LinearOde {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn derivatives(&self, _t: Seconds, x: &[f64], dx: &mut [f64]) {
+        assert_eq!(x.len(), self.dim, "state size mismatch");
+        assert_eq!(dx.len(), self.dim, "derivative size mismatch");
+        for (i, out) in dx.iter_mut().enumerate() {
+            let row = &self.a[i * self.dim..(i + 1) * self.dim];
+            let mut acc = self.b[i];
+            for (aij, xj) in row.iter().zip(x) {
+                acc += aij * xj;
+            }
+            *out = acc;
+        }
+    }
+}
+
+/// Row-major `n×n` × `n×n` multiply: `out = lhs · rhs`.
+fn mat_mul(n: usize, lhs: &[f64], rhs: &[f64], out: &mut [f64]) {
+    out.fill(0.0);
+    for i in 0..n {
+        for k in 0..n {
+            let l = lhs[i * n + k];
+            if l == 0.0 {
+                continue;
+            }
+            let rrow = &rhs[k * n..(k + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, r) in orow.iter_mut().zip(rrow) {
+                *o += l * r;
+            }
+        }
+    }
+}
+
+fn inf_norm(n: usize, m: &[f64]) -> f64 {
+    (0..n)
+        .map(|i| m[i * n..(i + 1) * n].iter().map(|v| v.abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// The precomputed discrete-time transition `(Φ, Γ)` of a
+/// [`LinearDynamics`] system for one fixed step `h`.
+///
+/// [`Propagator::step`] advances the state exactly (to machine precision)
+/// with a single `Φ·x + Γ` product, regardless of how large `h` is relative
+/// to the system's time constants.
+#[derive(Debug, Clone)]
+pub struct Propagator {
+    dim: usize,
+    h: Seconds,
+    phi: Vec<f64>,   // n×n, row-major
+    gamma: Vec<f64>, // n
+}
+
+impl Propagator {
+    /// Precomputes `Φ = exp(A·h)` and `Γ = ∫₀ʰ exp(A·s) ds · b` by
+    /// scaling-and-squaring the augmented matrix `M = [[A, b], [0, 0]]`:
+    /// `exp(M·h) = [[Φ, Γ], [0, 1]]`. The Taylor series of the scaled matrix
+    /// is summed to convergence (the scaling keeps `‖M·h‖ ≤ ½`, where the
+    /// series converges superlinearly), then squared back up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is not positive and finite, or the system writes
+    /// non-finite coefficients.
+    pub fn new<L: LinearDynamics>(sys: &L, h: Seconds) -> Self {
+        let hs = h.as_secs_f64();
+        assert!(
+            hs.is_finite() && hs > 0.0,
+            "step must be positive, got {hs}"
+        );
+        let n = sys.dim();
+        let m = n + 1; // augmented dimension
+
+        // M·h, augmented and pre-scaled by the step.
+        let mut a = vec![0.0; n * n];
+        let mut b = vec![0.0; n];
+        sys.matrix(&mut a);
+        sys.bias(&mut b);
+        assert!(
+            a.iter().chain(b.iter()).all(|v| v.is_finite()),
+            "linear dynamics produced non-finite coefficients"
+        );
+        let mut mh = vec![0.0; m * m];
+        for i in 0..n {
+            for j in 0..n {
+                mh[i * m + j] = a[i * n + j] * hs;
+            }
+            mh[i * m + n] = b[i] * hs;
+        }
+
+        // Scale so the Taylor series of exp converges fast.
+        let norm = inf_norm(m, &mh);
+        let squarings = if norm > 0.5 {
+            (norm / 0.5).log2().ceil() as u32
+        } else {
+            0
+        };
+        let scale = 0.5f64.powi(squarings as i32);
+        for v in &mut mh {
+            *v *= scale;
+        }
+
+        // exp(X) ≈ Σ Xᵏ/k! — with ‖X‖ ≤ ½ the tail after ~20 terms is far
+        // below f64 resolution.
+        let mut exp = vec![0.0; m * m];
+        for i in 0..m {
+            exp[i * m + i] = 1.0;
+        }
+        let mut term = exp.clone();
+        let mut next = vec![0.0; m * m];
+        for k in 1..=24u32 {
+            mat_mul(m, &term, &mh, &mut next);
+            let inv_k = 1.0 / k as f64;
+            for v in &mut next {
+                *v *= inv_k;
+            }
+            std::mem::swap(&mut term, &mut next);
+            for (e, t) in exp.iter_mut().zip(&term) {
+                *e += t;
+            }
+            if inf_norm(m, &term) < f64::EPSILON * inf_norm(m, &exp) {
+                break;
+            }
+        }
+
+        // Square back: exp(X·2ˢ) = exp(X)^(2ˢ).
+        for _ in 0..squarings {
+            mat_mul(m, &exp, &exp, &mut next);
+            std::mem::swap(&mut exp, &mut next);
+        }
+
+        let mut phi = vec![0.0; n * n];
+        let mut gamma = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                phi[i * n + j] = exp[i * m + j];
+            }
+            gamma[i] = exp[i * m + n];
+        }
+        Propagator {
+            dim: n,
+            h,
+            phi,
+            gamma,
+        }
+    }
+
+    /// Number of state variables.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The fixed step this propagator advances by.
+    pub fn dt(&self) -> Seconds {
+        self.h
+    }
+
+    /// The transition matrix `Φ`, row-major.
+    pub fn phi(&self) -> &[f64] {
+        &self.phi
+    }
+
+    /// The forced response `Γ`.
+    pub fn gamma(&self) -> &[f64] {
+        &self.gamma
+    }
+
+    /// Advances `state` by exactly one step `h`: `x ← Φ·x + Γ`.
+    ///
+    /// `scratch` must hold at least `dim` entries; no allocation happens.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a state or scratch size mismatch.
+    pub fn step(&self, state: &mut [f64], scratch: &mut [f64]) {
+        let n = self.dim;
+        assert_eq!(state.len(), n, "state size mismatch");
+        assert!(scratch.len() >= n, "scratch must hold the state");
+        let out = &mut scratch[..n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.phi[i * n..(i + 1) * n];
+            let mut acc = self.gamma[i];
+            for (p, x) in row.iter().zip(state.iter()) {
+                acc += p * x;
+            }
+            *o = acc;
+        }
+        state.copy_from_slice(out);
+    }
+
+    /// Advances `state` by `steps` whole steps of `h`.
+    pub fn advance(&self, state: &mut [f64], steps: usize, scratch: &mut [f64]) {
+        for _ in 0..steps {
+            self.step(state, scratch);
+        }
+    }
+}
+
+/// Key of a memoized propagator: the exact step (by bit pattern) plus a
+/// caller-supplied fingerprint of the control input `(A, b)` were built
+/// from.
+pub type PropagatorKey = (u64, u64);
+
+/// Memoizes [`Propagator`]s per `(dt, control-input)` pair.
+///
+/// A replanning trace revisits the same operating points (the same plan at
+/// the same replan interval) many times; building `(Φ, Γ)` is `O(n³)` while
+/// reusing it is `O(n²)` per step, so the cache turns repeated intervals
+/// into pure mat-vec replay.
+#[derive(Debug, Clone, Default)]
+pub struct PropagatorCache {
+    cache: HashMap<PropagatorKey, Propagator>,
+}
+
+impl PropagatorCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PropagatorCache::default()
+    }
+
+    /// Returns the propagator for `(h, input_fingerprint)`, building it from
+    /// `sys` on first use.
+    ///
+    /// The fingerprint must change whenever the control input (and
+    /// therefore `A` or `b`) changes; equal fingerprints with different
+    /// dynamics silently reuse the wrong transition.
+    pub fn get_or_build<L: LinearDynamics>(
+        &mut self,
+        sys: &L,
+        h: Seconds,
+        input_fingerprint: u64,
+    ) -> &Propagator {
+        self.cache
+            .entry((h.as_secs_f64().to_bits(), input_fingerprint))
+            .or_insert_with(|| Propagator::new(sys, h))
+    }
+
+    /// Number of memoized propagators.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// `true` when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// Drops every memoized propagator (e.g. when the model changes).
+    pub fn clear(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ode::{Integrator, Rk4};
+    use crate::scratch::SimScratch;
+
+    /// dx/dt = −x + 1: relaxes to 1 with τ = 1 s.
+    struct Relax;
+    impl LinearDynamics for Relax {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn matrix(&self, a: &mut [f64]) {
+            a[0] = -1.0;
+        }
+        fn bias(&self, b: &mut [f64]) {
+            b[0] = 1.0;
+        }
+    }
+
+    /// A coupled stable 3-state system with a forcing term.
+    struct Coupled;
+    impl LinearDynamics for Coupled {
+        fn dim(&self) -> usize {
+            3
+        }
+        fn matrix(&self, a: &mut [f64]) {
+            a.copy_from_slice(&[
+                -2.0, 0.5, 0.0, //
+                0.3, -1.0, 0.2, //
+                0.0, 0.4, -0.7,
+            ]);
+        }
+        fn bias(&self, b: &mut [f64]) {
+            b.copy_from_slice(&[1.0, 0.2, -0.4]);
+        }
+    }
+
+    /// dx/dt = b with A = 0 — singular A, which the augmented form handles.
+    struct PureDrift;
+    impl LinearDynamics for PureDrift {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn matrix(&self, a: &mut [f64]) {
+            a.fill(0.0);
+        }
+        fn bias(&self, b: &mut [f64]) {
+            b.copy_from_slice(&[2.0, -3.0]);
+        }
+    }
+
+    #[test]
+    fn scalar_relaxation_matches_the_closed_form() {
+        // x(h) = 1 + (x0 − 1)·e^{−h}, for any h.
+        for h in [0.01, 1.0, 10.0, 1000.0] {
+            let p = Propagator::new(&Relax, Seconds::new(h));
+            let mut x = vec![5.0];
+            let mut scratch = vec![0.0];
+            p.step(&mut x, &mut scratch);
+            let exact = 1.0 + 4.0 * (-h).exp();
+            assert!(
+                (x[0] - exact).abs() < 1e-12 * exact.abs().max(1.0),
+                "h={h}: got {}, want {exact}",
+                x[0]
+            );
+        }
+    }
+
+    #[test]
+    fn singular_a_integrates_the_pure_drift() {
+        let p = Propagator::new(&PureDrift, Seconds::new(7.5));
+        let mut x = vec![1.0, 1.0];
+        let mut scratch = vec![0.0; 2];
+        p.step(&mut x, &mut scratch);
+        assert!((x[0] - (1.0 + 2.0 * 7.5)).abs() < 1e-12);
+        assert!((x[1] - (1.0 - 3.0 * 7.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_exact_step_matches_tiny_step_rk4() {
+        let sys = LinearOde::new(&Coupled);
+        let h = 30.0;
+        let p = Propagator::new(&Coupled, Seconds::new(h));
+
+        let mut exact = vec![3.0, -1.0, 0.5];
+        let mut scratch = vec![0.0; 3];
+        p.step(&mut exact, &mut scratch);
+
+        let mut oracle = vec![3.0, -1.0, 0.5];
+        let steps = 30_000;
+        let mut s = SimScratch::new();
+        Rk4::new().run_with(
+            &sys,
+            Seconds::ZERO,
+            Seconds::new(h / steps as f64),
+            steps,
+            &mut oracle,
+            &mut s,
+        );
+        for (e, o) in exact.iter().zip(&oracle) {
+            assert!((e - o).abs() < 1e-9, "exact {e} vs RK4 {o}");
+        }
+    }
+
+    #[test]
+    fn semigroup_property_holds() {
+        // One step of 8 h must equal eight steps of h — exp(A·8h) = exp(A·h)⁸.
+        let big = Propagator::new(&Coupled, Seconds::new(80.0));
+        let small = Propagator::new(&Coupled, Seconds::new(10.0));
+        let mut a = vec![1.0, 2.0, 3.0];
+        let mut b = a.clone();
+        let mut scratch = vec![0.0; 3];
+        big.step(&mut a, &mut scratch);
+        small.advance(&mut b, 8, &mut scratch);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn long_advance_converges_to_the_steady_state() {
+        let sys = LinearOde::new(&Coupled);
+        let fixed = sys.steady_state().expect("A is invertible");
+        let p = Propagator::new(&Coupled, Seconds::new(50.0));
+        let mut x = vec![10.0, -10.0, 10.0];
+        let mut scratch = vec![0.0; 3];
+        p.advance(&mut x, 40, &mut scratch);
+        for (x, f) in x.iter().zip(&fixed) {
+            assert!((x - f).abs() < 1e-9, "{x} vs fixed point {f}");
+        }
+        // And the fixed point really is a fixed point of the map.
+        let mut y = fixed.clone();
+        p.step(&mut y, &mut scratch);
+        for (y, f) in y.iter().zip(&fixed) {
+            assert!((y - f).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linear_ode_derivatives_agree_with_coefficients() {
+        let sys = LinearOde::new(&Coupled);
+        let x = [1.0, -2.0, 0.5];
+        let mut dx = [0.0; 3];
+        sys.derivatives(Seconds::ZERO, &x, &mut dx);
+        // Row 0: −2·1 + 0.5·(−2) + 0·0.5 + 1 = −2.
+        assert!((dx[0] - (-2.0)).abs() < 1e-12);
+        // Row 2: 0·1 + 0.4·(−2) − 0.7·0.5 − 0.4 = −1.55.
+        assert!((dx[2] - (-1.55)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_builds_once_per_key() {
+        let mut cache = PropagatorCache::new();
+        assert!(cache.is_empty());
+        let h = Seconds::new(15.0);
+        let phi0 = cache.get_or_build(&Coupled, h, 42).phi().to_vec();
+        assert_eq!(cache.len(), 1);
+        // Same key: memoized, not rebuilt.
+        let again = cache.get_or_build(&Relax, h, 42); // (wrong sys, same key)
+        assert_eq!(again.dim(), 3, "cache must return the memoized entry");
+        assert_eq!(again.phi(), &phi0[..]);
+        // New fingerprint or new dt: distinct entries.
+        cache.get_or_build(&Coupled, h, 43);
+        cache.get_or_build(&Coupled, Seconds::new(30.0), 42);
+        assert_eq!(cache.len(), 3);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_step_panics() {
+        Propagator::new(&Relax, Seconds::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "state size mismatch")]
+    fn mismatched_state_panics() {
+        let p = Propagator::new(&Relax, Seconds::new(1.0));
+        let mut x = vec![0.0, 0.0];
+        let mut s = vec![0.0; 2];
+        p.step(&mut x, &mut s);
+    }
+}

@@ -1,5 +1,6 @@
 //! Continuous dynamics and fixed-step integrators.
 
+use crate::scratch::SimScratch;
 use coolopt_units::Seconds;
 
 /// A system of ordinary differential equations `dx/dt = f(t, x)`.
@@ -31,8 +32,48 @@ impl<D: Dynamics + ?Sized> Dynamics for &D {
 
 /// A fixed-step ODE integrator.
 pub trait Integrator {
+    /// Advances `state` in place from `t` to `t + dt`, using `scratch` for
+    /// every state-sized temporary — the zero-allocation hot path.
+    fn step_with<D: Dynamics>(
+        &self,
+        dynamics: &D,
+        t: Seconds,
+        dt: Seconds,
+        state: &mut [f64],
+        scratch: &mut SimScratch,
+    );
+
     /// Advances `state` in place from `t` to `t + dt`.
-    fn step<D: Dynamics>(&self, dynamics: &D, t: Seconds, dt: Seconds, state: &mut [f64]);
+    ///
+    /// Convenience wrapper that allocates a fresh [`SimScratch`]; loops
+    /// should call [`Integrator::step_with`] (or [`Integrator::run_with`])
+    /// with a reused scratch instead.
+    fn step<D: Dynamics>(&self, dynamics: &D, t: Seconds, dt: Seconds, state: &mut [f64]) {
+        let mut scratch = SimScratch::with_dim(dynamics.dim());
+        self.step_with(dynamics, t, dt, state, &mut scratch);
+    }
+
+    /// Integrates for `n` steps of length `dt` starting at `t0`, reusing
+    /// `scratch` across steps (no per-step allocation).
+    ///
+    /// Step `k` starts at `t0 + k·dt` computed directly (not by repeated
+    /// accumulation), so the time passed to the dynamics does not drift for
+    /// large `n`. Returns the time at the end of the run.
+    fn run_with<D: Dynamics>(
+        &self,
+        dynamics: &D,
+        t0: Seconds,
+        dt: Seconds,
+        n: usize,
+        state: &mut [f64],
+        scratch: &mut SimScratch,
+    ) -> Seconds {
+        for k in 0..n {
+            let t = t0 + dt * k as f64;
+            self.step_with(dynamics, t, dt, state, scratch);
+        }
+        t0 + dt * n as f64
+    }
 
     /// Integrates for `n` steps of length `dt`, starting at `t0`.
     ///
@@ -45,12 +86,8 @@ pub trait Integrator {
         n: usize,
         state: &mut [f64],
     ) -> Seconds {
-        let mut t = t0;
-        for _ in 0..n {
-            self.step(dynamics, t, dt, state);
-            t += dt;
-        }
-        t
+        let mut scratch = SimScratch::with_dim(dynamics.dim());
+        self.run_with(dynamics, t0, dt, n, state, &mut scratch)
     }
 }
 
@@ -69,12 +106,19 @@ impl ForwardEuler {
 }
 
 impl Integrator for ForwardEuler {
-    fn step<D: Dynamics>(&self, dynamics: &D, t: Seconds, dt: Seconds, state: &mut [f64]) {
+    fn step_with<D: Dynamics>(
+        &self,
+        dynamics: &D,
+        t: Seconds,
+        dt: Seconds,
+        state: &mut [f64],
+        scratch: &mut SimScratch,
+    ) {
         assert_eq!(state.len(), dynamics.dim(), "state size mismatch");
         let h = dt.as_secs_f64();
-        let mut dx = vec![0.0; state.len()];
-        dynamics.derivatives(t, state, &mut dx);
-        for (x, d) in state.iter_mut().zip(&dx) {
+        let (dx, ..) = scratch.buffers(state.len());
+        dynamics.derivatives(t, state, dx);
+        for (x, d) in state.iter_mut().zip(dx.iter()) {
             *x += h * d;
         }
     }
@@ -92,29 +136,32 @@ impl Rk4 {
 }
 
 impl Integrator for Rk4 {
-    fn step<D: Dynamics>(&self, dynamics: &D, t: Seconds, dt: Seconds, state: &mut [f64]) {
+    fn step_with<D: Dynamics>(
+        &self,
+        dynamics: &D,
+        t: Seconds,
+        dt: Seconds,
+        state: &mut [f64],
+        scratch: &mut SimScratch,
+    ) {
         let n = dynamics.dim();
         assert_eq!(state.len(), n, "state size mismatch");
         let h = dt.as_secs_f64();
-        let mut k1 = vec![0.0; n];
-        let mut k2 = vec![0.0; n];
-        let mut k3 = vec![0.0; n];
-        let mut k4 = vec![0.0; n];
-        let mut tmp = vec![0.0; n];
+        let (k1, k2, k3, k4, tmp) = scratch.buffers(n);
 
-        dynamics.derivatives(t, state, &mut k1);
+        dynamics.derivatives(t, state, k1);
         for i in 0..n {
             tmp[i] = state[i] + 0.5 * h * k1[i];
         }
-        dynamics.derivatives(t + dt / 2.0, &tmp, &mut k2);
+        dynamics.derivatives(t + dt / 2.0, tmp, k2);
         for i in 0..n {
             tmp[i] = state[i] + 0.5 * h * k2[i];
         }
-        dynamics.derivatives(t + dt / 2.0, &tmp, &mut k3);
+        dynamics.derivatives(t + dt / 2.0, tmp, k3);
         for i in 0..n {
             tmp[i] = state[i] + h * k3[i];
         }
-        dynamics.derivatives(t + dt, &tmp, &mut k4);
+        dynamics.derivatives(t + dt, tmp, k4);
         for i in 0..n {
             state[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
         }
@@ -240,6 +287,32 @@ mod tests {
             (1.7..2.3).contains(&ratio),
             "error ratio {ratio} inconsistent with 1st-order convergence"
         );
+    }
+
+    #[test]
+    fn step_with_matches_step_and_reuses_scratch() {
+        let sys = Exp { a: -0.7 };
+        let mut scratch = SimScratch::new();
+        let mut xa = vec![1.0];
+        let mut xb = vec![1.0];
+        for k in 0..50 {
+            let t = Seconds::new(k as f64 * 0.1);
+            Rk4::new().step(&sys, t, Seconds::new(0.1), &mut xa);
+            Rk4::new().step_with(&sys, t, Seconds::new(0.1), &mut xb, &mut scratch);
+        }
+        assert_eq!(xa, xb, "scratch-based stepping must be bit-identical");
+    }
+
+    #[test]
+    fn run_accumulates_time_without_drift() {
+        // 0.1 is not representable in binary; naive `t += dt` accumulates
+        // rounding over many steps. `run` computes t0 + k·dt directly.
+        let sys = Exp { a: 0.0 };
+        let mut x = vec![1.0];
+        let n = 100_000;
+        let dt = Seconds::new(0.1);
+        let t = ForwardEuler::new().run(&sys, Seconds::new(3.0), dt, n, &mut x);
+        assert_eq!(t.as_secs_f64(), 3.0 + 0.1 * n as f64);
     }
 
     #[test]

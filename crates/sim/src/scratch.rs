@@ -1,0 +1,104 @@
+//! Reusable integration workspaces.
+//!
+//! Every fixed-step integrator needs a handful of state-sized temporaries
+//! (RK4 alone needs five). Allocating them per step is invisible for one
+//! call and dominant for a figure sweep that takes millions of steps, so the
+//! hot paths thread a [`SimScratch`] through
+//! [`Integrator::step_with`](crate::ode::Integrator::step_with) instead:
+//! the buffers are grown once and reused for the lifetime of the scenario.
+
+/// The five state-sized stage buffers handed to an integrator step:
+/// `(k1, k2, k3, k4, tmp)`, each truncated to the requested dimension.
+pub(crate) type StageBuffers<'a> = (
+    &'a mut [f64],
+    &'a mut [f64],
+    &'a mut [f64],
+    &'a mut [f64],
+    &'a mut [f64],
+);
+
+/// Preallocated state-sized buffers for fixed-step integration.
+///
+/// A scratch is dimension-agnostic: [`SimScratch::ensure`] grows the buffers
+/// on first use (or when a bigger system shows up) and is a no-op afterwards,
+/// so one scratch can serve many systems of the same size without touching
+/// the allocator again.
+#[derive(Debug, Clone, Default)]
+pub struct SimScratch {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    tmp: Vec<f64>,
+}
+
+impl SimScratch {
+    /// Creates an empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        SimScratch::default()
+    }
+
+    /// Creates a scratch preallocated for `dim`-state systems.
+    pub fn with_dim(dim: usize) -> Self {
+        let mut s = SimScratch::default();
+        s.ensure(dim);
+        s
+    }
+
+    /// Grows every buffer to at least `dim` entries (no-op when already
+    /// large enough; values are not meaningful between steps).
+    pub fn ensure(&mut self, dim: usize) {
+        for buf in [
+            &mut self.k1,
+            &mut self.k2,
+            &mut self.k3,
+            &mut self.k4,
+            &mut self.tmp,
+        ] {
+            if buf.len() < dim {
+                buf.resize(dim, 0.0);
+            }
+        }
+    }
+
+    /// The five state-sized buffers, ready for a `dim`-state step.
+    pub(crate) fn buffers(&mut self, dim: usize) -> StageBuffers<'_> {
+        self.ensure(dim);
+        (
+            &mut self.k1[..dim],
+            &mut self.k2[..dim],
+            &mut self.k3[..dim],
+            &mut self.k4[..dim],
+            &mut self.tmp[..dim],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_grows_monotonically_and_is_idempotent() {
+        let mut s = SimScratch::new();
+        s.ensure(4);
+        let (k1, ..) = s.buffers(4);
+        assert_eq!(k1.len(), 4);
+        s.ensure(2); // shrinking request leaves capacity alone
+        let (k1, ..) = s.buffers(2);
+        assert_eq!(k1.len(), 2);
+        let (k1, _, _, _, tmp) = s.buffers(8);
+        assert_eq!(k1.len(), 8);
+        assert_eq!(tmp.len(), 8);
+    }
+
+    #[test]
+    fn with_dim_preallocates() {
+        let mut s = SimScratch::with_dim(16);
+        let (k1, k2, k3, k4, tmp) = s.buffers(16);
+        assert_eq!(
+            (k1.len(), k2.len(), k3.len(), k4.len(), tmp.len()),
+            (16, 16, 16, 16, 16)
+        );
+    }
+}

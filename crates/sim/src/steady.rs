@@ -10,6 +10,11 @@ use std::collections::VecDeque;
 /// Declares a scalar signal steady when its peak-to-peak range over the last
 /// `window` samples is below `tolerance`.
 ///
+/// Observation is O(1) amortized: instead of rescanning the window for its
+/// extrema on every sample, the detector maintains monotonic min/max deques
+/// (each sample is pushed and popped at most once), so the current range is
+/// always available at the deque fronts.
+///
 /// ```
 /// use coolopt_sim::SteadyStateDetector;
 /// let mut d = SteadyStateDetector::new(4, 0.1);
@@ -22,7 +27,13 @@ use std::collections::VecDeque;
 pub struct SteadyStateDetector {
     window: usize,
     tolerance: f64,
-    recent: VecDeque<f64>,
+    /// Samples seen since the last reset; sample `k` leaves the window once
+    /// `k + window <= seen`.
+    seen: usize,
+    /// Indices of non-increasing values — front is the window maximum.
+    max_idx: VecDeque<(usize, f64)>,
+    /// Indices of non-decreasing values — front is the window minimum.
+    min_idx: VecDeque<(usize, f64)>,
 }
 
 impl SteadyStateDetector {
@@ -41,41 +52,57 @@ impl SteadyStateDetector {
         SteadyStateDetector {
             window,
             tolerance,
-            recent: VecDeque::with_capacity(window),
+            seen: 0,
+            max_idx: VecDeque::with_capacity(window),
+            min_idx: VecDeque::with_capacity(window),
         }
     }
 
     /// Feeds the next sample.
     pub fn observe(&mut self, value: f64) {
-        if self.recent.len() == self.window {
-            self.recent.pop_front();
+        let k = self.seen;
+        self.seen += 1;
+        // Evict samples that just slid out of the window.
+        let oldest = self.seen.saturating_sub(self.window);
+        while self.max_idx.front().is_some_and(|&(i, _)| i < oldest) {
+            self.max_idx.pop_front();
         }
-        self.recent.push_back(value);
+        while self.min_idx.front().is_some_and(|&(i, _)| i < oldest) {
+            self.min_idx.pop_front();
+        }
+        // A new sample dominates every older one it exceeds (max) or
+        // undercuts (min); those can never be the window extremum again.
+        while self.max_idx.back().is_some_and(|&(_, v)| v <= value) {
+            self.max_idx.pop_back();
+        }
+        while self.min_idx.back().is_some_and(|&(_, v)| v >= value) {
+            self.min_idx.pop_back();
+        }
+        self.max_idx.push_back((k, value));
+        self.min_idx.push_back((k, value));
     }
 
     /// `true` once a full window has been seen and its range is within
     /// tolerance.
     pub fn is_steady(&self) -> bool {
-        if self.recent.len() < self.window {
+        if self.fill() < self.window {
             return false;
         }
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
-        for &v in &self.recent {
-            min = min.min(v);
-            max = max.max(v);
-        }
+        let max = self.max_idx.front().expect("window is non-empty").1;
+        let min = self.min_idx.front().expect("window is non-empty").1;
         max - min <= self.tolerance
     }
 
     /// Forgets all history (e.g. when the operating point changes).
     pub fn reset(&mut self) {
-        self.recent.clear();
+        self.seen = 0;
+        self.max_idx.clear();
+        self.min_idx.clear();
     }
 
     /// Number of samples currently in the window.
     pub fn fill(&self) -> usize {
-        self.recent.len()
+        self.seen.min(self.window)
     }
 }
 
@@ -231,5 +258,40 @@ mod tests {
     #[should_panic(expected = "window")]
     fn tiny_window_panics() {
         SteadyStateDetector::new(1, 1.0);
+    }
+
+    #[test]
+    fn deque_detector_matches_brute_force_oracle() {
+        // A wiggly deterministic sequence with repeats, spikes, and plateaus.
+        let signal: Vec<f64> = (0..500)
+            .map(|k| {
+                let k = k as f64;
+                (k * 0.37).sin() * 10.0 / (1.0 + k * 0.05) + ((k * 7.0) % 3.0)
+            })
+            .collect();
+        for window in [2, 3, 7, 50] {
+            for tolerance in [0.0, 0.5, 5.0] {
+                let mut d = SteadyStateDetector::new(window, tolerance);
+                let mut recent: VecDeque<f64> = VecDeque::new();
+                for (k, &v) in signal.iter().enumerate() {
+                    d.observe(v);
+                    if recent.len() == window {
+                        recent.pop_front();
+                    }
+                    recent.push_back(v);
+                    let oracle = recent.len() == window && {
+                        let max = recent.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                        let min = recent.iter().cloned().fold(f64::INFINITY, f64::min);
+                        max - min <= tolerance
+                    };
+                    assert_eq!(
+                        d.is_steady(),
+                        oracle,
+                        "divergence at sample {k}, window {window}, tol {tolerance}"
+                    );
+                    assert_eq!(d.fill(), recent.len());
+                }
+            }
+        }
     }
 }

@@ -140,6 +140,130 @@ impl Extend<(Seconds, f64)> for TimeSeries {
     }
 }
 
+/// Preallocated, decimating structure-of-arrays recorder for simulation
+/// loops.
+///
+/// A simulation step produces one scalar per channel (power, room
+/// temperature, hottest CPU, …). Pushing each into its own growable series
+/// allocates in the hot loop; a recorder instead reserves every column up
+/// front for the expected number of kept samples and [`SoaRecorder::offer`]s
+/// each step, keeping only every `every`-th one. With sufficient capacity a
+/// full sweep records without touching the allocator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoaRecorder {
+    every: usize,
+    offered: usize,
+    times: Vec<f64>,
+    columns: Vec<Vec<f64>>,
+}
+
+impl SoaRecorder {
+    /// Creates a recorder with `channels` columns that keeps one of every
+    /// `every` offered samples, preallocated for `capacity` *kept* samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0` or `every == 0`.
+    pub fn new(channels: usize, every: usize, capacity: usize) -> Self {
+        assert!(channels > 0, "recorder needs at least one channel");
+        assert!(every > 0, "decimation factor must be at least 1");
+        SoaRecorder {
+            every,
+            offered: 0,
+            times: Vec::with_capacity(capacity),
+            columns: (0..channels)
+                .map(|_| Vec::with_capacity(capacity))
+                .collect(),
+        }
+    }
+
+    /// Offers one sample per channel at time `t`; stores it only when the
+    /// decimation counter selects it (the first offer is always kept).
+    /// Returns `true` when the sample was stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a channel-count mismatch, or if `t` is earlier than the
+    /// last *stored* time stamp.
+    pub fn offer(&mut self, t: Seconds, values: &[f64]) -> bool {
+        assert_eq!(values.len(), self.columns.len(), "channel count mismatch");
+        let keep = self.offered.is_multiple_of(self.every);
+        self.offered += 1;
+        if !keep {
+            return false;
+        }
+        if let Some(&last) = self.times.last() {
+            assert!(
+                t.as_secs_f64() >= last,
+                "samples must be time-ordered: {} < {last}",
+                t.as_secs_f64()
+            );
+        }
+        self.times.push(t.as_secs_f64());
+        for (col, &v) in self.columns.iter_mut().zip(values) {
+            col.push(v);
+        }
+        true
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` when nothing has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Total samples offered (stored or decimated away) since the last
+    /// [`SoaRecorder::clear`].
+    pub fn offered(&self) -> usize {
+        self.offered
+    }
+
+    /// The stored time stamps (seconds).
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The stored values of channel `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.channels()`.
+    pub fn column(&self, c: usize) -> &[f64] {
+        &self.columns[c]
+    }
+
+    /// Copies channel `c` out as a standalone [`TimeSeries`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.channels()`.
+    pub fn to_series(&self, c: usize) -> TimeSeries {
+        TimeSeries {
+            times: self.times.clone(),
+            values: self.columns[c].clone(),
+        }
+    }
+
+    /// Drops every stored sample and resets the decimation counter, keeping
+    /// the allocated capacity for the next scenario.
+    pub fn clear(&mut self) {
+        self.offered = 0;
+        self.times.clear();
+        for col in &mut self.columns {
+            col.clear();
+        }
+    }
+}
+
 /// Summary statistics of a [`TimeSeries`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TraceStats {
@@ -206,6 +330,51 @@ mod tests {
         let mut ts = TimeSeries::new();
         ts.push(Seconds::new(1.0), 0.0);
         ts.push(Seconds::new(0.5), 0.0);
+    }
+
+    #[test]
+    fn recorder_decimates_and_preserves_columns() {
+        let mut r = SoaRecorder::new(2, 3, 4);
+        for k in 0..10 {
+            let stored = r.offer(Seconds::new(k as f64), &[k as f64, -(k as f64)]);
+            assert_eq!(stored, k % 3 == 0);
+        }
+        assert_eq!(r.offered(), 10);
+        assert_eq!(r.len(), 4); // k = 0, 3, 6, 9
+        assert_eq!(r.times(), &[0.0, 3.0, 6.0, 9.0]);
+        assert_eq!(r.column(0), &[0.0, 3.0, 6.0, 9.0]);
+        assert_eq!(r.column(1), &[0.0, -3.0, -6.0, -9.0]);
+        let ts = r.to_series(1);
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.values(), &[0.0, -3.0, -6.0, -9.0]);
+    }
+
+    #[test]
+    fn recorder_clear_resets_decimation_phase() {
+        let mut r = SoaRecorder::new(1, 2, 8);
+        r.offer(Seconds::new(0.0), &[1.0]);
+        r.offer(Seconds::new(1.0), &[2.0]);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.offered(), 0);
+        // After clear the first offer is kept again.
+        assert!(r.offer(Seconds::new(0.0), &[5.0]));
+        assert_eq!(r.column(0), &[5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count mismatch")]
+    fn recorder_rejects_wrong_channel_count() {
+        let mut r = SoaRecorder::new(2, 1, 1);
+        r.offer(Seconds::ZERO, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn recorder_rejects_out_of_order_times() {
+        let mut r = SoaRecorder::new(1, 1, 4);
+        r.offer(Seconds::new(2.0), &[0.0]);
+        r.offer(Seconds::new(1.0), &[0.0]);
     }
 
     #[test]

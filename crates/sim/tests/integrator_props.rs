@@ -1,0 +1,142 @@
+//! Property-based tests of the fixed-step integrators and the exact-step
+//! propagator against the analytic solution of a 1-D RC decay.
+//!
+//! The RC node `dx/dt = −(x − x∞)/τ` has the closed form
+//! `x(t) = x∞ + (x0 − x∞)·e^{−t/τ}` — the simplest instance of the thermal
+//! networks every experiment integrates, and a sharp oracle: Euler must
+//! converge at first order, RK4 at fourth, and the propagator must be exact
+//! regardless of step size.
+
+use coolopt_sim::linear::{LinearDynamics, Propagator};
+use coolopt_sim::ode::{Dynamics, ForwardEuler, Integrator, Rk4};
+use coolopt_sim::scratch::SimScratch;
+use coolopt_units::Seconds;
+use proptest::prelude::*;
+
+/// A single RC node relaxing towards `target` with time constant `tau`.
+struct RcDecay {
+    tau: f64,
+    target: f64,
+}
+
+impl RcDecay {
+    fn exact(&self, x0: f64, t: f64) -> f64 {
+        self.target + (x0 - self.target) * (-t / self.tau).exp()
+    }
+}
+
+impl Dynamics for RcDecay {
+    fn dim(&self) -> usize {
+        1
+    }
+    fn derivatives(&self, _t: Seconds, x: &[f64], dx: &mut [f64]) {
+        dx[0] = -(x[0] - self.target) / self.tau;
+    }
+}
+
+impl LinearDynamics for RcDecay {
+    fn dim(&self) -> usize {
+        1
+    }
+    fn matrix(&self, a: &mut [f64]) {
+        a[0] = -1.0 / self.tau;
+    }
+    fn bias(&self, b: &mut [f64]) {
+        b[0] = self.target / self.tau;
+    }
+}
+
+fn integrate<I: Integrator>(
+    integrator: &I,
+    sys: &RcDecay,
+    x0: f64,
+    steps: usize,
+    t_end: f64,
+) -> f64 {
+    let mut x = vec![x0];
+    let mut scratch = SimScratch::with_dim(1);
+    integrator.run_with(
+        sys,
+        Seconds::ZERO,
+        Seconds::new(t_end / steps as f64),
+        steps,
+        &mut x,
+        &mut scratch,
+    );
+    x[0]
+}
+
+proptest! {
+    /// Halving the Euler step roughly halves the error (first order), and the
+    /// fine-step result is within the first-order error bound of the analytic
+    /// decay.
+    #[test]
+    fn euler_converges_to_analytic_rc_decay(
+        tau in 5.0..500.0f64,
+        target in -50.0..50.0f64,
+        x0 in -100.0..100.0f64,
+    ) {
+        let sys = RcDecay { tau, target };
+        let t_end = tau; // one time constant
+        let exact = sys.exact(x0, t_end);
+        let scale = (x0 - target).abs().max(1.0);
+        let coarse = (integrate(&ForwardEuler::new(), &sys, x0, 64, t_end) - exact).abs();
+        let fine = (integrate(&ForwardEuler::new(), &sys, x0, 1024, t_end) - exact).abs();
+        // 16× smaller steps → ~16× smaller error; allow generous slack.
+        prop_assert!(fine <= coarse / 4.0 + 1e-9 * scale,
+            "no first-order convergence: coarse {coarse}, fine {fine}");
+        prop_assert!(fine <= 1e-3 * scale, "fine-step error too large: {fine}");
+    }
+
+    /// RK4 reaches ~machine precision on the same decay with modest steps.
+    #[test]
+    fn rk4_converges_to_analytic_rc_decay(
+        tau in 5.0..500.0f64,
+        target in -50.0..50.0f64,
+        x0 in -100.0..100.0f64,
+    ) {
+        let sys = RcDecay { tau, target };
+        let t_end = tau;
+        let exact = sys.exact(x0, t_end);
+        let scale = (x0 - target).abs().max(1.0);
+        let err = (integrate(&Rk4::new(), &sys, x0, 256, t_end) - exact).abs();
+        prop_assert!(err <= 1e-9 * scale, "RK4 error too large: {err}");
+    }
+
+    /// The exact-step propagator matches the closed form for ANY step size,
+    /// including steps spanning many time constants.
+    #[test]
+    fn propagator_is_exact_at_any_step(
+        tau in 5.0..500.0f64,
+        target in -50.0..50.0f64,
+        x0 in -100.0..100.0f64,
+        h_in_taus in 0.01..20.0f64,
+    ) {
+        let sys = RcDecay { tau, target };
+        let h = h_in_taus * tau;
+        let p = Propagator::new(&sys, Seconds::new(h));
+        let mut x = vec![x0];
+        let mut scratch = vec![0.0];
+        p.step(&mut x, &mut scratch);
+        let exact = sys.exact(x0, h);
+        let scale = x0.abs().max(target.abs()).max(1.0);
+        prop_assert!((x[0] - exact).abs() <= 1e-12 * scale,
+            "propagator {} vs closed form {exact}", x[0]);
+    }
+
+    /// `Integrator::run` reports t0 + n·dt exactly — no accumulation drift —
+    /// even for step sizes that are not representable in binary and large n.
+    #[test]
+    fn run_accumulates_time_without_drift(
+        t0 in 0.0..1e4f64,
+        dt in 1e-3..1.0f64,
+        n in 1usize..50_000,
+    ) {
+        let sys = RcDecay { tau: 100.0, target: 0.0 };
+        let mut x = vec![1.0];
+        let mut scratch = SimScratch::with_dim(1);
+        let t = ForwardEuler::new().run_with(
+            &sys, Seconds::new(t0), Seconds::new(dt), n, &mut x, &mut scratch);
+        prop_assert_eq!(t.as_secs_f64(), t0 + dt * n as f64);
+    }
+}

@@ -9,7 +9,11 @@
 //! Like the real crate, it detects how it was launched: `cargo bench` passes
 //! `--bench` to the target and gets full timed runs, while `cargo test`
 //! (which also executes `harness = false` bench targets) omits it and gets a
-//! single-iteration smoke run so the tier-1 gate stays fast.
+//! single-iteration smoke run so the tier-1 gate stays fast. Also like the
+//! real crate, an explicit `--test` argument forces smoke mode even under
+//! `cargo bench` (`cargo bench -- --test`) — that is what CI's bench-smoke
+//! job uses to compile and exercise every bench without paying for
+//! measurement windows.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -28,7 +32,8 @@ impl Default for Criterion {
             sample_size: 100,
             warm_up_time: Duration::from_secs(3),
             measurement_time: Duration::from_secs(5),
-            bench_mode: std::env::args().any(|a| a == "--bench"),
+            bench_mode: std::env::args().any(|a| a == "--bench")
+                && !std::env::args().any(|a| a == "--test"),
         }
     }
 }
