@@ -4,14 +4,14 @@ use crate::methods::{Method, Strategy};
 use crate::strategies::{bottom_up_loads, coolness_order, even_loads};
 use coolopt_cooling::SetPointTable;
 use coolopt_core::{
-    loads_for_t_ac, optimal_allocation_clamped, ConsolidationIndex, IndexBuilder, ModelFingerprint,
-    PowerTerms, SolveError,
+    loads_for_t_ac, optimal_allocation_clamped, IndexSnapshot, ModelFingerprint, SnapshotCell,
+    SolveError,
 };
 use coolopt_model::RoomModel;
 use coolopt_units::{TempDelta, Temperature};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::Arc;
 
 /// Error from planning.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,29 +79,6 @@ impl AllocationPlan {
     }
 }
 
-/// The consolidation solver engine a [`Planner`] memoizes: the Algorithm 1
-/// index plus the Eq. 23 terms, stamped with the fingerprint of the model
-/// they were built from.
-#[derive(Debug, Clone)]
-struct SolverEngine {
-    index: ConsolidationIndex,
-    terms: PowerTerms,
-}
-
-impl SolverEngine {
-    fn for_model(model: &RoomModel) -> Result<Self, SolveError> {
-        let builder = IndexBuilder::new(&model.consolidation_pairs())?;
-        #[cfg(feature = "parallel")]
-        let index = builder.build_parallel();
-        #[cfg(not(feature = "parallel"))]
-        let index = builder.build();
-        Ok(SolverEngine {
-            index,
-            terms: PowerTerms::from_model(model),
-        })
-    }
-}
-
 /// Plans allocations for one profiled room.
 ///
 /// Planning happens against a *guarded* copy of the model whose `T_max` sits
@@ -110,21 +87,25 @@ impl SolverEngine {
 /// exactly to the limit would breach it whenever the model errs warm. The
 /// guard applies to every method equally, so comparisons stay fair.
 ///
-/// # Engine reuse
+/// # Engine reuse and publication
 ///
-/// The first consolidating `Optimal` plan builds the `O(n³ log n)`
-/// consolidation index; the planner memoizes it (keyed by the guarded
-/// model's [`ModelFingerprint`]) so every later [`Planner::plan`] against
-/// the same model is a pure `O(n³)`-scan query with no rebuild. Swapping
-/// the model with [`Planner::set_model`] invalidates the engine exactly
-/// when the fingerprint changes.
+/// The first consolidating `Optimal` plan builds the `O(n² log n)`
+/// consolidation index and publishes it as an immutable, `Arc`-shared
+/// [`IndexSnapshot`] in a [`SnapshotCell`] keyed by the guarded model's
+/// [`ModelFingerprint`], so every later [`Planner::plan`] against the same
+/// model is a pure index query with no rebuild. Swapping the model with
+/// [`Planner::set_model`] only updates the cached fingerprint: the next
+/// plan builds the replacement *outside* the cell's lock and swaps it in
+/// atomically, so concurrent readers keep querying the old snapshot and
+/// never block on a rebuild.
 #[derive(Debug, Clone)]
 pub struct Planner {
     model: RoomModel,
     set_points: SetPointTable,
     t_ac_floor: Temperature,
     guard: TempDelta,
-    engine: OnceLock<SolverEngine>,
+    fingerprint: ModelFingerprint,
+    engine: SnapshotCell,
 }
 
 /// Default guard band between the true `T_max` and the planning target.
@@ -139,12 +120,14 @@ impl Planner {
 
     /// Creates a planner with an explicit guard band.
     pub fn with_guard(model: &RoomModel, set_points: &SetPointTable, guard: TempDelta) -> Self {
+        let guarded = model.with_t_max(model.t_max() - guard);
         Planner {
-            model: model.with_t_max(model.t_max() - guard),
+            fingerprint: ModelFingerprint::of_model(&guarded),
+            model: guarded,
             set_points: set_points.clone(),
             t_ac_floor: Temperature::from_celsius(8.0),
             guard,
-            engine: OnceLock::new(),
+            engine: SnapshotCell::new(),
         }
     }
 
@@ -159,32 +142,39 @@ impl Planner {
         &self.model
     }
 
-    /// Fingerprint of the guarded model the memoized engine is keyed by.
+    /// Fingerprint of the guarded model the published engine is keyed by.
     pub fn fingerprint(&self) -> ModelFingerprint {
-        ModelFingerprint::of_model(&self.model)
+        self.fingerprint
     }
 
     /// Replaces the planner's model (re-applying the guard band). The
-    /// memoized solver engine is dropped only if the new model actually
-    /// fingerprints differently — re-setting an identical model keeps the
-    /// index.
+    /// published solver snapshot is swapped out lazily, and only if the new
+    /// model actually fingerprints differently — re-setting an identical
+    /// model keeps the index.
     pub fn set_model(&mut self, model: &RoomModel) {
         let guarded = model.with_t_max(model.t_max() - self.guard);
-        if ModelFingerprint::of_model(&guarded) != self.fingerprint() {
-            self.engine = OnceLock::new();
-        }
+        self.fingerprint = ModelFingerprint::of_model(&guarded);
         self.model = guarded;
     }
 
-    /// The memoized engine, built on first use.
-    fn engine(&self) -> Result<&SolverEngine, SolveError> {
-        if let Some(engine) = self.engine.get() {
-            return Ok(engine);
-        }
-        let built = SolverEngine::for_model(&self.model)?;
-        // A concurrent plan() may have won the race; its engine is
-        // equivalent (same fingerprint), so either winner is correct.
-        Ok(self.engine.get_or_init(|| built))
+    /// The published engine snapshot, built (outside the publication lock)
+    /// on first use or after a model swap. Readers holding the previous
+    /// `Arc` keep querying it while the replacement builds.
+    fn engine(&self) -> Result<Arc<IndexSnapshot>, SolveError> {
+        self.engine
+            .ensure(self.fingerprint, || IndexSnapshot::for_model(&self.model))
+    }
+
+    /// Builds and publishes the solver engine now (instead of lazily on the
+    /// first consolidating `Optimal` plan), returning the snapshot. Useful
+    /// to pay the offline phase at a chosen time — e.g. before handing
+    /// clones of this planner to worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DegenerateModel`] for a degenerate model.
+    pub fn warm_engine(&self) -> Result<Arc<IndexSnapshot>, SolveError> {
+        self.engine()
     }
 
     /// Plans `method` for `total_load`.
@@ -268,10 +258,8 @@ impl Planner {
                     if total_load <= 0.0 {
                         Vec::new()
                     } else {
-                        let engine = self.engine()?;
-                        engine
-                            .index
-                            .query_min_power(&engine.terms, total_load, Some(&self.model))?
+                        self.engine()?
+                            .query_min_power(total_load, Some(&self.model))?
                             .ok_or(SolveError::Infeasible {
                                 reason: "no subset can carry this load within capacity".to_string(),
                             })?
@@ -280,25 +268,116 @@ impl Planner {
                 } else {
                     all()
                 };
-                if on.is_empty() {
-                    return Ok((on, vec![0.0; n]));
-                }
-                let solution = optimal_allocation_clamped(&self.model, &on, total_load)?;
-                let mut full = solution.full_loads(n);
-                // If the actuator cannot reach the model-optimal supply
-                // temperature, redistribute for the capped temperature
-                // (power-equivalent; keeps headroom balanced).
-                if let Some(cap) = self.model.t_ac_max() {
-                    if solution.t_ac > cap {
-                        let capped = loads_for_t_ac(&self.model, &on, total_load, cap)?;
-                        for (&i, &l) in on.iter().zip(&capped) {
-                            full[i] = l;
-                        }
-                    }
-                }
-                Ok((on, full))
+                let loads = self.optimal_loads(&on, total_load)?;
+                Ok((on, loads))
             }
         }
+    }
+
+    /// The closed-form optimal per-machine loads for a fixed ON-set,
+    /// falling back to the capped-temperature redistribution when the
+    /// actuator cannot reach the model-optimal supply. Shared by
+    /// [`Planner::plan`] and [`Planner::plan_batch`], so the two produce
+    /// identical plans.
+    fn optimal_loads(&self, on: &[usize], total_load: f64) -> Result<Vec<f64>, PolicyError> {
+        let n = self.model.len();
+        if on.is_empty() {
+            return Ok(vec![0.0; n]);
+        }
+        let solution = optimal_allocation_clamped(&self.model, on, total_load)?;
+        let mut full = solution.full_loads(n);
+        // If the actuator cannot reach the model-optimal supply
+        // temperature, redistribute for the capped temperature
+        // (power-equivalent; keeps headroom balanced).
+        if let Some(cap) = self.model.t_ac_max() {
+            if solution.t_ac > cap {
+                let capped = loads_for_t_ac(&self.model, on, total_load, cap)?;
+                for (&i, &l) in on.iter().zip(&capped) {
+                    full[i] = l;
+                }
+            }
+        }
+        Ok(full)
+    }
+
+    /// Finishes a consolidating `Optimal` plan from its chosen ON-set.
+    fn finish_optimal_cons(
+        &self,
+        method: Method,
+        on: Vec<usize>,
+        total_load: f64,
+    ) -> Result<AllocationPlan, PolicyError> {
+        let loads = self.optimal_loads(&on, total_load)?;
+        let (t_ac_target, set_point) = self.choose_cooling(method, &on, &loads, total_load)?;
+        Ok(AllocationPlan {
+            method,
+            on,
+            loads,
+            t_ac_target,
+            set_point,
+        })
+    }
+
+    /// Plans `method` for every load of `loads` (one result per input, in
+    /// input order), producing exactly the plans [`Planner::plan`] would.
+    ///
+    /// For the consolidating `Optimal` method the consolidation queries are
+    /// answered by [`IndexSnapshot::query_batch`] — sorted once, one walk
+    /// over the index's per-`k` envelopes for the whole batch — instead of
+    /// a binary-search scan per load, which is markedly cheaper for e.g. a
+    /// replay over a load trace. Other methods delegate to
+    /// [`Planner::plan`] per load (they have no batchable offline work).
+    pub fn plan_batch(
+        &self,
+        method: Method,
+        loads: &[f64],
+    ) -> Vec<Result<AllocationPlan, PolicyError>> {
+        if !(method.strategy == Strategy::Optimal && method.consolidation) {
+            return loads.iter().map(|&l| self.plan(method, l)).collect();
+        }
+        let n = self.model.len();
+        // Validate exactly as plan() does, batching only the valid,
+        // positive loads.
+        let mut results: Vec<Option<Result<AllocationPlan, PolicyError>>> =
+            loads.iter().map(|_| None).collect();
+        let mut queried: Vec<(usize, f64)> = Vec::with_capacity(loads.len());
+        for (slot, &load) in loads.iter().enumerate() {
+            if !load.is_finite() || load < 0.0 || load > n as f64 + 1e-9 {
+                results[slot] = Some(Err(PolicyError::LoadOutOfRange { load, machines: n }));
+            } else if load <= 0.0 {
+                results[slot] = Some(self.finish_optimal_cons(method, Vec::new(), load));
+            } else {
+                queried.push((slot, load));
+            }
+        }
+        if !queried.is_empty() {
+            let batch_loads: Vec<f64> = queried.iter().map(|&(_, l)| l).collect();
+            let answers = self
+                .engine()
+                .and_then(|engine| engine.query_batch(&batch_loads, Some(&self.model)));
+            match answers {
+                Err(e) => {
+                    for &(slot, _) in &queried {
+                        results[slot] = Some(Err(e.clone().into()));
+                    }
+                }
+                Ok(answers) => {
+                    for (&(slot, load), answer) in queried.iter().zip(answers) {
+                        results[slot] = Some(match answer {
+                            None => Err(SolveError::Infeasible {
+                                reason: "no subset can carry this load within capacity".to_string(),
+                            }
+                            .into()),
+                            Some(c) => self.finish_optimal_cons(method, c.on, load),
+                        });
+                    }
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot is answered"))
+            .collect()
     }
 
     /// Highest supply temperature keeping every ON machine at or below
@@ -508,6 +587,55 @@ mod tests {
         assert_eq!(cons.total_load(), 0.0);
         let no_cons = planner.plan(Method::numbered(4), 0.0).unwrap();
         assert_eq!(no_cons.on.len(), 4);
+    }
+
+    #[test]
+    fn batched_plans_equal_sequential_plans() {
+        let m = model(8);
+        let t = table();
+        let planner = Planner::new(&m, &t);
+        // Unsorted, with duplicates, a zero, an out-of-range and an
+        // unservable-by-capacity load.
+        let loads = [2.0, 0.5, 7.5, 2.0, 0.0, 9.5, 5.25];
+        for method in Method::all() {
+            let batch = planner.plan_batch(method, &loads);
+            assert_eq!(batch.len(), loads.len());
+            for (&load, got) in loads.iter().zip(&batch) {
+                let want = planner.plan(method, load);
+                assert_eq!(got, &want, "{method} at load {load} diverged from plan()");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_engine_prebuilds_and_is_reused() {
+        let m = model(6);
+        let t = table();
+        let planner = Planner::new(&m, &t);
+        let snap = planner.warm_engine().unwrap();
+        let again = planner.warm_engine().unwrap();
+        assert!(std::sync::Arc::ptr_eq(&snap, &again));
+        // Clones share the published snapshot (no rebuild).
+        let clone = planner.clone();
+        assert!(std::sync::Arc::ptr_eq(&snap, &clone.warm_engine().unwrap()));
+    }
+
+    #[test]
+    fn set_model_swaps_the_engine_only_on_real_change() {
+        let m = model(6);
+        let t = table();
+        let mut planner = Planner::new(&m, &t);
+        let snap = planner.warm_engine().unwrap();
+        planner.set_model(&m); // identical model → same fingerprint
+        assert!(std::sync::Arc::ptr_eq(
+            &snap,
+            &planner.warm_engine().unwrap()
+        ));
+        planner.set_model(&model(7));
+        let swapped = planner.warm_engine().unwrap();
+        assert!(!std::sync::Arc::ptr_eq(&snap, &swapped));
+        // The old snapshot still serves readers that hold it.
+        assert!(snap.query_min_power(1.0, None).unwrap().is_some());
     }
 
     #[test]

@@ -1,26 +1,36 @@
-//! Benchmarks of the solver-engine refactor: what does an index build cost
-//! as the room grows, and what does planner memoization buy during online
-//! replanning?
+//! Benchmarks of the consolidation engine: what does an index build cost as
+//! the room grows (incremental vs the paper-literal dense oracle), and what
+//! do the snapshot-published engine and the batched query path buy during
+//! online replanning?
 //!
-//! * `engine_build_vs_n` — one-shot [`IndexBuilder`] builds for rooms of
-//!   20…200 machines (the paper's `O(n³ log n)` Algorithm 1), serial and —
-//!   under `--features parallel` — chunked across threads.
+//! * `engine_build_vs_n` — incremental [`IndexBuilder`] builds for rooms of
+//!   20…1000 machines, serial and — under `--features parallel` — chunked
+//!   across threads; the from-scratch `O(n³)` dense oracle is swept only to
+//!   200 (its table alone is ~n³ rows).
+//! * `query_batch_vs_sequential` — 64 exact consolidation queries on a
+//!   200-machine index: one `query_batch` call vs 64 sequential
+//!   `query_min_power` calls, with and without the capacity model.
 //! * `plan_latency` — a single `plan()` on a 20-machine room, cold (fresh
-//!   planner, pays the index build) vs warm (memoized engine, pure query).
+//!   planner, pays the index build) vs warm (published snapshot, pure
+//!   query).
 //! * `replan_trace` — a full 24-step sinusoidal replanning trace, fresh
-//!   planner per step vs one memoized planner for the whole trace.
+//!   planner per step vs one warmed planner for the whole trace, plus the
+//!   batched `plan_batch` path.
 
 use coolopt_alloc::{Method, Planner};
 use coolopt_bench::{synthetic_model, synthetic_pairs};
 use coolopt_cooling::SetPointTable;
-use coolopt_core::IndexBuilder;
+use coolopt_core::{ConsolidationIndex, IndexBuilder, PowerTerms};
 use coolopt_experiments::runtime::sinusoidal_trace;
 use coolopt_units::{Seconds, Temperature};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
 const ROOM: usize = 20;
 const TRACE_STEPS: usize = 24;
+const QUERY_ROOM: usize = 200;
+const BATCH: usize = 64;
 
 fn set_points(machines: usize) -> SetPointTable {
     let sp = Temperature::from_celsius(20.0);
@@ -39,12 +49,22 @@ fn trace_loads(machines: usize) -> Vec<f64> {
         .collect()
 }
 
+/// A deterministic spread of query loads over `(0, 0.85·n)`.
+fn query_loads(machines: usize, count: usize) -> Vec<f64> {
+    (0..count)
+        .map(|i| {
+            let frac = (i as f64 + 0.5) / count as f64;
+            0.85 * machines as f64 * frac
+        })
+        .collect()
+}
+
 fn bench_build_vs_n(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_build_vs_n");
     group.sample_size(10);
-    for n in [20usize, 50, 100, 200] {
+    for n in [20usize, 50, 100, 200, 500, 1000] {
         let pairs = synthetic_pairs(n, 7);
-        group.bench_with_input(BenchmarkId::new("serial", n), &pairs, |b, pairs| {
+        group.bench_with_input(BenchmarkId::new("incremental", n), &pairs, |b, pairs| {
             b.iter(|| {
                 IndexBuilder::new(black_box(pairs))
                     .expect("synthetic pairs are well-formed")
@@ -59,7 +79,78 @@ fn bench_build_vs_n(c: &mut Criterion) {
                     .build_parallel()
             });
         });
+        // The paper-literal from-scratch oracle: O(n³) rows, so the sweep
+        // stops at 200 (the n = 1000 table alone would be ~10⁹ rows).
+        if n <= 200 {
+            group.bench_with_input(BenchmarkId::new("dense", n), &pairs, |b, pairs| {
+                b.iter(|| {
+                    IndexBuilder::new(black_box(pairs))
+                        .expect("synthetic pairs are well-formed")
+                        .build_dense()
+                });
+            });
+        }
     }
+    group.finish();
+}
+
+fn bench_query_batch_vs_sequential(c: &mut Criterion) {
+    let model = synthetic_model(QUERY_ROOM, 7);
+    let pairs = model.consolidation_pairs();
+    let terms = PowerTerms::from_model(&model);
+    let index = ConsolidationIndex::build(&pairs).expect("synthetic pairs are well-formed");
+    let loads = query_loads(QUERY_ROOM, BATCH);
+
+    let mut group = c.benchmark_group("query_batch_vs_sequential");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("sequential", BATCH), |b| {
+        b.iter(|| {
+            loads
+                .iter()
+                .filter_map(|&l| {
+                    index
+                        .query_min_power(black_box(&terms), l, None)
+                        .expect("loads are valid")
+                })
+                .map(|c| c.relative_power)
+                .sum::<f64>()
+        });
+    });
+    group.bench_function(BenchmarkId::new("batched", BATCH), |b| {
+        b.iter(|| {
+            index
+                .query_batch(black_box(&terms), &loads, None)
+                .expect("loads are valid")
+                .into_iter()
+                .flatten()
+                .map(|c| c.relative_power)
+                .sum::<f64>()
+        });
+    });
+    group.bench_function(BenchmarkId::new("sequential_capacity", BATCH), |b| {
+        b.iter(|| {
+            loads
+                .iter()
+                .filter_map(|&l| {
+                    index
+                        .query_min_power(black_box(&terms), l, Some(&model))
+                        .expect("loads are valid")
+                })
+                .map(|c| c.relative_power)
+                .sum::<f64>()
+        });
+    });
+    group.bench_function(BenchmarkId::new("batched_capacity", BATCH), |b| {
+        b.iter(|| {
+            index
+                .query_batch(black_box(&terms), &loads, Some(&model))
+                .expect("loads are valid")
+                .into_iter()
+                .flatten()
+                .map(|c| c.relative_power)
+                .sum::<f64>()
+        });
+    });
     group.finish();
 }
 
@@ -79,9 +170,9 @@ fn bench_plan_latency(c: &mut Criterion) {
             planner.plan(method, load).expect("plannable")
         });
     });
-    // Warm: the engine is memoized, so plan() is a pure query.
+    // Warm: the engine snapshot is published, so plan() is a pure query.
     let planner = Planner::new(&model, &table);
-    planner.plan(method, load).expect("plannable"); // populate the engine
+    planner.plan(method, load).expect("plannable"); // publish the engine
     group.bench_function("warm", |b| {
         b.iter(|| black_box(&planner).plan(method, load).expect("plannable"));
     });
@@ -119,13 +210,27 @@ fn bench_replan_trace(c: &mut Criterion) {
                 .sum::<f64>()
         });
     });
+    group.bench_function(BenchmarkId::new("plan_batch", TRACE_STEPS), |b| {
+        b.iter(|| {
+            let planner = Planner::new(black_box(&model), &table);
+            planner
+                .plan_batch(method, &loads)
+                .into_iter()
+                .map(|p| p.expect("plannable").total_load())
+                .sum::<f64>()
+        });
+    });
     group.finish();
 }
 
 criterion_group!(
-    benches,
-    bench_build_vs_n,
-    bench_plan_latency,
-    bench_replan_trace
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    targets = bench_build_vs_n,
+        bench_query_batch_vs_sequential,
+        bench_plan_latency,
+        bench_replan_trace
 );
 criterion_main!(benches);

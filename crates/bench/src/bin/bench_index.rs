@@ -1,0 +1,150 @@
+//! Emits `BENCH_index.json`: a small, stable set of consolidation-index
+//! numbers (build time vs n, warm single-query latency, batched per-query
+//! latency) so the perf trajectory is tracked across PRs by CI's
+//! bench-smoke job without paying for full criterion runs.
+//!
+//! Usage: `cargo run --release -p coolopt-bench --bin bench_index`
+//! (add `--features parallel` to also record the parallel build).
+//! The output path defaults to `BENCH_index.json` in the current directory;
+//! override with the `BENCH_INDEX_OUT` environment variable.
+
+use coolopt_bench::{synthetic_model, synthetic_pairs};
+use coolopt_core::{ConsolidationIndex, IndexBuilder, PowerTerms};
+use serde::Serialize;
+use std::time::Instant;
+
+const BUILD_SIZES: [usize; 4] = [20, 100, 200, 500];
+const QUERY_ROOM: usize = 200;
+const BATCH: usize = 64;
+
+#[derive(Serialize)]
+struct BuildRow {
+    n: usize,
+    incremental_ms: f64,
+    parallel_ms: Option<f64>,
+    dense_ms: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct QueryReport {
+    n: usize,
+    batch: usize,
+    warm_single_us_per_query: f64,
+    batch_us_per_query: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema: String,
+    build: Vec<BuildRow>,
+    query: QueryReport,
+    status_rows_at_query_n: usize,
+    orders_at_query_n: usize,
+}
+
+/// Median-of-3 wall-clock milliseconds for `f`.
+fn median_ms<F: FnMut()>(mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    samples[1]
+}
+
+fn main() {
+    let mut build_rows = Vec::new();
+    for n in BUILD_SIZES {
+        let pairs = synthetic_pairs(n, 7);
+        let incremental_ms = median_ms(|| {
+            std::hint::black_box(IndexBuilder::new(&pairs).expect("valid pairs").build());
+        });
+        // The O(n³) oracle is only affordable up to n = 200.
+        let dense_ms = (n <= 200).then(|| {
+            median_ms(|| {
+                std::hint::black_box(
+                    IndexBuilder::new(&pairs)
+                        .expect("valid pairs")
+                        .build_dense(),
+                );
+            })
+        });
+        #[cfg(feature = "parallel")]
+        let parallel_ms = Some(median_ms(|| {
+            std::hint::black_box(
+                IndexBuilder::new(&pairs)
+                    .expect("valid pairs")
+                    .build_parallel(),
+            );
+        }));
+        #[cfg(not(feature = "parallel"))]
+        let parallel_ms: Option<f64> = None;
+        build_rows.push(BuildRow {
+            n,
+            incremental_ms,
+            parallel_ms,
+            dense_ms,
+        });
+    }
+
+    let model = synthetic_model(QUERY_ROOM, 7);
+    let pairs = model.consolidation_pairs();
+    let terms = PowerTerms::from_model(&model);
+    let index = ConsolidationIndex::build(&pairs).expect("valid pairs");
+    let loads: Vec<f64> = (0..BATCH)
+        .map(|i| 0.85 * QUERY_ROOM as f64 * (i as f64 + 0.5) / BATCH as f64)
+        .collect();
+
+    // Warm everything once before timing.
+    for &l in &loads {
+        let _ = index.query_min_power(&terms, l, None).expect("valid load");
+    }
+    let _ = index
+        .query_batch(&terms, &loads, None)
+        .expect("valid loads");
+
+    // Each timed sample repeats the whole 64-query workload so one sample
+    // is well above timer resolution and scheduler noise.
+    const QUERY_REPS: usize = 20;
+    let single_us = median_ms(|| {
+        for _ in 0..QUERY_REPS {
+            for &l in &loads {
+                std::hint::black_box(index.query_min_power(&terms, l, None).expect("valid load"));
+            }
+        }
+    }) * 1e3
+        / (QUERY_REPS * BATCH) as f64;
+    let batch_us = median_ms(|| {
+        for _ in 0..QUERY_REPS {
+            std::hint::black_box(
+                index
+                    .query_batch(&terms, &loads, None)
+                    .expect("valid loads"),
+            );
+        }
+    }) * 1e3
+        / (QUERY_REPS * BATCH) as f64;
+
+    let report = Report {
+        schema: "bench-index-v1".to_string(),
+        build: build_rows,
+        query: QueryReport {
+            n: QUERY_ROOM,
+            batch: BATCH,
+            warm_single_us_per_query: single_us,
+            batch_us_per_query: batch_us,
+            speedup: single_us / batch_us,
+        },
+        status_rows_at_query_n: index.status_count(),
+        orders_at_query_n: index.order_count(),
+    };
+    let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
+    let out = std::env::var("BENCH_INDEX_OUT").unwrap_or_else(|_| "BENCH_index.json".to_string());
+    std::fs::write(&out, &rendered).expect("write BENCH_index.json");
+    println!("{rendered}");
+    eprintln!("wrote {out}");
+}

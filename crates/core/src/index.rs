@@ -12,35 +12,61 @@
 //! `θ` is shared by every candidate of one query, so minimizing power means
 //! maximizing `ρ·t − k·w2` over subsets — and for each `k` the best subset
 //! is a top-`k` prefix of the particle order at the optimizing `t`
-//! (Dinkelbach / exchange argument, see [`crate::particles`]). The index
-//! precomputes prefix sums of every order snapshot (`O(n³)` statuses,
-//! `O(n³ log n)` build), after which:
+//! (Dinkelbach / exchange argument, see [`crate::particles`]).
+//!
+//! # Index v2: the transposition delta
+//!
+//! The paper's literal Algorithm 1 recomputes all `n` prefix sums at each of
+//! the `O(n²)` order snapshots and stores all of them: `O(n³ log n)` build
+//! work and an `O(n³)` table. But adjacent snapshots differ by exactly one
+//! adjacent transposition, so only **one** prefix changes per crossing
+//! event. [`IndexBuilder`] exploits this twice:
+//!
+//! * **Incremental build.** The builder streams crossing events (grouped by
+//!   equal event time) and maintains the running order and its prefix-sum
+//!   arrays. A lone event whose particles sit adjacent is an `O(1)` swap
+//!   touching one prefix; simultaneous pile-ups (or drifted adjacency) fall
+//!   back to a re-sort at the interval midpoint, emitting one row per
+//!   *changed* prefix. Build work drops to `O(n² log n)`.
+//! * **Deduplicated table.** A prefix that does not change across an event
+//!   keeps its one canonical status row — the earliest, which carries the
+//!   row's maximum servable load — so the table holds `O(n²)` rows instead
+//!   of `O(n³)`. Rows no longer store their order snapshot: each row keeps
+//!   a `sample` time inside its first validity interval, and the ON-set is
+//!   reconstructed on demand by re-sorting coordinates at that time.
+//!
+//! Determinism: incremental prefix sums are float-path-dependent, so the
+//! builder re-seeds order and prefixes from scratch at fixed *epoch*
+//! boundaries (every `max(n, 16)` event groups). Serial and `parallel`
+//! builds reseed at the same boundaries — workers own whole epochs — so
+//! both produce bit-identical tables regardless of worker count. The dense
+//! [`IndexBuilder::build_dense`] oracle keeps the literal `O(n³)`
+//! construction for equivalence tests and benchmarks.
+//!
+//! After the build:
 //!
 //! * [`ConsolidationIndex::query_online`] answers a load query in
 //!   `O(log n)` by binary search over statuses sorted by their maximum
 //!   servable load — the paper's Algorithm 2;
-//! * [`ConsolidationIndex::query_min_power`] scans all statuses, computes
-//!   each candidate's exact `t` and predicted power, optionally discards
-//!   candidates whose Eq. 22 loads violate per-machine capacity, and
-//!   returns the provable minimum — the exact variant the evaluation uses;
+//! * [`ConsolidationIndex::query_min_power`] returns the exact minimum-power
+//!   candidate. Instead of scanning the whole table it consults a per-`k`
+//!   upper envelope (convex hull over each size class's `t(L)` lines, built
+//!   once) for the best optimistic bound of every size class, evaluates the
+//!   global argmin first, and then visits only size classes whose bound can
+//!   still beat the incumbent — with a capacity model, surviving classes
+//!   are scanned row-by-row under the same bound test;
+//! * [`ConsolidationIndex::query_batch`] answers many loads in one pass:
+//!   queries are sorted ascending and the per-`k` envelopes are walked with
+//!   monotone pointers, amortizing candidate selection across the batch;
 //! * [`ConsolidationIndex::max_load`] solves the paper's intermediate
 //!   `maxL(A, P_b, k)` problem.
-//!
-//! # Construction vs. querying
-//!
-//! Construction is split out into [`IndexBuilder`], which walks the order
-//! snapshots (serially, or one chunk of snapshots per thread with the
-//! `parallel` feature — both produce bit-identical tables) and emits a
-//! [`ConsolidationIndex`] whose statuses live in a struct-of-arrays
-//! [`StatusTable`]: the `lmax` binary search of Algorithm 2 and the
-//! full-table scan of the exact query each touch only the columns they
-//! need instead of striding over `O(n³)` six-field rows.
 
 use crate::closed_form::optimal_allocation_clamped;
 use crate::error::SolveError;
-use crate::particles::{OrderSnapshot, ParticleSystem};
+use crate::particles::{Event, ParticleSystem};
 use coolopt_model::RoomModel;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counts every [`ConsolidationIndex`] construction in this process — the
@@ -100,7 +126,7 @@ impl PowerTerms {
 /// cached engine can be reused as long as the fingerprint matches (FNV-1a
 /// over the exact f64 bit patterns — any bitwise model change produces a
 /// different digest).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ModelFingerprint(u64);
 
 impl ModelFingerprint {
@@ -148,17 +174,42 @@ fn tie_eps(reference: f64) -> f64 {
     1e-9 * (1.0 + reference.abs())
 }
 
-/// One status while under construction: the best size-`k` subset on one
-/// order interval. Only the builder sees this row form; queries read the
-/// column form in [`StatusTable`].
+/// Re-sorts `ord` by the particle total order (coordinate descending, index
+/// ascending) with insertion sort: exact — the comparator is total, so the
+/// output is the unique sorted permutation — and `O(n + inversions)`, which
+/// makes it cheap when `ord` is already nearly sorted for `coords`.
+fn insertion_repair(ord: &mut [usize], coords: &[f64]) {
+    for i in 1..ord.len() {
+        let mut j = i;
+        while j > 0 {
+            let (p, q) = (ord[j - 1], ord[j]);
+            let out_of_order = coords[q]
+                .partial_cmp(&coords[p])
+                .expect("coordinates are finite")
+                .then(p.cmp(&q))
+                == std::cmp::Ordering::Greater;
+            if !out_of_order {
+                break;
+            }
+            ord.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+/// One status while under construction: the best size-`k` subset over one
+/// maximal interval of orders sharing that prefix. Only the builder sees
+/// this row form; queries read the column form in [`StatusTable`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct StatusRecord {
-    /// Interval start (event time).
+    /// Start of the row's validity (the event time that created this
+    /// prefix; 0 for the initial order).
     since: f64,
-    /// Snapshot index into `orders`.
-    snapshot: usize,
+    /// A time strictly inside the first order interval of the row, at which
+    /// re-sorting the coordinates reproduces the row's prefix set.
+    sample: f64,
     /// Subset size.
-    k: usize,
+    k: u32,
     /// `Σ a_i` over the prefix.
     sum_a: f64,
     /// `Σ b_i` over the prefix.
@@ -167,18 +218,40 @@ struct StatusRecord {
     lmax: f64,
 }
 
-/// Struct-of-arrays storage for the `O(n³)` statuses, sorted by increasing
-/// `lmax` (Algorithm 1, last line).
+/// Per-size-class view of the table: the rows of one `k`, plus the upper
+/// envelope of their ratio lines `t_r(L) = (Σa_r − L)/Σb_r`.
 ///
-/// Algorithm 2 binary-searches only `lmax`; the exact query's hot loop
-/// reads `sum_a`, `k`, `sum_b` and never `since`/`snapshot` until a
-/// candidate survives its bound. Keeping each field contiguous lets those
-/// scans run at cache-line density instead of striding over 48-byte rows.
-#[derive(Debug, Clone, PartialEq, Default)]
+/// Each row is a line with slope `−1/Σb_r`; the envelope (a convex hull
+/// over lines, built once at table construction) yields the row with the
+/// maximum — i.e. cheapest, Eq. 23 decreasing in `t` — optimistic ratio for
+/// any load in `O(log)` per query, or amortized `O(1)` along an ascending
+/// load batch.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+struct KGroup {
+    /// Column indices of this size class's rows (ascending, i.e. in table
+    /// `lmax` order).
+    rows: Vec<u32>,
+    /// Envelope rows, ordered by ascending slope (descending `1/Σb`).
+    hull_rows: Vec<u32>,
+    /// Interior breakpoints: `hull_rows[i+1]` wins for loads above
+    /// `hull_breaks[i]`; `hull_rows[0]` wins below `hull_breaks[0]`.
+    /// Always `hull_rows.len() − 1` entries (finite, so the table stays
+    /// serializable).
+    hull_breaks: Vec<f64>,
+}
+
+/// Struct-of-arrays storage for the deduplicated `O(n²)` statuses, sorted
+/// by increasing `lmax` (Algorithm 1, last line).
+///
+/// Algorithm 2 binary-searches only `lmax`; the exact query reads `sum_a`,
+/// `k`, `inv_sum_b` through the per-`k` [`KGroup`] envelopes and never
+/// touches `since`/`sample` until a candidate survives its bound. Keeping
+/// each field contiguous lets those scans run at cache-line density.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 struct StatusTable {
     since: Vec<f64>,
-    snapshot: Vec<usize>,
-    k: Vec<usize>,
+    sample: Vec<f64>,
+    k: Vec<u32>,
     sum_a: Vec<f64>,
     sum_b: Vec<f64>,
     /// `1 / sum_b`, precomputed so the query's bound pass multiplies
@@ -186,32 +259,106 @@ struct StatusTable {
     /// with true division before a candidate is returned).
     inv_sum_b: Vec<f64>,
     lmax: Vec<f64>,
+    /// One entry per subset size `k ∈ 1..=n`, at index `k − 1`.
+    groups: Vec<KGroup>,
 }
 
 impl StatusTable {
-    /// Sorts the records by `lmax` (stable, exactly as the row form did)
-    /// and transposes them into columns.
-    fn from_records(mut records: Vec<StatusRecord>) -> Self {
+    /// Sorts the records by `lmax` (stable, exactly as the row form did),
+    /// transposes them into columns, and builds the per-`k` envelopes.
+    fn from_records(mut records: Vec<StatusRecord>, machines: usize) -> Self {
         records.sort_by(|x, y| x.lmax.partial_cmp(&y.lmax).expect("lmax is finite"));
         let mut table = StatusTable {
             since: Vec::with_capacity(records.len()),
-            snapshot: Vec::with_capacity(records.len()),
+            sample: Vec::with_capacity(records.len()),
             k: Vec::with_capacity(records.len()),
             sum_a: Vec::with_capacity(records.len()),
             sum_b: Vec::with_capacity(records.len()),
             inv_sum_b: Vec::with_capacity(records.len()),
             lmax: Vec::with_capacity(records.len()),
+            groups: Vec::new(),
         };
         for r in records {
             table.since.push(r.since);
-            table.snapshot.push(r.snapshot);
+            table.sample.push(r.sample);
             table.k.push(r.k);
             table.sum_a.push(r.sum_a);
             table.sum_b.push(r.sum_b);
             table.inv_sum_b.push(1.0 / r.sum_b);
             table.lmax.push(r.lmax);
         }
+        let mut groups = vec![KGroup::default(); machines];
+        for (idx, &k) in table.k.iter().enumerate() {
+            groups[(k - 1) as usize].rows.push(idx as u32);
+        }
+        for group in &mut groups {
+            Self::build_hull(group, &table.sum_a, &table.inv_sum_b);
+        }
+        table.groups = groups;
         table
+    }
+
+    /// Upper envelope of the lines `t_r(L) = sum_a·inv_b − L·inv_b` over one
+    /// size class: classic monotone-chain hull over lines sorted by
+    /// ascending slope (descending `inv_b`); equal slopes keep only the
+    /// highest line.
+    fn build_hull(group: &mut KGroup, sum_a: &[f64], inv_sum_b: &[f64]) {
+        let mut lines: Vec<u32> = group.rows.clone();
+        lines.sort_by(|&x, &y| {
+            let (xi, yi) = (x as usize, y as usize);
+            inv_sum_b[yi]
+                .partial_cmp(&inv_sum_b[xi])
+                .expect("sums are finite")
+                .then(sum_a[yi].partial_cmp(&sum_a[xi]).expect("sums are finite"))
+                .then(x.cmp(&y))
+        });
+        let mut hull: Vec<u32> = Vec::new();
+        let mut breaks: Vec<f64> = Vec::new();
+        'lines: for r in lines {
+            let ri = r as usize;
+            loop {
+                let Some(&top) = hull.last() else {
+                    hull.push(r);
+                    continue 'lines;
+                };
+                let ti = top as usize;
+                if inv_sum_b[ti] == inv_sum_b[ri] {
+                    // Same slope: the sort put the higher line first.
+                    continue 'lines;
+                }
+                // Load at which `r` overtakes the hull top (denominator is
+                // strictly positive: slopes are strictly ascending here).
+                let x = (sum_a[ti] * inv_sum_b[ti] - sum_a[ri] * inv_sum_b[ri])
+                    / (inv_sum_b[ti] - inv_sum_b[ri]);
+                if let Some(&last) = breaks.last() {
+                    if x <= last {
+                        // The top never wins anywhere: drop it and retry.
+                        hull.pop();
+                        breaks.pop();
+                        continue;
+                    }
+                }
+                hull.push(r);
+                breaks.push(x);
+                continue 'lines;
+            }
+        }
+        group.hull_rows = hull;
+        group.hull_breaks = breaks;
+    }
+
+    /// The size-`k` row with the maximum optimistic ratio at `load`, with
+    /// that ratio. `None` when the whole size class is infeasible (`t ≤ 0`).
+    fn envelope_best(&self, k_idx: usize, load: f64) -> Option<(u32, f64)> {
+        let group = &self.groups[k_idx];
+        if group.hull_rows.is_empty() {
+            return None;
+        }
+        let seg = group.hull_breaks.partition_point(|&x| x <= load);
+        let row = group.hull_rows[seg];
+        let ri = row as usize;
+        let t = (self.sum_a[ri] - load) * self.inv_sum_b[ri];
+        (t > 0.0).then_some((row, t))
     }
 
     fn len(&self) -> usize {
@@ -222,22 +369,26 @@ impl StatusTable {
 /// Algorithm 1's construction side, split from the query-side
 /// [`ConsolidationIndex`].
 ///
-/// The builder owns the kinetic-particle system and its order snapshots;
-/// [`IndexBuilder::build`] walks every snapshot serially, and (with the
-/// `parallel` feature) [`IndexBuilder::build_parallel`] distributes
-/// contiguous snapshot chunks over `std::thread::scope` workers. Each
-/// snapshot's prefix sums are computed independently in snapshot order, and
-/// both paths concatenate chunks back in that order before the same stable
-/// sort — so the resulting tables are bit-identical.
+/// The builder owns the kinetic-particle system and its sorted crossing
+/// events (grouped by equal event time) — it never materializes the
+/// `O(n²)` order snapshots. [`IndexBuilder::build`] walks the event groups
+/// incrementally; with the `parallel` feature,
+/// [`IndexBuilder::build_parallel`] distributes contiguous *epochs* of
+/// groups over `std::thread::scope` workers. Every epoch re-seeds its order
+/// and prefix sums from scratch at its boundary, so the two paths are
+/// bit-identical. [`IndexBuilder::build_dense`] keeps the paper's literal
+/// `O(n³)` construction as a test oracle.
 #[derive(Debug, Clone)]
 pub struct IndexBuilder {
     system: ParticleSystem,
-    orders: Vec<OrderSnapshot>,
     pairs: Vec<(f64, f64)>,
+    events: Vec<Event>,
+    /// Offset into `events` where each group of simultaneous events begins.
+    group_starts: Vec<usize>,
 }
 
 impl IndexBuilder {
-    /// Prepares the particle system and its order snapshots for the pairs
+    /// Prepares the particle system and its crossing events for the pairs
     /// `(a_i, b_i) = (K_i, α_i/β_i)`.
     ///
     /// # Errors
@@ -248,96 +399,291 @@ impl IndexBuilder {
         let system = ParticleSystem::new(pairs).map_err(|e| SolveError::DegenerateModel {
             what: e.to_string(),
         })?;
-        let orders = system.orders();
+        let events = system.events();
+        let mut group_starts = Vec::new();
+        for (i, e) in events.iter().enumerate() {
+            if i == 0 || events[i - 1].t != e.t {
+                group_starts.push(i);
+            }
+        }
         Ok(IndexBuilder {
             system,
-            orders,
             pairs: pairs.to_vec(),
+            events,
+            group_starts,
         })
     }
 
-    /// Number of order snapshots the build will walk (`O(n²)`).
+    /// Upper bound on the distinct orders the build will visit (`O(n²)`:
+    /// the initial order plus one per event group). Nothing is
+    /// materialized up front — orders are streamed during the build.
     pub fn snapshot_count(&self) -> usize {
-        self.orders.len()
+        self.group_starts.len() + 1
     }
 
-    /// Prefix sums of one snapshot: `n` statuses in prefix order.
-    fn snapshot_records(&self, snapshot: usize) -> Vec<StatusRecord> {
-        let snap = &self.orders[snapshot];
-        let mut records = Vec::with_capacity(snap.order.len());
+    /// Event groups per epoch: the builder re-derives its order and prefix
+    /// sums from scratch at every epoch boundary, which (a) bounds the
+    /// floating-point drift of the incremental prefix updates and (b) gives
+    /// the parallel build deterministic, worker-count-independent seams.
+    fn epoch_len(&self) -> usize {
+        self.system.len().max(16)
+    }
+
+    fn epoch_count(&self) -> usize {
+        self.group_starts.len().div_ceil(self.epoch_len()).max(1)
+    }
+
+    fn recompute_prefixes(&self, order: &[usize], prefix_a: &mut [f64], prefix_b: &mut [f64]) {
         let mut sum_a = 0.0;
         let mut sum_b = 0.0;
-        for (pos, &i) in snap.order.iter().enumerate() {
+        for (pos, &i) in order.iter().enumerate() {
             sum_a += self.pairs[i].0;
             sum_b += self.pairs[i].1;
-            records.push(StatusRecord {
-                since: snap.since,
-                snapshot,
-                k: pos + 1,
-                sum_a,
-                sum_b,
-                lmax: sum_a - snap.since * sum_b,
-            });
+            prefix_a[pos] = sum_a;
+            prefix_b[pos] = sum_b;
         }
-        records
     }
 
-    /// Serial build: walks snapshots in order.
-    pub fn build(self) -> ConsolidationIndex {
+    /// Processes one epoch of event groups: returns its status rows and how
+    /// many distinct orders it saw. Deterministic in isolation — the seed
+    /// at the epoch boundary is re-derived from scratch, never inherited —
+    /// so epochs can run serially or on any worker layout with identical
+    /// output.
+    fn epoch_records(&self, epoch: usize) -> (Vec<StatusRecord>, usize) {
         let n = self.system.len();
-        let mut records = Vec::with_capacity(self.orders.len() * n);
-        for snapshot in 0..self.orders.len() {
-            records.extend(self.snapshot_records(snapshot));
+        let g_lo = epoch * self.epoch_len();
+        let g_hi = (g_lo + self.epoch_len()).min(self.group_starts.len());
+        let mut records = Vec::with_capacity(2 * (g_hi - g_lo) + if epoch == 0 { n } else { 0 });
+        let mut orders_seen = 0usize;
+
+        // Seed: the order holding just before this epoch's first group (for
+        // epoch 0, the initial order), prefix sums from scratch.
+        let mut order = if epoch == 0 {
+            self.system.order_at(0.0)
+        } else {
+            let t_prev = self.events[self.group_starts[g_lo] - 1].t;
+            let t_here = self.events[self.group_starts[g_lo]].t;
+            self.system.order_at(0.5 * (t_prev + t_here))
+        };
+        let mut pos = vec![0usize; n];
+        for (p, &i) in order.iter().enumerate() {
+            pos[i] = p;
         }
-        self.finish(records)
+        let mut prefix_a = vec![0.0f64; n];
+        let mut prefix_b = vec![0.0f64; n];
+        self.recompute_prefixes(&order, &mut prefix_a, &mut prefix_b);
+
+        if epoch == 0 {
+            orders_seen += 1;
+            for k in 1..=n {
+                records.push(StatusRecord {
+                    since: 0.0,
+                    sample: 0.0,
+                    k: k as u32,
+                    sum_a: prefix_a[k - 1],
+                    sum_b: prefix_b[k - 1],
+                    lmax: prefix_a[k - 1],
+                });
+            }
+        }
+
+        let mut resorted: Vec<usize> = Vec::with_capacity(n);
+        let mut diff = vec![0i64; n];
+        for g in g_lo..g_hi {
+            let e_lo = self.group_starts[g];
+            let e_hi = self
+                .group_starts
+                .get(g + 1)
+                .copied()
+                .unwrap_or(self.events.len());
+            let t = self.events[e_lo].t;
+            let t_next = self
+                .group_starts
+                .get(g + 1)
+                .map(|&s| self.events[s].t)
+                .unwrap_or(t + 2.0);
+            let sample = 0.5 * (t + t_next);
+
+            if e_hi - e_lo == 1 {
+                let Event { p, q, .. } = self.events[e_lo];
+                let lo = pos[p].min(pos[q]);
+                let hi = pos[p].max(pos[q]);
+                if hi == lo + 1 {
+                    // Adjacent transposition: the only invalidated prefix is
+                    // the one of size `lo + 1`, and its left-to-right sum is
+                    // the untouched shorter prefix plus the new boundary
+                    // element — an O(1) update emitting exactly one row.
+                    order.swap(lo, hi);
+                    pos[order[lo]] = lo;
+                    pos[order[hi]] = hi;
+                    let (base_a, base_b) = if lo == 0 {
+                        (0.0, 0.0)
+                    } else {
+                        (prefix_a[lo - 1], prefix_b[lo - 1])
+                    };
+                    let (a, b) = self.pairs[order[lo]];
+                    prefix_a[lo] = base_a + a;
+                    prefix_b[lo] = base_b + b;
+                    orders_seen += 1;
+                    records.push(StatusRecord {
+                        since: t,
+                        sample,
+                        k: (lo + 1) as u32,
+                        sum_a: prefix_a[lo],
+                        sum_b: prefix_b[lo],
+                        lmax: prefix_a[lo] - t * prefix_b[lo],
+                    });
+                    continue;
+                }
+            }
+
+            // Pile-up (several events at one instant) or drifted adjacency:
+            // re-sort at the interval midpoint, then emit one row per prefix
+            // whose *set* actually changed (diffed via a counting scratch
+            // that returns to all-zero by permutation symmetry).
+            self.system.order_into(sample, &mut resorted);
+            if resorted == order {
+                continue; // no-op event (already ordered this way)
+            }
+            orders_seen += 1;
+            std::mem::swap(&mut order, &mut resorted); // `resorted` now holds the old order
+            let mut changed: Vec<usize> = Vec::new();
+            let mut imbalance = 0usize;
+            for k in 0..n {
+                for (arr, delta) in [(&order, 1i64), (&resorted, -1i64)] {
+                    let c = &mut diff[arr[k]];
+                    if *c == 0 {
+                        imbalance += 1;
+                    }
+                    *c += delta;
+                    if *c == 0 {
+                        imbalance -= 1;
+                    }
+                }
+                if imbalance > 0 {
+                    changed.push(k + 1);
+                }
+            }
+            for (p, &i) in order.iter().enumerate() {
+                pos[i] = p;
+            }
+            self.recompute_prefixes(&order, &mut prefix_a, &mut prefix_b);
+            for &k in &changed {
+                records.push(StatusRecord {
+                    since: t,
+                    sample,
+                    k: k as u32,
+                    sum_a: prefix_a[k - 1],
+                    sum_b: prefix_b[k - 1],
+                    lmax: prefix_a[k - 1] - t * prefix_b[k - 1],
+                });
+            }
+        }
+        (records, orders_seen)
     }
 
-    /// Parallel build: contiguous snapshot chunks, one per worker thread,
-    /// re-concatenated in snapshot order. Bit-identical to [`build`]:
-    /// every status is computed by the same per-snapshot arithmetic, and
-    /// the final stable sort sees the records in the same sequence.
+    /// Serial incremental build: walks the epochs in order.
+    pub fn build(self) -> ConsolidationIndex {
+        let mut records = Vec::new();
+        let mut orders_seen = 0usize;
+        for epoch in 0..self.epoch_count() {
+            let (r, o) = self.epoch_records(epoch);
+            records.extend(r);
+            orders_seen += o;
+        }
+        self.finish(records, orders_seen)
+    }
+
+    /// Parallel incremental build: contiguous epoch ranges, one per worker
+    /// thread, re-concatenated in epoch order. Bit-identical to [`build`]:
+    /// each epoch re-seeds from scratch at its boundary, so its rows never
+    /// depend on which worker (or whether any worker) processed the epochs
+    /// before it.
     ///
     /// [`build`]: IndexBuilder::build
     #[cfg(feature = "parallel")]
     pub fn build_parallel(self) -> ConsolidationIndex {
-        let snapshots = self.orders.len();
+        let epochs = self.epoch_count();
         let workers = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
-            .min(snapshots.max(1));
+            .min(epochs);
         if workers <= 1 {
             return self.build();
         }
-        let chunk = snapshots.div_ceil(workers);
-        let n = self.system.len();
-        let mut records = Vec::with_capacity(snapshots * n);
+        let chunk = epochs.div_ceil(workers);
+        let mut records = Vec::new();
+        let mut orders_seen = 0usize;
         std::thread::scope(|scope| {
             let builder = &self;
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let lo = w * chunk;
-                    let hi = ((w + 1) * chunk).min(snapshots);
+                    let hi = ((w + 1) * chunk).min(epochs);
                     scope.spawn(move || {
-                        (lo..hi)
-                            .flat_map(|s| builder.snapshot_records(s))
-                            .collect::<Vec<_>>()
+                        let mut rs = Vec::new();
+                        let mut os = 0usize;
+                        for epoch in lo..hi {
+                            let (r, o) = builder.epoch_records(epoch);
+                            rs.extend(r);
+                            os += o;
+                        }
+                        (rs, os)
                     })
                 })
                 .collect();
             for handle in handles {
-                records.extend(handle.join().expect("index build worker panicked"));
+                let (r, o) = handle.join().expect("index build worker panicked");
+                records.extend(r);
+                orders_seen += o;
             }
         });
-        self.finish(records)
+        self.finish(records, orders_seen)
     }
 
-    fn finish(self, records: Vec<StatusRecord>) -> ConsolidationIndex {
-        let statuses = StatusTable::from_records(records);
+    /// The paper's literal construction: every order snapshot recomputes all
+    /// `n` prefixes and stores all of them (`O(n³)` rows, `O(n³ log n)`
+    /// work). Kept as the from-scratch oracle the equivalence tests and the
+    /// build benchmarks compare against.
+    pub fn build_dense(self) -> ConsolidationIndex {
+        let snapshots = self.system.orders();
+        let times: Vec<f64> = self.events.iter().map(|e| e.t).collect();
+        let n = self.system.len();
+        let mut records = Vec::with_capacity(snapshots.len() * n);
+        for snap in &snapshots {
+            let sample = if snap.since == 0.0 {
+                0.0
+            } else {
+                let next = times.partition_point(|&ft| ft <= snap.since);
+                let t_next = times.get(next).copied().unwrap_or(snap.since + 2.0);
+                0.5 * (snap.since + t_next)
+            };
+            let mut sum_a = 0.0;
+            let mut sum_b = 0.0;
+            for (p, &i) in snap.order.iter().enumerate() {
+                sum_a += self.pairs[i].0;
+                sum_b += self.pairs[i].1;
+                records.push(StatusRecord {
+                    since: snap.since,
+                    sample,
+                    k: (p + 1) as u32,
+                    sum_a,
+                    sum_b,
+                    lmax: sum_a - snap.since * sum_b,
+                });
+            }
+        }
+        let orders_seen = snapshots.len();
+        self.finish(records, orders_seen)
+    }
+
+    fn finish(self, records: Vec<StatusRecord>, orders_seen: usize) -> ConsolidationIndex {
+        let statuses = StatusTable::from_records(records, self.system.len());
         INDEX_BUILDS.fetch_add(1, Ordering::Relaxed);
         ConsolidationIndex {
             system: self.system,
-            orders: self.orders,
             statuses,
+            orders_seen,
         }
     }
 }
@@ -357,17 +703,45 @@ pub struct Consolidation {
     pub relative_power: f64,
 }
 
+/// Query context shared by the selection core and the status evaluator.
+struct QueryCtx<'a> {
+    terms: &'a PowerTerms,
+    total_load: f64,
+    capacity_model: Option<&'a RoomModel>,
+    /// Whether the capacity model indexes every machine the table refers
+    /// to; when it does not, evaluation must use the validating slow path.
+    model_covers: bool,
+}
+
+/// Reusable scratch for the batched query path. A row's ordered ON prefix
+/// depends only on its sample time — never on the queried load — so one
+/// reconstruction serves every load in the batch that evaluates or wins on
+/// that row. The sequential path is stateless and re-sorts per call; this
+/// cache is the structural advantage batching buys.
+#[derive(Default)]
+struct BatchScratch {
+    /// Coordinates at the row's sample time, computed once per
+    /// reconstruction instead of inside the sort comparator.
+    coords: Vec<f64>,
+    /// Index permutation being selected/sorted.
+    idxs: Vec<usize>,
+    /// Finished ordered prefixes, keyed by status-row index.
+    prefixes: HashMap<u32, Vec<usize>>,
+}
+
 /// The offline consolidation index (the paper's Algorithm 1 output:
-/// `Orders` + `allStatus`).
-#[derive(Debug, Clone, PartialEq)]
+/// `Orders` + `allStatus`, deduplicated per the module docs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConsolidationIndex {
     system: ParticleSystem,
-    orders: Vec<OrderSnapshot>,
     statuses: StatusTable,
+    /// Distinct coordinate orders the build visited.
+    orders_seen: usize,
 }
 
 impl ConsolidationIndex {
-    /// Runs Algorithm 1 over the pairs `(a_i, b_i) = (K_i, α_i/β_i)`.
+    /// Runs (incremental) Algorithm 1 over the pairs
+    /// `(a_i, b_i) = (K_i, α_i/β_i)`.
     ///
     /// # Errors
     ///
@@ -377,7 +751,7 @@ impl ConsolidationIndex {
         Ok(IndexBuilder::new(pairs)?.build())
     }
 
-    /// [`build`], constructed with one snapshot chunk per thread.
+    /// [`build`], constructed with one epoch range per thread.
     /// Bit-identical output; see [`IndexBuilder::build_parallel`].
     ///
     /// # Errors
@@ -388,6 +762,18 @@ impl ConsolidationIndex {
     #[cfg(feature = "parallel")]
     pub fn build_parallel(pairs: &[(f64, f64)]) -> Result<Self, SolveError> {
         Ok(IndexBuilder::new(pairs)?.build_parallel())
+    }
+
+    /// The paper's literal `O(n³)` construction — the from-scratch oracle.
+    /// See [`IndexBuilder::build_dense`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`build`].
+    ///
+    /// [`build`]: ConsolidationIndex::build
+    pub fn build_dense(pairs: &[(f64, f64)]) -> Result<Self, SolveError> {
+        Ok(IndexBuilder::new(pairs)?.build_dense())
     }
 
     /// How many times any index has been built in this process. The
@@ -406,19 +792,21 @@ impl ConsolidationIndex {
         self.system.is_empty()
     }
 
-    /// Number of precomputed statuses (`O(n³)`).
+    /// Number of stored statuses: `O(n²)` after deduplication (the dense
+    /// oracle stores the paper's full `orders × n`).
     pub fn status_count(&self) -> usize {
         self.statuses.len()
     }
 
-    /// Number of distinct coordinate orders (`O(n²)`).
+    /// Number of distinct coordinate orders the build visited (`O(n²)`).
     pub fn order_count(&self) -> usize {
-        self.orders.len()
+        self.orders_seen
     }
 
     /// The paper's Algorithm 2: binary-search `allStatus` for the first
     /// status whose `Lmax` exceeds `total_load` and return its machine
-    /// prefix, in `O(log n)` (plus `O(k)` to materialize the answer).
+    /// prefix, in `O(log n)` (plus `O(n log n)` to reconstruct the answer's
+    /// order at its sample time).
     ///
     /// Returns `None` when no status can serve the load. The returned
     /// [`Consolidation::relative_power`] is `NaN`: Algorithm 2 never
@@ -432,18 +820,22 @@ impl ConsolidationIndex {
         Some(self.materialize(idx, total_load))
     }
 
-    /// Exact minimum-power query: evaluates every status at the exact ratio
-    /// `t = (Σa − L)/Σb` and returns the candidate minimizing
-    /// `k·w2 − ρ·min(t, t_cap)`.
+    /// Exact minimum-power query: returns the candidate minimizing
+    /// `k·w2 − ρ·min(t, t_cap)` at the exact ratio `t = (Σa − L)/Σb`.
+    ///
+    /// The scan consults each size class's precomputed envelope
+    /// ([`KGroup`]) for its best optimistic bound, evaluates the global
+    /// argmin first, and then visits only classes whose bound can still
+    /// beat the incumbent — typically a handful of evaluations instead of
+    /// the whole table.
     ///
     /// With `capacity_model` supplied, each candidate is additionally solved
     /// under per-machine capacity (`0 ≤ L_i ≤ 1`, via
     /// [`optimal_allocation_clamped`]) and ranked by its *achievable*
     /// cooling temperature; infeasible subsets are discarded. The unclamped
-    /// ratio is an upper bound on the achievable one, so it serves as an
-    /// optimistic bound that prunes most candidates before the (more
-    /// expensive) clamped solve — a small branch-and-bound on top of the
-    /// paper's enumeration.
+    /// ratio is an upper bound on the achievable one, so surviving classes
+    /// are scanned row-by-row under the same optimistic-bound test — a
+    /// branch-and-bound on top of the paper's enumeration.
     ///
     /// # Errors
     ///
@@ -461,138 +853,463 @@ impl ConsolidationIndex {
                 max: self.len() as f64,
             });
         }
-        let statuses = &self.statuses;
-        // A capacity model that cannot index every machine the table refers
-        // to must go through the validating slow path.
-        let model_covers = capacity_model.is_none_or(|m| m.len() >= self.len());
-
-        // Scalar, allocation-free evaluation of status `idx`: the achieved
-        // `(t, relative_power)`. Without a capacity model this is the exact
-        // ratio; with one it mirrors `optimal_allocation`'s fast path
-        // arithmetic operation-for-operation (so results match the
-        // materialized solve bit-for-bit) and only falls back to the full
-        // clamped solve when a per-machine bound is active. `None` means
-        // the subset cannot serve the load within capacity.
-        let eval_scalar = |idx: usize| -> Option<(f64, f64)> {
-            let k = statuses.k[idx];
-            let t = match capacity_model {
-                None => (statuses.sum_a[idx] - total_load) / statuses.sum_b[idx],
-                Some(model) => {
-                    let on = &self.orders[statuses.snapshot[idx]].order[..k];
-                    let w1 = model.power().w1().as_watts();
-                    let mut fast = None;
-                    if model_covers {
-                        let k_sum: f64 = on.iter().map(|&i| model.k(i)).sum();
-                        let s_sum: f64 = on.iter().map(|&i| model.alpha_over_beta(i)).sum();
-                        let t_ac_kelvin = (k_sum - total_load) * w1 / s_sum;
-                        let unclamped_ok = s_sum > 0.0
-                            && s_sum.is_finite()
-                            && t_ac_kelvin.is_finite()
-                            && t_ac_kelvin > 0.0
-                            && on.iter().all(|&i| {
-                                let l = model.k(i)
-                                    - (k_sum - total_load) * model.alpha_over_beta(i) / s_sum;
-                                (0.0..=1.0).contains(&l)
-                            });
-                        if unclamped_ok {
-                            fast = Some(t_ac_kelvin / w1);
-                        }
-                    }
-                    match fast {
-                        Some(t) => t,
-                        None => {
-                            let sol = optimal_allocation_clamped(model, on, total_load).ok()?;
-                            sol.t_ac.as_kelvin() / w1
-                        }
-                    }
-                }
-            };
-            Some((t, terms.relative_power(k, t)))
+        let ctx = QueryCtx {
+            terms,
+            total_load,
+            capacity_model,
+            model_covers: capacity_model.is_none_or(|m| m.len() >= self.len()),
         };
-
-        // Branch-and-bound seed: one hot pass over the sum_a/k/sum_b columns
-        // computes every status's optimistic bound (∞ marks infeasibility:
-        // `sum_a ≤ L` would need t ≤ 0, and k machines carry at most k
-        // load), remembering the smallest. The bound of any status is a
-        // lower bound on its achievable value, so evaluating the argmin
-        // candidate up front lets the selection loop below prune nearly
-        // every other evaluation. Bounds multiply by the precomputed
-        // `1/sum_b` column; accepted candidates are re-evaluated with exact
-        // division by `eval_scalar`.
-        let mut best: Option<(usize, f64, f64)> = None; // (idx, t, rel)
-        let mut bounds = vec![f64::INFINITY; statuses.len()];
-        let mut seed: Option<(usize, f64)> = None;
-        for (idx, bound) in bounds.iter_mut().enumerate() {
-            let sum_a = statuses.sum_a[idx];
-            let k = statuses.k[idx];
-            if sum_a <= total_load || total_load > k as f64 {
-                continue;
-            }
-            let t_optimistic = (sum_a - total_load) * statuses.inv_sum_b[idx];
-            let rel_optimistic = terms.relative_power(k, t_optimistic);
-            *bound = rel_optimistic;
-            if seed.is_none_or(|(_, r)| rel_optimistic < r) {
-                seed = Some((idx, rel_optimistic));
-            }
-        }
-        let seed_idx = seed.map(|(idx, _)| idx);
-        if let Some(idx) = seed_idx {
-            if let Some((t, rel)) = eval_scalar(idx) {
-                best = Some((idx, t, rel));
-            }
-        }
-
-        // Selection loop over the precomputed bounds; since/snapshot stay
-        // cold until a candidate survives the optimistic bound (under
-        // capacity clamping a worse-bound status can still win, so every
-        // feasible status is considered).
-        for (idx, &rel_optimistic) in bounds.iter().enumerate() {
-            if rel_optimistic.is_infinite() || Some(idx) == seed_idx {
-                continue; // infeasible, or already evaluated as the seed
-            }
-            let k = statuses.k[idx];
-            let bound_beats_best = match best {
-                None => true,
-                Some((b_idx, _, b_rel)) => {
-                    // Relative tolerance: the rel values carry the full
-                    // magnitude of ρ·t (tens of kilowatts), where a fixed
-                    // 1e-12 would be absorbed below one ULP.
-                    let eps = tie_eps(b_rel);
-                    rel_optimistic < b_rel - eps
-                        || (rel_optimistic < b_rel + eps && k <= statuses.k[b_idx])
-                }
-            };
-            if !bound_beats_best {
-                continue;
-            }
-            let Some((t, rel)) = eval_scalar(idx) else {
-                continue;
-            };
-            let better = match best {
-                None => true,
-                Some((b_idx, b_t, b_rel)) => {
-                    let eps = tie_eps(b_rel);
-                    rel < b_rel - eps
-                        || (rel < b_rel + eps
-                            && (k < statuses.k[b_idx]
-                                // Power tie at equal size (typical when the
-                                // supply ceiling saturates the objective):
-                                // prefer the subset with the most thermal
-                                // margin, i.e. the warmest achievable ratio.
-                                || (k == statuses.k[b_idx] && t > b_t + 1e-9)))
-                }
-            };
-            if better {
-                best = Some((idx, t, rel));
-            }
-        }
-        // Only the winner is materialized into an owned prefix vector.
+        let group_cand: Vec<Option<(u32, f64)>> = (0..self.len())
+            .map(|k_idx| self.statuses.envelope_best(k_idx, total_load))
+            .collect();
+        let mut rel_bounds = Vec::new();
+        let mut scratch = Vec::new();
+        let mut eval = |idx: usize| self.eval_status(idx, &ctx, &mut scratch);
+        let best = self.select_min_power(&ctx, &group_cand, &mut rel_bounds, &mut eval);
         Ok(best.map(|(idx, t, rel)| {
             let mut winner = self.materialize(idx, total_load);
             winner.t = t;
             winner.relative_power = rel;
             winner
         }))
+    }
+
+    /// Batched exact query: answers every load of `loads` (preserving input
+    /// order in the result) with the same selection core as
+    /// [`query_min_power`], amortizing everything a stateless call must
+    /// re-derive:
+    ///
+    /// * queries are sorted ascending and the per-`k` envelopes are walked
+    ///   with monotone pointers — one pass over the breakpoints for the
+    ///   whole batch instead of a binary search per query;
+    /// * bit-equal duplicate loads are answered once and cloned;
+    /// * ordered ON prefixes are load-independent, so each status row
+    ///   touched by the batch (capacity evaluation or winner
+    ///   materialization) is reconstructed at most once — by `O(n)`
+    ///   selection plus an `O(k log k)` sort of the prefix, instead of the
+    ///   sequential path's full `O(n log n)` re-sort per query — and then
+    ///   served from a cache. Results are bit-identical to the sequential
+    ///   path: selection keeps the same total order (coordinate descending,
+    ///   index ascending) and capacity sums run over the same prefix in the
+    ///   same order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::LoadOutOfRange`] if *any* load is negative or
+    /// non-finite (no partial answers).
+    pub fn query_batch(
+        &self,
+        terms: &PowerTerms,
+        loads: &[f64],
+        capacity_model: Option<&RoomModel>,
+    ) -> Result<Vec<Option<Consolidation>>, SolveError> {
+        for &load in loads {
+            if !load.is_finite() || load < 0.0 {
+                return Err(SolveError::LoadOutOfRange {
+                    load,
+                    max: self.len() as f64,
+                });
+            }
+        }
+        let n = self.len();
+        let ctx_covers = capacity_model.is_none_or(|m| m.len() >= n);
+        let mut by_load: Vec<usize> = (0..loads.len()).collect();
+        by_load.sort_by(|&x, &y| {
+            loads[x]
+                .partial_cmp(&loads[y])
+                .expect("loads validated finite")
+                .then(x.cmp(&y))
+        });
+        let mut results: Vec<Option<Consolidation>> = vec![None; loads.len()];
+        let mut pointers = vec![0usize; n];
+        let mut group_cand: Vec<Option<(u32, f64)>> = vec![None; n];
+        let mut rel_bounds = Vec::new();
+        let mut rs = BatchScratch::default();
+        let mut prev: Option<(u64, usize)> = None;
+        // Without a capacity model the selection core never reconstructs an
+        // order, so winner materialization can be deferred to one sweep in
+        // sample-time order after all selections are done.
+        let deferred = capacity_model.is_none();
+        let mut winners: Vec<(usize, usize, f64, f64)> = Vec::new();
+        let mut dupes: Vec<(usize, usize)> = Vec::new();
+        for &qi in &by_load {
+            let load = loads[qi];
+            if let Some((bits, src)) = prev {
+                if bits == load.to_bits() {
+                    dupes.push((qi, src));
+                    continue;
+                }
+            }
+            // One fused pass: advance the envelope pointers, and compute
+            // each feasible class's optimistic bound and the seed (same
+            // arithmetic and order as `select_min_power`'s bounds pass).
+            // Classes with `load > k` are infeasible for this and every
+            // later (larger) load, so their pointers are left untouched.
+            rel_bounds.clear();
+            rel_bounds.resize(n, f64::INFINITY);
+            let mut seed: Option<(usize, f64)> = None;
+            for (k_idx, cand) in group_cand.iter_mut().enumerate() {
+                let k = k_idx + 1;
+                if load > k as f64 {
+                    *cand = None;
+                    continue;
+                }
+                let group = &self.statuses.groups[k_idx];
+                *cand = if group.hull_rows.is_empty() {
+                    None
+                } else {
+                    let p = &mut pointers[k_idx];
+                    while *p < group.hull_breaks.len() && group.hull_breaks[*p] <= load {
+                        *p += 1;
+                    }
+                    let row = group.hull_rows[*p];
+                    let ri = row as usize;
+                    let t = (self.statuses.sum_a[ri] - load) * self.statuses.inv_sum_b[ri];
+                    (t > 0.0).then_some((row, t))
+                };
+                if let Some((_, t_bound)) = *cand {
+                    let rel = terms.relative_power(k, t_bound);
+                    rel_bounds[k_idx] = rel;
+                    if seed.is_none_or(|(_, r)| rel < r) {
+                        seed = Some((k_idx, rel));
+                    }
+                }
+            }
+            let ctx = QueryCtx {
+                terms,
+                total_load: load,
+                capacity_model,
+                model_covers: ctx_covers,
+            };
+            let best = {
+                let mut eval = |idx: usize| self.eval_status_cached(idx, &ctx, &mut rs);
+                self.select_from_bounds(&ctx, &group_cand, &rel_bounds, seed, &mut eval)
+            };
+            match best {
+                Some((idx, t, rel)) if deferred => winners.push((qi, idx, t, rel)),
+                _ => {
+                    results[qi] = best.map(|(idx, t, rel)| {
+                        let mut winner = self.materialize_cached(idx, load, &mut rs);
+                        winner.t = t;
+                        winner.relative_power = rel;
+                        winner
+                    });
+                }
+            }
+            prev = Some((load.to_bits(), qi));
+        }
+        self.materialize_sweep(&mut winners, &mut results);
+        for &(qi, src) in &dupes {
+            results[qi] = results[src].clone();
+        }
+        Ok(results)
+    }
+
+    /// Deferred winner materialization for the no-capacity batch: visits
+    /// the winning rows in ascending sample-time order while maintaining
+    /// one full particle permutation, repaired by insertion sort at each
+    /// new sample time. Insertion sort over the total order (coordinate
+    /// descending, index ascending) yields the unique sorted permutation —
+    /// exactly `order_at(sample)` — in `O(n + inversions)`, and the
+    /// inversions between consecutive sample times are just the crossings
+    /// in between, so the whole batch pays roughly one sort plus the
+    /// crossing count of the spanned interval instead of a full
+    /// `O(n log n)` re-sort per query.
+    fn materialize_sweep(
+        &self,
+        winners: &mut [(usize, usize, f64, f64)],
+        results: &mut [Option<Consolidation>],
+    ) {
+        if winners.is_empty() {
+            return;
+        }
+        winners.sort_unstable_by(|x, y| {
+            let (sx, sy) = (self.statuses.sample[x.1], self.statuses.sample[y.1]);
+            sx.partial_cmp(&sy)
+                .expect("sample times are finite")
+                .then(x.1.cmp(&y.1))
+        });
+        let n = self.system.len();
+        let mut ord: Vec<usize> = (0..n).collect();
+        let mut coords = vec![0.0_f64; n];
+        let mut last_sample: Option<f64> = None;
+        for &(qi, row, t, rel) in winners.iter() {
+            let sample = self.statuses.sample[row];
+            if last_sample != Some(sample) {
+                for (i, c) in coords.iter_mut().enumerate() {
+                    *c = self.system.coordinate(i, sample);
+                }
+                insertion_repair(&mut ord, &coords);
+                last_sample = Some(sample);
+            }
+            let k = self.statuses.k[row] as usize;
+            results[qi] = Some(Consolidation {
+                on: ord[..k].to_vec(),
+                k,
+                t,
+                relative_power: rel,
+            });
+        }
+    }
+
+    /// Selection core shared by the single and batched exact queries:
+    /// branch-and-bound over the per-size-class envelope candidates.
+    /// `eval` evaluates one status row to its achieved
+    /// `(t, relative_power)` — the sequential path re-sorts per call, the
+    /// batched path serves from its prefix cache, both with identical
+    /// arithmetic. Returns the winning `(row, t, relative_power)`.
+    fn select_min_power(
+        &self,
+        ctx: &QueryCtx<'_>,
+        group_cand: &[Option<(u32, f64)>],
+        rel_bounds: &mut Vec<f64>,
+        eval: &mut dyn FnMut(usize) -> Option<(f64, f64)>,
+    ) -> Option<(usize, f64, f64)> {
+        let n = self.len();
+        // One pass over the envelope winners computes every size class's
+        // optimistic bound (∞ marks infeasibility: `t ≤ 0`, or `k` machines
+        // carrying more than `k` load), remembering the smallest.
+        rel_bounds.clear();
+        rel_bounds.resize(n, f64::INFINITY);
+        let mut seed: Option<(usize, f64)> = None;
+        for (k_idx, cand) in group_cand.iter().enumerate() {
+            let k = k_idx + 1;
+            if ctx.total_load > k as f64 {
+                continue;
+            }
+            let Some((_, t_bound)) = *cand else { continue };
+            let rel = ctx.terms.relative_power(k, t_bound);
+            rel_bounds[k_idx] = rel;
+            if seed.is_none_or(|(_, r)| rel < r) {
+                seed = Some((k_idx, rel));
+            }
+        }
+        self.select_from_bounds(ctx, group_cand, rel_bounds, seed, eval)
+    }
+
+    /// The branch-and-bound half of [`select_min_power`], taking the
+    /// per-class bounds and the seed (smallest bound) as inputs so the
+    /// batched path can fuse their computation into its envelope-pointer
+    /// walk.
+    ///
+    /// [`select_min_power`]: ConsolidationIndex::select_min_power
+    fn select_from_bounds(
+        &self,
+        ctx: &QueryCtx<'_>,
+        group_cand: &[Option<(u32, f64)>],
+        rel_bounds: &[f64],
+        seed: Option<(usize, f64)>,
+        eval: &mut dyn FnMut(usize) -> Option<(f64, f64)>,
+    ) -> Option<(usize, f64, f64)> {
+        let statuses = &self.statuses;
+        // The bound of any candidate is a lower bound on its achievable
+        // value, so evaluating the argmin up front lets the loop below
+        // prune nearly everything else.
+        let (seed_k, _) = seed?;
+        let seed_row = group_cand[seed_k].expect("seed group is feasible").0 as usize;
+        let mut best: Option<(usize, f64, f64)> = None;
+        if let Some((t, rel)) = eval(seed_row) {
+            best = Some((seed_row, t, rel));
+        }
+        let improves = |best: &Option<(usize, f64, f64)>, k: usize, t: f64, rel: f64| match *best {
+            None => true,
+            Some((b_idx, b_t, b_rel)) => {
+                let eps = tie_eps(b_rel);
+                rel < b_rel - eps
+                    || (rel < b_rel + eps
+                        && (k < statuses.k[b_idx] as usize
+                            // Power tie at equal size (typical when the
+                            // supply ceiling saturates the objective):
+                            // prefer the subset with the most thermal
+                            // margin, i.e. the warmest achievable ratio.
+                            || (k == statuses.k[b_idx] as usize && t > b_t + 1e-9)))
+            }
+        };
+        let bound_beats = |best: &Option<(usize, f64, f64)>, k: usize, bound: f64| match *best {
+            None => true,
+            Some((b_idx, _, b_rel)) => {
+                // Relative tolerance: the rel values carry the full
+                // magnitude of ρ·t (tens of kilowatts), where a fixed
+                // 1e-12 would be absorbed below one ULP.
+                let eps = tie_eps(b_rel);
+                bound < b_rel - eps || (bound < b_rel + eps && k <= statuses.k[b_idx] as usize)
+            }
+        };
+        for (k_idx, &rel_bound) in rel_bounds.iter().enumerate() {
+            if rel_bound.is_infinite() {
+                continue; // infeasible size class
+            }
+            let k = k_idx + 1;
+            if !bound_beats(&best, k, rel_bound) {
+                continue;
+            }
+            match ctx.capacity_model {
+                None => {
+                    // Unclamped objective: within one size class the
+                    // envelope winner (maximum t) is also the exact winner,
+                    // so one evaluation settles the class.
+                    if k_idx == seed_k {
+                        continue; // already evaluated as the seed
+                    }
+                    let row = group_cand[k_idx].expect("bounded group is feasible").0 as usize;
+                    let Some((t, rel)) = eval(row) else {
+                        continue;
+                    };
+                    if improves(&best, k, t, rel) {
+                        best = Some((row, t, rel));
+                    }
+                }
+                Some(_) => {
+                    // Under capacity clamping a worse-bound row can still
+                    // win, so the surviving class is scanned row-by-row —
+                    // each row under its own optimistic-bound test.
+                    for &row in &statuses.groups[k_idx].rows {
+                        let row = row as usize;
+                        if k_idx == seed_k && row == seed_row {
+                            continue;
+                        }
+                        let sum_a = statuses.sum_a[row];
+                        if sum_a <= ctx.total_load {
+                            continue;
+                        }
+                        let t_bound = (sum_a - ctx.total_load) * statuses.inv_sum_b[row];
+                        let row_bound = ctx.terms.relative_power(k, t_bound);
+                        if !bound_beats(&best, k, row_bound) {
+                            continue;
+                        }
+                        let Some((t, rel)) = eval(row) else {
+                            continue;
+                        };
+                        if improves(&best, k, t, rel) {
+                            best = Some((row, t, rel));
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Allocation-light evaluation of status `idx`: the achieved
+    /// `(t, relative_power)`. Without a capacity model this is the exact
+    /// ratio; with one it mirrors `optimal_allocation`'s fast path
+    /// arithmetic operation-for-operation (so results match the
+    /// materialized solve bit-for-bit) and only falls back to the full
+    /// clamped solve when a per-machine bound is active. `None` means the
+    /// subset cannot serve the load within capacity.
+    fn eval_status(
+        &self,
+        idx: usize,
+        ctx: &QueryCtx<'_>,
+        scratch: &mut Vec<usize>,
+    ) -> Option<(f64, f64)> {
+        let statuses = &self.statuses;
+        let k = statuses.k[idx] as usize;
+        let t = match ctx.capacity_model {
+            None => (statuses.sum_a[idx] - ctx.total_load) / statuses.sum_b[idx],
+            Some(_) => {
+                self.system.order_into(statuses.sample[idx], scratch);
+                self.capacity_ratio(ctx, &scratch[..k])?
+            }
+        };
+        Some((t, ctx.terms.relative_power(k, t)))
+    }
+
+    /// [`eval_status`] for the batched path: the ordered ON prefix comes
+    /// from the batch's cache instead of a fresh re-sort, with the same
+    /// arithmetic downstream.
+    ///
+    /// [`eval_status`]: ConsolidationIndex::eval_status
+    fn eval_status_cached(
+        &self,
+        idx: usize,
+        ctx: &QueryCtx<'_>,
+        rs: &mut BatchScratch,
+    ) -> Option<(f64, f64)> {
+        let statuses = &self.statuses;
+        let k = statuses.k[idx] as usize;
+        let t = match ctx.capacity_model {
+            None => (statuses.sum_a[idx] - ctx.total_load) / statuses.sum_b[idx],
+            Some(_) => {
+                let on = self.ordered_prefix(idx, rs);
+                self.capacity_ratio(ctx, on)?
+            }
+        };
+        Some((t, ctx.terms.relative_power(k, t)))
+    }
+
+    /// Capacity-mode achievable ratio `t` of an ON prefix: mirrors
+    /// `optimal_allocation`'s fast path operation-for-operation and falls
+    /// back to the full clamped solve when a per-machine bound is active.
+    /// Shared by the sequential and batched evaluators so their results
+    /// are bit-identical. `None` means the prefix cannot serve the load
+    /// within capacity.
+    fn capacity_ratio(&self, ctx: &QueryCtx<'_>, on: &[usize]) -> Option<f64> {
+        let model = ctx
+            .capacity_model
+            .expect("capacity evaluation requires a model");
+        let w1 = model.power().w1().as_watts();
+        if ctx.model_covers {
+            let k_sum: f64 = on.iter().map(|&i| model.k(i)).sum();
+            let s_sum: f64 = on.iter().map(|&i| model.alpha_over_beta(i)).sum();
+            let t_ac_kelvin = (k_sum - ctx.total_load) * w1 / s_sum;
+            let unclamped_ok = s_sum > 0.0
+                && s_sum.is_finite()
+                && t_ac_kelvin.is_finite()
+                && t_ac_kelvin > 0.0
+                && on.iter().all(|&i| {
+                    let l =
+                        model.k(i) - (k_sum - ctx.total_load) * model.alpha_over_beta(i) / s_sum;
+                    (0.0..=1.0).contains(&l)
+                });
+            if unclamped_ok {
+                return Some(t_ac_kelvin / w1);
+            }
+        }
+        let sol = optimal_allocation_clamped(model, on, ctx.total_load).ok()?;
+        Some(sol.t_ac.as_kelvin() / w1)
+    }
+
+    /// The batch cache's row reconstruction: the ordered `k`-prefix of the
+    /// particle order at status `idx`'s sample time, computed by `O(n)`
+    /// selection of the top `k` followed by an `O(k log k)` sort of just
+    /// the prefix.
+    ///
+    /// The comparator is the same total order as
+    /// [`ParticleSystem::order_into`] (coordinate descending, index
+    /// ascending), so the selected set *and* its order are exactly
+    /// `order_at(sample)[..k]` — cached entries are interchangeable with
+    /// the sequential path's full re-sort.
+    fn ordered_prefix<'s>(&self, idx: usize, rs: &'s mut BatchScratch) -> &'s [usize] {
+        let key = idx as u32;
+        if !rs.prefixes.contains_key(&key) {
+            let k = self.statuses.k[idx] as usize;
+            let sample = self.statuses.sample[idx];
+            let n = self.system.len();
+            rs.coords.clear();
+            rs.coords
+                .extend((0..n).map(|i| self.system.coordinate(i, sample)));
+            rs.idxs.clear();
+            rs.idxs.extend(0..n);
+            let coords = &rs.coords;
+            let cmp = |i: &usize, j: &usize| {
+                coords[*j]
+                    .partial_cmp(&coords[*i])
+                    .expect("coordinates are finite")
+                    .then(i.cmp(j))
+            };
+            if k < n {
+                rs.idxs.select_nth_unstable_by(k - 1, cmp);
+            }
+            rs.idxs.truncate(k);
+            rs.idxs.sort_unstable_by(cmp);
+            let prefix = rs.idxs.clone();
+            rs.prefixes.insert(key, prefix);
+        }
+        rs.prefixes
+            .get(&key)
+            .expect("present or just inserted")
+            .as_slice()
     }
 
     /// The paper's *intermediate* algorithm, before it tightens to
@@ -631,12 +1348,11 @@ impl ConsolidationIndex {
             if lmax_at_zero <= total_load {
                 continue; // even the best subset at t = 0 cannot serve L
             }
-            // Upper bound: the largest single ratio times 1 covers any mean.
-            for snap in &self.orders {
-                let sa: f64 = snap.order[..k].iter().map(|&i| self.coordinate_a(i)).sum();
-                let sb: f64 = snap.order[..k].iter().map(|&i| self.coordinate_b(i)).sum();
-                if sa > total_load {
-                    hi_t = hi_t.max((sa - total_load) / sb);
+            for &row in &self.statuses.groups[k - 1].rows {
+                let row = row as usize;
+                let sum_a = self.statuses.sum_a[row];
+                if sum_a > total_load {
+                    hi_t = hi_t.max((sum_a - total_load) / self.statuses.sum_b[row]);
                 }
             }
             if hi_t <= 0.0 {
@@ -677,15 +1393,6 @@ impl ConsolidationIndex {
             }
         }
         best
-    }
-
-    fn coordinate_a(&self, i: usize) -> f64 {
-        self.system.coordinate(i, 0.0)
-    }
-
-    fn coordinate_b(&self, i: usize) -> f64 {
-        // b_i = (x(0) − x(1)) since x(t) = a − b·t.
-        self.system.coordinate(i, 0.0) - self.system.coordinate(i, 1.0)
     }
 
     /// `Lmax` for exactly `k` machines at ratio `t` (sum of the `k` largest
@@ -729,10 +1436,36 @@ impl ConsolidationIndex {
         )
     }
 
-    /// Expands the status at column index `idx` into a [`Consolidation`].
+    /// Expands the status at column index `idx` into a [`Consolidation`] by
+    /// re-sorting the coordinates at the row's sample time (the prefix
+    /// *set* is constant over the row's lifetime, so any time inside its
+    /// first interval reproduces it).
     fn materialize(&self, idx: usize, total_load: f64) -> Consolidation {
-        let k = self.statuses.k[idx];
-        let on: Vec<usize> = self.orders[self.statuses.snapshot[idx]].order[..k].to_vec();
+        let k = self.statuses.k[idx] as usize;
+        let mut on = self.system.order_at(self.statuses.sample[idx]);
+        on.truncate(k);
+        let t = (self.statuses.sum_a[idx] - total_load) / self.statuses.sum_b[idx];
+        Consolidation {
+            on,
+            k,
+            t,
+            relative_power: f64::NAN, // filled by callers that know the terms
+        }
+    }
+
+    /// [`materialize`] for the batched path: the ON prefix comes from the
+    /// batch's cache (identical contents, see
+    /// [`ordered_prefix`](ConsolidationIndex::ordered_prefix)).
+    ///
+    /// [`materialize`]: ConsolidationIndex::materialize
+    fn materialize_cached(
+        &self,
+        idx: usize,
+        total_load: f64,
+        rs: &mut BatchScratch,
+    ) -> Consolidation {
+        let k = self.statuses.k[idx] as usize;
+        let on = self.ordered_prefix(idx, rs).to_vec();
         let t = (self.statuses.sum_a[idx] - total_load) / self.statuses.sum_b[idx];
         Consolidation {
             on,
@@ -757,12 +1490,31 @@ mod tests {
         PowerTerms::unbounded(40.0, 900.0)
     }
 
+    /// Deterministic pseudo-random fleet with distinct speeds (generic
+    /// position: one adjacent swap per event).
+    fn synthetic(n: usize) -> Vec<(f64, f64)> {
+        (0..n)
+            .map(|i| {
+                let x = ((i as u64).wrapping_mul(2654435761) % 10007) as f64 / 10007.0;
+                let y = ((i as u64).wrapping_mul(1442695040888963407) % 10007) as f64 / 10007.0;
+                (5.0 + 10.0 * x, 0.5 + 2.0 * y)
+            })
+            .collect()
+    }
+
     #[test]
     fn build_counts_are_within_bounds() {
         let idx = ConsolidationIndex::build(&footnote_pairs()).unwrap();
         assert_eq!(idx.len(), 4);
         assert!(idx.order_count() <= 1 + 4 * 3 / 2);
-        assert_eq!(idx.status_count(), idx.order_count() * 4);
+        // Deduplicated: at most the dense `orders × n` rows, at least one
+        // row per subset size.
+        assert!(idx.status_count() >= 4);
+        assert!(idx.status_count() <= idx.order_count() * 4);
+        // The dense oracle stores the full table.
+        let dense = ConsolidationIndex::build_dense(&footnote_pairs()).unwrap();
+        assert_eq!(dense.status_count(), dense.order_count() * 4);
+        assert_eq!(dense.order_count(), idx.order_count());
     }
 
     #[test]
@@ -773,6 +1525,52 @@ mod tests {
         for i in 0..idx.statuses.len() {
             let expect = idx.statuses.sum_a[i] - idx.statuses.since[i] * idx.statuses.sum_b[i];
             assert_eq!(idx.statuses.lmax[i], expect);
+        }
+    }
+
+    #[test]
+    fn every_size_class_has_rows_and_an_envelope() {
+        let idx = ConsolidationIndex::build(&synthetic(12)).unwrap();
+        assert_eq!(idx.statuses.groups.len(), 12);
+        for (k_idx, group) in idx.statuses.groups.iter().enumerate() {
+            assert!(!group.rows.is_empty(), "size class {} is empty", k_idx + 1);
+            assert!(!group.hull_rows.is_empty());
+            assert_eq!(group.hull_breaks.len(), group.hull_rows.len() - 1);
+            assert!(group.hull_breaks.windows(2).all(|w| w[0] < w[1]));
+            // Envelope rows belong to the class.
+            for &r in &group.hull_rows {
+                assert_eq!(idx.statuses.k[r as usize] as usize, k_idx + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_matches_linear_scan_over_the_class() {
+        let idx = ConsolidationIndex::build(&synthetic(10)).unwrap();
+        let statuses = &idx.statuses;
+        for k_idx in 0..10 {
+            for load in [0.0, 0.3, 1.0, 2.7, 5.0, 9.5] {
+                let brute_best = statuses.groups[k_idx]
+                    .rows
+                    .iter()
+                    .map(|&r| {
+                        let r = r as usize;
+                        (statuses.sum_a[r] - load) * statuses.inv_sum_b[r]
+                    })
+                    .fold(f64::NEG_INFINITY, f64::max);
+                match statuses.envelope_best(k_idx, load) {
+                    Some((_, t)) => assert!(
+                        (t - brute_best).abs() <= 1e-9 * (1.0 + brute_best.abs()),
+                        "k={} load={load}: envelope {t} vs scan {brute_best}",
+                        k_idx + 1
+                    ),
+                    None => assert!(
+                        brute_best <= 0.0,
+                        "k={} load={load}: envelope says infeasible, scan found {brute_best}",
+                        k_idx + 1
+                    ),
+                }
+            }
         }
     }
 
@@ -788,10 +1586,77 @@ mod tests {
     #[cfg(feature = "parallel")]
     #[test]
     fn parallel_build_is_bit_identical_to_serial() {
-        let pairs = footnote_pairs();
-        let serial = ConsolidationIndex::build(&pairs).unwrap();
-        let parallel = ConsolidationIndex::build_parallel(&pairs).unwrap();
-        assert_eq!(serial, parallel);
+        for pairs in [footnote_pairs(), synthetic(40)] {
+            let serial = ConsolidationIndex::build(&pairs).unwrap();
+            let parallel = ConsolidationIndex::build_parallel(&pairs).unwrap();
+            assert_eq!(serial, parallel);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_dense_on_small_fleets() {
+        // Includes a simultaneous pile-up (three particles crossing at one
+        // instant) and the paper's Fig. 1 system.
+        let fleets: Vec<Vec<(f64, f64)>> = vec![
+            footnote_pairs(),
+            vec![(4.0, 1.0), (1.0, 3.0), (5.0, 2.0), (3.5, 1.5)],
+            vec![(3.0, 2.0), (2.0, 1.0), (2.5, 1.5)],
+            synthetic(9),
+        ];
+        let t = terms();
+        for pairs in fleets {
+            let inc = ConsolidationIndex::build(&pairs).unwrap();
+            let dense = ConsolidationIndex::build_dense(&pairs).unwrap();
+            assert_eq!(inc.order_count(), dense.order_count());
+            let max_load: f64 = pairs.iter().map(|&(a, _)| a.max(0.0)).sum();
+            for step in 0..=20 {
+                let load = max_load * step as f64 / 18.0; // beyond Σa near the end
+                let got = inc.query_min_power(&t, load, None).unwrap();
+                let want = dense.query_min_power(&t, load, None).unwrap();
+                match (got, want) {
+                    (None, None) => {}
+                    (Some(g), Some(w)) => assert!(
+                        (g.relative_power - w.relative_power).abs()
+                            <= 1e-6 * (1.0 + w.relative_power.abs()),
+                        "load {load}: incremental {} ({:?}) vs dense {} ({:?})",
+                        g.relative_power,
+                        g.on,
+                        w.relative_power,
+                        w.on
+                    ),
+                    (g, w) => panic!("load {load}: feasibility split {g:?} vs {w:?}"),
+                }
+                assert_eq!(
+                    inc.query_online(load).is_some(),
+                    dense.query_online(load).is_some(),
+                    "load {load}: Algorithm 2 feasibility split"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_keeps_row_count_near_linear_in_events() {
+        // Satellite pin: at n = 200 the deduplicated table must be at most
+        // a tenth of the old n³-shaped `orders × n` table (in practice it
+        // is ~n× smaller: one row per crossing plus the n initial rows).
+        let pairs = synthetic(200);
+        let idx = ConsolidationIndex::build(&pairs).unwrap();
+        let dense_rows = idx.order_count() * 200;
+        assert!(
+            idx.status_count() * 10 <= dense_rows,
+            "dedup too weak: {} rows vs dense {}",
+            idx.status_count(),
+            dense_rows
+        );
+        // Peak storage is O(n²): the n initial rows plus at most one row
+        // per crossing event (a pile-up of m simultaneous events changes
+        // fewer than m prefixes).
+        assert!(
+            idx.status_count() <= 200 + 200 * 199 / 2,
+            "{} rows exceeds the O(n²) event bound",
+            idx.status_count()
+        );
     }
 
     #[test]
@@ -837,6 +1702,36 @@ mod tests {
                 want.on
             );
         }
+    }
+
+    #[test]
+    fn batched_query_equals_singles() {
+        let pairs = synthetic(14);
+        let idx = ConsolidationIndex::build(&pairs).unwrap();
+        for t in [
+            terms(),
+            PowerTerms {
+                t_cap: Some(0.9),
+                ..terms()
+            },
+        ] {
+            // Unsorted, with duplicates and an unservable load.
+            let loads = [3.5, 0.0, 9.0, 3.5, 1.25, 1e9, 0.01, 7.75];
+            let batch = idx.query_batch(&t, &loads, None).unwrap();
+            assert_eq!(batch.len(), loads.len());
+            for (&load, got) in loads.iter().zip(&batch) {
+                let want = idx.query_min_power(&t, load, None).unwrap();
+                assert_eq!(got, &want, "load {load} diverged from the single query");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_query_validates_all_loads() {
+        let idx = ConsolidationIndex::build(&footnote_pairs()).unwrap();
+        assert!(idx.query_batch(&terms(), &[1.0, -0.5], None).is_err());
+        assert!(idx.query_batch(&terms(), &[f64::NAN], None).is_err());
+        assert_eq!(idx.query_batch(&terms(), &[], None).unwrap(), vec![]);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod heuristics;
 pub mod index;
 pub mod particles;
 pub mod predict;
+pub mod snapshot;
 
 pub use closed_form::{
     loads_for_t_ac, optimal_allocation, optimal_allocation_clamped, ClosedFormSolution,
@@ -50,6 +51,7 @@ pub use hetero::{optimal_allocation_hetero, HeteroMachine, HeteroSolution};
 pub use index::{Consolidation, ConsolidationIndex, IndexBuilder, ModelFingerprint, PowerTerms};
 pub use particles::{Event, OrderSnapshot, ParticleSystem};
 pub use predict::{consolidated_power, PowerBreakdown};
+pub use snapshot::{IndexSnapshot, SnapshotCell};
 
 use coolopt_model::RoomModel;
 

@@ -46,7 +46,7 @@ pub struct OrderSnapshot {
 }
 
 /// The one-dimensional kinetic system over pairs `(a_i, b_i)`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ParticleSystem {
     a: Vec<f64>,
     b: Vec<f64>,
@@ -126,14 +126,25 @@ impl ParticleSystem {
     /// Particle indices sorted by decreasing coordinate at time `t`
     /// (deterministic tie-break by index).
     pub fn order_at(&self, t: f64) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..self.len()).collect();
-        order.sort_by(|&i, &j| {
+        let mut order = Vec::new();
+        self.order_into(t, &mut order);
+        order
+    }
+
+    /// [`order_at`] into a caller-owned buffer, so hot paths (the capacity
+    /// query's ON-set reconstruction, the incremental build's resort
+    /// fallback) reorder without allocating.
+    ///
+    /// [`order_at`]: ParticleSystem::order_at
+    pub fn order_into(&self, t: f64, buf: &mut Vec<usize>) {
+        buf.clear();
+        buf.extend(0..self.len());
+        buf.sort_by(|&i, &j| {
             self.coordinate(j, t)
                 .partial_cmp(&self.coordinate(i, t))
                 .expect("coordinates are finite")
                 .then(i.cmp(&j))
         });
-        order
     }
 
     /// Every distinct coordinate order over `t ≥ 0`: the initial order plus

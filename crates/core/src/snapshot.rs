@@ -1,0 +1,263 @@
+//! Shared, atomically swappable consolidation engines.
+//!
+//! A built [`ConsolidationIndex`] is immutable, so serving it to many
+//! readers is just an `Arc`: [`IndexSnapshot`] bundles the index with the
+//! [`PowerTerms`] and [`ModelFingerprint`] it was built from, and
+//! [`SnapshotCell`] publishes the current snapshot behind a mutex that is
+//! only ever held for a pointer swap — never across a rebuild. A planner
+//! whose model changed builds the replacement *outside* the lock while
+//! concurrent readers keep querying the old snapshot, then swaps it in; if
+//! two threads race to rebuild the same fingerprint, the first to publish
+//! wins and the loser's work is dropped (correct either way — equal
+//! fingerprints mean bit-identical indices).
+
+use crate::error::SolveError;
+use crate::index::{Consolidation, ConsolidationIndex, ModelFingerprint, PowerTerms};
+use coolopt_model::RoomModel;
+use std::sync::{Arc, Mutex};
+
+/// An immutable consolidation engine: index + query terms + the fingerprint
+/// of the model they were built from.
+#[derive(Debug)]
+pub struct IndexSnapshot {
+    fingerprint: ModelFingerprint,
+    index: ConsolidationIndex,
+    terms: PowerTerms,
+}
+
+impl IndexSnapshot {
+    /// Builds a snapshot for a fitted room model (parallel build when the
+    /// `parallel` feature is on).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DegenerateModel`] for a model whose
+    /// consolidation pairs are degenerate.
+    pub fn for_model(model: &RoomModel) -> Result<Arc<Self>, SolveError> {
+        Self::for_parts(&model.consolidation_pairs(), PowerTerms::from_model(model))
+    }
+
+    /// Builds a snapshot from explicit pairs + terms.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`IndexSnapshot::for_model`].
+    pub fn for_parts(pairs: &[(f64, f64)], terms: PowerTerms) -> Result<Arc<Self>, SolveError> {
+        #[cfg(feature = "parallel")]
+        let index = ConsolidationIndex::build_parallel(pairs)?;
+        #[cfg(not(feature = "parallel"))]
+        let index = ConsolidationIndex::build(pairs)?;
+        Ok(Arc::new(IndexSnapshot {
+            fingerprint: ModelFingerprint::of_parts(pairs, &terms),
+            index,
+            terms,
+        }))
+    }
+
+    /// The fingerprint of the inputs this snapshot was built from.
+    pub fn fingerprint(&self) -> ModelFingerprint {
+        self.fingerprint
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &ConsolidationIndex {
+        &self.index
+    }
+
+    /// The Eq. 23 terms the snapshot queries with.
+    pub fn terms(&self) -> &PowerTerms {
+        &self.terms
+    }
+
+    /// [`ConsolidationIndex::query_min_power`] with the snapshot's terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::LoadOutOfRange`] for a negative or non-finite
+    /// load.
+    pub fn query_min_power(
+        &self,
+        total_load: f64,
+        capacity_model: Option<&RoomModel>,
+    ) -> Result<Option<Consolidation>, SolveError> {
+        self.index
+            .query_min_power(&self.terms, total_load, capacity_model)
+    }
+
+    /// [`ConsolidationIndex::query_batch`] with the snapshot's terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::LoadOutOfRange`] if any load is negative or
+    /// non-finite.
+    pub fn query_batch(
+        &self,
+        loads: &[f64],
+        capacity_model: Option<&RoomModel>,
+    ) -> Result<Vec<Option<Consolidation>>, SolveError> {
+        self.index.query_batch(&self.terms, loads, capacity_model)
+    }
+
+    /// [`ConsolidationIndex::query_online`].
+    pub fn query_online(&self, total_load: f64) -> Option<Consolidation> {
+        self.index.query_online(total_load)
+    }
+}
+
+/// A publication point for the current [`IndexSnapshot`].
+///
+/// Readers [`load`](SnapshotCell::load) the current `Arc` (one short lock,
+/// no contention with builds); writers call
+/// [`ensure`](SnapshotCell::ensure), which rebuilds outside the lock only
+/// when the fingerprint moved. Cloning the cell clones the *pointer*, so
+/// clones share the published snapshot.
+#[derive(Debug, Default)]
+pub struct SnapshotCell {
+    current: Mutex<Option<Arc<IndexSnapshot>>>,
+}
+
+impl SnapshotCell {
+    /// An empty cell (no snapshot published yet).
+    pub fn new() -> Self {
+        SnapshotCell::default()
+    }
+
+    /// The currently published snapshot, if any.
+    pub fn load(&self) -> Option<Arc<IndexSnapshot>> {
+        self.current.lock().expect("snapshot cell poisoned").clone()
+    }
+
+    /// Returns the published snapshot for `fingerprint`, building and
+    /// publishing one with `build` if the cell is empty or holds a snapshot
+    /// of a different fingerprint.
+    ///
+    /// The build runs *outside* the lock: concurrent readers keep the old
+    /// snapshot until the swap, and a racer that published the same
+    /// fingerprint first wins (this thread's build is discarded).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error; the previously published snapshot
+    /// (if any) stays in place.
+    pub fn ensure<F>(
+        &self,
+        fingerprint: ModelFingerprint,
+        build: F,
+    ) -> Result<Arc<IndexSnapshot>, SolveError>
+    where
+        F: FnOnce() -> Result<Arc<IndexSnapshot>, SolveError>,
+    {
+        if let Some(current) = self.load() {
+            if current.fingerprint() == fingerprint {
+                return Ok(current);
+            }
+        }
+        let built = build()?;
+        assert_eq!(
+            built.fingerprint(),
+            fingerprint,
+            "builder produced a snapshot for a different fingerprint"
+        );
+        let mut slot = self.current.lock().expect("snapshot cell poisoned");
+        if let Some(current) = slot.as_ref() {
+            if current.fingerprint() == fingerprint {
+                return Ok(Arc::clone(current)); // racer won; drop our build
+            }
+        }
+        *slot = Some(Arc::clone(&built));
+        Ok(built)
+    }
+}
+
+impl Clone for SnapshotCell {
+    fn clone(&self) -> Self {
+        SnapshotCell {
+            current: Mutex::new(self.load()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs() -> Vec<(f64, f64)> {
+        vec![(10.0, 7.0), (2.0, 3.0), (1.0, 2.0), (0.2, 1.34)]
+    }
+
+    fn terms() -> PowerTerms {
+        PowerTerms::unbounded(40.0, 900.0)
+    }
+
+    #[test]
+    fn ensure_builds_once_per_fingerprint() {
+        let cell = SnapshotCell::new();
+        let fp = ModelFingerprint::of_parts(&pairs(), &terms());
+        let before = ConsolidationIndex::build_count();
+        let first = cell
+            .ensure(fp, || IndexSnapshot::for_parts(&pairs(), terms()))
+            .unwrap();
+        let second = cell
+            .ensure(fp, || panic!("must not rebuild an up-to-date snapshot"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(ConsolidationIndex::build_count(), before + 1);
+    }
+
+    #[test]
+    fn ensure_swaps_on_fingerprint_change() {
+        let cell = SnapshotCell::new();
+        let fp_a = ModelFingerprint::of_parts(&pairs(), &terms());
+        let a = cell
+            .ensure(fp_a, || IndexSnapshot::for_parts(&pairs(), terms()))
+            .unwrap();
+        let mut other = pairs();
+        other[0].0 += 1.0;
+        let fp_b = ModelFingerprint::of_parts(&other, &terms());
+        let b = cell
+            .ensure(fp_b, || IndexSnapshot::for_parts(&other, terms()))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cell.load().unwrap().fingerprint(), fp_b);
+        // The old Arc keeps serving its readers.
+        assert!(a.query_min_power(1.0, None).unwrap().is_some());
+    }
+
+    #[test]
+    fn concurrent_readers_never_block_on_a_rebuild() {
+        let cell = std::sync::Arc::new(SnapshotCell::new());
+        let fp = ModelFingerprint::of_parts(&pairs(), &terms());
+        cell.ensure(fp, || IndexSnapshot::for_parts(&pairs(), terms()))
+            .unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cell = std::sync::Arc::clone(&cell);
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let snap = cell.load().expect("snapshot published");
+                        assert!(snap.query_min_power(1.0, None).unwrap().is_some());
+                    }
+                });
+            }
+            // Meanwhile, swap to a different model repeatedly.
+            let mut other = pairs();
+            for round in 0..4 {
+                other[0].0 += 1.0 + round as f64;
+                let fp = ModelFingerprint::of_parts(&other, &terms());
+                cell.ensure(fp, || IndexSnapshot::for_parts(&other, terms()))
+                    .unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn clones_share_the_published_snapshot() {
+        let cell = SnapshotCell::new();
+        let fp = ModelFingerprint::of_parts(&pairs(), &terms());
+        let snap = cell
+            .ensure(fp, || IndexSnapshot::for_parts(&pairs(), terms()))
+            .unwrap();
+        let cloned = cell.clone();
+        assert!(Arc::ptr_eq(&snap, &cloned.load().unwrap()));
+    }
+}

@@ -1,0 +1,80 @@
+//! Persistence round-trip for the offline index: serialize a built
+//! [`ConsolidationIndex`] (with its deduplicated status table and per-k
+//! envelopes) to JSON and reload it, so the `O(n² log n)` offline phase can
+//! be paid once and shipped as an artifact.
+
+use coolopt_core::{ConsolidationIndex, PowerTerms};
+
+fn pairs() -> Vec<(f64, f64)> {
+    vec![
+        (10.0, 7.0),
+        (2.0, 3.0),
+        (1.0, 2.0),
+        (0.2, 1.34),
+        (4.0, 1.0),
+        (1.0, 3.0),
+        (5.0, 2.0),
+        (3.5, 1.5),
+    ]
+}
+
+#[test]
+fn index_round_trips_through_json() {
+    let built = ConsolidationIndex::build(&pairs()).unwrap();
+    let json = serde_json::to_string(&built).unwrap();
+    let reloaded: ConsolidationIndex = serde_json::from_str(&json).unwrap();
+    // serde_json's float_roundtrip mode preserves every f64 bit pattern, so
+    // the reloaded index is *equal*, not merely equivalent.
+    assert_eq!(built, reloaded);
+}
+
+#[test]
+fn reloaded_index_answers_queries_identically() {
+    let built = ConsolidationIndex::build(&pairs()).unwrap();
+    let json = serde_json::to_string(&built).unwrap();
+    let reloaded: ConsolidationIndex = serde_json::from_str(&json).unwrap();
+    let terms = PowerTerms::unbounded(40.0, 900.0);
+    let capped = PowerTerms {
+        w2: 40.0,
+        rho: 900.0,
+        t_cap: Some(0.9),
+    };
+    let loads = [0.0, 0.25, 1.0, 2.5, 4.0, 6.5, 7.9, 50.0];
+    for t in [terms, capped] {
+        for &load in &loads {
+            assert_eq!(
+                built.query_min_power(&t, load, None).unwrap(),
+                reloaded.query_min_power(&t, load, None).unwrap(),
+                "load {load} diverged after reload"
+            );
+            // query_online leaves relative_power NaN (Algorithm 2 never
+            // prices its answer), so compare the meaningful fields.
+            let (a, b) = (built.query_online(load), reloaded.query_online(load));
+            assert_eq!(
+                a.as_ref().map(|c| (&c.on, c.k, c.t)),
+                b.as_ref().map(|c| (&c.on, c.k, c.t)),
+                "Algorithm 2 diverged at load {load}"
+            );
+        }
+        assert_eq!(
+            built.query_batch(&t, &loads, None).unwrap(),
+            reloaded.query_batch(&t, &loads, None).unwrap()
+        );
+    }
+}
+
+#[test]
+fn dense_and_incremental_serializations_are_independent() {
+    // The dense oracle serializes too (it is the same type), and reloading
+    // one does not disturb the other's answers.
+    let inc = ConsolidationIndex::build(&pairs()).unwrap();
+    let dense = ConsolidationIndex::build_dense(&pairs()).unwrap();
+    let inc_json = serde_json::to_string(&inc).unwrap();
+    let dense_json = serde_json::to_string(&dense).unwrap();
+    assert!(
+        dense_json.len() > inc_json.len(),
+        "dense table should be larger"
+    );
+    let r: ConsolidationIndex = serde_json::from_str(&dense_json).unwrap();
+    assert_eq!(r, dense);
+}

@@ -61,15 +61,21 @@ impl MethodRun {
 }
 
 /// The planner a scenario should build **once** and reuse for every run
-/// against the same testbed: the planner memoizes its solver engine, so the
-/// expensive consolidation index is built on the first `plan()` and every
-/// later load point or method is a pure query.
+/// against the same testbed: the planner publishes its solver engine as an
+/// `Arc`-shared snapshot, so the consolidation index is built here — once,
+/// eagerly — and every later load point, method, or *worker-thread clone*
+/// queries the same published snapshot with no rebuild.
 pub fn scenario_planner(testbed: &Testbed, options: &SweepOptions) -> Planner {
-    Planner::with_guard(
+    let planner = Planner::with_guard(
         &testbed.profile.model,
         &testbed.profile.cooling.set_points,
         options.guard,
-    )
+    );
+    // Warm the engine before the planner is cloned across sweep workers; a
+    // degenerate model surfaces as a planning error later, exactly as the
+    // lazy path would report it.
+    let _ = planner.warm_engine();
+    planner
 }
 
 /// Applies `method` at `load_percent` to the testbed's room and measures it.

@@ -11,10 +11,11 @@
 //! machines boot, and any temperature excursions.
 
 use crate::testbed::Testbed;
-use coolopt_alloc::{Method, Planner, PolicyError};
+use coolopt_alloc::{AllocationPlan, Method, Planner, PolicyError};
 use coolopt_sim::{SoaRecorder, TimeSeries};
 use coolopt_units::{Joules, Seconds, TempDelta, Watts};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// One step of a load trace: from `at` onwards, the room is asked to serve
 /// `load` (absolute, in machine-capacities).
@@ -172,6 +173,29 @@ pub fn run_load_trace_with(
 
     let t_max = testbed.profile.model.t_max();
 
+    // Every plan the controller can ever request is a plan for one of the
+    // trace's demand plateaus, and plans are deterministic — so solve the
+    // distinct demands up front in one batched query (the index is walked
+    // once for the whole trace) and replay from the cache. Timer-driven
+    // replans of an unchanged demand hit the same entry.
+    let plan_cache: HashMap<u64, Result<AllocationPlan, PolicyError>> = {
+        let mut distinct: Vec<f64> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for point in trace {
+            if seen.insert(point.load.to_bits()) {
+                distinct.push(point.load);
+            }
+        }
+        let answers = planner.plan_batch(method, &distinct);
+        distinct.iter().map(|l| l.to_bits()).zip(answers).collect()
+    };
+    let plan_for = |demand: f64| -> Result<AllocationPlan, PolicyError> {
+        plan_cache
+            .get(&demand.to_bits())
+            .cloned()
+            .unwrap_or_else(|| planner.plan(method, demand))
+    };
+
     let apply = |room: &mut coolopt_room::MachineRoom, plan: &coolopt_alloc::AllocationPlan| {
         room.command_on_set(&plan.on);
         room.set_loads(&plan.loads)
@@ -181,7 +205,7 @@ pub fn run_load_trace_with(
 
     let mut replans = 0usize;
     let mut plan_failures = 0usize;
-    let mut current = planner.plan(method, trace[0].load)?;
+    let mut current = plan_for(trace[0].load)?;
     apply(&mut testbed.room, &current);
     replans += 1;
 
@@ -218,7 +242,7 @@ pub fn run_load_trace_with(
         let demand = trace[trace_idx].load;
 
         if demand_changed || now.as_secs_f64() >= next_replan.as_secs_f64() {
-            match planner.plan(method, demand) {
+            match plan_for(demand) {
                 Ok(plan) => {
                     apply(&mut testbed.room, &plan);
                     current = plan;

@@ -135,7 +135,13 @@ proptest! {
         prop_assert!(system.events().len() <= n * (n - 1) / 2);
         prop_assert!(system.orders().len() <= 1 + n * (n - 1) / 2);
         let index = ConsolidationIndex::build(&pairs).unwrap();
-        prop_assert_eq!(index.status_count(), index.order_count() * n);
+        // Deduplicated: at most the dense `orders × n` table, at least one
+        // row per subset size; the dense oracle stores the full table.
+        prop_assert!(index.status_count() <= index.order_count() * n);
+        prop_assert!(index.status_count() >= n);
+        let dense = ConsolidationIndex::build_dense(&pairs).unwrap();
+        prop_assert_eq!(dense.status_count(), dense.order_count() * n);
+        prop_assert_eq!(dense.order_count(), index.order_count());
     }
 
     #[test]

@@ -20,8 +20,10 @@ fn replanning_a_20_step_trace_builds_the_index_exactly_once() {
     let trace = sinusoidal_trace(machines, 0.2, 0.75, duration, 24);
     assert!(trace.len() >= 20, "acceptance demands a ≥20-step trace");
 
-    let planner = scenario_planner(&testbed, &SweepOptions::default());
+    // The counter is read before the planner exists: `scenario_planner`
+    // warms the engine eagerly, so its build is part of the budget.
     let before = ConsolidationIndex::build_count();
+    let planner = scenario_planner(&testbed, &SweepOptions::default());
     let outcome = run_load_trace_with(
         &planner,
         &mut testbed,
