@@ -8,6 +8,7 @@ use coolopt_core::{
     SolveError,
 };
 use coolopt_model::RoomModel;
+use coolopt_telemetry as telemetry;
 use coolopt_units::{TempDelta, Temperature};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -184,6 +185,15 @@ impl Planner {
     /// Returns [`PolicyError`] for unservable loads or infeasible
     /// temperature constraints.
     pub fn plan(&self, method: Method, total_load: f64) -> Result<AllocationPlan, PolicyError> {
+        let result = self.plan_impl(method, total_load);
+        telemetry::counter("coolopt_plans_total").inc();
+        if result.is_err() {
+            telemetry::counter("coolopt_plan_failures_total").inc();
+        }
+        result
+    }
+
+    fn plan_impl(&self, method: Method, total_load: f64) -> Result<AllocationPlan, PolicyError> {
         let n = self.model.len();
         if !total_load.is_finite() || total_load < 0.0 || total_load > n as f64 + 1e-9 {
             return Err(PolicyError::LoadOutOfRange {
@@ -335,6 +345,7 @@ impl Planner {
         if !(method.strategy == Strategy::Optimal && method.consolidation) {
             return loads.iter().map(|&l| self.plan(method, l)).collect();
         }
+        let _span = telemetry::histogram("coolopt_plan_batch_seconds").start_timer();
         let n = self.model.len();
         // Validate exactly as plan() does, batching only the valid,
         // positive loads.
@@ -374,10 +385,14 @@ impl Planner {
                 }
             }
         }
-        results
+        let results: Vec<Result<AllocationPlan, PolicyError>> = results
             .into_iter()
             .map(|r| r.expect("every slot is answered"))
-            .collect()
+            .collect();
+        telemetry::counter("coolopt_plans_total").add(results.len() as u64);
+        let failures = results.iter().filter(|r| r.is_err()).count();
+        telemetry::counter("coolopt_plan_failures_total").add(failures as u64);
+        results
     }
 
     /// Highest supply temperature keeping every ON machine at or below

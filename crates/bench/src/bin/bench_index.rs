@@ -3,13 +3,19 @@
 //! latency) so the perf trajectory is tracked across PRs by CI's
 //! bench-smoke job without paying for full criterion runs.
 //!
-//! Usage: `cargo run --release -p coolopt-bench --bin bench_index`
+//! Usage: `cargo run --release -p coolopt-bench --bin bench_index -- [--json] [--quiet]`
 //! (add `--features parallel` to also record the parallel build).
 //! The output path defaults to `BENCH_index.json` in the current directory;
 //! override with the `BENCH_INDEX_OUT` environment variable.
+//!
+//! Progress goes to stderr as structured events (`--json` renders them as
+//! JSON lines, `--quiet` keeps only warnings). The report gains a
+//! `telemetry` section: the global metrics snapshot (counters, gauges,
+//! latency histograms) accumulated while benchmarking.
 
 use coolopt_bench::{synthetic_model, synthetic_pairs};
 use coolopt_core::{ConsolidationIndex, IndexBuilder, PowerTerms};
+use coolopt_telemetry::{self as telemetry, SinkMode};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -37,10 +43,25 @@ struct QueryReport {
 #[derive(Serialize)]
 struct Report {
     schema: String,
+    metrics_enabled: bool,
     build: Vec<BuildRow>,
     query: QueryReport,
     status_rows_at_query_n: usize,
     orders_at_query_n: usize,
+}
+
+/// Inserts the pre-rendered metrics snapshot as a `"telemetry"` key just
+/// before the report object closes. The snapshot renders its own JSON (the
+/// vendored serde stand-in has no raw-value passthrough), so it is spliced
+/// into the serde output textually.
+fn splice_telemetry(rendered: &str, telemetry_json: &str) -> String {
+    let end = rendered.rfind('}').expect("report is a JSON object");
+    let mut out = String::with_capacity(rendered.len() + telemetry_json.len() + 32);
+    out.push_str(rendered[..end].trim_end());
+    out.push_str(",\n  \"telemetry\": ");
+    out.push_str(telemetry_json);
+    out.push_str("\n}");
+    out
 }
 
 /// Median-of-3 wall-clock milliseconds for `f`.
@@ -57,8 +78,16 @@ fn median_ms<F: FnMut()>(mut f: F) -> f64 {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--quiet") {
+        telemetry::init_events(SinkMode::Quiet);
+    } else if args.iter().any(|a| a == "--json") {
+        telemetry::init_events(SinkMode::Json);
+    }
+
     let mut build_rows = Vec::new();
     for n in BUILD_SIZES {
+        telemetry::info!("bench", "timing index build", n = n);
         let pairs = synthetic_pairs(n, 7);
         let incremental_ms = median_ms(|| {
             std::hint::black_box(IndexBuilder::new(&pairs).expect("valid pairs").build());
@@ -91,6 +120,12 @@ fn main() {
         });
     }
 
+    telemetry::info!(
+        "bench",
+        "timing warm single vs batched queries",
+        n = QUERY_ROOM,
+        batch = BATCH
+    );
     let model = synthetic_model(QUERY_ROOM, 7);
     let pairs = model.consolidation_pairs();
     let terms = PowerTerms::from_model(&model);
@@ -131,6 +166,7 @@ fn main() {
 
     let report = Report {
         schema: "bench-index-v1".to_string(),
+        metrics_enabled: telemetry::metrics_enabled(),
         build: build_rows,
         query: QueryReport {
             n: QUERY_ROOM,
@@ -143,8 +179,9 @@ fn main() {
         orders_at_query_n: index.order_count(),
     };
     let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
+    let rendered = splice_telemetry(&rendered, &telemetry::snapshot().to_json());
     let out = std::env::var("BENCH_INDEX_OUT").unwrap_or_else(|_| "BENCH_index.json".to_string());
     std::fs::write(&out, &rendered).expect("write BENCH_index.json");
     println!("{rendered}");
-    eprintln!("wrote {out}");
+    telemetry::info!("bench", "wrote report", path = out);
 }

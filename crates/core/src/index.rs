@@ -65,6 +65,7 @@ use crate::closed_form::optimal_allocation_clamped;
 use crate::error::SolveError;
 use crate::particles::{Event, ParticleSystem};
 use coolopt_model::RoomModel;
+use coolopt_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -680,6 +681,7 @@ impl IndexBuilder {
     fn finish(self, records: Vec<StatusRecord>, orders_seen: usize) -> ConsolidationIndex {
         let statuses = StatusTable::from_records(records, self.system.len());
         INDEX_BUILDS.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter("coolopt_index_builds_total").inc();
         ConsolidationIndex {
             system: self.system,
             statuses,
@@ -729,6 +731,29 @@ struct BatchScratch {
     prefixes: HashMap<u32, Vec<usize>>,
 }
 
+/// Plain-field tally of one exact query's branch-and-bound work. The inner
+/// loops bump local integers; the public entry points flush the totals to
+/// the registry once per call, keeping atomics off the hot path.
+#[derive(Default)]
+struct QueryStats {
+    /// Size classes skipped because their optimistic envelope bound could
+    /// not beat the incumbent.
+    classes_pruned: u64,
+    /// Capacity-path rows skipped by their per-row optimistic bound.
+    rows_pruned: u64,
+    /// Status rows actually evaluated to an achieved `(t, rel)`.
+    rows_evaluated: u64,
+}
+
+impl QueryStats {
+    fn flush(&self, queries: u64) {
+        telemetry::counter("coolopt_index_queries_total").add(queries);
+        telemetry::counter("coolopt_index_prune_classes_total").add(self.classes_pruned);
+        telemetry::counter("coolopt_index_prune_rows_total").add(self.rows_pruned);
+        telemetry::counter("coolopt_index_eval_rows_total").add(self.rows_evaluated);
+    }
+}
+
 /// The offline consolidation index (the paper's Algorithm 1 output:
 /// `Orders` + `allStatus`, deduplicated per the module docs).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -748,6 +773,7 @@ impl ConsolidationIndex {
     /// Returns [`SolveError::DegenerateModel`] for empty input or
     /// non-positive speeds `b_i`.
     pub fn build(pairs: &[(f64, f64)]) -> Result<Self, SolveError> {
+        let _span = telemetry::histogram("coolopt_index_build_seconds").start_timer();
         Ok(IndexBuilder::new(pairs)?.build())
     }
 
@@ -761,6 +787,7 @@ impl ConsolidationIndex {
     /// [`build`]: ConsolidationIndex::build
     #[cfg(feature = "parallel")]
     pub fn build_parallel(pairs: &[(f64, f64)]) -> Result<Self, SolveError> {
+        let _span = telemetry::histogram("coolopt_index_build_seconds").start_timer();
         Ok(IndexBuilder::new(pairs)?.build_parallel())
     }
 
@@ -773,6 +800,7 @@ impl ConsolidationIndex {
     ///
     /// [`build`]: ConsolidationIndex::build
     pub fn build_dense(pairs: &[(f64, f64)]) -> Result<Self, SolveError> {
+        let _span = telemetry::histogram("coolopt_index_build_seconds").start_timer();
         Ok(IndexBuilder::new(pairs)?.build_dense())
     }
 
@@ -853,6 +881,7 @@ impl ConsolidationIndex {
                 max: self.len() as f64,
             });
         }
+        let _span = telemetry::histogram("coolopt_index_query_seconds").start_timer();
         let ctx = QueryCtx {
             terms,
             total_load,
@@ -864,8 +893,10 @@ impl ConsolidationIndex {
             .collect();
         let mut rel_bounds = Vec::new();
         let mut scratch = Vec::new();
+        let mut stats = QueryStats::default();
         let mut eval = |idx: usize| self.eval_status(idx, &ctx, &mut scratch);
-        let best = self.select_min_power(&ctx, &group_cand, &mut rel_bounds, &mut eval);
+        let best = self.select_min_power(&ctx, &group_cand, &mut rel_bounds, &mut eval, &mut stats);
+        stats.flush(1);
         Ok(best.map(|(idx, t, rel)| {
             let mut winner = self.materialize(idx, total_load);
             winner.t = t;
@@ -911,8 +942,10 @@ impl ConsolidationIndex {
                 });
             }
         }
+        let _span = telemetry::histogram("coolopt_index_batch_seconds").start_timer();
         let n = self.len();
         let ctx_covers = capacity_model.is_none_or(|m| m.len() >= n);
+        let mut stats = QueryStats::default();
         let mut by_load: Vec<usize> = (0..loads.len()).collect();
         by_load.sort_by(|&x, &y| {
             loads[x]
@@ -983,7 +1016,7 @@ impl ConsolidationIndex {
             };
             let best = {
                 let mut eval = |idx: usize| self.eval_status_cached(idx, &ctx, &mut rs);
-                self.select_from_bounds(&ctx, &group_cand, &rel_bounds, seed, &mut eval)
+                self.select_from_bounds(&ctx, &group_cand, &rel_bounds, seed, &mut eval, &mut stats)
             };
             match best {
                 Some((idx, t, rel)) if deferred => winners.push((qi, idx, t, rel)),
@@ -1002,6 +1035,7 @@ impl ConsolidationIndex {
         for &(qi, src) in &dupes {
             results[qi] = results[src].clone();
         }
+        stats.flush(loads.len() as u64);
         Ok(results)
     }
 
@@ -1064,6 +1098,7 @@ impl ConsolidationIndex {
         group_cand: &[Option<(u32, f64)>],
         rel_bounds: &mut Vec<f64>,
         eval: &mut dyn FnMut(usize) -> Option<(f64, f64)>,
+        stats: &mut QueryStats,
     ) -> Option<(usize, f64, f64)> {
         let n = self.len();
         // One pass over the envelope winners computes every size class's
@@ -1084,7 +1119,7 @@ impl ConsolidationIndex {
                 seed = Some((k_idx, rel));
             }
         }
-        self.select_from_bounds(ctx, group_cand, rel_bounds, seed, eval)
+        self.select_from_bounds(ctx, group_cand, rel_bounds, seed, eval, stats)
     }
 
     /// The branch-and-bound half of [`select_min_power`], taking the
@@ -1100,6 +1135,7 @@ impl ConsolidationIndex {
         rel_bounds: &[f64],
         seed: Option<(usize, f64)>,
         eval: &mut dyn FnMut(usize) -> Option<(f64, f64)>,
+        stats: &mut QueryStats,
     ) -> Option<(usize, f64, f64)> {
         let statuses = &self.statuses;
         // The bound of any candidate is a lower bound on its achievable
@@ -1108,6 +1144,7 @@ impl ConsolidationIndex {
         let (seed_k, _) = seed?;
         let seed_row = group_cand[seed_k].expect("seed group is feasible").0 as usize;
         let mut best: Option<(usize, f64, f64)> = None;
+        stats.rows_evaluated += 1;
         if let Some((t, rel)) = eval(seed_row) {
             best = Some((seed_row, t, rel));
         }
@@ -1141,6 +1178,7 @@ impl ConsolidationIndex {
             }
             let k = k_idx + 1;
             if !bound_beats(&best, k, rel_bound) {
+                stats.classes_pruned += 1;
                 continue;
             }
             match ctx.capacity_model {
@@ -1152,6 +1190,7 @@ impl ConsolidationIndex {
                         continue; // already evaluated as the seed
                     }
                     let row = group_cand[k_idx].expect("bounded group is feasible").0 as usize;
+                    stats.rows_evaluated += 1;
                     let Some((t, rel)) = eval(row) else {
                         continue;
                     };
@@ -1175,8 +1214,10 @@ impl ConsolidationIndex {
                         let t_bound = (sum_a - ctx.total_load) * statuses.inv_sum_b[row];
                         let row_bound = ctx.terms.relative_power(k, t_bound);
                         if !bound_beats(&best, k, row_bound) {
+                            stats.rows_pruned += 1;
                             continue;
                         }
+                        stats.rows_evaluated += 1;
                         let Some((t, rel)) = eval(row) else {
                             continue;
                         };

@@ -14,6 +14,8 @@
 use crate::error::SolveError;
 use crate::index::{Consolidation, ConsolidationIndex, ModelFingerprint, PowerTerms};
 use coolopt_model::RoomModel;
+use coolopt_telemetry as telemetry;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// An immutable consolidation engine: index + query terms + the fingerprint
@@ -114,6 +116,9 @@ impl IndexSnapshot {
 #[derive(Debug, Default)]
 pub struct SnapshotCell {
     current: Mutex<Option<Arc<IndexSnapshot>>>,
+    /// Bumped on every publication; readers compare generations to tell
+    /// whether the engine they hold is still the published one.
+    generation: AtomicU64,
 }
 
 impl SnapshotCell {
@@ -125,6 +130,13 @@ impl SnapshotCell {
     /// The currently published snapshot, if any.
     pub fn load(&self) -> Option<Arc<IndexSnapshot>> {
         self.current.lock().expect("snapshot cell poisoned").clone()
+    }
+
+    /// How many snapshots this cell has published (0 while empty). A reader
+    /// that remembers the generation alongside its `Arc` can detect a swap
+    /// without holding the snapshot lock.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     /// Returns the published snapshot for `fingerprint`, building and
@@ -149,6 +161,7 @@ impl SnapshotCell {
     {
         if let Some(current) = self.load() {
             if current.fingerprint() == fingerprint {
+                telemetry::counter("coolopt_snapshot_hits_total").inc();
                 return Ok(current);
             }
         }
@@ -158,13 +171,19 @@ impl SnapshotCell {
             fingerprint,
             "builder produced a snapshot for a different fingerprint"
         );
+        telemetry::counter("coolopt_snapshot_builds_total").inc();
         let mut slot = self.current.lock().expect("snapshot cell poisoned");
         if let Some(current) = slot.as_ref() {
             if current.fingerprint() == fingerprint {
-                return Ok(Arc::clone(current)); // racer won; drop our build
+                // Racer won; drop our build.
+                telemetry::counter("coolopt_snapshot_races_lost_total").inc();
+                return Ok(Arc::clone(current));
             }
         }
         *slot = Some(Arc::clone(&built));
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        telemetry::counter("coolopt_snapshot_swaps_total").inc();
+        telemetry::gauge("coolopt_snapshot_generation").set(generation as f64);
         Ok(built)
     }
 }
@@ -173,6 +192,7 @@ impl Clone for SnapshotCell {
     fn clone(&self) -> Self {
         SnapshotCell {
             current: Mutex::new(self.load()),
+            generation: AtomicU64::new(self.generation()),
         }
     }
 }

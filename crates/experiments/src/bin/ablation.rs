@@ -8,8 +8,15 @@
 //! 6. dynamic load with online replanning.
 //!
 //! ```text
-//! cargo run --release -p coolopt-experiments --bin ablation [seed]
+//! cargo run --release -p coolopt-experiments --bin ablation -- \
+//!     [seed] [--results DIR] [--json] [--quiet]
 //! ```
+//!
+//! Progress goes to stderr as structured events (`--json` renders them as
+//! JSON lines, `--quiet` keeps only warnings); study tables go to stdout
+//! except under `--json`, where stdout carries exactly one JSON document:
+//! the telemetry run report (always also written under `--results`,
+//! default `results/`).
 
 use coolopt_alloc::Method;
 use coolopt_experiments::ablations::{
@@ -17,17 +24,44 @@ use coolopt_experiments::ablations::{
 };
 use coolopt_experiments::harness::scenario_planner;
 use coolopt_experiments::runtime::{run_load_trace_with, sinusoidal_trace, RuntimeOptions};
-use coolopt_experiments::{render_figure, SweepOptions, Testbed};
+use coolopt_experiments::{render_figure, RunReport, SweepOptions, Testbed, TraceSection};
+use coolopt_telemetry::{self as telemetry, SinkMode};
 use coolopt_units::Seconds;
+use std::path::PathBuf;
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let json = flag("--json");
+    if flag("--quiet") {
+        telemetry::init_events(SinkMode::Quiet);
+    } else if json {
+        telemetry::init_events(SinkMode::Json);
+    }
+    let results_dir = args
+        .iter()
+        .position(|a| a == "--results")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    let seed: u64 = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            let prev = i.checked_sub(1).and_then(|p| args.get(p));
+            !a.starts_with("--") && prev.map(String::as_str) != Some("--results")
+        })
+        .find_map(|(_, a)| a.parse().ok())
         .unwrap_or(42);
+    let show = !json;
     let machines = 12; // enough spatial diversity, ~4× faster than 20
 
-    eprintln!("building and profiling a {machines}-machine testbed (seed {seed})…");
+    telemetry::info!(
+        "ablation",
+        "building and profiling the testbed",
+        machines = machines,
+        seed = seed
+    );
     let mut testbed = Testbed::build_sized(machines, seed).expect("testbed builds");
     let options = SweepOptions {
         load_percents: vec![20.0, 40.0, 60.0, 80.0],
@@ -38,17 +72,21 @@ fn main() {
     let planner = scenario_planner(&testbed, &options);
 
     // --- 1: separate vs holistic -------------------------------------------
-    eprintln!("study 1: separate vs holistic optimization…");
+    telemetry::info!("ablation", "study 1: separate vs holistic optimization");
     let fig = separate_vs_holistic(&mut testbed, &options);
-    println!("{}", render_figure(&fig));
+    if show {
+        println!("{}", render_figure(&fig));
+    }
 
     // --- 2: guard band -------------------------------------------------------
-    eprintln!("study 2: guard band sweep…");
-    println!("== Guard band vs safety and energy (method #8, 60 % load) ==");
-    println!(
-        "{:>8} {:>12} {:>12} {:>6}",
-        "guard K", "power W", "max CPU °C", "safe"
-    );
+    telemetry::info!("ablation", "study 2: guard band sweep");
+    if show {
+        println!("== Guard band vs safety and energy (method #8, 60 % load) ==");
+        println!(
+            "{:>8} {:>12} {:>12} {:>6}",
+            "guard K", "power W", "max CPU °C", "safe"
+        );
+    }
     for o in guard_band_study(
         &mut testbed,
         Method::numbered(8),
@@ -56,60 +94,84 @@ fn main() {
         &[0.0, 1.0, 2.0, 3.0, 4.0],
         &options,
     ) {
-        println!(
-            "{:>8.1} {:>12.1} {:>12.2} {:>6}",
-            o.guard_kelvin, o.total_power, o.max_cpu_celsius, o.safe
-        );
+        if show {
+            println!(
+                "{:>8.1} {:>12.1} {:>12.2} {:>6}",
+                o.guard_kelvin, o.total_power, o.max_cpu_celsius, o.safe
+            );
+        }
     }
-    println!();
+    if show {
+        println!();
+    }
 
     // --- 3: recirculation strength ------------------------------------------
-    eprintln!("study 3: recirculation sweep (re-profiles per scale; slow)…");
-    println!("== Recirculation strength vs #8-over-#7 savings ==");
-    println!(
-        "{:>6} {:>14} {:>14} {:>14}",
-        "scale", "mean savings", "min savings", "thermal r²"
+    telemetry::info!(
+        "ablation",
+        "study 3: recirculation sweep (re-profiles per scale; slow)"
     );
+    if show {
+        println!("== Recirculation strength vs #8-over-#7 savings ==");
+        println!(
+            "{:>6} {:>14} {:>14} {:>14}",
+            "scale", "mean savings", "min savings", "thermal r²"
+        );
+    }
     let quick = SweepOptions {
         load_percents: vec![30.0, 60.0, 90.0],
         ..SweepOptions::default()
     };
     for o in recirculation_study(8, seed, &[0.0, 1.0, 2.0], &quick) {
-        println!(
-            "{:>6.1} {:>13.1} % {:>13.1} % {:>14.4}",
-            o.scale,
-            o.mean_savings * 100.0,
-            o.min_savings * 100.0,
-            o.mean_thermal_r2
-        );
+        if show {
+            println!(
+                "{:>6.1} {:>13.1} % {:>13.1} % {:>14.4}",
+                o.scale,
+                o.mean_savings * 100.0,
+                o.min_savings * 100.0,
+                o.mean_thermal_r2
+            );
+        }
     }
-    println!();
+    if show {
+        println!();
+    }
 
     // --- 4: seed sensitivity ---------------------------------------------------
-    eprintln!("study 4: seed sensitivity (re-profiles per seed; slow)…");
-    println!("== Testbed-instance sensitivity of #8-over-#7 savings ==");
-    println!(
-        "{:>6} {:>14} {:>14} {:>14}",
-        "seed", "mean savings", "max", "min"
+    telemetry::info!(
+        "ablation",
+        "study 4: seed sensitivity (re-profiles per seed; slow)"
     );
-    for o in seed_study(8, &[seed, seed + 1, seed + 2], &quick) {
+    if show {
+        println!("== Testbed-instance sensitivity of #8-over-#7 savings ==");
         println!(
-            "{:>6} {:>13.1} % {:>13.1} % {:>13.1} %",
-            o.seed,
-            o.mean_savings * 100.0,
-            o.max_savings * 100.0,
-            o.min_savings * 100.0
+            "{:>6} {:>14} {:>14} {:>14}",
+            "seed", "mean savings", "max", "min"
         );
     }
-    println!();
+    for o in seed_study(8, &[seed, seed + 1, seed + 2], &quick) {
+        if show {
+            println!(
+                "{:>6} {:>13.1} % {:>13.1} % {:>13.1} %",
+                o.seed,
+                o.mean_savings * 100.0,
+                o.max_savings * 100.0,
+                o.min_savings * 100.0
+            );
+        }
+    }
+    if show {
+        println!();
+    }
 
     // --- 5: latency cost of consolidation --------------------------------------
-    eprintln!("study 5: response-time cost of consolidation…");
-    println!("== Response time under each method's allocation (30 % load) ==");
-    println!(
-        "{:>22} {:>8} {:>12} {:>12} {:>10}",
-        "method", "peak rho", "mean resp", "p95 resp", "vs spread"
-    );
+    telemetry::info!("ablation", "study 5: response-time cost of consolidation");
+    if show {
+        println!("== Response time under each method's allocation (30 % load) ==");
+        println!(
+            "{:>22} {:>8} {:>12} {:>12} {:>10}",
+            "method", "peak rho", "mean resp", "p95 resp", "vs spread"
+        );
+    }
     {
         use coolopt_workload::{simulate_queueing, Capacity, LoadVector};
         let total_load = 0.3 * machines as f64;
@@ -130,20 +192,27 @@ fn main() {
                 .map(|base: f64| format!("{:>9.1}x", stats.p95_response / base))
                 .unwrap_or_else(|| "  baseline".to_string());
             spread_p95.get_or_insert(stats.p95_response);
-            println!(
-                "{label:>22} {:>8.2} {:>9.1} ms {:>9.1} ms {rel}",
-                stats.peak_utilization,
-                stats.mean_response * 1000.0,
-                stats.p95_response * 1000.0,
-            );
+            if show {
+                println!(
+                    "{label:>22} {:>8.2} {:>9.1} ms {:>9.1} ms {rel}",
+                    stats.peak_utilization,
+                    stats.mean_response * 1000.0,
+                    stats.p95_response * 1000.0,
+                );
+            }
         }
     }
-    println!();
+    if show {
+        println!();
+    }
 
     // --- 6: dynamic load ------------------------------------------------------
-    eprintln!("study 6: dynamic load with online replanning…");
-    println!("== Online replanning over a diurnal trace (4 h simulated) ==");
+    telemetry::info!("ablation", "study 6: dynamic load with online replanning");
+    if show {
+        println!("== Online replanning over a diurnal trace (4 h simulated) ==");
+    }
     let trace = sinusoidal_trace(machines, 0.15, 0.85, Seconds::new(14_400.0), 24);
+    let mut report_trace: Option<TraceSection> = None;
     for (label, method) in [
         ("holistic #8 (replanned)", Method::numbered(8)),
         ("even #4 (replanned)", Method::numbered(4)),
@@ -158,14 +227,42 @@ fn main() {
             &RuntimeOptions::default(),
         )
         .expect("trace run succeeds");
-        println!(
-            "{label:<26} energy {:>8.2} kWh | mean {:>8} | served {:>6.2} % | \
-             T_max violations {:>5.0} s | replans {}",
-            outcome.energy.as_kwh(),
-            outcome.mean_power,
-            outcome.served_fraction * 100.0,
-            outcome.violation_seconds,
-            outcome.replans,
-        );
+        // The report carries the holistic run (the paper's method of record).
+        if report_trace.is_none() {
+            report_trace = Some(TraceSection::from_outcome(method.to_string(), &outcome));
+        }
+        if show {
+            println!(
+                "{label:<26} energy {:>8.2} kWh | mean {:>8} | served {:>6.2} % | \
+                 T_max violations {:>5.0} s | replans {}",
+                outcome.energy.as_kwh(),
+                outcome.mean_power,
+                outcome.served_fraction * 100.0,
+                outcome.violation_seconds,
+                outcome.replans,
+            );
+        }
+    }
+
+    let report = RunReport {
+        name: "ablation".to_string(),
+        seed,
+        metrics_enabled: telemetry::metrics_enabled(),
+        metrics: telemetry::snapshot(),
+        trace: report_trace,
+        replay: None,
+    };
+    let path = report
+        .write_to(&results_dir)
+        .expect("results dir is writable");
+    telemetry::info!(
+        "ablation",
+        "wrote run report",
+        path = path.display().to_string()
+    );
+    if json {
+        println!("{}", report.to_json());
+    } else if !telemetry::events_quiet() {
+        println!("{}", report.render_table());
     }
 }

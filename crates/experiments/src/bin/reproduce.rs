@@ -1,70 +1,135 @@
 //! Regenerates every table and figure of the paper on the simulated
-//! 20-machine testbed and prints them (ASCII + savings summary).
+//! 20-machine testbed and prints them (ASCII + savings summary), then runs
+//! a short online-replanning trace plus its analytic replay and emits the
+//! schema-stable telemetry run report.
 //!
 //! ```text
-//! cargo run --release -p coolopt-experiments --bin reproduce [seed] [--csv DIR]
+//! cargo run --release -p coolopt-experiments --bin reproduce -- \
+//!     [seed] [--csv DIR] [--results DIR] [--smoke] [--json] [--quiet]
 //! ```
 //!
-//! With `--csv DIR`, every figure's data is additionally written as
-//! `DIR/<figure-id>.csv`.
+//! * `--csv DIR` — additionally write every figure's data as
+//!   `DIR/<figure-id>.csv`;
+//! * `--results DIR` — where the run report lands (default `results/`);
+//! * `--smoke` — CI-sized run: an 8-machine testbed, a reduced
+//!   method × load grid, no profiling staircases, a 1 h trace;
+//! * `--json` — machine-readable mode: progress events become JSON lines
+//!   on stderr and stdout carries exactly one JSON document, the run
+//!   report (also written under `--results`);
+//! * `--quiet` — only warnings and errors on stderr.
 
 use coolopt_alloc::{Method, Strategy};
+use coolopt_experiments::harness::scenario_planner;
+use coolopt_experiments::runtime::{run_load_trace_with, sinusoidal_trace, RuntimeOptions};
 use coolopt_experiments::{
-    figures, render_figure, run_sweep, savings_summary, to_csv, FigureData, SweepOptions, Testbed,
+    figures, render_figure, replay_trace_with, run_sweep, savings_summary, to_csv, FigureData,
+    ReplayOptions, ReplaySection, RunReport, SweepOptions, Testbed, TraceSection,
 };
+use coolopt_telemetry::{self as telemetry, SinkMode};
 use coolopt_units::Seconds;
 use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let csv_dir: Option<PathBuf> = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from);
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value_of = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from)
+    };
+    let smoke = flag("--smoke");
+    let json = flag("--json");
+    if flag("--quiet") {
+        telemetry::init_events(SinkMode::Quiet);
+    } else if json {
+        telemetry::init_events(SinkMode::Json);
+    }
+    let csv_dir = value_of("--csv");
+    let results_dir = value_of("--results").unwrap_or_else(|| PathBuf::from("results"));
     let seed: u64 = args
         .iter()
-        .find(|a| *a != "--csv" && a.parse::<u64>().is_ok())
-        .and_then(|s| s.parse().ok())
+        .enumerate()
+        .filter(|(i, a)| {
+            let prev = i.checked_sub(1).and_then(|p| args.get(p));
+            !a.starts_with("--")
+                && !matches!(prev.map(String::as_str), Some("--csv") | Some("--results"))
+        })
+        .find_map(|(_, a)| a.parse().ok())
         .unwrap_or(42);
+    // In --json mode stdout carries exactly one document: the run report.
+    let show = !json;
 
     let emit = |fig: &FigureData| {
-        println!("{}", render_figure(fig));
+        if show {
+            println!("{}", render_figure(fig));
+        }
         if let Some(dir) = &csv_dir {
             std::fs::create_dir_all(dir).expect("csv directory is creatable");
             let path = dir.join(format!("{}.csv", fig.id));
             std::fs::write(&path, to_csv(fig)).expect("csv file is writable");
-            eprintln!("wrote {}", path.display());
+            telemetry::info!(
+                "reproduce",
+                "wrote figure csv",
+                path = path.display().to_string()
+            );
         }
     };
 
-    eprintln!("building and profiling the 20-machine testbed (seed {seed})…");
-    let mut testbed = Testbed::build(seed).expect("profiling the preset testbed succeeds");
-    let model = &testbed.profile.model;
-    eprintln!(
-        "fitted power model: {} (r² = {:.4})",
-        model.power(),
-        testbed.profile.power.r2
+    let machines = if smoke { 8 } else { 20 };
+    telemetry::info!(
+        "reproduce",
+        "building and profiling the testbed",
+        machines = machines,
+        seed = seed,
+        smoke = smoke,
     );
-    eprintln!(
-        "fitted cooling slope: {:.1} W/K, supply ceiling {:.2} °C",
-        model.cooling().cf(),
-        testbed.profile.cooling.t_ac_max.as_celsius()
+    let mut testbed =
+        Testbed::build_sized(machines, seed).expect("profiling the preset testbed succeeds");
+    let model = &testbed.profile.model;
+    telemetry::info!(
+        "reproduce",
+        "fitted power model",
+        model = model.power().to_string(),
+        r2 = testbed.profile.power.r2,
+    );
+    telemetry::info!(
+        "reproduce",
+        "fitted cooling model",
+        slope_w_per_k = model.cooling().cf(),
+        supply_ceiling_celsius = testbed.profile.cooling.t_ac_max.as_celsius(),
     );
 
     emit(&figures::table1());
     emit(&figures::fig4());
 
-    eprintln!("running the Fig. 2/3 profiling staircases…");
-    let f2 = figures::fig2(&mut testbed, Seconds::new(600.0));
-    let f3 = figures::fig3(&mut testbed, Seconds::new(600.0));
-    emit(&f2);
-    emit(&f3);
+    if !smoke {
+        telemetry::info!("reproduce", "running the Fig. 2/3 profiling staircases");
+        let f2 = figures::fig2(&mut testbed, Seconds::new(600.0));
+        let f3 = figures::fig3(&mut testbed, Seconds::new(600.0));
+        emit(&f2);
+        emit(&f3);
+    }
 
-    eprintln!("sweeping all methods × loads 10–100 % (this is the long part)…");
-    let mut methods = Method::all();
-    methods.push(Method::new(Strategy::Even, true, true));
-    let sweep = run_sweep(&mut testbed, &methods, &SweepOptions::default());
+    let (methods, options) = if smoke {
+        let methods: Vec<Method> = [1, 4, 7, 8].map(Method::numbered).to_vec();
+        let options = SweepOptions {
+            load_percents: vec![30.0, 60.0, 90.0],
+            ..SweepOptions::default()
+        };
+        (methods, options)
+    } else {
+        let mut methods = Method::all();
+        methods.push(Method::new(Strategy::Even, true, true));
+        (methods, SweepOptions::default())
+    };
+    telemetry::info!(
+        "reproduce",
+        "sweeping methods x loads (the long part)",
+        methods = methods.len(),
+        loads = options.load_percents.len(),
+    );
+    let sweep = run_sweep(&mut testbed, &methods, &options);
 
     for fig in [
         figures::fig5(&sweep),
@@ -77,14 +142,16 @@ fn main() {
         emit(&fig);
     }
 
-    if let Some(s) = savings_summary(&sweep, Method::numbered(8), Method::numbered(7)) {
-        println!("Optimal (#8) vs best baseline (#7): {s}");
-    }
-    if let Some(s) = savings_summary(&sweep, Method::numbered(6), Method::numbered(4)) {
-        println!("Optimal (#6) vs Even (#4), no consolidation: {s}");
-    }
-    if let Some(s) = savings_summary(&sweep, Method::numbered(8), Method::numbered(1)) {
-        println!("Optimal (#8) vs naive Even (#1): {s}");
+    if show {
+        if let Some(s) = savings_summary(&sweep, Method::numbered(8), Method::numbered(7)) {
+            println!("Optimal (#8) vs best baseline (#7): {s}");
+        }
+        if let Some(s) = savings_summary(&sweep, Method::numbered(6), Method::numbered(4)) {
+            println!("Optimal (#6) vs Even (#4), no consolidation: {s}");
+        }
+        if let Some(s) = savings_summary(&sweep, Method::numbered(8), Method::numbered(1)) {
+            println!("Optimal (#8) vs naive Even (#1): {s}");
+        }
     }
 
     let violations: Vec<String> = sweep
@@ -98,11 +165,95 @@ fn main() {
         })
         .collect();
     if violations.is_empty() {
-        println!("constraints: every run satisfied T_max and throughput.");
-    } else {
-        println!("constraint violations:");
-        for v in violations {
-            println!("  {v}");
+        telemetry::info!(
+            "reproduce",
+            "constraints satisfied in every run",
+            runs = sweep.len()
+        );
+        if show {
+            println!("constraints: every run satisfied T_max and throughput.");
         }
+    } else {
+        if show {
+            println!("constraint violations:");
+        }
+        for v in &violations {
+            telemetry::warn!("reproduce", "constraint violation", run = v.clone());
+            if show {
+                println!("  {v}");
+            }
+        }
+    }
+
+    // --- online replanning trace + analytic replay --------------------------
+    // Drives the holistic method over a diurnal trace on the numeric
+    // substrate, then replays the same controller on the analytic linear-RC
+    // model, so the run report carries replan counts, the per-plateau
+    // computing/cooling energy split, the guard margin, and the propagator
+    // cache hit rate.
+    let trace_method = Method::numbered(8);
+    let (duration, steps) = if smoke {
+        (Seconds::new(3_600.0), 8)
+    } else {
+        (Seconds::new(14_400.0), 24)
+    };
+    telemetry::info!(
+        "reproduce",
+        "running the online-replanning trace and its analytic replay",
+        plateaus = steps,
+        duration_seconds = duration.as_secs_f64(),
+    );
+    let trace = sinusoidal_trace(machines, 0.2, 0.8, duration, steps);
+    let planner = scenario_planner(&testbed, &options);
+    let trace_outcome = run_load_trace_with(
+        &planner,
+        &mut testbed,
+        trace_method,
+        &trace,
+        duration,
+        &RuntimeOptions::default(),
+    )
+    .expect("trace run succeeds");
+    let replay_outcome = replay_trace_with(
+        &planner,
+        &testbed.profile.model,
+        trace_method,
+        &trace,
+        duration,
+        &ReplayOptions::default(),
+    )
+    .expect("analytic replay succeeds");
+
+    let report = RunReport {
+        name: if smoke {
+            "reproduce_smoke"
+        } else {
+            "reproduce"
+        }
+        .to_string(),
+        seed,
+        metrics_enabled: telemetry::metrics_enabled(),
+        metrics: telemetry::snapshot(),
+        trace: Some(TraceSection::from_outcome(
+            trace_method.to_string(),
+            &trace_outcome,
+        )),
+        replay: Some(ReplaySection::from_outcome(
+            trace_method.to_string(),
+            &replay_outcome,
+        )),
+    };
+    let path = report
+        .write_to(&results_dir)
+        .expect("results dir is writable");
+    telemetry::info!(
+        "reproduce",
+        "wrote run report",
+        path = path.display().to_string()
+    );
+    if json {
+        println!("{}", report.to_json());
+    } else if !telemetry::events_quiet() {
+        println!("{}", report.render_table());
     }
 }

@@ -3,6 +3,7 @@
 use crate::testbed::Testbed;
 use coolopt_alloc::{AllocationPlan, Method, Planner, PolicyError};
 use coolopt_room::SteadyMeasurement;
+use coolopt_telemetry as telemetry;
 use coolopt_units::{Seconds, TempDelta, Watts};
 use coolopt_workload::{Capacity, Document, LoadBalancer, LoadVector};
 use serde::{Deserialize, Serialize};
@@ -110,6 +111,8 @@ pub fn run_method_with(
     load_percent: f64,
     options: &SweepOptions,
 ) -> Result<MethodRun, PolicyError> {
+    let _span = telemetry::histogram("coolopt_method_run_seconds").start_timer();
+    telemetry::counter("coolopt_method_runs_total").inc();
     let plan = planner.plan(method, testbed.load_from_percent(load_percent))?;
 
     let room = &mut testbed.room;
@@ -330,6 +333,7 @@ fn collect_sweep(grid: &[(Method, f64)], results: Vec<Option<MethodRun>>) -> Swe
 /// skipped rather than failing the sweep; [`Sweep::get`] then returns
 /// `None` for them.
 pub fn run_sweep(testbed: &mut Testbed, methods: &[Method], options: &SweepOptions) -> Sweep {
+    let _span = telemetry::histogram("coolopt_sweep_seconds").start_timer();
     let planner = scenario_planner(testbed, options);
     let grid = sweep_grid(methods, options);
     let scenarios: Vec<(Method, f64, Testbed)> =
@@ -337,7 +341,14 @@ pub fn run_sweep(testbed: &mut Testbed, methods: &[Method], options: &SweepOptio
     let results = par_map_ordered(scenarios, |(method, percent, mut tb)| {
         run_method_with(&planner, &mut tb, method, percent, options).ok()
     });
-    collect_sweep(&grid, results)
+    let sweep = collect_sweep(&grid, results);
+    telemetry::debug!(
+        "harness",
+        "sweep finished",
+        scenarios = grid.len(),
+        completed = sweep.len(),
+    );
+    sweep
 }
 
 /// [`run_sweep`] with an explicit worker count (the public entry point uses

@@ -35,6 +35,7 @@ pub mod figures;
 pub mod harness;
 pub mod replay;
 pub mod report;
+pub mod run_report;
 pub mod runtime;
 pub mod savings;
 pub mod testbed;
@@ -48,5 +49,6 @@ pub use harness::{
 };
 pub use replay::{replay_trace, replay_trace_with, ReplayEngine, ReplayOptions, ReplayOutcome};
 pub use report::{render_figure, to_csv};
+pub use run_report::{ReplaySection, RunReport, TraceSection, RUN_REPORT_SCHEMA};
 pub use savings::{savings_summary, SavingsSummary};
 pub use testbed::Testbed;

@@ -27,6 +27,7 @@ use coolopt_sim::{
     ForwardEuler, Integrator, LinearDynamics, LinearOde, PropagatorCache, Rk4, SimScratch,
     SoaRecorder, TimeSeries,
 };
+use coolopt_telemetry as telemetry;
 use coolopt_units::{Joules, Seconds, TempDelta, Temperature, Watts};
 use serde::{Deserialize, Serialize};
 
@@ -90,9 +91,12 @@ pub struct ReplayOutcome {
     pub replans: usize,
     /// Number of planning attempts that failed (previous plan kept).
     pub plan_failures: usize,
-    /// Distinct propagators built (exact engine only; zero for fallbacks).
-    /// Small counts on long traces are the cache paying off.
+    /// Distinct propagators built (exact engine only; zero for fallbacks),
+    /// read from the cache's own tally — the single source of truth. Small
+    /// counts on long traces are the cache paying off.
     pub propagators_built: usize,
+    /// Propagator lookups served from the cache (exact engine only).
+    pub propagator_hits: u64,
     /// Recorded total-power series.
     pub power_series: TimeSeries,
 }
@@ -268,6 +272,8 @@ pub fn replay_trace_with(
         }
     }
 
+    telemetry::counter("coolopt_replans_total").add(replans as u64);
+    telemetry::counter("coolopt_replan_failures_total").add(plan_failures as u64);
     Ok(ReplayOutcome {
         energy,
         duration: total,
@@ -276,7 +282,8 @@ pub fn replay_trace_with(
         max_cpu: Temperature::from_kelvin(max_cpu),
         replans,
         plan_failures,
-        propagators_built: cache.len(),
+        propagators_built: cache.builds() as usize,
+        propagator_hits: cache.hits(),
         power_series: recorder.to_series(0),
     })
 }

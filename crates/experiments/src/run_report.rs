@@ -1,0 +1,366 @@
+//! The schema-stable telemetry run report.
+//!
+//! A run report is the machine-readable end-of-run artifact every binary
+//! (`reproduce`, `ablation`, `bench_index`) can emit: one JSON document
+//! bundling the global metrics snapshot with the run-level observables the
+//! paper's evaluation cares about — replan counts, the computing/cooling
+//! energy split per demand plateau, the propagator-cache hit rate, and the
+//! worst-case guard-band margin. The schema is versioned
+//! ([`RUN_REPORT_SCHEMA`]) so downstream tooling can detect drift.
+//!
+//! JSON is rendered by hand (sorted, stable key order) rather than through
+//! serde: the metrics section embeds
+//! [`RegistrySnapshot::to_json`](coolopt_telemetry::RegistrySnapshot::to_json)
+//! verbatim, and the vendored serde stand-in has no raw-value passthrough.
+
+use crate::replay::ReplayOutcome;
+use crate::runtime::TraceOutcome;
+use coolopt_telemetry::RegistrySnapshot;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Schema tag of the run-report JSON document.
+pub const RUN_REPORT_SCHEMA: &str = "coolopt-telemetry-run-v1";
+
+/// Everything a run report captures about one binary invocation.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Run label (becomes part of the output file name).
+    pub name: String,
+    /// RNG seed the run used.
+    pub seed: u64,
+    /// Whether the metrics core was compiled in (when `false`, the metrics
+    /// section is structurally present but empty).
+    pub metrics_enabled: bool,
+    /// The frozen global registry (counters, gauges, histograms).
+    pub metrics: RegistrySnapshot,
+    /// Runtime replanning observables, when the run drove a load trace.
+    pub trace: Option<TraceSection>,
+    /// Analytic-replay observables, when the run replayed a trace.
+    pub replay: Option<ReplaySection>,
+}
+
+/// Run-level observables of an online replanning trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSection {
+    /// Evaluation method driven over the trace.
+    pub method: String,
+    /// Total electrical energy (J).
+    pub energy_joules: f64,
+    /// Computing (server) share of the energy (J).
+    pub computing_joules: f64,
+    /// Cooling (CRAC) share of the energy (J).
+    pub cooling_joules: f64,
+    /// Plans applied.
+    pub replans: u64,
+    /// Planning attempts that failed.
+    pub plan_failures: u64,
+    /// Worst-case distance (K) between the hottest CPU and `T_max`.
+    pub min_margin_kelvin: f64,
+    /// Per-plateau energy split: `(start_seconds, load, computing_joules,
+    /// cooling_joules)`.
+    pub segments: Vec<(f64, f64, f64, f64)>,
+}
+
+impl TraceSection {
+    /// Extracts the section from a [`TraceOutcome`].
+    pub fn from_outcome(method: impl Into<String>, outcome: &TraceOutcome) -> Self {
+        TraceSection {
+            method: method.into(),
+            energy_joules: outcome.energy.as_joules(),
+            computing_joules: outcome.computing_energy.as_joules(),
+            cooling_joules: outcome.cooling_energy.as_joules(),
+            replans: outcome.replans as u64,
+            plan_failures: outcome.plan_failures as u64,
+            min_margin_kelvin: outcome.min_margin_kelvin,
+            segments: outcome
+                .segments
+                .iter()
+                .map(|s| {
+                    (
+                        s.start.as_secs_f64(),
+                        s.load,
+                        s.computing.as_joules(),
+                        s.cooling.as_joules(),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Run-level observables of an analytic replay.
+#[derive(Debug, Clone, Default)]
+pub struct ReplaySection {
+    /// Evaluation method replayed.
+    pub method: String,
+    /// Total predicted energy (J).
+    pub energy_joules: f64,
+    /// Plans applied.
+    pub replans: u64,
+    /// Planning attempts that failed.
+    pub plan_failures: u64,
+    /// Distinct propagators built (the cache's misses).
+    pub propagators_built: u64,
+    /// Propagator lookups served from the cache.
+    pub propagator_hits: u64,
+}
+
+impl ReplaySection {
+    /// Extracts the section from a [`ReplayOutcome`].
+    pub fn from_outcome(method: impl Into<String>, outcome: &ReplayOutcome) -> Self {
+        ReplaySection {
+            method: method.into(),
+            energy_joules: outcome.energy.as_joules(),
+            replans: outcome.replans as u64,
+            plan_failures: outcome.plan_failures as u64,
+            propagators_built: outcome.propagators_built as u64,
+            propagator_hits: outcome.propagator_hits,
+        }
+    }
+
+    /// Fraction of propagator lookups served from the cache; `None` before
+    /// the first lookup.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.propagator_hits + self.propagators_built;
+        (total > 0).then(|| self.propagator_hits as f64 / total as f64)
+    }
+}
+
+fn push_str_field(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64_field(out: &mut String, value: f64) {
+    if value.is_finite() {
+        let _ = write!(out, "{value:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl RunReport {
+    /// Renders the report as its schema-stable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"schema\":");
+        push_str_field(&mut out, RUN_REPORT_SCHEMA);
+        out.push_str(",\"name\":");
+        push_str_field(&mut out, &self.name);
+        let _ = write!(out, ",\"seed\":{}", self.seed);
+        let _ = write!(out, ",\"metrics_enabled\":{}", self.metrics_enabled);
+        // The metrics snapshot renders itself; embed its object verbatim.
+        out.push_str(",\"metrics\":");
+        out.push_str(&self.metrics.to_json());
+        out.push_str(",\"trace\":");
+        match &self.trace {
+            None => out.push_str("null"),
+            Some(t) => {
+                out.push_str("{\"method\":");
+                push_str_field(&mut out, &t.method);
+                out.push_str(",\"energy_joules\":");
+                push_f64_field(&mut out, t.energy_joules);
+                out.push_str(",\"computing_joules\":");
+                push_f64_field(&mut out, t.computing_joules);
+                out.push_str(",\"cooling_joules\":");
+                push_f64_field(&mut out, t.cooling_joules);
+                let _ = write!(out, ",\"replans\":{}", t.replans);
+                let _ = write!(out, ",\"plan_failures\":{}", t.plan_failures);
+                out.push_str(",\"min_margin_kelvin\":");
+                push_f64_field(&mut out, t.min_margin_kelvin);
+                out.push_str(",\"segments\":[");
+                for (i, &(start, load, computing, cooling)) in t.segments.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"start_seconds\":");
+                    push_f64_field(&mut out, start);
+                    out.push_str(",\"load\":");
+                    push_f64_field(&mut out, load);
+                    out.push_str(",\"computing_joules\":");
+                    push_f64_field(&mut out, computing);
+                    out.push_str(",\"cooling_joules\":");
+                    push_f64_field(&mut out, cooling);
+                    out.push('}');
+                }
+                out.push_str("]}");
+            }
+        }
+        out.push_str(",\"replay\":");
+        match &self.replay {
+            None => out.push_str("null"),
+            Some(r) => {
+                out.push_str("{\"method\":");
+                push_str_field(&mut out, &r.method);
+                out.push_str(",\"energy_joules\":");
+                push_f64_field(&mut out, r.energy_joules);
+                let _ = write!(out, ",\"replans\":{}", r.replans);
+                let _ = write!(out, ",\"plan_failures\":{}", r.plan_failures);
+                let _ = write!(out, ",\"propagators_built\":{}", r.propagators_built);
+                let _ = write!(out, ",\"propagator_hits\":{}", r.propagator_hits);
+                out.push_str(",\"cache_hit_rate\":");
+                match r.cache_hit_rate() {
+                    Some(rate) => push_f64_field(&mut out, rate),
+                    None => out.push_str("null"),
+                }
+                out.push('}');
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Writes the report as `DIR/telemetry_<name>.json`, creating `DIR` if
+    /// needed, and returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (unwritable directory, full disk, …).
+    pub fn write_to(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("telemetry_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Renders the human-readable end-of-run summary: the run-level
+    /// observables followed by the metrics table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== telemetry: {} (seed {}) ===", self.name, self.seed);
+        if let Some(t) = &self.trace {
+            let _ = writeln!(
+                out,
+                "trace [{}]: energy {:.1} kJ (computing {:.1} kJ, cooling {:.1} kJ), \
+                 {} replans ({} failed), min margin {:.2} K",
+                t.method,
+                t.energy_joules / 1e3,
+                t.computing_joules / 1e3,
+                t.cooling_joules / 1e3,
+                t.replans,
+                t.plan_failures,
+                t.min_margin_kelvin,
+            );
+        }
+        if let Some(r) = &self.replay {
+            let hit_rate = r
+                .cache_hit_rate()
+                .map_or("n/a".to_string(), |h| format!("{:.1} %", h * 100.0));
+            let _ = writeln!(
+                out,
+                "replay [{}]: energy {:.1} kJ, {} replans ({} failed), \
+                 {} propagators built, cache hit rate {}",
+                r.method,
+                r.energy_joules / 1e3,
+                r.replans,
+                r.plan_failures,
+                r.propagators_built,
+                hit_rate,
+            );
+        }
+        out.push_str(&self.metrics.render_table());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            name: "unit".to_string(),
+            seed: 7,
+            metrics_enabled: coolopt_telemetry::metrics_enabled(),
+            metrics: RegistrySnapshot::default(),
+            trace: Some(TraceSection {
+                method: "#8".to_string(),
+                energy_joules: 1000.0,
+                computing_joules: 800.0,
+                cooling_joules: 200.0,
+                replans: 3,
+                plan_failures: 0,
+                min_margin_kelvin: 4.5,
+                segments: vec![(0.0, 2.0, 500.0, 120.0), (600.0, 4.0, 300.0, 80.0)],
+            }),
+            replay: Some(ReplaySection {
+                method: "#8".to_string(),
+                energy_joules: 990.0,
+                replans: 3,
+                plan_failures: 0,
+                propagators_built: 2,
+                propagator_hits: 18,
+            }),
+        }
+    }
+
+    #[test]
+    fn json_document_is_schema_stable() {
+        let json = sample().to_json();
+        assert!(json.starts_with("{\"schema\":\"coolopt-telemetry-run-v1\""));
+        assert!(json.contains("\"name\":\"unit\""));
+        assert!(json.contains("\"seed\":7"));
+        assert!(json.contains("\"metrics\":{\"schema\":\"coolopt-telemetry-v1\""));
+        assert!(json.contains("\"replans\":3"));
+        assert!(json.contains("\"computing_joules\":800.0"));
+        assert!(json.contains("\"segments\":[{\"start_seconds\":0.0"));
+        assert!(json.contains("\"propagators_built\":2"));
+        assert!(json.contains("\"cache_hit_rate\":0.9"));
+    }
+
+    #[test]
+    fn empty_sections_render_null() {
+        let report = RunReport {
+            name: "empty".to_string(),
+            ..RunReport::default()
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"trace\":null"));
+        assert!(json.contains("\"replay\":null"));
+    }
+
+    #[test]
+    fn non_finite_margin_is_null() {
+        let mut report = sample();
+        report.trace.as_mut().unwrap().min_margin_kelvin = f64::INFINITY;
+        assert!(report.to_json().contains("\"min_margin_kelvin\":null"));
+    }
+
+    #[test]
+    fn hit_rate_is_none_without_lookups() {
+        let section = ReplaySection::default();
+        assert_eq!(section.cache_hit_rate(), None);
+        assert!(sample().replay.unwrap().cache_hit_rate().unwrap() > 0.89);
+    }
+
+    #[test]
+    fn table_mentions_every_section() {
+        let table = sample().render_table();
+        assert!(table.contains("telemetry: unit"));
+        assert!(table.contains("trace [#8]"));
+        assert!(table.contains("replay [#8]"));
+    }
+
+    #[test]
+    fn report_writes_to_disk() {
+        let dir = std::env::temp_dir().join("coolopt_run_report_test");
+        let path = sample().write_to(&dir).expect("temp dir is writable");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("coolopt-telemetry-run-v1"));
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_dir(dir);
+    }
+}

@@ -13,6 +13,7 @@
 use crate::testbed::Testbed;
 use coolopt_alloc::{AllocationPlan, Method, Planner, PolicyError};
 use coolopt_sim::{SoaRecorder, TimeSeries};
+use coolopt_telemetry as telemetry;
 use coolopt_units::{Joules, Seconds, TempDelta, Watts};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -95,17 +96,41 @@ impl Default for RuntimeOptions {
     }
 }
 
+/// Energy split of one demand plateau of the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentEnergy {
+    /// Plateau start (trace-relative).
+    pub start: Seconds,
+    /// Demand the plateau requested.
+    pub load: f64,
+    /// Computing (server) energy over the plateau.
+    pub computing: Joules,
+    /// Cooling (CRAC) energy over the plateau.
+    pub cooling: Joules,
+}
+
 /// What a trace run produced.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceOutcome {
     /// Total electrical energy over the trace.
     pub energy: Joules,
+    /// Computing (server) share of [`energy`](TraceOutcome::energy).
+    pub computing_energy: Joules,
+    /// Cooling (CRAC) share of [`energy`](TraceOutcome::energy).
+    pub cooling_energy: Joules,
+    /// Per-plateau energy split, one entry per trace point (in trace
+    /// order; plateaus the run never reached report zero energy).
+    pub segments: Vec<SegmentEnergy>,
     /// Trace duration.
     pub duration: Seconds,
     /// Mean total power.
     pub mean_power: Watts,
     /// Seconds during which some CPU exceeded the *true* `T_max`.
     pub violation_seconds: f64,
+    /// Smallest observed distance (K) between the hottest CPU and the true
+    /// `T_max` — the run's worst-case guard-band margin. Negative when a
+    /// violation occurred; infinite if the room has no servers.
+    pub min_margin_kelvin: f64,
     /// Load-seconds served divided by load-seconds requested (boot
     /// transients and infeasible plans lose throughput).
     pub served_fraction: f64,
@@ -217,9 +242,13 @@ pub fn run_load_trace_with(
     let mut trace_idx = 0usize;
     let mut next_replan = options.replan_interval;
     let mut energy = Joules::ZERO;
+    let mut computing_energy = Joules::ZERO;
+    let mut cooling_energy = Joules::ZERO;
+    let mut seg_split: Vec<(Joules, Joules)> = vec![(Joules::ZERO, Joules::ZERO); trace.len()];
     let mut served = 0.0;
     let mut requested = 0.0;
     let mut violation_seconds = 0.0;
+    let mut min_margin_kelvin = f64::INFINITY;
     // Power is recorded into a preallocated SoA column with decimation:
     // every step offers a sample, the recorder keeps one per
     // `record_every` without growing or branching on wall-clock time.
@@ -257,7 +286,13 @@ pub fn run_load_trace_with(
         testbed.room.step();
 
         let p = testbed.room.total_power();
+        let pc = testbed.room.computing_power();
+        let pk = testbed.room.cooling_power();
         energy += p * dt;
+        computing_energy += pc * dt;
+        cooling_energy += pk * dt;
+        seg_split[trace_idx].0 += pc * dt;
+        seg_split[trace_idx].1 += pk * dt;
         served += testbed
             .room
             .servers()
@@ -266,18 +301,44 @@ pub fn run_load_trace_with(
             .sum::<f64>()
             * dt.as_secs_f64();
         requested += demand * dt.as_secs_f64();
-        if testbed.room.servers().iter().any(|s| s.cpu_temp() > t_max) {
+        let hottest = testbed
+            .room
+            .servers()
+            .iter()
+            .map(|s| s.cpu_temp().as_kelvin())
+            .fold(f64::NEG_INFINITY, f64::max);
+        if hottest > t_max.as_kelvin() {
             violation_seconds += dt.as_secs_f64();
         }
+        min_margin_kelvin = min_margin_kelvin.min(t_max.as_kelvin() - hottest);
         recorder.offer(now, &[p.as_watts()]);
     }
+
+    telemetry::counter("coolopt_replans_total").add(replans as u64);
+    telemetry::counter("coolopt_replan_failures_total").add(plan_failures as u64);
+    telemetry::gauge("coolopt_trace_margin_min_kelvin").set_min(min_margin_kelvin);
+    telemetry::gauge("coolopt_trace_computing_joules").add(computing_energy.as_joules());
+    telemetry::gauge("coolopt_trace_cooling_joules").add(cooling_energy.as_joules());
 
     let duration = Seconds::new(steps as f64 * dt.as_secs_f64());
     Ok(TraceOutcome {
         energy,
+        computing_energy,
+        cooling_energy,
+        segments: trace
+            .iter()
+            .zip(seg_split)
+            .map(|(point, (computing, cooling))| SegmentEnergy {
+                start: point.at,
+                load: point.load,
+                computing,
+                cooling,
+            })
+            .collect(),
         duration,
         mean_power: energy / duration,
         violation_seconds,
+        min_margin_kelvin,
         served_fraction: if requested > 0.0 {
             served / requested
         } else {

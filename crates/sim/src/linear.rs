@@ -21,6 +21,7 @@
 //! that are *not* LTI and as the oracle in equivalence tests.
 
 use crate::ode::Dynamics;
+use coolopt_telemetry as telemetry;
 use coolopt_units::Seconds;
 use std::collections::HashMap;
 
@@ -363,6 +364,11 @@ pub type PropagatorKey = (u64, u64);
 #[derive(Debug, Clone, Default)]
 pub struct PropagatorCache {
     cache: HashMap<PropagatorKey, Propagator>,
+    /// Lookups served from the map (lifetime of the value; survives
+    /// [`clear`](PropagatorCache::clear)).
+    hits: u64,
+    /// `(Φ, Γ)` constructions, i.e. cache misses.
+    builds: u64,
 }
 
 impl PropagatorCache {
@@ -383,9 +389,21 @@ impl PropagatorCache {
         h: Seconds,
         input_fingerprint: u64,
     ) -> &Propagator {
-        self.cache
+        match self
+            .cache
             .entry((h.as_secs_f64().to_bits(), input_fingerprint))
-            .or_insert_with(|| Propagator::new(sys, h))
+        {
+            std::collections::hash_map::Entry::Occupied(entry) => {
+                self.hits += 1;
+                telemetry::counter("coolopt_propagator_cache_hits_total").inc();
+                entry.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                self.builds += 1;
+                telemetry::counter("coolopt_propagator_cache_builds_total").inc();
+                slot.insert(Propagator::new(sys, h))
+            }
+        }
     }
 
     /// Number of memoized propagators.
@@ -398,7 +416,26 @@ impl PropagatorCache {
         self.cache.is_empty()
     }
 
-    /// Drops every memoized propagator (e.g. when the model changes).
+    /// Lookups served without building (lifetime of the value).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// `(Φ, Γ)` constructions — the cache's misses (lifetime of the value).
+    pub fn builds(&self) -> u64 {
+        self.builds
+    }
+
+    /// Fraction of lookups served from the cache; `None` before the first
+    /// lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.builds;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+
+    /// Drops every memoized propagator (e.g. when the model changes). The
+    /// hit/build tallies survive: they describe the cache's lifetime, not
+    /// its current contents.
     pub fn clear(&mut self) {
         self.cache.clear();
     }

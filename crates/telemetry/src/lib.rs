@@ -1,0 +1,74 @@
+//! Lightweight, dependency-free observability core for the CoolOpt stack.
+//!
+//! The crate provides three things:
+//!
+//! * **Metrics** — process-global, lock-free [`Counter`]s, [`Gauge`]s and
+//!   fixed-bucket [`Histogram`]s, registered by name in a global
+//!   [`Registry`] and acquired with [`counter`], [`gauge`] and
+//!   [`histogram`]. A [`SpanTimer`] wraps a histogram in an RAII guard so a
+//!   scope is timed by merely existing. Everything is atomics: recording
+//!   from many threads needs no locks on the hot path.
+//! * **Export** — [`snapshot`] freezes the registry into a plain
+//!   [`RegistrySnapshot`] that renders to a schema-stable JSON document
+//!   ([`RegistrySnapshot::to_json`]), Prometheus text exposition
+//!   ([`RegistrySnapshot::render_prometheus`], also available directly as
+//!   [`render_prometheus`]) and a human end-of-run table
+//!   ([`RegistrySnapshot::render_table`]). Snapshots [`merge`]
+//!   (associatively) and [`diff`](RegistrySnapshot::minus), so sweeps can
+//!   combine worker results or report per-phase deltas.
+//! * **Events** — a structured progress stream ([`emit`], or the
+//!   [`event!`]/[`info!`]/[`warn!`]/[`debug!`] macros) with `key=value`
+//!   fields and three sinks: human text on stderr, JSON lines on stderr,
+//!   or quiet. Binaries map `--json`/`--quiet` onto [`init_events`].
+//!
+//! # Feature gate
+//!
+//! The metrics core is behind the `enabled` feature (downstream crates
+//! forward it as their `telemetry` feature). Without it, every metric type
+//! is an inlined zero-sized no-op with the *same API*: instrumented call
+//! sites compile unchanged, the optimizer deletes them, and the build
+//! contains no registry symbols. [`snapshot`] then returns an empty
+//! [`RegistrySnapshot`], so exporters keep working (they just report
+//! nothing). The event stream is *not* gated — it is cold-path operator
+//! output, not instrumentation.
+//!
+//! [`merge`]: RegistrySnapshot::merge
+
+#![warn(missing_docs)]
+
+mod event;
+mod render;
+
+pub use event::{
+    emit, events_json, events_quiet, init_events, set_min_level, FieldValue, Level, SinkMode,
+};
+pub use render::{HistogramSnapshot, RegistrySnapshot, METRICS_SCHEMA};
+
+#[cfg(feature = "enabled")]
+mod metrics;
+#[cfg(feature = "enabled")]
+mod registry;
+
+#[cfg(feature = "enabled")]
+pub use metrics::{Counter, Gauge, Histogram, SpanTimer, DEFAULT_LATENCY_BUCKETS};
+#[cfg(feature = "enabled")]
+pub use registry::{
+    counter, gauge, histogram, histogram_with, render_prometheus, snapshot, Registry,
+};
+
+#[cfg(not(feature = "enabled"))]
+mod noop;
+
+#[cfg(not(feature = "enabled"))]
+pub use noop::{
+    counter, gauge, histogram, histogram_with, render_prometheus, snapshot, Counter, Gauge,
+    Histogram, Registry, SpanTimer, DEFAULT_LATENCY_BUCKETS,
+};
+
+/// `true` when the metrics core is compiled in (the `enabled` feature).
+///
+/// Exporters use this to annotate reports whose metric sections are
+/// structurally present but necessarily empty.
+pub const fn metrics_enabled() -> bool {
+    cfg!(feature = "enabled")
+}

@@ -1,0 +1,180 @@
+//! Zero-cost stand-ins compiled when the `enabled` feature is off.
+//!
+//! Every type mirrors the real API exactly so instrumented call sites need
+//! no `cfg`. All methods are inlined empty bodies over zero-sized types:
+//! the optimizer deletes the calls, and the build carries no registry
+//! state. [`snapshot`] returns an empty [`RegistrySnapshot`] so exporters
+//! keep producing (empty but schema-valid) output.
+
+use crate::render::RegistrySnapshot;
+
+/// Default histogram bounds (mirrors the enabled crate; unused here).
+pub const DEFAULT_LATENCY_BUCKETS: &[f64] = &[];
+
+/// No-op counter.
+#[derive(Debug, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn inc(&self) {}
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+    /// Always zero.
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op gauge.
+#[derive(Debug, Default)]
+pub struct Gauge;
+
+impl Gauge {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn set(&self, _v: f64) {}
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&self, _delta: f64) {}
+    /// Does nothing.
+    #[inline(always)]
+    pub fn set_min(&self, _v: f64) {}
+    /// Always zero.
+    #[inline(always)]
+    pub fn get(&self) -> f64 {
+        0.0
+    }
+}
+
+/// No-op histogram.
+#[derive(Debug, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn observe(&self, _v: f64) {}
+    /// A timer that records nothing (and never reads the clock).
+    #[inline(always)]
+    pub fn start_timer(&'static self) -> SpanTimer {
+        SpanTimer
+    }
+    /// Always empty.
+    #[inline(always)]
+    pub fn bounds(&self) -> &[f64] {
+        &[]
+    }
+    /// Always zero.
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        0
+    }
+    /// Always zero.
+    #[inline(always)]
+    pub fn sum(&self) -> f64 {
+        0.0
+    }
+    /// Always empty.
+    #[inline(always)]
+    pub fn snapshot(&self) -> crate::HistogramSnapshot {
+        crate::HistogramSnapshot::default()
+    }
+}
+
+/// No-op span timer (zero-sized, clock never read).
+#[derive(Debug)]
+pub struct SpanTimer;
+
+impl SpanTimer {
+    /// Always zero.
+    #[inline(always)]
+    pub fn stop(self) -> f64 {
+        0.0
+    }
+}
+
+/// No-op registry.
+#[derive(Debug, Default)]
+pub struct Registry;
+
+static NOOP_COUNTER: Counter = Counter;
+static NOOP_GAUGE: Gauge = Gauge;
+static NOOP_HISTOGRAM: Histogram = Histogram;
+static NOOP_REGISTRY: Registry = Registry;
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Registry
+    }
+    /// The process-global (no-op) registry.
+    #[inline(always)]
+    pub fn global() -> &'static Registry {
+        &NOOP_REGISTRY
+    }
+    /// The shared no-op counter.
+    #[inline(always)]
+    pub fn counter(&self, _name: &'static str) -> &'static Counter {
+        &NOOP_COUNTER
+    }
+    /// The shared no-op gauge.
+    #[inline(always)]
+    pub fn gauge(&self, _name: &'static str) -> &'static Gauge {
+        &NOOP_GAUGE
+    }
+    /// The shared no-op histogram.
+    #[inline(always)]
+    pub fn histogram(&self, _name: &'static str) -> &'static Histogram {
+        &NOOP_HISTOGRAM
+    }
+    /// The shared no-op histogram.
+    #[inline(always)]
+    pub fn histogram_with(&self, _name: &'static str, _bounds: &[f64]) -> &'static Histogram {
+        &NOOP_HISTOGRAM
+    }
+    /// Always empty.
+    #[inline(always)]
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot::default()
+    }
+}
+
+/// The shared no-op counter.
+#[inline(always)]
+pub fn counter(_name: &'static str) -> &'static Counter {
+    &NOOP_COUNTER
+}
+
+/// The shared no-op gauge.
+#[inline(always)]
+pub fn gauge(_name: &'static str) -> &'static Gauge {
+    &NOOP_GAUGE
+}
+
+/// The shared no-op histogram.
+#[inline(always)]
+pub fn histogram(_name: &'static str) -> &'static Histogram {
+    &NOOP_HISTOGRAM
+}
+
+/// The shared no-op histogram.
+#[inline(always)]
+pub fn histogram_with(_name: &'static str, _bounds: &[f64]) -> &'static Histogram {
+    &NOOP_HISTOGRAM
+}
+
+/// Always an empty snapshot.
+#[inline(always)]
+pub fn snapshot() -> RegistrySnapshot {
+    RegistrySnapshot::default()
+}
+
+/// Always the empty exposition.
+#[inline(always)]
+pub fn render_prometheus() -> String {
+    String::new()
+}

@@ -19,6 +19,10 @@
 //!   consolidation algorithms (Algorithms 1 and 2).
 //! * [`alloc`] — allocation policies and the eight evaluation methods (Fig. 4).
 //! * [`experiments`] — harness regenerating every table and figure.
+//! * [`telemetry`] — counters, gauges, latency histograms and span timers
+//!   across the whole stack, with JSON and Prometheus export (on by
+//!   default; disable with `--no-default-features` for a zero-overhead
+//!   build).
 //!
 //! ## Quickstart
 //!
@@ -50,5 +54,6 @@ pub use coolopt_model as model;
 pub use coolopt_profiling as profiling;
 pub use coolopt_room as room;
 pub use coolopt_sim as sim;
+pub use coolopt_telemetry as telemetry;
 pub use coolopt_units as units;
 pub use coolopt_workload as workload;
