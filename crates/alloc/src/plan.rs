@@ -185,8 +185,10 @@ impl Planner {
     /// Returns [`PolicyError`] for unservable loads or infeasible
     /// temperature constraints.
     pub fn plan(&self, method: Method, total_load: f64) -> Result<AllocationPlan, PolicyError> {
+        let mut span = telemetry::span("plan").attr("load", total_load);
         let result = self.plan_impl(method, total_load);
         telemetry::counter("coolopt_plans_total").inc();
+        span.set_attr("ok", result.is_ok());
         if result.is_err() {
             telemetry::counter("coolopt_plan_failures_total").inc();
         }
@@ -345,7 +347,9 @@ impl Planner {
         if !(method.strategy == Strategy::Optimal && method.consolidation) {
             return loads.iter().map(|&l| self.plan(method, l)).collect();
         }
-        let _span = telemetry::histogram("coolopt_plan_batch_seconds").start_timer();
+        let _span = telemetry::span("plan_batch")
+            .attr("loads", loads.len())
+            .record_into("coolopt_plan_batch_seconds");
         let n = self.model.len();
         // Validate exactly as plan() does, batching only the valid,
         // positive loads.

@@ -773,8 +773,12 @@ impl ConsolidationIndex {
     /// Returns [`SolveError::DegenerateModel`] for empty input or
     /// non-positive speeds `b_i`.
     pub fn build(pairs: &[(f64, f64)]) -> Result<Self, SolveError> {
-        let _span = telemetry::histogram("coolopt_index_build_seconds").start_timer();
-        Ok(IndexBuilder::new(pairs)?.build())
+        let mut span = telemetry::span("index_build")
+            .attr("n", pairs.len())
+            .record_into("coolopt_index_build_seconds");
+        let index = IndexBuilder::new(pairs)?.build();
+        span.set_attr("orders", index.orders_seen);
+        Ok(index)
     }
 
     /// [`build`], constructed with one epoch range per thread.
@@ -787,8 +791,13 @@ impl ConsolidationIndex {
     /// [`build`]: ConsolidationIndex::build
     #[cfg(feature = "parallel")]
     pub fn build_parallel(pairs: &[(f64, f64)]) -> Result<Self, SolveError> {
-        let _span = telemetry::histogram("coolopt_index_build_seconds").start_timer();
-        Ok(IndexBuilder::new(pairs)?.build_parallel())
+        let mut span = telemetry::span("index_build")
+            .attr("n", pairs.len())
+            .attr("mode", "parallel")
+            .record_into("coolopt_index_build_seconds");
+        let index = IndexBuilder::new(pairs)?.build_parallel();
+        span.set_attr("orders", index.orders_seen);
+        Ok(index)
     }
 
     /// The paper's literal `O(n³)` construction — the from-scratch oracle.
@@ -800,8 +809,13 @@ impl ConsolidationIndex {
     ///
     /// [`build`]: ConsolidationIndex::build
     pub fn build_dense(pairs: &[(f64, f64)]) -> Result<Self, SolveError> {
-        let _span = telemetry::histogram("coolopt_index_build_seconds").start_timer();
-        Ok(IndexBuilder::new(pairs)?.build_dense())
+        let mut span = telemetry::span("index_build")
+            .attr("n", pairs.len())
+            .attr("mode", "dense")
+            .record_into("coolopt_index_build_seconds");
+        let index = IndexBuilder::new(pairs)?.build_dense();
+        span.set_attr("orders", index.orders_seen);
+        Ok(index)
     }
 
     /// How many times any index has been built in this process. The
@@ -881,7 +895,9 @@ impl ConsolidationIndex {
                 max: self.len() as f64,
             });
         }
-        let _span = telemetry::histogram("coolopt_index_query_seconds").start_timer();
+        let _span = telemetry::span("index_query")
+            .attr("load", total_load)
+            .record_into("coolopt_index_query_seconds");
         let ctx = QueryCtx {
             terms,
             total_load,
@@ -942,7 +958,9 @@ impl ConsolidationIndex {
                 });
             }
         }
-        let _span = telemetry::histogram("coolopt_index_batch_seconds").start_timer();
+        let _span = telemetry::span("index_query_batch")
+            .attr("loads", loads.len())
+            .record_into("coolopt_index_batch_seconds");
         let n = self.len();
         let ctx_covers = capacity_model.is_none_or(|m| m.len() >= n);
         let mut stats = QueryStats::default();

@@ -165,18 +165,23 @@ impl SnapshotCell {
                 return Ok(current);
             }
         }
-        let built = build()?;
+        let built = {
+            let _span = telemetry::span("snapshot_build");
+            build()?
+        };
         assert_eq!(
             built.fingerprint(),
             fingerprint,
             "builder produced a snapshot for a different fingerprint"
         );
         telemetry::counter("coolopt_snapshot_builds_total").inc();
+        let mut swap_span = telemetry::span("snapshot_swap");
         let mut slot = self.current.lock().expect("snapshot cell poisoned");
         if let Some(current) = slot.as_ref() {
             if current.fingerprint() == fingerprint {
                 // Racer won; drop our build.
                 telemetry::counter("coolopt_snapshot_races_lost_total").inc();
+                swap_span.set_attr("race_lost", true);
                 return Ok(Arc::clone(current));
             }
         }
@@ -184,6 +189,8 @@ impl SnapshotCell {
         let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
         telemetry::counter("coolopt_snapshot_swaps_total").inc();
         telemetry::gauge("coolopt_snapshot_generation").set(generation as f64);
+        drop(slot);
+        let _ = swap_span.attr("generation", generation).stop();
         Ok(built)
     }
 }

@@ -24,7 +24,9 @@ use coolopt_experiments::ablations::{
 };
 use coolopt_experiments::harness::scenario_planner;
 use coolopt_experiments::runtime::{run_load_trace_with, sinusoidal_trace, RuntimeOptions};
-use coolopt_experiments::{render_figure, RunReport, SweepOptions, Testbed, TraceSection};
+use coolopt_experiments::{
+    render_figure, HealthSection, RunReport, SweepOptions, Testbed, TraceSection,
+};
 use coolopt_telemetry::{self as telemetry, SinkMode};
 use coolopt_units::Seconds;
 use std::path::PathBuf;
@@ -213,6 +215,7 @@ fn main() {
     }
     let trace = sinusoidal_trace(machines, 0.15, 0.85, Seconds::new(14_400.0), 24);
     let mut report_trace: Option<TraceSection> = None;
+    let mut report_health: Option<HealthSection> = None;
     for (label, method) in [
         ("holistic #8 (replanned)", Method::numbered(8)),
         ("even #4 (replanned)", Method::numbered(4)),
@@ -230,6 +233,10 @@ fn main() {
         // The report carries the holistic run (the paper's method of record).
         if report_trace.is_none() {
             report_trace = Some(TraceSection::from_outcome(method.to_string(), &outcome));
+            report_health = outcome.health.clone().map(|report| HealthSection {
+                report,
+                drift_demo: None,
+            });
         }
         if show {
             println!(
@@ -251,6 +258,7 @@ fn main() {
         metrics: telemetry::snapshot(),
         trace: report_trace,
         replay: None,
+        health: report_health,
     };
     let path = report
         .write_to(&results_dir)
@@ -260,6 +268,16 @@ fn main() {
         "wrote run report",
         path = path.display().to_string()
     );
+    if telemetry::metrics_enabled() {
+        let trace_path = results_dir.join(format!("trace_{}.json", report.name));
+        std::fs::write(&trace_path, telemetry::flight_snapshot().to_chrome_json())
+            .expect("results dir is writable");
+        telemetry::info!(
+            "ablation",
+            "wrote chrome trace",
+            path = trace_path.display().to_string()
+        );
+    }
     if json {
         println!("{}", report.to_json());
     } else if !telemetry::events_quiet() {

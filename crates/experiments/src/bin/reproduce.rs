@@ -23,8 +23,9 @@ use coolopt_experiments::harness::scenario_planner;
 use coolopt_experiments::runtime::{run_load_trace_with, sinusoidal_trace, RuntimeOptions};
 use coolopt_experiments::{
     figures, render_figure, replay_trace_with, run_sweep, savings_summary, to_csv, FigureData,
-    ReplayOptions, ReplaySection, RunReport, SweepOptions, Testbed, TraceSection,
+    HealthSection, ReplayOptions, ReplaySection, RunReport, SweepOptions, Testbed, TraceSection,
 };
+use coolopt_sim::HealthConfig;
 use coolopt_telemetry::{self as telemetry, SinkMode};
 use coolopt_units::Seconds;
 use std::path::PathBuf;
@@ -224,6 +225,39 @@ fn main() {
     )
     .expect("analytic replay succeeds");
 
+    // --- model-health watchdog: stock verdict + drifted demo ----------------
+    // The stock trace above should report healthy residuals; a second, short
+    // trace with an injected 3 K model bias demonstrates that the drift
+    // detector actually trips when the fitted model goes stale.
+    let health = trace_outcome.health.clone().map(|report| {
+        let bias_kelvin = 8.0;
+        telemetry::info!(
+            "reproduce",
+            "running the drifted-model health demo",
+            bias_kelvin = bias_kelvin,
+        );
+        let demo_duration = Seconds::new(1_800.0);
+        let demo_trace = sinusoidal_trace(machines, 0.4, 0.6, demo_duration, 2);
+        let drift_options = RuntimeOptions {
+            health: HealthConfig {
+                inject_bias_kelvin: bias_kelvin,
+                ..HealthConfig::default()
+            },
+            ..RuntimeOptions::default()
+        };
+        let drift_demo = run_load_trace_with(
+            &planner,
+            &mut testbed,
+            trace_method,
+            &demo_trace,
+            demo_duration,
+            &drift_options,
+        )
+        .ok()
+        .and_then(|outcome| outcome.health);
+        HealthSection { report, drift_demo }
+    });
+
     let report = RunReport {
         name: if smoke {
             "reproduce_smoke"
@@ -242,6 +276,7 @@ fn main() {
             trace_method.to_string(),
             &replay_outcome,
         )),
+        health,
     };
     let path = report
         .write_to(&results_dir)
@@ -251,6 +286,19 @@ fn main() {
         "wrote run report",
         path = path.display().to_string()
     );
+    // Chrome-trace artifact: the flight recorder has captured the causal
+    // span tree of the whole run (sweep, trace, replan/step windows). Load
+    // the file in `chrome://tracing` or Perfetto.
+    if telemetry::metrics_enabled() {
+        let trace_path = results_dir.join(format!("trace_{}.json", report.name));
+        std::fs::write(&trace_path, telemetry::flight_snapshot().to_chrome_json())
+            .expect("results dir is writable");
+        telemetry::info!(
+            "reproduce",
+            "wrote chrome trace",
+            path = trace_path.display().to_string()
+        );
+    }
     if json {
         println!("{}", report.to_json());
     } else if !telemetry::events_quiet() {

@@ -111,7 +111,9 @@ pub fn run_method_with(
     load_percent: f64,
     options: &SweepOptions,
 ) -> Result<MethodRun, PolicyError> {
-    let _span = telemetry::histogram("coolopt_method_run_seconds").start_timer();
+    let _span = telemetry::span("method_run")
+        .attr("load_percent", load_percent)
+        .record_into("coolopt_method_run_seconds");
     telemetry::counter("coolopt_method_runs_total").inc();
     let plan = planner.plan(method, testbed.load_from_percent(load_percent))?;
 
@@ -333,12 +335,18 @@ fn collect_sweep(grid: &[(Method, f64)], results: Vec<Option<MethodRun>>) -> Swe
 /// skipped rather than failing the sweep; [`Sweep::get`] then returns
 /// `None` for them.
 pub fn run_sweep(testbed: &mut Testbed, methods: &[Method], options: &SweepOptions) -> Sweep {
-    let _span = telemetry::histogram("coolopt_sweep_seconds").start_timer();
+    let _span = telemetry::span("sweep")
+        .attr("methods", methods.len())
+        .record_into("coolopt_sweep_seconds");
+    // Scenario spans on worker threads parent on the sweep explicitly —
+    // the thread-local stack does not cross threads.
+    let sweep_id = _span.id();
     let planner = scenario_planner(testbed, options);
     let grid = sweep_grid(methods, options);
     let scenarios: Vec<(Method, f64, Testbed)> =
         grid.iter().map(|&(m, p)| (m, p, testbed.clone())).collect();
     let results = par_map_ordered(scenarios, |(method, percent, mut tb)| {
+        let _scenario = telemetry::span_child_of("sweep_scenario", sweep_id);
         run_method_with(&planner, &mut tb, method, percent, options).ok()
     });
     let sweep = collect_sweep(&grid, results);

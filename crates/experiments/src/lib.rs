@@ -49,6 +49,6 @@ pub use harness::{
 };
 pub use replay::{replay_trace, replay_trace_with, ReplayEngine, ReplayOptions, ReplayOutcome};
 pub use report::{render_figure, to_csv};
-pub use run_report::{ReplaySection, RunReport, TraceSection, RUN_REPORT_SCHEMA};
+pub use run_report::{HealthSection, ReplaySection, RunReport, TraceSection, RUN_REPORT_SCHEMA};
 pub use savings::{savings_summary, SavingsSummary};
 pub use testbed::Testbed;

@@ -15,6 +15,7 @@
 
 use crate::replay::ReplayOutcome;
 use crate::runtime::TraceOutcome;
+use coolopt_sim::HealthReport;
 use coolopt_telemetry::RegistrySnapshot;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -38,6 +39,21 @@ pub struct RunReport {
     pub trace: Option<TraceSection>,
     /// Analytic-replay observables, when the run replayed a trace.
     pub replay: Option<ReplaySection>,
+    /// Model-health watchdog verdicts, when the run drove a trace with
+    /// telemetry compiled in.
+    pub health: Option<HealthSection>,
+}
+
+/// Model-health observables of a run: the production verdict plus an
+/// optional fault-injected control scenario.
+#[derive(Debug, Clone, Default)]
+pub struct HealthSection {
+    /// The watchdog's verdict over the run's main trace.
+    pub report: HealthReport,
+    /// Verdict of the artificially drifted control scenario (a short
+    /// re-run with a residual bias injected), demonstrating that the
+    /// detector actually trips; `None` when the demo was skipped.
+    pub drift_demo: Option<HealthReport>,
 }
 
 /// Run-level observables of an online replanning trace.
@@ -151,6 +167,39 @@ fn push_f64_field(out: &mut String, value: f64) {
     }
 }
 
+fn push_health_report(out: &mut String, report: &HealthReport) {
+    let _ = write!(out, "{{\"samples\":{}", report.samples);
+    let _ = write!(out, ",\"drifted\":{}", report.drifted);
+    let _ = write!(out, ",\"healthy\":{}", report.healthy());
+    out.push_str(",\"worst_level\":");
+    push_str_field(out, report.worst_level.as_str());
+    out.push_str(",\"closest_margin_kelvin\":");
+    push_f64_field(out, report.closest_margin_kelvin);
+    out.push_str(",\"closest_margin_at_seconds\":");
+    push_f64_field(out, report.closest_margin_at_seconds);
+    out.push_str(",\"recommended_guard_kelvin\":");
+    push_f64_field(out, report.recommended_guard_kelvin);
+    out.push_str(",\"machines\":[");
+    for (i, m) in report.machines.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"machine\":{},\"samples\":{}", m.machine, m.samples);
+        out.push_str(",\"mean_residual_kelvin\":");
+        push_f64_field(out, m.mean_residual_kelvin);
+        out.push_str(",\"std_residual_kelvin\":");
+        push_f64_field(out, m.std_residual_kelvin);
+        out.push_str(",\"ewma_residual_kelvin\":");
+        push_f64_field(out, m.ewma_residual_kelvin);
+        out.push_str(",\"peak_abs_ewma_kelvin\":");
+        push_f64_field(out, m.peak_abs_ewma_kelvin);
+        out.push_str(",\"max_abs_residual_kelvin\":");
+        push_f64_field(out, m.max_abs_residual_kelvin);
+        let _ = write!(out, ",\"drifted\":{}}}", m.drifted);
+    }
+    out.push_str("]}");
+}
+
 impl RunReport {
     /// Renders the report as its schema-stable JSON document.
     pub fn to_json(&self) -> String {
@@ -218,6 +267,20 @@ impl RunReport {
                 out.push('}');
             }
         }
+        out.push_str(",\"health\":");
+        match &self.health {
+            None => out.push_str("null"),
+            Some(h) => {
+                out.push_str("{\"report\":");
+                push_health_report(&mut out, &h.report);
+                out.push_str(",\"drift_demo\":");
+                match &h.drift_demo {
+                    None => out.push_str("null"),
+                    Some(demo) => push_health_report(&mut out, demo),
+                }
+                out.push('}');
+            }
+        }
         out.push('}');
         out
     }
@@ -271,6 +334,42 @@ impl RunReport {
                 hit_rate,
             );
         }
+        if let Some(h) = &self.health {
+            let r = &h.report;
+            let margin = if r.closest_margin_kelvin.is_finite() {
+                format!(
+                    "{:.2} K @ {:.0} s",
+                    r.closest_margin_kelvin, r.closest_margin_at_seconds
+                )
+            } else {
+                "n/a".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "health: {} ({} residual samples, {} machines), drift {}, \
+                 closest T_max margin {margin} (worst level {}), recommended guard {:.2} K",
+                if r.healthy() { "healthy" } else { "UNHEALTHY" },
+                r.samples,
+                r.machines.len(),
+                if r.drifted { "DETECTED" } else { "none" },
+                r.worst_level.as_str(),
+                r.recommended_guard_kelvin,
+            );
+            if let Some(demo) = &h.drift_demo {
+                let _ = writeln!(
+                    out,
+                    "health drift demo: injected bias {} the detector \
+                     ({} samples, final worst level {})",
+                    if demo.drifted {
+                        "TRIPPED"
+                    } else {
+                        "DID NOT TRIP"
+                    },
+                    demo.samples,
+                    demo.worst_level.as_str(),
+                );
+            }
+        }
         out.push_str(&self.metrics.render_table());
         out
     }
@@ -304,6 +403,31 @@ mod tests {
                 propagators_built: 2,
                 propagator_hits: 18,
             }),
+            health: Some(HealthSection {
+                report: HealthReport {
+                    samples: 40,
+                    machines: vec![coolopt_sim::MachineHealth {
+                        machine: 0,
+                        samples: 40,
+                        mean_residual_kelvin: 0.2,
+                        std_residual_kelvin: 0.1,
+                        ewma_residual_kelvin: 0.25,
+                        peak_abs_ewma_kelvin: 0.3,
+                        max_abs_residual_kelvin: 0.6,
+                        drifted: false,
+                    }],
+                    drifted: false,
+                    closest_margin_kelvin: 4.5,
+                    closest_margin_at_seconds: 120.0,
+                    worst_level: coolopt_sim::MarginLevel::Ok,
+                    recommended_guard_kelvin: 0.4,
+                },
+                drift_demo: Some(HealthReport {
+                    samples: 20,
+                    drifted: true,
+                    ..HealthReport::default()
+                }),
+            }),
         }
     }
 
@@ -319,6 +443,25 @@ mod tests {
         assert!(json.contains("\"segments\":[{\"start_seconds\":0.0"));
         assert!(json.contains("\"propagators_built\":2"));
         assert!(json.contains("\"cache_hit_rate\":0.9"));
+        assert!(json.contains("\"health\":{\"report\":{\"samples\":40"));
+        assert!(json.contains("\"worst_level\":\"ok\""));
+        assert!(json.contains("\"recommended_guard_kelvin\":0.4"));
+        assert!(json.contains("\"drift_demo\":{\"samples\":20,\"drifted\":true"));
+    }
+
+    #[test]
+    fn health_section_renders_verdicts() {
+        let table = sample().render_table();
+        assert!(table.contains("health: healthy"), "{table}");
+        assert!(table.contains("drift none"), "{table}");
+        assert!(
+            table.contains("drift demo: injected bias TRIPPED"),
+            "{table}"
+        );
+        let mut report = sample();
+        report.health = None;
+        assert!(!report.render_table().contains("health:"));
+        assert!(report.to_json().contains("\"health\":null"));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::testbed::Testbed;
 use coolopt_alloc::{AllocationPlan, Method, Planner, PolicyError};
-use coolopt_sim::{SoaRecorder, TimeSeries};
+use coolopt_sim::{HealthConfig, HealthReport, ModelHealthMonitor, SoaRecorder, TimeSeries};
 use coolopt_telemetry as telemetry;
 use coolopt_units::{Joules, Seconds, TempDelta, Watts};
 use serde::{Deserialize, Serialize};
@@ -84,6 +84,11 @@ pub struct RuntimeOptions {
     pub guard: TempDelta,
     /// Record the power series at this granularity.
     pub record_every: Seconds,
+    /// Model-health watchdog tuning (residual drift detection and
+    /// `T_max`-margin monitoring). Residual samples are taken at the
+    /// [`record_every`](RuntimeOptions::record_every) cadence once the
+    /// plant has settled after a plan application.
+    pub health: HealthConfig,
 }
 
 impl Default for RuntimeOptions {
@@ -92,6 +97,7 @@ impl Default for RuntimeOptions {
             replan_interval: Seconds::new(900.0),
             guard: coolopt_alloc::plan::DEFAULT_GUARD,
             record_every: Seconds::new(10.0),
+            health: HealthConfig::default(),
         }
     }
 }
@@ -140,6 +146,10 @@ pub struct TraceOutcome {
     pub plan_failures: usize,
     /// Recorded total-power series.
     pub power_series: TimeSeries,
+    /// Model-health watchdog verdict (`None` when telemetry is compiled
+    /// out — the no-op monitor observes nothing).
+    #[serde(default)]
+    pub health: Option<HealthReport>,
 }
 
 /// Drives the testbed's room through `trace` under `method`, replanning
@@ -197,6 +207,12 @@ pub fn run_load_trace_with(
     );
 
     let t_max = testbed.profile.model.t_max();
+    let model = &testbed.profile.model;
+    let machines = model.len();
+    let mut trace_span = telemetry::span("trace_run")
+        .attr("machines", machines)
+        .attr("plateaus", trace.len())
+        .record_into("coolopt_trace_run_seconds");
 
     // Every plan the controller can ever request is a plan for one of the
     // trace's demand plateaus, and plans are deterministic — so solve the
@@ -228,10 +244,35 @@ pub fn run_load_trace_with(
         room.set_set_point(plan.set_point);
     };
 
+    // Eq. 8 predicts the steady-state CPU temperature each applied plan
+    // commits to; the watchdog compares those predictions against the
+    // simulated plant once it has settled. Predictions are constant per
+    // plan, so they are recomputed only on application (NaN for machines
+    // the plan leaves off — Eq. 8 does not describe a powered-down box).
+    let predict = |plan: &AllocationPlan| -> Vec<f64> {
+        let mut p = vec![f64::NAN; machines];
+        for &i in &plan.on {
+            p[i] = model
+                .predict_cpu_temp(i, plan.loads[i], plan.t_ac_target)
+                .as_kelvin();
+        }
+        p
+    };
+    let mut health = ModelHealthMonitor::new(machines, options.health);
+    let settle = health.settle();
+
     let mut replans = 0usize;
     let mut plan_failures = 0usize;
-    let mut current = plan_for(trace[0].load)?;
-    apply(&mut testbed.room, &current);
+    let mut current = {
+        let _replan_span = telemetry::span("replan")
+            .attr("at_seconds", 0.0)
+            .attr("demand", trace[0].load);
+        let plan = plan_for(trace[0].load)?;
+        apply(&mut testbed.room, &plan);
+        plan
+    };
+    let mut predicted = predict(&current);
+    let mut last_apply = Seconds::ZERO;
     replans += 1;
 
     let dt = testbed.room.config().dt;
@@ -256,8 +297,19 @@ pub fn run_load_trace_with(
         .round()
         .max(1.0) as usize;
     let mut recorder = SoaRecorder::new(1, every, steps / every + 1);
+    // One span covers each run of uninterrupted sim steps between replans,
+    // so the trace shows plan → replan → step causality without emitting a
+    // record per step (which would flush everything else out of the ring).
+    let mut window: Option<telemetry::Span> = None;
+    let mut window_steps: u64 = 0;
+    let close_window = |window: &mut Option<telemetry::Span>, window_steps: &mut u64| {
+        if let Some(mut w) = window.take() {
+            w.set_attr("steps", *window_steps);
+        }
+        *window_steps = 0;
+    };
 
-    for _ in 0..steps {
+    for k in 0..steps {
         let now = testbed.room.now() - t0;
 
         // Demand changes take effect immediately and force a replan.
@@ -271,19 +323,33 @@ pub fn run_load_trace_with(
         let demand = trace[trace_idx].load;
 
         if demand_changed || now.as_secs_f64() >= next_replan.as_secs_f64() {
+            close_window(&mut window, &mut window_steps);
+            let mut replan_span = telemetry::span("replan")
+                .attr("at_seconds", now.as_secs_f64())
+                .attr("demand", demand);
             match plan_for(demand) {
                 Ok(plan) => {
                     apply(&mut testbed.room, &plan);
                     current = plan;
+                    predicted = predict(&current);
+                    last_apply = now;
                     replans += 1;
+                    replan_span.set_attr("ok", true);
                 }
-                Err(_) => plan_failures += 1,
+                Err(_) => {
+                    plan_failures += 1;
+                    replan_span.set_attr("ok", false);
+                }
             }
             next_replan = now + options.replan_interval;
         }
         let _ = &current; // current is retained for inspection/debugging
 
+        if window.is_none() {
+            window = Some(telemetry::span("sim_steps").attr("at_seconds", now.as_secs_f64()));
+        }
         testbed.room.step();
+        window_steps += 1;
 
         let p = testbed.room.total_power();
         let pc = testbed.room.computing_power();
@@ -311,8 +377,28 @@ pub fn run_load_trace_with(
             violation_seconds += dt.as_secs_f64();
         }
         min_margin_kelvin = min_margin_kelvin.min(t_max.as_kelvin() - hottest);
+        // The watchdog skips the settle window after each plan
+        // application: the margin monitor would otherwise escalate on the
+        // inherited startup state / replan transients (min_margin_kelvin
+        // above still records those), and Eq. 8 predicts steady state, so
+        // unsettled residuals would false-trip the drift detector.
+        let settled = (now - last_apply).as_secs_f64() >= settle.as_secs_f64();
+        if settled {
+            health.observe_margin(now, t_max.as_kelvin() - hottest);
+        }
+        // Residual samples additionally follow the recorder cadence.
+        if telemetry::metrics_enabled() && settled && k % every == 0 {
+            for (i, s) in testbed.room.servers().iter().enumerate() {
+                let pred = predicted[i];
+                if s.is_on() && pred.is_finite() {
+                    health.observe_residual(i, pred - s.cpu_temp().as_kelvin());
+                }
+            }
+        }
         recorder.offer(now, &[p.as_watts()]);
     }
+    close_window(&mut window, &mut window_steps);
+    trace_span.set_attr("replans", replans);
 
     telemetry::counter("coolopt_replans_total").add(replans as u64);
     telemetry::counter("coolopt_replan_failures_total").add(plan_failures as u64);
@@ -347,6 +433,7 @@ pub fn run_load_trace_with(
         replans,
         plan_failures,
         power_series: recorder.to_series(0),
+        health: health.finish(),
     })
 }
 

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod health;
 pub mod linear;
 pub mod noise;
 pub mod ode;
@@ -54,6 +55,7 @@ pub mod steady;
 pub mod trace;
 
 pub use clock::SimClock;
+pub use health::{HealthConfig, HealthReport, MachineHealth, MarginLevel, ModelHealthMonitor};
 pub use linear::{LinearDynamics, LinearOde, Propagator, PropagatorCache};
 pub use noise::{GaussianNoise, OrnsteinUhlenbeck};
 pub use ode::{Dynamics, ForwardEuler, Integrator, Rk4};

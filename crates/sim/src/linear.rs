@@ -401,6 +401,9 @@ impl PropagatorCache {
             std::collections::hash_map::Entry::Vacant(slot) => {
                 self.builds += 1;
                 telemetry::counter("coolopt_propagator_cache_builds_total").inc();
+                let _span = telemetry::span("propagator_build")
+                    .attr("dim", sys.dim())
+                    .attr("h_seconds", h.as_secs_f64());
                 slot.insert(Propagator::new(sys, h))
             }
         }

@@ -38,22 +38,33 @@
 
 mod event;
 mod render;
+mod tracefmt;
 
 pub use event::{
     emit, events_json, events_quiet, init_events, set_min_level, FieldValue, Level, SinkMode,
 };
-pub use render::{HistogramSnapshot, RegistrySnapshot, METRICS_SCHEMA};
+pub use render::{
+    escape_prom_help, escape_prom_label_value, HistogramSnapshot, RegistrySnapshot, METRICS_SCHEMA,
+};
+pub use tracefmt::{Attr, RecordKind, TraceRecord, TraceSnapshot};
 
 #[cfg(feature = "enabled")]
 mod metrics;
 #[cfg(feature = "enabled")]
 mod registry;
+#[cfg(feature = "enabled")]
+mod tracing;
 
 #[cfg(feature = "enabled")]
 pub use metrics::{Counter, Gauge, Histogram, SpanTimer, DEFAULT_LATENCY_BUCKETS};
 #[cfg(feature = "enabled")]
 pub use registry::{
-    counter, gauge, histogram, histogram_with, render_prometheus, snapshot, Registry,
+    counter, describe, gauge, histogram, histogram_with, render_prometheus, snapshot, Registry,
+};
+#[cfg(feature = "enabled")]
+pub use tracing::{
+    current_span_id, flight_snapshot, init_flight_recorder, reset_flight_recorder, span,
+    span_child_of, trace_instant, Span, DEFAULT_FLIGHT_CAPACITY, MAX_SPAN_ATTRS,
 };
 
 #[cfg(not(feature = "enabled"))]
@@ -61,9 +72,17 @@ mod noop;
 
 #[cfg(not(feature = "enabled"))]
 pub use noop::{
-    counter, gauge, histogram, histogram_with, render_prometheus, snapshot, Counter, Gauge,
-    Histogram, Registry, SpanTimer, DEFAULT_LATENCY_BUCKETS,
+    counter, current_span_id, describe, flight_snapshot, gauge, histogram, histogram_with,
+    init_flight_recorder, render_prometheus, reset_flight_recorder, snapshot, span, span_child_of,
+    trace_instant, Counter, Gauge, Histogram, Registry, Span, SpanTimer, DEFAULT_LATENCY_BUCKETS,
 };
+
+/// Flight-recorder default capacity mirror for the no-op build.
+#[cfg(not(feature = "enabled"))]
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 0;
+/// Span attribute capacity mirror for the no-op build.
+#[cfg(not(feature = "enabled"))]
+pub const MAX_SPAN_ATTRS: usize = 0;
 
 /// `true` when the metrics core is compiled in (the `enabled` feature).
 ///

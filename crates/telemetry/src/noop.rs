@@ -7,6 +7,7 @@
 //! keep producing (empty but schema-valid) output.
 
 use crate::render::RegistrySnapshot;
+use crate::tracefmt::{Attr, TraceSnapshot};
 
 /// Default histogram bounds (mirrors the enabled crate; unused here).
 pub const DEFAULT_LATENCY_BUCKETS: &[f64] = &[];
@@ -136,6 +137,9 @@ impl Registry {
     pub fn histogram_with(&self, _name: &'static str, _bounds: &[f64]) -> &'static Histogram {
         &NOOP_HISTOGRAM
     }
+    /// Does nothing.
+    #[inline(always)]
+    pub fn describe(&self, _name: &'static str, _help: &'static str) {}
     /// Always empty.
     #[inline(always)]
     pub fn snapshot(&self) -> RegistrySnapshot {
@@ -178,3 +182,76 @@ pub fn snapshot() -> RegistrySnapshot {
 pub fn render_prometheus() -> String {
     String::new()
 }
+
+/// Does nothing (help strings need a registry).
+#[inline(always)]
+pub fn describe(_name: &'static str, _help: &'static str) {}
+
+/// No-op causal span (zero-sized; the clock is never read and nothing is
+/// recorded).
+#[derive(Debug)]
+pub struct Span;
+
+impl Span {
+    /// Always zero.
+    #[inline(always)]
+    pub fn id(&self) -> u64 {
+        0
+    }
+    /// Does nothing.
+    #[inline(always)]
+    pub fn attr(self, _key: &'static str, _value: impl Into<Attr>) -> Self {
+        self
+    }
+    /// Does nothing.
+    #[inline(always)]
+    pub fn set_attr(&mut self, _key: &'static str, _value: impl Into<Attr>) {}
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record_into(self, _histogram: &'static str) -> Self {
+        self
+    }
+    /// Always zero.
+    #[inline(always)]
+    pub fn stop(self) -> f64 {
+        0.0
+    }
+}
+
+/// A span that records nothing.
+#[inline(always)]
+pub fn span(_name: &'static str) -> Span {
+    Span
+}
+
+/// A span that records nothing.
+#[inline(always)]
+pub fn span_child_of(_name: &'static str, _parent: u64) -> Span {
+    Span
+}
+
+/// Always zero (no span tree exists).
+#[inline(always)]
+pub fn current_span_id() -> u64 {
+    0
+}
+
+/// Does nothing.
+#[inline(always)]
+pub fn trace_instant(_name: &'static str, _attrs: &[(&'static str, Attr)]) {}
+
+/// Always an empty snapshot.
+#[inline(always)]
+pub fn flight_snapshot() -> TraceSnapshot {
+    TraceSnapshot::default()
+}
+
+/// Always `false` (there is no flight recorder to size).
+#[inline(always)]
+pub fn init_flight_recorder(_capacity: usize) -> bool {
+    false
+}
+
+/// Does nothing.
+#[inline(always)]
+pub fn reset_flight_recorder() {}

@@ -21,6 +21,7 @@ pub struct Registry {
     counters: RwLock<BTreeMap<&'static str, &'static Counter>>,
     gauges: RwLock<BTreeMap<&'static str, &'static Gauge>>,
     histograms: RwLock<BTreeMap<&'static str, &'static Histogram>>,
+    help: RwLock<BTreeMap<&'static str, &'static str>>,
 }
 
 static GLOBAL: Registry = Registry::new();
@@ -32,6 +33,7 @@ impl Registry {
             counters: RwLock::new(BTreeMap::new()),
             gauges: RwLock::new(BTreeMap::new()),
             histograms: RwLock::new(BTreeMap::new()),
+            help: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -99,6 +101,15 @@ impl Registry {
         h
     }
 
+    /// Attaches a help string to a metric name (rendered as a Prometheus
+    /// `# HELP` line, escaped by the exporter). Later calls overwrite.
+    pub fn describe(&self, name: &'static str, help: &'static str) {
+        self.help
+            .write()
+            .expect("registry poisoned")
+            .insert(name, help);
+    }
+
     /// Freezes every metric into plain data.
     pub fn snapshot(&self) -> RegistrySnapshot {
         RegistrySnapshot {
@@ -123,6 +134,13 @@ impl Registry {
                 .iter()
                 .map(|(&k, h)| (k.to_string(), h.snapshot()))
                 .collect(),
+            help: self
+                .help
+                .read()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v.to_string()))
+                .collect(),
         }
     }
 }
@@ -145,6 +163,11 @@ pub fn histogram(name: &'static str) -> &'static Histogram {
 /// [`Registry::histogram_with`] on the global registry.
 pub fn histogram_with(name: &'static str, bounds: &[f64]) -> &'static Histogram {
     Registry::global().histogram_with(name, bounds)
+}
+
+/// [`Registry::describe`] on the global registry.
+pub fn describe(name: &'static str, help: &'static str) {
+    Registry::global().describe(name, help)
 }
 
 /// [`Registry::snapshot`] of the global registry.

@@ -27,9 +27,16 @@ impl HistogramSnapshot {
     }
 
     /// Estimated quantile `q ∈ [0, 1]` by linear interpolation within the
-    /// winning bucket (Prometheus-style). `None` when empty.
+    /// winning bucket (Prometheus-style).
+    ///
+    /// Edge cases are pinned down rather than interpolated away: an empty
+    /// snapshot (or a `q` outside `[0, 1]`, including NaN) yields `None`;
+    /// a rank landing exactly on a bucket edge returns that edge itself
+    /// (no floating-point drift from `lower + width · 1.0`); and a rank in
+    /// the open-ended `+Inf` bucket reports the last *finite* bound — the
+    /// bucket has no width to interpolate into.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+        if self.count == 0 || self.counts.is_empty() || !(0.0..=1.0).contains(&q) {
             return None;
         }
         let rank = q * self.count as f64;
@@ -38,18 +45,24 @@ impl HistogramSnapshot {
             let next = seen + c;
             if (next as f64) >= rank && c > 0 {
                 let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
-                let upper = if i < self.bounds.len() {
-                    self.bounds[i]
-                } else {
-                    // The +Inf bucket has no width; report its lower edge.
+                if i >= self.bounds.len() {
+                    // The +Inf bucket is open-ended: report the last
+                    // finite bound instead of inventing a width.
                     return Some(lower);
-                };
+                }
+                let upper = self.bounds[i];
                 let frac = ((rank - seen as f64) / c as f64).clamp(0.0, 1.0);
-                return Some(lower + (upper - lower) * frac);
+                return Some(if frac >= 1.0 {
+                    upper
+                } else if frac <= 0.0 {
+                    lower
+                } else {
+                    lower + (upper - lower) * frac
+                });
             }
             seen = next;
         }
-        Some(*self.bounds.last()?)
+        self.bounds.last().copied()
     }
 
     /// Bucket-wise sum of two snapshots of the *same* metric.
@@ -106,6 +119,10 @@ pub struct RegistrySnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histograms by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Optional help strings by metric name (rendered as Prometheus
+    /// `# HELP` lines; deliberately *not* part of [`Self::to_json`], whose
+    /// schema is frozen at [`METRICS_SCHEMA`]).
+    pub help: BTreeMap<String, String>,
 }
 
 /// Schema tag of [`RegistrySnapshot::to_json`].
@@ -131,6 +148,9 @@ impl RegistrySnapshot {
         for (k, v) in &other.histograms {
             let merged = self.histograms.remove(k).unwrap_or_default().merge(v);
             self.histograms.insert(k.clone(), merged);
+        }
+        for (k, v) in &other.help {
+            self.help.insert(k.clone(), v.clone());
         }
         self
     }
@@ -216,24 +236,37 @@ impl RegistrySnapshot {
         out
     }
 
-    /// Prometheus text exposition (`# TYPE` lines, cumulative `le` buckets,
-    /// `_sum`/`_count` series).
+    /// Prometheus text exposition (`# HELP`/`# TYPE` lines, cumulative
+    /// `le` buckets, `_sum`/`_count` series). Help strings and label
+    /// values are escaped per the text-exposition spec.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
+        let help_line = |out: &mut String, name: &str| {
+            if let Some(help) = self.help.get(name) {
+                let _ = writeln!(out, "# HELP {name} {}", escape_prom_help(help));
+            }
+        };
         for (name, v) in &self.counters {
+            help_line(&mut out, name);
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {v}");
         }
         for (name, v) in &self.gauges {
+            help_line(&mut out, name);
             let _ = writeln!(out, "# TYPE {name} gauge");
             let _ = writeln!(out, "{name} {v}");
         }
         for (name, h) in &self.histograms {
+            help_line(&mut out, name);
             let _ = writeln!(out, "# TYPE {name} histogram");
             let mut cumulative = 0u64;
             for (&le, &count) in h.bounds.iter().zip(&h.counts) {
                 cumulative += count;
-                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                    escape_prom_label_value(&le.to_string())
+                );
             }
             let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
             let _ = writeln!(out, "{name}_sum {}", h.sum);
@@ -295,6 +328,36 @@ impl RegistrySnapshot {
         }
         out
     }
+}
+
+/// Escapes a Prometheus `# HELP` string per the text-exposition spec:
+/// backslash and line feed (`\` → `\\`, newline → `\n`).
+pub fn escape_prom_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a Prometheus label value per the text-exposition spec:
+/// backslash, line feed and double quote (`\` → `\\`, newline → `\n`,
+/// `"` → `\"`).
+pub fn escape_prom_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '"' => out.push_str("\\\""),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Appends a JSON string literal (quoted, escaped).

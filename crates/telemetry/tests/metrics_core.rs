@@ -292,3 +292,71 @@ fn merged_tables_render_every_section() {
         .render_table()
         .contains("telemetry disabled"));
 }
+
+#[test]
+fn quantile_edge_cases_are_pinned() {
+    // Empty snapshot and out-of-range/NaN q yield None.
+    assert_eq!(HistogramSnapshot::default().quantile(0.5), None);
+    let snap = HistogramSnapshot {
+        bounds: vec![1.0, 2.0],
+        counts: vec![10, 10, 0],
+        sum: 30.0,
+        count: 20,
+    };
+    assert_eq!(snap.quantile(-0.1), None);
+    assert_eq!(snap.quantile(1.1), None);
+    assert_eq!(snap.quantile(f64::NAN), None);
+    // A rank exactly on a bucket edge returns the edge itself, bit-exact.
+    assert_eq!(snap.quantile(0.5), Some(1.0));
+    assert_eq!(snap.quantile(1.0), Some(2.0));
+    // q = 0 sits at the lower edge of the first occupied bucket.
+    assert_eq!(snap.quantile(0.0), Some(0.0));
+    // Samples in the open-ended +Inf bucket report the last finite bound
+    // rather than interpolating into a bucket with no width.
+    let top_heavy = HistogramSnapshot {
+        bounds: vec![1.0, 2.0],
+        counts: vec![1, 0, 9],
+        sum: 100.0,
+        count: 10,
+    };
+    assert_eq!(top_heavy.quantile(0.99), Some(2.0));
+    assert_eq!(top_heavy.quantile(1.0), Some(2.0));
+}
+
+#[test]
+fn prometheus_exporter_escapes_help_and_label_values() {
+    use coolopt_telemetry::{escape_prom_help, escape_prom_label_value};
+    assert_eq!(
+        escape_prom_help("back\\slash\nnewline"),
+        "back\\\\slash\\nnewline"
+    );
+    assert_eq!(escape_prom_help("quote \" stays"), "quote \" stays");
+    assert_eq!(escape_prom_label_value("a\\b\nc\"d"), "a\\\\b\\nc\\\"d");
+    let mut snap = RegistrySnapshot::default();
+    snap.counters.insert("evil_total".into(), 1);
+    snap.help
+        .insert("evil_total".into(), "first line\nsecond \\ line".into());
+    let text = snap.render_prometheus();
+    assert!(
+        text.contains("# HELP evil_total first line\\nsecond \\\\ line"),
+        "{text}"
+    );
+    // The exposition stays one-line-per-entry: no raw newline leaked.
+    assert!(!text.contains("second \\ line\n# TYPE") || text.contains("\\nsecond"));
+}
+
+#[test]
+fn describe_surfaces_help_lines_in_the_exposition() {
+    let registry = Registry::new();
+    registry.counter("described_total").inc();
+    registry.describe("described_total", "what this counts");
+    let text = registry.snapshot().render_prometheus();
+    assert!(
+        text.contains("# HELP described_total what this counts"),
+        "{text}"
+    );
+    assert!(text.contains("# TYPE described_total counter"));
+    // Help strings must not leak into the schema-stable JSON document.
+    let json = registry.snapshot().to_json();
+    assert!(!json.contains("what this counts"));
+}

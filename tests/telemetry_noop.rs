@@ -1,0 +1,51 @@
+//! Tier-1 coverage of the `--no-default-features` build: every telemetry
+//! and watchdog entry point must still compile at the facade level and
+//! cost nothing — zero-sized handles, empty snapshots, `None` reports.
+//!
+//! Run with `cargo test --no-default-features --test telemetry_noop`.
+
+#![cfg(not(feature = "telemetry"))]
+
+use coolopt::sim::{HealthConfig, ModelHealthMonitor};
+use coolopt::telemetry;
+use coolopt::units::Seconds;
+
+#[test]
+fn noop_mirrors_are_zero_sized() {
+    assert!(!telemetry::metrics_enabled());
+    assert_eq!(std::mem::size_of::<telemetry::Span>(), 0);
+    assert_eq!(std::mem::size_of::<telemetry::SpanTimer>(), 0);
+    assert_eq!(std::mem::size_of::<ModelHealthMonitor>(), 0);
+}
+
+#[test]
+fn span_api_compiles_and_returns_nothing() {
+    let mut span = telemetry::span("noop").attr("k", 1u64);
+    span.set_attr("more", true);
+    assert_eq!(span.id(), 0);
+    let child = telemetry::span_child_of("child", span.id());
+    assert_eq!(child.stop(), 0.0);
+    assert_eq!(span.record_into("coolopt_unused_seconds").stop(), 0.0);
+    assert_eq!(telemetry::current_span_id(), 0);
+    telemetry::trace_instant("nothing", &[("k", telemetry::Attr::from(1u64))]);
+}
+
+#[test]
+fn flight_recorder_is_inert() {
+    assert!(!telemetry::init_flight_recorder(1024));
+    telemetry::reset_flight_recorder();
+    let snapshot = telemetry::flight_snapshot();
+    assert!(snapshot.records.is_empty());
+    assert_eq!(snapshot.dropped, 0);
+    // The exporters still produce valid, loadable (empty) documents.
+    assert!(snapshot.to_chrome_json().contains("\"traceEvents\":[]"));
+    assert_eq!(telemetry::DEFAULT_FLIGHT_CAPACITY, 0);
+}
+
+#[test]
+fn watchdog_observes_nothing_and_reports_none() {
+    let mut monitor = ModelHealthMonitor::new(20, HealthConfig::default());
+    monitor.observe_residual(0, 99.0);
+    monitor.observe_margin(Seconds::new(1.0), -5.0);
+    assert!(monitor.finish().is_none());
+}
