@@ -42,7 +42,7 @@ pub struct HeteroMachine {
 impl HeteroMachine {
     /// Load capacity of this machine at `t_ac` under `t_max` (clipped to
     /// `[0, 1]`).
-    fn cap(&self, t_ac: Temperature, t_max: Temperature) -> f64 {
+    pub(crate) fn cap(&self, t_ac: Temperature, t_max: Temperature) -> f64 {
         self.thermal
             .load_at_cap(t_max, t_ac, &self.power)
             .clamp(0.0, 1.0)
@@ -50,7 +50,7 @@ impl HeteroMachine {
 
     /// `true` when the machine cannot even idle at `t_ac` without breaching
     /// `t_max`.
-    fn overheats_idle(&self, t_ac: Temperature, t_max: Temperature) -> bool {
+    pub(crate) fn overheats_idle(&self, t_ac: Temperature, t_max: Temperature) -> bool {
         self.thermal.predict(t_ac, self.power.predict(0.0)) > t_max
     }
 }
@@ -75,6 +75,51 @@ impl HeteroSolution {
     }
 }
 
+/// The greedy transportation-LP fill shared by this solver and the
+/// multi-zone block solver ([`crate::zones`]): minimum `Σ w1_i·L_i` subject
+/// to `Σ L_i = load`, `0 ≤ L_i ≤ caps[i]`, filling in ascending `w1` order.
+/// Returns the loads and the marginal cost `Σ w1_i·L_i`; `None` when the
+/// caps cannot carry the load.
+pub(crate) fn greedy_fill(
+    machines: &[HeteroMachine],
+    order_by_w1: &[usize],
+    caps: &[f64],
+    load: f64,
+) -> Option<(Vec<f64>, f64)> {
+    let mut loads = vec![0.0; machines.len()];
+    let mut remaining = load;
+    let mut cost = 0.0;
+    for &i in order_by_w1 {
+        if remaining <= 0.0 {
+            break;
+        }
+        let take = remaining.min(caps[i]);
+        loads[i] = take;
+        cost += machines[i].power.w1().as_watts() * take;
+        remaining -= take;
+    }
+    if remaining > 1e-9 {
+        return None;
+    }
+    Some((loads, cost))
+}
+
+/// Ascending-`w1` fill order (ties broken by index, so results are
+/// deterministic across identical machines).
+pub(crate) fn w1_order(machines: &[HeteroMachine]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..machines.len()).collect();
+    order.sort_by(|&i, &j| {
+        machines[i]
+            .power
+            .w1()
+            .as_watts()
+            .partial_cmp(&machines[j].power.w1().as_watts())
+            .expect("finite coefficients")
+            .then(i.cmp(&j))
+    });
+    order
+}
+
 /// Minimum computing power to serve `load` at a fixed `t_ac`, by greedy
 /// filling in ascending `w1` order; `None` when infeasible.
 fn min_computing_at(
@@ -87,23 +132,8 @@ fn min_computing_at(
     if machines.iter().any(|m| m.overheats_idle(t_ac, t_max)) {
         return None; // some machine cannot even be on at this temperature
     }
-    let mut loads = vec![0.0; machines.len()];
-    let mut remaining = load;
-    let mut cost = 0.0;
-    for &i in order_by_w1 {
-        if remaining <= 0.0 {
-            break;
-        }
-        let cap = machines[i].cap(t_ac, t_max);
-        let take = remaining.min(cap);
-        loads[i] = take;
-        cost += machines[i].power.w1().as_watts() * take;
-        remaining -= take;
-    }
-    if remaining > 1e-9 {
-        return None;
-    }
-    Some((loads, cost))
+    let caps: Vec<f64> = machines.iter().map(|m| m.cap(t_ac, t_max)).collect();
+    greedy_fill(machines, order_by_w1, &caps, load)
 }
 
 /// Solves the heterogeneous joint problem: loads and `T_ac` minimizing
@@ -136,16 +166,7 @@ pub fn optimal_allocation_hetero(
         });
     }
 
-    let mut order_by_w1: Vec<usize> = (0..n).collect();
-    order_by_w1.sort_by(|&i, &j| {
-        machines[i]
-            .power
-            .w1()
-            .as_watts()
-            .partial_cmp(&machines[j].power.w1().as_watts())
-            .expect("finite coefficients")
-            .then(i.cmp(&j))
-    });
+    let order_by_w1 = w1_order(machines);
 
     // Admissible T_ac range: [0 K, warmest at which every machine may idle],
     // additionally clipped by the actuator ceiling.

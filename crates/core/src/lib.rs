@@ -42,6 +42,7 @@ pub mod index;
 pub mod particles;
 pub mod predict;
 pub mod snapshot;
+pub mod zones;
 
 pub use closed_form::{
     loads_for_t_ac, optimal_allocation, optimal_allocation_clamped, ClosedFormSolution,
@@ -52,6 +53,7 @@ pub use index::{Consolidation, ConsolidationIndex, IndexBuilder, ModelFingerprin
 pub use particles::{Event, OrderSnapshot, ParticleSystem};
 pub use predict::{consolidated_power, PowerBreakdown};
 pub use snapshot::{IndexSnapshot, SnapshotCell};
+pub use zones::{solve_zones, solve_zones_uniform, Zone, ZoneSolution, ZoneSystem};
 
 use coolopt_model::RoomModel;
 

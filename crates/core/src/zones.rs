@@ -1,0 +1,933 @@
+//! Per-zone cooling optimization — the block-structured generalization of
+//! the paper's Eqs. 21/22 to rooms with several CRAC units.
+//!
+//! A [`ZoneSystem`] partitions the machines into zones, each with its own
+//! [`CoolingModel`] (one per CRAC), and couples them through a row-stochastic
+//! matrix: the effective supply temperature zone `z`'s machines see is
+//!
+//! ```text
+//! T_eff_z = Σ_u coupling[z][u] · T_ac_u
+//! ```
+//!
+//! which captures both overlapping supply streams (two CRACs feeding one
+//! aisle) and first-order cross-zone recirculation. Three regimes:
+//!
+//! * **Thermally decoupled** (`coupling` is the identity) with a shared
+//!   power model per zone: each zone is exactly the paper's problem, solved
+//!   in closed form ([`crate::closed_form::optimal_allocation_clamped`],
+//!   Eqs. 21/22); only the load *split* across zones needs searching, which
+//!   pairwise convex transfers handle. With a single zone this **is** the
+//!   paper's closed form, bit for bit (delegation, verified by tests).
+//! * **Coupled** (off-diagonal mass): block coordinate descent over the
+//!   `T_ac` vector. For a fixed vector the optimal loads are the same greedy
+//!   transportation-LP fill the heterogeneous solver uses
+//!   ([`crate::hetero`], shared code); each coordinate step is a convex
+//!   1-D minimization (LP value is convex in the caps, caps are affine in
+//!   `T_ac_z`), solved by feasibility bisection + ternary search.
+//! * **Uniform baseline** ([`solve_zones_uniform`]): the best *single*
+//!   global `T_ac`, i.e. the constrained version every single-CRAC planner
+//!   is limited to. Because the coupling rows sum to one, a uniform vector
+//!   makes every `T_eff_z` equal, so this reduces exactly to the
+//!   heterogeneous single-zone problem with the summed cooling model.
+//!
+//! [`solve_zones`] initializes the descent *from* the uniform optimum and
+//! only ever accepts improvements, so its predicted total is never worse
+//! than the baseline's — the per-zone planner strictly wins whenever the
+//! zones are genuinely asymmetric.
+
+use crate::error::SolveError;
+use crate::hetero::{greedy_fill, w1_order, HeteroMachine};
+use coolopt_model::{CoolingModel, PowerModel, RoomModel, ThermalModel};
+use coolopt_units::{Temperature, Watts};
+use serde::{Deserialize, Serialize};
+
+/// One zone: its machines (all powered ON; consolidation across zones is a
+/// caller-side extension, as in [`crate::hetero`]), the declared cooling
+/// model of its CRAC, and the CRAC's actuator ceiling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Zone {
+    /// The zone's machines, rack order.
+    pub machines: Vec<HeteroMachine>,
+    /// Declared cooling model of the zone's CRAC (Eq. 10).
+    pub cooling: CoolingModel,
+    /// Warmest commandable supply temperature, if any.
+    pub t_ac_cap: Option<Temperature>,
+}
+
+/// A multi-zone, multi-CRAC planning problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZoneSystem {
+    zones: Vec<Zone>,
+    coupling: Vec<Vec<f64>>,
+    t_max: Temperature,
+}
+
+/// The planner's answer: one supply temperature per CRAC and per-machine
+/// loads per zone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZoneSolution {
+    /// Chosen supply temperature of each CRAC, zone order.
+    pub t_ac: Vec<Temperature>,
+    /// Per-zone, per-machine load fractions.
+    pub loads: Vec<Vec<f64>>,
+    /// Predicted computing power.
+    pub computing: Watts,
+    /// Predicted cooling power (sum over CRACs).
+    pub cooling: Watts,
+}
+
+impl ZoneSolution {
+    /// Predicted total power.
+    pub fn total(&self) -> Watts {
+        self.computing + self.cooling
+    }
+
+    /// Total load assigned to each zone.
+    pub fn zone_loads(&self) -> Vec<f64> {
+        self.loads.iter().map(|l| l.iter().sum()).collect()
+    }
+}
+
+impl ZoneSystem {
+    /// Assembles and validates a system.
+    ///
+    /// `coupling` must be square over the zones with non-negative entries
+    /// and rows summing to 1 (a convex mixture of supply streams).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DegenerateModel`] describing the first violated
+    /// rule.
+    pub fn new(
+        zones: Vec<Zone>,
+        coupling: Vec<Vec<f64>>,
+        t_max: Temperature,
+    ) -> Result<Self, SolveError> {
+        let fail = |what: String| Err(SolveError::DegenerateModel { what });
+        if zones.is_empty() {
+            return fail("a zone system needs at least one zone".into());
+        }
+        if zones.iter().any(|z| z.machines.is_empty()) {
+            return fail("every zone needs at least one machine".into());
+        }
+        let n = zones.len();
+        if coupling.len() != n {
+            return fail(format!(
+                "coupling has {} rows for {n} zones",
+                coupling.len()
+            ));
+        }
+        for (z, row) in coupling.iter().enumerate() {
+            if row.len() != n {
+                return fail(format!("coupling row {z} has length {}", row.len()));
+            }
+            if row.iter().any(|c| !(c.is_finite() && *c >= 0.0)) {
+                return fail(format!(
+                    "coupling row {z} has a negative or non-finite entry"
+                ));
+            }
+            let sum: f64 = row.iter().sum();
+            if (sum - 1.0).abs() > 1e-6 {
+                return fail(format!("coupling row {z} sums to {sum}, not 1"));
+            }
+        }
+        if !t_max.as_kelvin().is_finite() || t_max.as_kelvin() <= 0.0 {
+            return fail(format!("T_max {} K is not physical", t_max.as_kelvin()));
+        }
+        Ok(ZoneSystem {
+            zones,
+            coupling,
+            t_max,
+        })
+    }
+
+    /// The zones.
+    pub fn zones(&self) -> &[Zone] {
+        &self.zones
+    }
+
+    /// The coupling matrix.
+    pub fn coupling(&self) -> &[Vec<f64>] {
+        &self.coupling
+    }
+
+    /// The CPU-temperature cap.
+    pub fn t_max(&self) -> Temperature {
+        self.t_max
+    }
+
+    /// Number of zones.
+    pub fn len(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// `true` when the system has no zones (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.zones.is_empty()
+    }
+
+    /// Total machine count.
+    pub fn total_machines(&self) -> usize {
+        self.zones.iter().map(|z| z.machines.len()).sum()
+    }
+
+    /// Effective supply temperature zone `z` sees under the CRAC vector
+    /// `t_ac`.
+    pub fn effective_supply(&self, z: usize, t_ac: &[Temperature]) -> Temperature {
+        let k = self.coupling[z]
+            .iter()
+            .zip(t_ac)
+            .map(|(c, t)| c * t.as_kelvin())
+            .sum();
+        Temperature::from_kelvin(k)
+    }
+
+    /// Predicted CPU temperature of machine `j` of zone `z` at load `l`
+    /// under the CRAC vector `t_ac` (the declared model's view).
+    pub fn predict_cpu_temp(
+        &self,
+        z: usize,
+        j: usize,
+        l: f64,
+        t_ac: &[Temperature],
+    ) -> Temperature {
+        let m = &self.zones[z].machines[j];
+        m.thermal
+            .predict(self.effective_supply(z, t_ac), m.power.predict(l))
+    }
+
+    /// `true` when the coupling matrix is exactly the identity — no CRAC
+    /// overlap and no cross-zone recirculation.
+    pub fn is_decoupled(&self) -> bool {
+        self.coupling.iter().enumerate().all(|(z, row)| {
+            row.iter()
+                .enumerate()
+                .all(|(u, &c)| if u == z { c == 1.0 } else { c == 0.0 })
+        })
+    }
+
+    /// Warmest admissible `T_ac_z` given the other coordinates: every
+    /// machine the CRAC influences must still idle below `T_max`, and the
+    /// actuator ceiling applies.
+    fn idle_ceiling(&self, z: usize, t_kelvin: &[f64]) -> f64 {
+        let mut hi = self.zones[z].t_ac_cap.map_or(350.0, |cap| cap.as_kelvin());
+        for (w, zone) in self.zones.iter().enumerate() {
+            let c_wz = self.coupling[w][z];
+            if c_wz <= 0.0 {
+                continue;
+            }
+            // Effective temperature of zone w excluding CRAC z's term.
+            let off: f64 = self.coupling[w]
+                .iter()
+                .zip(t_kelvin)
+                .enumerate()
+                .filter(|(u, _)| *u != z)
+                .map(|(_, (c, t))| c * t)
+                .sum();
+            for m in &zone.machines {
+                let idle = (self.t_max.as_kelvin()
+                    - m.thermal.beta() * m.power.predict(0.0).as_watts()
+                    - m.thermal.gamma())
+                    / m.thermal.alpha();
+                hi = hi.min((idle - off) / c_wz);
+            }
+        }
+        hi.max(0.0)
+    }
+}
+
+/// Flattened view used by the greedy evaluation: machine order is zone-major
+/// (zone 0's machines first), matching materialized rooms.
+struct Flat {
+    machines: Vec<HeteroMachine>,
+    zone_of: Vec<usize>,
+    order: Vec<usize>,
+}
+
+fn flatten(system: &ZoneSystem) -> Flat {
+    let mut machines = Vec::with_capacity(system.total_machines());
+    let mut zone_of = Vec::with_capacity(system.total_machines());
+    for (z, zone) in system.zones().iter().enumerate() {
+        for m in &zone.machines {
+            machines.push(*m);
+            zone_of.push(z);
+        }
+    }
+    let order = w1_order(&machines);
+    Flat {
+        machines,
+        zone_of,
+        order,
+    }
+}
+
+/// Greedy-optimal loads and computing power for a fixed CRAC vector; `None`
+/// when some machine cannot idle or the caps cannot carry the load.
+fn eval_loads(
+    system: &ZoneSystem,
+    flat: &Flat,
+    t_kelvin: &[f64],
+    total_load: f64,
+) -> Option<(Vec<f64>, f64)> {
+    let t_eff: Vec<Temperature> = (0..system.len())
+        .map(|z| {
+            Temperature::from_kelvin(
+                system.coupling()[z]
+                    .iter()
+                    .zip(t_kelvin)
+                    .map(|(c, t)| c * t)
+                    .sum(),
+            )
+        })
+        .collect();
+    let mut caps = Vec::with_capacity(flat.machines.len());
+    for (m, &z) in flat.machines.iter().zip(&flat.zone_of) {
+        if m.overheats_idle(t_eff[z], system.t_max()) {
+            return None;
+        }
+        caps.push(m.cap(t_eff[z], system.t_max()));
+    }
+    let (loads, w1_cost) = greedy_fill(&flat.machines, &flat.order, &caps, total_load)?;
+    let idle: f64 = flat.machines.iter().map(|m| m.power.w2().as_watts()).sum();
+    Some((loads, w1_cost + idle))
+}
+
+/// Predicted total power for a fixed CRAC vector (`None` when infeasible).
+fn eval_total(system: &ZoneSystem, flat: &Flat, t_kelvin: &[f64], total_load: f64) -> Option<f64> {
+    let (_, computing) = eval_loads(system, flat, t_kelvin, total_load)?;
+    let cooling: f64 = system
+        .zones()
+        .iter()
+        .zip(t_kelvin)
+        .map(|(z, &t)| z.cooling.predict(Temperature::from_kelvin(t)).as_watts())
+        .sum();
+    Some(computing + cooling)
+}
+
+fn validate_load(system: &ZoneSystem, total_load: f64) -> Result<(), SolveError> {
+    let max = system.total_machines() as f64;
+    if !total_load.is_finite() || total_load < 0.0 || total_load > max + 1e-9 {
+        return Err(SolveError::LoadOutOfRange {
+            load: total_load,
+            max,
+        });
+    }
+    Ok(())
+}
+
+fn assemble(system: &ZoneSystem, flat: &Flat, t_kelvin: &[f64], total_load: f64) -> ZoneSolution {
+    let (loads_flat, _) = eval_loads(system, flat, t_kelvin, total_load)
+        .expect("assemble is only called on feasible vectors");
+    let mut loads: Vec<Vec<f64>> = system
+        .zones()
+        .iter()
+        .map(|z| Vec::with_capacity(z.machines.len()))
+        .collect();
+    for (l, &z) in loads_flat.iter().zip(&flat.zone_of) {
+        loads[z].push(*l);
+    }
+    let computing: Watts = loads_flat
+        .iter()
+        .zip(&flat.machines)
+        .map(|(&l, m)| m.power.predict(l))
+        .sum();
+    let cooling: Watts = system
+        .zones()
+        .iter()
+        .zip(t_kelvin)
+        .map(|(z, &t)| z.cooling.predict(Temperature::from_kelvin(t)))
+        .sum();
+    ZoneSolution {
+        t_ac: t_kelvin
+            .iter()
+            .map(|&t| Temperature::from_kelvin(t))
+            .collect(),
+        loads,
+        computing,
+        cooling,
+    }
+}
+
+/// The best **single global** `T_ac`: what a planner restricted to one
+/// set point for all CRACs would command. Because coupling rows sum to 1,
+/// this is exactly the heterogeneous single-zone problem over all machines
+/// with the summed cooling model `cf_tot = Σ cf_z`,
+/// `T_SP_eff = Σ cf_z·T_SP_z / cf_tot`.
+///
+/// # Errors
+///
+/// Returns [`SolveError`] for an out-of-range load or a load unservable at
+/// any admissible common temperature.
+pub fn solve_zones_uniform(
+    system: &ZoneSystem,
+    total_load: f64,
+) -> Result<ZoneSolution, SolveError> {
+    validate_load(system, total_load)?;
+    let flat = flatten(system);
+    let cf_tot: f64 = system.zones().iter().map(|z| z.cooling.cf()).sum();
+    let t_sp_eff = system
+        .zones()
+        .iter()
+        .map(|z| z.cooling.cf() * z.cooling.t_sp().as_kelvin())
+        .sum::<f64>()
+        / cf_tot;
+    let combined = CoolingModel::new(cf_tot, Temperature::from_kelvin(t_sp_eff)).map_err(|e| {
+        SolveError::DegenerateModel {
+            what: format!("combined cooling model: {e:?}"),
+        }
+    })?;
+    let cap = system
+        .zones()
+        .iter()
+        .filter_map(|z| z.t_ac_cap)
+        .min_by(|a, b| a.partial_cmp(b).expect("finite temperatures"));
+    let sol = crate::hetero::optimal_allocation_hetero(
+        &flat.machines,
+        &combined,
+        system.t_max(),
+        total_load,
+        cap,
+    )?;
+    let t_kelvin = vec![sol.t_ac.as_kelvin(); system.len()];
+    Ok(assemble(system, &flat, &t_kelvin, total_load))
+}
+
+/// `true` when every machine of the zone shares one power model bit for
+/// bit — the precondition for the paper's closed form.
+fn homogeneous_power(zone: &Zone) -> Option<PowerModel> {
+    let first = zone.machines.first()?.power;
+    zone.machines
+        .iter()
+        .all(|m| m.power == first)
+        .then_some(first)
+}
+
+/// Closed-form zone solve (Eqs. 21/22 with capacity clamping) at a fixed
+/// zone load; `None` when infeasible at that load.
+fn closed_form_zone(
+    zone: &Zone,
+    power: PowerModel,
+    t_max: Temperature,
+    load: f64,
+) -> Option<(Vec<f64>, Temperature)> {
+    let thermals: Vec<ThermalModel> = zone.machines.iter().map(|m| m.thermal).collect();
+    let model = RoomModel::new(power, thermals, zone.cooling, t_max).ok()?;
+    let on: Vec<usize> = (0..zone.machines.len()).collect();
+    let sol = crate::closed_form::optimal_allocation_clamped(&model, &on, load).ok()?;
+    Some((sol.loads, sol.t_ac))
+}
+
+/// Decoupled + per-zone-homogeneous case: closed form per zone, pairwise
+/// convex load transfers across zones.
+fn solve_decoupled(
+    system: &ZoneSystem,
+    powers: &[PowerModel],
+    total_load: f64,
+) -> Result<ZoneSolution, SolveError> {
+    let z_count = system.len();
+    let caps: Vec<f64> = system
+        .zones()
+        .iter()
+        .map(|z| z.machines.len() as f64)
+        .collect();
+
+    // Initial split ∝ zone size, clipped into per-zone range.
+    let total_cap: f64 = caps.iter().sum();
+    let mut split: Vec<f64> = caps.iter().map(|c| total_load * c / total_cap).collect();
+
+    let zone_total = |z: usize, load: f64| -> Option<f64> {
+        if load < -1e-12 || load > caps[z] + 1e-12 {
+            return None;
+        }
+        let load = load.clamp(0.0, caps[z]);
+        let (loads, t_ac) = closed_form_zone(&system.zones()[z], powers[z], system.t_max(), load)?;
+        let computing: f64 = loads.iter().map(|&l| powers[z].predict(l).as_watts()).sum();
+        Some(computing + system.zones()[z].cooling.predict(t_ac).as_watts())
+    };
+
+    // The initial split may be infeasible for a zone (e.g. its machines are
+    // thermally weak); push load toward zones that accept it.
+    for _ in 0..z_count {
+        let infeasible: Vec<usize> = (0..z_count)
+            .filter(|&z| zone_total(z, split[z]).is_none())
+            .collect();
+        if infeasible.is_empty() {
+            break;
+        }
+        for &z in &infeasible {
+            // Find the largest feasible load for this zone by bisection.
+            let (mut lo, mut hi) = (0.0, split[z]);
+            if zone_total(z, 0.0).is_none() {
+                return Err(SolveError::Infeasible {
+                    reason: format!("zone {z} cannot even idle under T_max"),
+                });
+            }
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                if zone_total(z, mid).is_some() {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            let excess = split[z] - lo;
+            split[z] = lo;
+            // Hand the excess to zones with headroom.
+            let mut left = excess;
+            for w in 0..z_count {
+                if w == z || left <= 0.0 {
+                    continue;
+                }
+                let room = (caps[w] - split[w]).max(0.0);
+                let take = left.min(room);
+                if take > 0.0 && zone_total(w, split[w] + take).is_some() {
+                    split[w] += take;
+                    left -= take;
+                }
+            }
+            if left > 1e-9 {
+                return Err(SolveError::Infeasible {
+                    reason: format!("load {total_load} unservable across decoupled zones"),
+                });
+            }
+        }
+    }
+
+    // Pairwise convex transfers until no pair improves.
+    for _ in 0..20 {
+        let mut improved = false;
+        for a in 0..z_count {
+            for b in (a + 1)..z_count {
+                let pair = |delta: f64| -> Option<f64> {
+                    Some(zone_total(a, split[a] - delta)? + zone_total(b, split[b] + delta)?)
+                };
+                // delta moves load from zone a to zone b; keep both in range.
+                let lo = (split[a] - caps[a]).max(-split[b]);
+                let hi = split[a].min(caps[b] - split[b]);
+                if hi - lo < 1e-9 {
+                    continue;
+                }
+                let base = pair(0.0).ok_or(SolveError::Infeasible {
+                    reason: "pairwise transfer lost feasibility".into(),
+                })?;
+                let (mut l, mut h) = (lo, hi);
+                for _ in 0..100 {
+                    let m1 = l + (h - l) / 3.0;
+                    let m2 = h - (h - l) / 3.0;
+                    let f1 = pair(m1).unwrap_or(f64::INFINITY);
+                    let f2 = pair(m2).unwrap_or(f64::INFINITY);
+                    if f1 <= f2 {
+                        h = m2;
+                    } else {
+                        l = m1;
+                    }
+                }
+                let delta = 0.5 * (l + h);
+                if let Some(v) = pair(delta) {
+                    if v < base - 1e-6 {
+                        split[a] -= delta;
+                        split[b] += delta;
+                        improved = true;
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    // Final per-zone closed-form solves at the converged split.
+    let mut t_ac = Vec::with_capacity(z_count);
+    let mut loads = Vec::with_capacity(z_count);
+    let mut computing = Watts::ZERO;
+    let mut cooling = Watts::ZERO;
+    for z in 0..z_count {
+        let (zl, zt) = closed_form_zone(&system.zones()[z], powers[z], system.t_max(), split[z])
+            .ok_or_else(|| SolveError::Infeasible {
+                reason: format!("zone {z} infeasible at converged load {}", split[z]),
+            })?;
+        computing += zl.iter().map(|&l| powers[z].predict(l)).sum();
+        cooling += system.zones()[z].cooling.predict(zt);
+        t_ac.push(zt);
+        loads.push(zl);
+    }
+    Ok(ZoneSolution {
+        t_ac,
+        loads,
+        computing,
+        cooling,
+    })
+}
+
+/// Optimizes coordinate `z` of the CRAC vector with all others held fixed:
+/// feasibility bisection for the warm frontier (feasibility is monotone —
+/// cooling CRAC `z` only grows caps), then ternary search on the convex
+/// coordinate objective. Returns `(t_star, value)` without mutating
+/// `t_kelvin[z]` permanently; `None` when no value of the coordinate is
+/// feasible.
+fn best_coordinate(
+    system: &ZoneSystem,
+    flat: &Flat,
+    t_kelvin: &mut Vec<f64>,
+    z: usize,
+    total_load: f64,
+) -> Option<(f64, f64)> {
+    let current = t_kelvin[z];
+    let probe = |t: f64, vec: &mut Vec<f64>| -> Option<f64> {
+        vec[z] = t;
+        let v = eval_total(system, flat, vec, total_load);
+        vec[z] = current;
+        v
+    };
+    let mut hi = system.idle_ceiling(z, t_kelvin).max(0.0);
+    if probe(hi, t_kelvin).is_none() {
+        // Find a feasible anchor for the frontier bisection.
+        let lo0 = if probe(current, t_kelvin).is_some() {
+            current.min(hi)
+        } else if probe(0.0, t_kelvin).is_some() {
+            0.0
+        } else {
+            return None;
+        };
+        let (mut lo_f, mut hi_f) = (lo0, hi);
+        for _ in 0..80 {
+            let mid = 0.5 * (lo_f + hi_f);
+            if probe(mid, t_kelvin).is_some() {
+                lo_f = mid;
+            } else {
+                hi_f = mid;
+            }
+        }
+        hi = lo_f;
+    }
+    let (mut lo, mut hi_t) = (0.0, hi);
+    for _ in 0..80 {
+        let m1 = lo + (hi_t - lo) / 3.0;
+        let m2 = hi_t - (hi_t - lo) / 3.0;
+        let f1 = probe(m1, t_kelvin).unwrap_or(f64::INFINITY);
+        let f2 = probe(m2, t_kelvin).unwrap_or(f64::INFINITY);
+        if f1 <= f2 {
+            hi_t = m2;
+        } else {
+            lo = m1;
+        }
+    }
+    let t_star = 0.5 * (lo + hi_t);
+    let value = probe(t_star, t_kelvin)?;
+    Some((t_star, value))
+}
+
+/// Solves the multi-zone joint problem: one `T_ac` per CRAC plus loads,
+/// minimizing predicted computing + cooling power subject to `Σ L_i = L`,
+/// per-machine capacity and `T_max` in every zone.
+///
+/// Dispatch: exactly decoupled systems whose zones each share a power model
+/// use the paper's closed form per zone (a single decoupled zone **is**
+/// [`crate::closed_form::optimal_allocation_clamped`], bit for bit);
+/// everything else runs block coordinate descent initialized from
+/// [`solve_zones_uniform`], so the result never predicts worse than the
+/// best single global set point.
+///
+/// # Errors
+///
+/// Returns [`SolveError`] for an out-of-range load or a load unservable at
+/// any admissible temperature vector.
+pub fn solve_zones(system: &ZoneSystem, total_load: f64) -> Result<ZoneSolution, SolveError> {
+    validate_load(system, total_load)?;
+
+    if system.is_decoupled() {
+        let powers: Option<Vec<PowerModel>> =
+            system.zones().iter().map(homogeneous_power).collect();
+        if let Some(powers) = powers {
+            if system.zones().iter().all(|z| z.t_ac_cap.is_none()) {
+                return solve_decoupled(system, &powers, total_load);
+            }
+        }
+    }
+
+    let flat = flatten(system);
+
+    // Start from the uniform optimum: the descent below only accepts
+    // improvements, so per-zone planning can never lose to the baseline.
+    let mut t_kelvin: Vec<f64> = match solve_zones_uniform(system, total_load) {
+        Ok(u) => u.t_ac.iter().map(|t| t.as_kelvin()).collect(),
+        // Uniform may be infeasible where per-zone is not (one weak zone
+        // forces the common temperature below another CRAC's reach); start
+        // cold instead.
+        Err(_) => vec![275.0; system.len()],
+    };
+    let mut best = match eval_total(system, &flat, &t_kelvin, total_load) {
+        Some(v) => v,
+        None => {
+            // Cold-start rescue: all-cold is the most permissive vector.
+            t_kelvin = vec![1.0; system.len()];
+            eval_total(system, &flat, &t_kelvin, total_load).ok_or(SolveError::Infeasible {
+                reason: format!("load {total_load} unservable even with all CRACs fully cold"),
+            })?
+        }
+    };
+
+    for _ in 0..40 {
+        let mut improved = false;
+        // Single-coordinate sweeps handle the smooth part of the descent.
+        for z in 0..system.len() {
+            if let Some((t_star, candidate)) =
+                best_coordinate(system, &flat, &mut t_kelvin, z, total_load)
+            {
+                if candidate < best - 1e-9 {
+                    t_kelvin[z] = t_star;
+                    best = candidate;
+                    improved = true;
+                }
+            }
+        }
+        // When the load constraint binds, the uniform start sits on a vertex
+        // of the feasible set: raising any single T_ac_z is infeasible and
+        // lowering any is more expensive, so single-coordinate moves stall.
+        // Pairwise moves walk *along* the frontier: sweep T_ac_z while
+        // re-optimizing T_ac_w for each candidate. The joint objective is
+        // convex (LP value convex in affine caps, cooling linear), so the
+        // partially minimized outer function is convex too and ternary
+        // search applies.
+        for z in 0..system.len() {
+            for w in 0..system.len() {
+                if w == z {
+                    continue;
+                }
+                let saved = (t_kelvin[z], t_kelvin[w]);
+                // Most permissive ceiling for z: evaluate with w fully cold.
+                t_kelvin[w] = 0.0;
+                let ceil_z = system.idle_ceiling(z, &t_kelvin);
+                let inner = |t: f64, vec: &mut Vec<f64>| -> (f64, f64) {
+                    vec[z] = t;
+                    let r = best_coordinate(system, &flat, vec, w, total_load)
+                        .map_or((0.0, f64::INFINITY), |(tw, v)| (tw, v));
+                    vec[z] = saved.0;
+                    r
+                };
+                let (mut lo, mut hi) = (0.0, ceil_z.max(saved.0));
+                for _ in 0..60 {
+                    let m1 = lo + (hi - lo) / 3.0;
+                    let m2 = hi - (hi - lo) / 3.0;
+                    if inner(m1, &mut t_kelvin).1 <= inner(m2, &mut t_kelvin).1 {
+                        hi = m2;
+                    } else {
+                        lo = m1;
+                    }
+                }
+                let t_star = 0.5 * (lo + hi);
+                let (w_star, candidate) = inner(t_star, &mut t_kelvin);
+                if candidate < best - 1e-9 {
+                    t_kelvin[z] = t_star;
+                    t_kelvin[w] = w_star;
+                    best = candidate;
+                    improved = true;
+                } else {
+                    t_kelvin[z] = saved.0;
+                    t_kelvin[w] = saved.1;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    Ok(assemble(system, &flat, &t_kelvin, total_load))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed_form::optimal_allocation_clamped;
+    use crate::hetero::optimal_allocation_hetero;
+
+    fn thermal(i: usize, n: usize) -> ThermalModel {
+        let h = i as f64 / n.max(2) as f64;
+        let alpha = 0.95 - 0.2 * h;
+        let gamma = (290.0 + 4.0 * h) - alpha * 290.0;
+        ThermalModel::new(alpha, 0.5 + 0.04 * h, gamma).unwrap()
+    }
+
+    fn power(w1: f64, w2: f64) -> PowerModel {
+        PowerModel::new(Watts::new(w1), Watts::new(w2)).unwrap()
+    }
+
+    fn cooling(cf: f64) -> CoolingModel {
+        CoolingModel::new(cf, Temperature::from_celsius(45.0)).unwrap()
+    }
+
+    fn zone(n: usize, w1: f64, cf: f64) -> Zone {
+        Zone {
+            machines: (0..n)
+                .map(|i| HeteroMachine {
+                    power: power(w1, 40.0),
+                    thermal: thermal(i, n),
+                })
+                .collect(),
+            cooling: cooling(cf),
+            t_ac_cap: None,
+        }
+    }
+
+    fn identity(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|z| (0..n).map(|u| if u == z { 1.0 } else { 0.0 }).collect())
+            .collect()
+    }
+
+    #[test]
+    fn single_decoupled_zone_is_the_papers_closed_form_bit_for_bit() {
+        let n = 6;
+        let z = zone(n, 45.0, 400.0);
+        let t_max = Temperature::from_celsius(70.0);
+        let system = ZoneSystem::new(vec![z.clone()], identity(1), t_max).unwrap();
+        let load = 3.0;
+
+        let block = solve_zones(&system, load).unwrap();
+
+        let model = RoomModel::new(
+            power(45.0, 40.0),
+            z.machines.iter().map(|m| m.thermal).collect(),
+            z.cooling,
+            t_max,
+        )
+        .unwrap();
+        let on: Vec<usize> = (0..n).collect();
+        let paper = optimal_allocation_clamped(&model, &on, load).unwrap();
+
+        // Exact delegation: identical bits, not merely close values.
+        assert_eq!(
+            block.t_ac[0].as_kelvin().to_bits(),
+            paper.t_ac.as_kelvin().to_bits()
+        );
+        for (a, b) in block.loads[0].iter().zip(&paper.loads) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn uniform_baseline_matches_flattened_hetero_solve() {
+        let zones = vec![zone(4, 45.0, 300.0), zone(3, 60.0, 200.0)];
+        let t_max = Temperature::from_celsius(65.0);
+        let coupling = vec![vec![0.8, 0.2], vec![0.3, 0.7]];
+        let system = ZoneSystem::new(zones.clone(), coupling, t_max).unwrap();
+        let uniform = solve_zones_uniform(&system, 3.5).unwrap();
+
+        let machines: Vec<HeteroMachine> = zones.iter().flat_map(|z| z.machines.clone()).collect();
+        let combined = CoolingModel::new(
+            500.0,
+            Temperature::from_kelvin(
+                (300.0 * cooling(300.0).t_sp().as_kelvin()
+                    + 200.0 * cooling(200.0).t_sp().as_kelvin())
+                    / 500.0,
+            ),
+        )
+        .unwrap();
+        let flat = optimal_allocation_hetero(&machines, &combined, t_max, 3.5, None).unwrap();
+        assert!((uniform.t_ac[0] - flat.t_ac).abs().as_kelvin() < 1e-9);
+        assert!((uniform.t_ac[0] - uniform.t_ac[1]).abs().as_kelvin() < 1e-12);
+        assert!((uniform.total().as_watts() - flat.total().as_watts()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_zone_never_loses_to_uniform_and_wins_when_asymmetric() {
+        // Zone 1's machines run hotter (larger γ via thermal index) and its
+        // CRAC is weaker; a single global T_ac must run both zones at the
+        // colder requirement.
+        let hot = Zone {
+            machines: (0..4)
+                .map(|i| HeteroMachine {
+                    power: power(45.0, 40.0),
+                    thermal: ThermalModel::new(0.9, 0.52, (302.0 + i as f64) - 0.9 * 290.0)
+                        .unwrap(),
+                })
+                .collect(),
+            cooling: cooling(250.0),
+            t_ac_cap: None,
+        };
+        let cool = zone(4, 45.0, 350.0);
+        let coupling = vec![vec![0.9, 0.1], vec![0.15, 0.85]];
+        let system =
+            ZoneSystem::new(vec![cool, hot], coupling, Temperature::from_celsius(62.0)).unwrap();
+
+        let uniform = solve_zones_uniform(&system, 4.0).unwrap();
+        let per_zone = solve_zones(&system, 4.0).unwrap();
+        assert!(
+            per_zone.total().as_watts() <= uniform.total().as_watts() + 1e-6,
+            "descent must never lose to its own starting point"
+        );
+        assert!(
+            per_zone.total().as_watts() < uniform.total().as_watts() - 1.0,
+            "asymmetric zones should yield a strict win (per-zone {} W vs uniform {} W)",
+            per_zone.total().as_watts(),
+            uniform.total().as_watts()
+        );
+        // The cool zone runs warmer than the hot one.
+        assert!(per_zone.t_ac[0] > per_zone.t_ac[1]);
+    }
+
+    #[test]
+    fn solutions_respect_t_max_and_load_conservation() {
+        let system = ZoneSystem::new(
+            vec![zone(3, 45.0, 300.0), zone(3, 55.0, 250.0)],
+            vec![vec![0.7, 0.3], vec![0.2, 0.8]],
+            Temperature::from_celsius(65.0),
+        )
+        .unwrap();
+        let load = 3.6;
+        let sol = solve_zones(&system, load).unwrap();
+        let served: f64 = sol.zone_loads().iter().sum();
+        assert!((served - load).abs() < 1e-6);
+        for (z, zl) in sol.loads.iter().enumerate() {
+            for (j, &l) in zl.iter().enumerate() {
+                assert!((0.0..=1.0 + 1e-9).contains(&l));
+                let t = system.predict_cpu_temp(z, j, l, &sol.t_ac);
+                assert!(
+                    t.as_kelvin() <= system.t_max().as_kelvin() + 1e-6,
+                    "zone {z} machine {j} above T_max: {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decoupled_two_zone_split_beats_naive_even_split() {
+        // Two decoupled zones with different w1: the transfer search should
+        // push load toward the cheap zone.
+        let system = ZoneSystem::new(
+            vec![zone(4, 40.0, 300.0), zone(4, 70.0, 300.0)],
+            identity(2),
+            Temperature::from_celsius(70.0),
+        )
+        .unwrap();
+        let sol = solve_zones(&system, 3.0).unwrap();
+        let zl = sol.zone_loads();
+        assert!(
+            zl[0] > zl[1] + 0.5,
+            "cheap zone should absorb the load: {zl:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_systems_and_loads() {
+        assert!(ZoneSystem::new(vec![], vec![], Temperature::from_celsius(60.0)).is_err());
+        assert!(ZoneSystem::new(
+            vec![zone(2, 45.0, 300.0)],
+            vec![vec![0.5]],
+            Temperature::from_celsius(60.0)
+        )
+        .is_err());
+        let system = ZoneSystem::new(
+            vec![zone(2, 45.0, 300.0)],
+            identity(1),
+            Temperature::from_celsius(60.0),
+        )
+        .unwrap();
+        assert!(matches!(
+            solve_zones(&system, 5.0),
+            Err(SolveError::LoadOutOfRange { .. })
+        ));
+    }
+}

@@ -137,17 +137,23 @@ pub fn recirculation_study(
     options: &SweepOptions,
 ) -> Vec<RecirculationOutcome> {
     par_map_ordered(scales.to_vec(), |scale| {
-        let mut room = parametric_rack_with(RackOptions {
+        let rack_options = RackOptions {
             machines,
             seed,
             recirculation_scale: scale,
             ..RackOptions::default()
-        });
+        };
+        let scenario = coolopt_scenario::presets::single_zone(rack_options);
+        let mut room = parametric_rack_with(rack_options);
         let profile = profile_room_full(&mut room, &ProfileOptions::default())
             .expect("scaled preset profiles cleanly");
         let mean_thermal_r2 =
             profile.thermal.r2.iter().sum::<f64>() / profile.thermal.r2.len() as f64;
-        let mut testbed = Testbed { room, profile };
+        let mut testbed = Testbed {
+            room,
+            profile,
+            scenario,
+        };
         let planner = scenario_planner(&testbed, options);
         let mut sweep = crate::harness::Sweep::default();
         let methods = [Method::numbered(7), Method::numbered(8)];

@@ -9,8 +9,13 @@
 //!
 //! ```text
 //! cargo run --release -p coolopt-experiments --bin ablation -- \
-//!     [seed] [--results DIR] [--json] [--quiet]
+//!     [seed] [--scenario FILE] [--results DIR] [--json] [--quiet]
 //! ```
+//!
+//! `--scenario FILE` swaps the built-in 12-machine preset for a
+//! **single-zone** scenario document; the studies then run against the
+//! materialized room (multi-zone documents belong to
+//! `reproduce --scenario`).
 //!
 //! Progress goes to stderr as structured events (`--json` renders them as
 //! JSON lines, `--quiet` keeps only warnings); study tables go to stdout
@@ -25,8 +30,9 @@ use coolopt_experiments::ablations::{
 use coolopt_experiments::harness::scenario_planner;
 use coolopt_experiments::runtime::{run_load_trace_with, sinusoidal_trace, RuntimeOptions};
 use coolopt_experiments::{
-    render_figure, HealthSection, RunReport, SweepOptions, Testbed, TraceSection,
+    render_figure, HealthSection, RunReport, ScenarioSection, SweepOptions, Testbed, TraceSection,
 };
+use coolopt_scenario::Scenario;
 use coolopt_telemetry::{self as telemetry, SinkMode};
 use coolopt_units::Seconds;
 use std::path::PathBuf;
@@ -40,23 +46,33 @@ fn main() {
     } else if json {
         telemetry::init_events(SinkMode::Json);
     }
-    let results_dir = args
-        .iter()
-        .position(|a| a == "--results")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"));
+    let value_of = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from)
+    };
+    let results_dir = value_of("--results").unwrap_or_else(|| PathBuf::from("results"));
+    let scenario_path = value_of("--scenario");
     let seed: u64 = args
         .iter()
         .enumerate()
         .filter(|(i, a)| {
             let prev = i.checked_sub(1).and_then(|p| args.get(p));
-            !a.starts_with("--") && prev.map(String::as_str) != Some("--results")
+            !a.starts_with("--")
+                && !matches!(
+                    prev.map(String::as_str),
+                    Some("--results") | Some("--scenario")
+                )
         })
         .find_map(|(_, a)| a.parse().ok())
         .unwrap_or(42);
     let show = !json;
-    let machines = 12; // enough spatial diversity, ~4× faster than 20
+
+    let loaded: Option<Scenario> = scenario_path.as_ref().map(|path| {
+        Scenario::load(path).unwrap_or_else(|e| panic!("scenario {} rejected: {e}", path.display()))
+    });
+    let machines = loaded.as_ref().map(Scenario::total_machines).unwrap_or(12); // enough spatial diversity, ~4× faster than 20
 
     telemetry::info!(
         "ablation",
@@ -64,7 +80,12 @@ fn main() {
         machines = machines,
         seed = seed
     );
-    let mut testbed = Testbed::build_sized(machines, seed).expect("testbed builds");
+    let mut testbed = match &loaded {
+        Some(scenario) => Testbed::from_scenario(scenario)
+            .expect("single-zone scenario testbed builds (multi-zone belongs to reproduce)"),
+        None => Testbed::build_sized(machines, seed).expect("testbed builds"),
+    };
+    let seed = testbed.scenario.seed;
     let options = SweepOptions {
         load_percents: vec![20.0, 40.0, 60.0, 80.0],
         ..SweepOptions::default()
@@ -254,11 +275,13 @@ fn main() {
     let report = RunReport {
         name: "ablation".to_string(),
         seed,
+        scenario: Some(ScenarioSection::from_scenario(&testbed.scenario)),
         metrics_enabled: telemetry::metrics_enabled(),
         metrics: telemetry::snapshot(),
         trace: report_trace,
         replay: None,
         health: report_health,
+        multizone: None,
     };
     let path = report
         .write_to(&results_dir)

@@ -5,9 +5,15 @@
 //!
 //! ```text
 //! cargo run --release -p coolopt-experiments --bin reproduce -- \
-//!     [seed] [--csv DIR] [--results DIR] [--smoke] [--json] [--quiet]
+//!     [seed] [--scenario FILE] [--csv DIR] [--results DIR] [--smoke] \
+//!     [--json] [--quiet]
 //! ```
 //!
+//! * `--scenario FILE` — drive a scenario document instead of the built-in
+//!   preset. Single-zone documents run the full pipeline on the
+//!   materialized room (bit-identical to the preset path for the shipped
+//!   `scenarios/testbed_rack20.json`); multi-zone documents run the
+//!   per-zone-vs-uniform set-point experiment instead;
 //! * `--csv DIR` — additionally write every figure's data as
 //!   `DIR/<figure-id>.csv`;
 //! * `--results DIR` — where the run report lands (default `results/`);
@@ -22,9 +28,11 @@ use coolopt_alloc::{Method, Strategy};
 use coolopt_experiments::harness::scenario_planner;
 use coolopt_experiments::runtime::{run_load_trace_with, sinusoidal_trace, RuntimeOptions};
 use coolopt_experiments::{
-    figures, render_figure, replay_trace_with, run_sweep, savings_summary, to_csv, FigureData,
-    HealthSection, ReplayOptions, ReplaySection, RunReport, SweepOptions, Testbed, TraceSection,
+    figures, render_figure, render_multizone, replay_trace_with, run_multizone, run_sweep,
+    savings_summary, to_csv, FigureData, HealthSection, MultiZoneOptions, MultiZoneSection,
+    ReplayOptions, ReplaySection, RunReport, ScenarioSection, SweepOptions, Testbed, TraceSection,
 };
+use coolopt_scenario::Scenario;
 use coolopt_sim::HealthConfig;
 use coolopt_telemetry::{self as telemetry, SinkMode};
 use coolopt_units::Seconds;
@@ -48,18 +56,70 @@ fn main() {
     }
     let csv_dir = value_of("--csv");
     let results_dir = value_of("--results").unwrap_or_else(|| PathBuf::from("results"));
+    let scenario_path = value_of("--scenario");
     let seed: u64 = args
         .iter()
         .enumerate()
         .filter(|(i, a)| {
             let prev = i.checked_sub(1).and_then(|p| args.get(p));
             !a.starts_with("--")
-                && !matches!(prev.map(String::as_str), Some("--csv") | Some("--results"))
+                && !matches!(
+                    prev.map(String::as_str),
+                    Some("--csv") | Some("--results") | Some("--scenario")
+                )
         })
         .find_map(|(_, a)| a.parse().ok())
         .unwrap_or(42);
     // In --json mode stdout carries exactly one document: the run report.
     let show = !json;
+
+    let loaded: Option<Scenario> = scenario_path.as_ref().map(|path| {
+        let scenario = Scenario::load(path)
+            .unwrap_or_else(|e| panic!("scenario {} rejected: {e}", path.display()));
+        telemetry::info!(
+            "reproduce",
+            "loaded scenario document",
+            path = path.display().to_string(),
+            name = scenario.name.clone(),
+            sha256 = scenario.content_hash(),
+            zones = scenario.zone_count(),
+        );
+        scenario
+    });
+
+    // Multi-zone documents run the per-zone-vs-uniform set-point experiment
+    // instead of the (single-room) paper pipeline.
+    if let Some(scenario) = loaded.as_ref().filter(|s| !s.is_single_zone()) {
+        let mz_options = MultiZoneOptions {
+            window: Seconds::new(if smoke { 120.0 } else { 300.0 }),
+            ..MultiZoneOptions::default()
+        };
+        let outcome = run_multizone(scenario, &mz_options).expect("multi-zone experiment runs");
+        if show {
+            println!("{}", render_multizone(scenario, &outcome));
+        }
+        let report = RunReport {
+            name: if smoke {
+                "reproduce_smoke"
+            } else {
+                "reproduce"
+            }
+            .to_string(),
+            seed: scenario.seed,
+            scenario: Some(ScenarioSection::from_scenario(scenario)),
+            metrics_enabled: telemetry::metrics_enabled(),
+            metrics: telemetry::snapshot(),
+            trace: None,
+            replay: None,
+            health: outcome.per_zone.health.clone().map(|report| HealthSection {
+                report,
+                drift_demo: None,
+            }),
+            multizone: Some(MultiZoneSection::from_outcome(&outcome)),
+        };
+        emit_report(&report, &results_dir, json, "reproduce");
+        return;
+    }
 
     let emit = |fig: &FigureData| {
         if show {
@@ -77,7 +137,10 @@ fn main() {
         }
     };
 
-    let machines = if smoke { 8 } else { 20 };
+    let machines = loaded
+        .as_ref()
+        .map(Scenario::total_machines)
+        .unwrap_or(if smoke { 8 } else { 20 });
     telemetry::info!(
         "reproduce",
         "building and profiling the testbed",
@@ -85,8 +148,17 @@ fn main() {
         seed = seed,
         smoke = smoke,
     );
-    let mut testbed =
-        Testbed::build_sized(machines, seed).expect("profiling the preset testbed succeeds");
+    let mut testbed = match &loaded {
+        Some(scenario) => {
+            Testbed::from_scenario(scenario).expect("profiling the scenario testbed succeeds")
+        }
+        None => {
+            Testbed::build_sized(machines, seed).expect("profiling the preset testbed succeeds")
+        }
+    };
+    // The document's own seed governs a loaded scenario's streams; the run
+    // report records the seed that actually drove the room.
+    let seed = testbed.scenario.seed;
     let model = &testbed.profile.model;
     telemetry::info!(
         "reproduce",
@@ -266,6 +338,7 @@ fn main() {
         }
         .to_string(),
         seed,
+        scenario: Some(ScenarioSection::from_scenario(&testbed.scenario)),
         metrics_enabled: telemetry::metrics_enabled(),
         metrics: telemetry::snapshot(),
         trace: Some(TraceSection::from_outcome(
@@ -277,24 +350,29 @@ fn main() {
             &replay_outcome,
         )),
         health,
+        multizone: None,
     };
+    emit_report(&report, &results_dir, json, "reproduce");
+}
+
+/// Writes the run report (and, with metrics compiled in, the Chrome-trace
+/// artifact captured by the flight recorder) and prints the stdout
+/// document/table.
+fn emit_report(report: &RunReport, results_dir: &std::path::Path, json: bool, source: &str) {
     let path = report
-        .write_to(&results_dir)
+        .write_to(results_dir)
         .expect("results dir is writable");
     telemetry::info!(
-        "reproduce",
+        source,
         "wrote run report",
         path = path.display().to_string()
     );
-    // Chrome-trace artifact: the flight recorder has captured the causal
-    // span tree of the whole run (sweep, trace, replan/step windows). Load
-    // the file in `chrome://tracing` or Perfetto.
     if telemetry::metrics_enabled() {
         let trace_path = results_dir.join(format!("trace_{}.json", report.name));
         std::fs::write(&trace_path, telemetry::flight_snapshot().to_chrome_json())
             .expect("results dir is writable");
         telemetry::info!(
-            "reproduce",
+            source,
             "wrote chrome trace",
             path = trace_path.display().to_string()
         );

@@ -33,6 +33,7 @@
 pub mod ablations;
 pub mod figures;
 pub mod harness;
+pub mod multizone;
 pub mod replay;
 pub mod report;
 pub mod run_report;
@@ -47,8 +48,15 @@ pub use harness::{
     run_method, run_method_with, run_sweep, run_sweep_serial, scenario_planner, MethodRun, Sweep,
     SweepOptions,
 };
+pub use multizone::{
+    render_multizone, run_multizone, MultiZoneError, MultiZoneOptions, MultiZoneOutcome,
+    VariantOutcome,
+};
 pub use replay::{replay_trace, replay_trace_with, ReplayEngine, ReplayOptions, ReplayOutcome};
 pub use report::{render_figure, to_csv};
-pub use run_report::{HealthSection, ReplaySection, RunReport, TraceSection, RUN_REPORT_SCHEMA};
+pub use run_report::{
+    HealthSection, MultiZoneSection, ReplaySection, RunReport, ScenarioSection, TraceSection,
+    VariantSection, RUN_REPORT_SCHEMA,
+};
 pub use savings::{savings_summary, SavingsSummary};
-pub use testbed::Testbed;
+pub use testbed::{Testbed, TestbedError};

@@ -13,8 +13,10 @@
 //! [`RegistrySnapshot::to_json`](coolopt_telemetry::RegistrySnapshot::to_json)
 //! verbatim, and the vendored serde stand-in has no raw-value passthrough.
 
+use crate::multizone::{MultiZoneOutcome, VariantOutcome};
 use crate::replay::ReplayOutcome;
 use crate::runtime::TraceOutcome;
+use coolopt_scenario::Scenario;
 use coolopt_sim::HealthReport;
 use coolopt_telemetry::RegistrySnapshot;
 use std::fmt::Write as _;
@@ -30,6 +32,9 @@ pub struct RunReport {
     pub name: String,
     /// RNG seed the run used.
     pub seed: u64,
+    /// Which scenario document the run was driven by (name + content hash
+    /// of the canonical JSON), when one was involved.
+    pub scenario: Option<ScenarioSection>,
     /// Whether the metrics core was compiled in (when `false`, the metrics
     /// section is structurally present but empty).
     pub metrics_enabled: bool,
@@ -42,6 +47,97 @@ pub struct RunReport {
     /// Model-health watchdog verdicts, when the run drove a trace with
     /// telemetry compiled in.
     pub health: Option<HealthSection>,
+    /// Multi-zone per-zone-vs-uniform comparison, when the run drove a
+    /// multi-zone scenario.
+    pub multizone: Option<MultiZoneSection>,
+}
+
+/// Provenance of the scenario document a run was driven by.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScenarioSection {
+    /// The document's `name` field.
+    pub name: String,
+    /// SHA-256 of the canonical compact JSON rendering.
+    pub sha256: String,
+}
+
+impl ScenarioSection {
+    /// Records a scenario's provenance.
+    pub fn from_scenario(scenario: &Scenario) -> Self {
+        ScenarioSection {
+            name: scenario.name.clone(),
+            sha256: scenario.content_hash(),
+        }
+    }
+}
+
+/// One simulated plan of the multi-zone experiment, flattened for the
+/// report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VariantSection {
+    /// Commanded supply temperature per CRAC (°C).
+    pub t_ac_celsius: Vec<f64>,
+    /// The planner's predicted total power (W).
+    pub predicted_total_watts: f64,
+    /// Measured mean computing power (W).
+    pub computing_watts: f64,
+    /// Measured mean cooling power (W).
+    pub cooling_watts: f64,
+    /// Measured mean total power (W).
+    pub total_watts: f64,
+    /// Hottest true CPU temperature during the window (°C).
+    pub max_cpu_celsius: f64,
+    /// Smallest observed distance to `T_max` (K).
+    pub min_margin_kelvin: f64,
+    /// Whether the plant settled within budget.
+    pub settled: bool,
+}
+
+impl VariantSection {
+    /// Extracts the section from a [`VariantOutcome`].
+    pub fn from_outcome(outcome: &VariantOutcome) -> Self {
+        VariantSection {
+            t_ac_celsius: outcome.t_ac.iter().map(|t| t.as_celsius()).collect(),
+            predicted_total_watts: outcome.predicted_total.as_watts(),
+            computing_watts: outcome.computing.as_watts(),
+            cooling_watts: outcome.cooling.as_watts(),
+            total_watts: outcome.total.as_watts(),
+            max_cpu_celsius: outcome.max_cpu.as_celsius(),
+            min_margin_kelvin: outcome.min_margin_kelvin,
+            settled: outcome.settled,
+        }
+    }
+}
+
+/// Multi-zone experiment observables.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MultiZoneSection {
+    /// Zone count.
+    pub zones: u64,
+    /// Machine count.
+    pub machines: u64,
+    /// Total load driven.
+    pub total_load: f64,
+    /// Measured savings of the per-zone plan over uniform (fraction).
+    pub savings_fraction: f64,
+    /// The per-zone plan's outcome.
+    pub per_zone: VariantSection,
+    /// The uniform baseline's outcome.
+    pub uniform: VariantSection,
+}
+
+impl MultiZoneSection {
+    /// Extracts the section from a [`MultiZoneOutcome`].
+    pub fn from_outcome(outcome: &MultiZoneOutcome) -> Self {
+        MultiZoneSection {
+            zones: outcome.zones as u64,
+            machines: outcome.machines as u64,
+            total_load: outcome.total_load,
+            savings_fraction: outcome.savings_fraction(),
+            per_zone: VariantSection::from_outcome(&outcome.per_zone),
+            uniform: VariantSection::from_outcome(&outcome.uniform),
+        }
+    }
 }
 
 /// Model-health observables of a run: the production verdict plus an
@@ -200,6 +296,29 @@ fn push_health_report(out: &mut String, report: &HealthReport) {
     out.push_str("]}");
 }
 
+fn push_variant_section(out: &mut String, v: &VariantSection) {
+    out.push_str("{\"t_ac_celsius\":[");
+    for (i, t) in v.t_ac_celsius.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64_field(out, *t);
+    }
+    out.push_str("],\"predicted_total_watts\":");
+    push_f64_field(out, v.predicted_total_watts);
+    out.push_str(",\"computing_watts\":");
+    push_f64_field(out, v.computing_watts);
+    out.push_str(",\"cooling_watts\":");
+    push_f64_field(out, v.cooling_watts);
+    out.push_str(",\"total_watts\":");
+    push_f64_field(out, v.total_watts);
+    out.push_str(",\"max_cpu_celsius\":");
+    push_f64_field(out, v.max_cpu_celsius);
+    out.push_str(",\"min_margin_kelvin\":");
+    push_f64_field(out, v.min_margin_kelvin);
+    let _ = write!(out, ",\"settled\":{}}}", v.settled);
+}
+
 impl RunReport {
     /// Renders the report as its schema-stable JSON document.
     pub fn to_json(&self) -> String {
@@ -209,6 +328,17 @@ impl RunReport {
         out.push_str(",\"name\":");
         push_str_field(&mut out, &self.name);
         let _ = write!(out, ",\"seed\":{}", self.seed);
+        out.push_str(",\"scenario\":");
+        match &self.scenario {
+            None => out.push_str("null"),
+            Some(s) => {
+                out.push_str("{\"name\":");
+                push_str_field(&mut out, &s.name);
+                out.push_str(",\"sha256\":");
+                push_str_field(&mut out, &s.sha256);
+                out.push('}');
+            }
+        }
         let _ = write!(out, ",\"metrics_enabled\":{}", self.metrics_enabled);
         // The metrics snapshot renders itself; embed its object verbatim.
         out.push_str(",\"metrics\":");
@@ -281,6 +411,22 @@ impl RunReport {
                 out.push('}');
             }
         }
+        out.push_str(",\"multizone\":");
+        match &self.multizone {
+            None => out.push_str("null"),
+            Some(m) => {
+                let _ = write!(out, "{{\"zones\":{},\"machines\":{}", m.zones, m.machines);
+                out.push_str(",\"total_load\":");
+                push_f64_field(&mut out, m.total_load);
+                out.push_str(",\"savings_fraction\":");
+                push_f64_field(&mut out, m.savings_fraction);
+                for (key, v) in [("per_zone", &m.per_zone), ("uniform", &m.uniform)] {
+                    let _ = write!(out, ",\"{key}\":");
+                    push_variant_section(&mut out, v);
+                }
+                out.push('}');
+            }
+        }
         out.push('}');
         out
     }
@@ -304,6 +450,23 @@ impl RunReport {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "=== telemetry: {} (seed {}) ===", self.name, self.seed);
+        if let Some(s) = &self.scenario {
+            let _ = writeln!(out, "scenario: {} (sha256 {})", s.name, s.sha256);
+        }
+        if let Some(m) = &self.multizone {
+            let _ = writeln!(
+                out,
+                "multizone: {} zones, {} machines at load {:.1}: per-zone {:.1} W vs \
+                 uniform {:.1} W ({:.2} % saved), min margin {:.2} K",
+                m.zones,
+                m.machines,
+                m.total_load,
+                m.per_zone.total_watts,
+                m.uniform.total_watts,
+                m.savings_fraction * 100.0,
+                m.per_zone.min_margin_kelvin,
+            );
+        }
         if let Some(t) = &self.trace {
             let _ = writeln!(
                 out,
@@ -383,6 +546,31 @@ mod tests {
         RunReport {
             name: "unit".to_string(),
             seed: 7,
+            scenario: Some(ScenarioSection {
+                name: "two_zone_hetero".to_string(),
+                sha256: "ab".repeat(32),
+            }),
+            multizone: Some(MultiZoneSection {
+                zones: 2,
+                machines: 14,
+                total_load: 7.0,
+                savings_fraction: 0.05,
+                per_zone: VariantSection {
+                    t_ac_celsius: vec![18.0, 14.5],
+                    predicted_total_watts: 900.0,
+                    computing_watts: 700.0,
+                    cooling_watts: 250.0,
+                    total_watts: 950.0,
+                    max_cpu_celsius: 55.0,
+                    min_margin_kelvin: 5.0,
+                    settled: true,
+                },
+                uniform: VariantSection {
+                    t_ac_celsius: vec![16.0, 16.0],
+                    total_watts: 1000.0,
+                    ..VariantSection::default()
+                },
+            }),
             metrics_enabled: coolopt_telemetry::metrics_enabled(),
             metrics: RegistrySnapshot::default(),
             trace: Some(TraceSection {
@@ -447,6 +635,31 @@ mod tests {
         assert!(json.contains("\"worst_level\":\"ok\""));
         assert!(json.contains("\"recommended_guard_kelvin\":0.4"));
         assert!(json.contains("\"drift_demo\":{\"samples\":20,\"drifted\":true"));
+        assert!(json.contains("\"scenario\":{\"name\":\"two_zone_hetero\",\"sha256\":\"ab"));
+        assert!(json.contains("\"multizone\":{\"zones\":2,\"machines\":14"));
+        assert!(json.contains("\"per_zone\":{\"t_ac_celsius\":[18.0,14.5]"));
+        assert!(json.contains("\"savings_fraction\":0.05"));
+        assert!(json.contains("\"uniform\":{\"t_ac_celsius\":[16.0,16.0]"));
+    }
+
+    #[test]
+    fn scenario_and_multizone_sections_default_to_null() {
+        let report = RunReport::default();
+        let json = report.to_json();
+        assert!(json.contains("\"scenario\":null"));
+        assert!(json.contains("\"multizone\":null"));
+        assert!(!report.render_table().contains("scenario:"));
+    }
+
+    #[test]
+    fn table_summarizes_scenario_and_multizone() {
+        let table = sample().render_table();
+        assert!(
+            table.contains("scenario: two_zone_hetero (sha256 ab"),
+            "{table}"
+        );
+        assert!(table.contains("multizone: 2 zones, 14 machines"), "{table}");
+        assert!(table.contains("5.00 % saved"), "{table}");
     }
 
     #[test]

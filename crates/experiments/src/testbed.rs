@@ -1,7 +1,54 @@
 //! The evaluation testbed: simulated rack + fitted models.
 
 use coolopt_profiling::{profile_room_full, ProfileError, ProfileOptions, RoomProfile};
-use coolopt_room::{presets, MachineRoom};
+use coolopt_room::room::InvalidRoom;
+use coolopt_room::{materialize_machine_room, presets, MachineRoom};
+use coolopt_scenario::{RackOptions, Scenario};
+use std::fmt;
+
+/// Why a testbed could not be built from a scenario document.
+#[derive(Debug)]
+pub enum TestbedError {
+    /// The scenario failed to materialize into a consistent room.
+    Room(InvalidRoom),
+    /// Profiling the materialized room failed.
+    Profile(ProfileError),
+    /// The scenario has several zones; the single-room testbed pipeline
+    /// cannot profile it (drive it through the multi-zone experiment
+    /// instead).
+    MultiZone {
+        /// Zone count of the offending scenario.
+        zones: usize,
+    },
+}
+
+impl fmt::Display for TestbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestbedError::Room(e) => write!(f, "scenario does not materialize: {e}"),
+            TestbedError::Profile(e) => write!(f, "profiling failed: {e}"),
+            TestbedError::MultiZone { zones } => write!(
+                f,
+                "scenario has {zones} zones; the testbed pipeline is single-zone \
+                 (use the multi-zone experiment)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TestbedError {}
+
+impl From<InvalidRoom> for TestbedError {
+    fn from(e: InvalidRoom) -> Self {
+        TestbedError::Room(e)
+    }
+}
+
+impl From<ProfileError> for TestbedError {
+    fn from(e: ProfileError) -> Self {
+        TestbedError::Profile(e)
+    }
+}
 
 /// A profiled, ready-to-evaluate machine room.
 #[derive(Debug, Clone)]
@@ -10,6 +57,9 @@ pub struct Testbed {
     pub room: MachineRoom,
     /// Everything profiling produced (model, fits, calibrations).
     pub profile: RoomProfile,
+    /// The scenario document the room was materialized from (run reports
+    /// record its name and content hash).
+    pub scenario: Scenario,
 }
 
 impl Testbed {
@@ -29,9 +79,57 @@ impl Testbed {
     ///
     /// See [`Testbed::build`].
     pub fn build_sized(machines: usize, seed: u64) -> Result<Testbed, ProfileError> {
-        let mut room = presets::parametric_rack(machines, seed);
+        Testbed::from_options(RackOptions {
+            machines,
+            seed,
+            ..RackOptions::default()
+        })
+    }
+
+    /// Builds a rack with explicit air-distribution knobs (the ablation
+    /// studies' entry point).
+    ///
+    /// # Errors
+    ///
+    /// See [`Testbed::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on unphysical options (same rules as
+    /// [`presets::parametric_rack_with`]).
+    pub fn from_options(options: RackOptions) -> Result<Testbed, ProfileError> {
+        let scenario = coolopt_scenario::presets::single_zone(options);
+        let mut room = presets::parametric_rack_with(options);
         let profile = profile_room_full(&mut room, &ProfileOptions::default())?;
-        Ok(Testbed { room, profile })
+        Ok(Testbed {
+            room,
+            profile,
+            scenario,
+        })
+    }
+
+    /// Builds and profiles a testbed from a **single-zone** scenario
+    /// document (the `--scenario` path of the experiment binaries). For
+    /// documents emitted by the presets this is bit-identical to
+    /// [`Testbed::build_sized`] — the identity is pinned by tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestbedError`] for multi-zone documents, rooms that fail
+    /// component validation, and profiling failures.
+    pub fn from_scenario(scenario: &Scenario) -> Result<Testbed, TestbedError> {
+        if !scenario.is_single_zone() {
+            return Err(TestbedError::MultiZone {
+                zones: scenario.zone_count(),
+            });
+        }
+        let mut room = materialize_machine_room(scenario)?;
+        let profile = profile_room_full(&mut room, &ProfileOptions::default())?;
+        Ok(Testbed {
+            room,
+            profile,
+            scenario: scenario.clone(),
+        })
     }
 
     /// Number of machines.
@@ -62,5 +160,36 @@ mod tests {
         assert!(!tb.is_empty());
         assert_eq!(tb.profile.model.len(), 3);
         assert!((tb.load_from_percent(50.0) - 1.5).abs() < 1e-12);
+        assert_eq!(tb.scenario.total_machines(), 3);
+        assert_eq!(tb.scenario.seed, 5);
+    }
+
+    #[test]
+    fn scenario_path_profiles_to_the_same_model_as_the_code_path() {
+        let scenario = coolopt_scenario::presets::single_zone(RackOptions {
+            machines: 4,
+            seed: 11,
+            ..RackOptions::default()
+        });
+        let a = Testbed::from_scenario(&scenario).unwrap();
+        let b = Testbed::build_sized(4, 11).unwrap();
+        // Same room → same profiling trajectory → bit-identical fit.
+        assert_eq!(a.profile.model.power().w1(), b.profile.model.power().w1());
+        assert_eq!(a.profile.model.power().w2(), b.profile.model.power().w2());
+        for i in 0..4 {
+            assert_eq!(
+                a.profile.model.thermal(i).alpha(),
+                b.profile.model.thermal(i).alpha()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_zone_documents_are_rejected_with_a_clear_error() {
+        let scenario = coolopt_scenario::presets::two_zone_hetero(0);
+        match Testbed::from_scenario(&scenario) {
+            Err(TestbedError::MultiZone { zones: 2 }) => {}
+            other => panic!("expected MultiZone error, got {other:?}"),
+        }
     }
 }

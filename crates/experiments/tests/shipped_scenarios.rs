@@ -1,0 +1,76 @@
+//! Schema validation of every shipped scenario document: each file under
+//! `scenarios/` must parse, validate, materialize into a consistent plant,
+//! and yield a solvable smoke plan. The testbed file is additionally pinned
+//! to the emitting preset, so "load the JSON" and "call the preset" can
+//! never drift apart.
+
+use coolopt_core::{solve_zones, solve_zones_uniform};
+use coolopt_room::materialize;
+use coolopt_scenario::{presets, zone_system, Scenario};
+use std::path::PathBuf;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn shipped() -> Vec<(String, Scenario)> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(scenarios_dir()).expect("scenarios/ exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let scenario = Scenario::load(&path).unwrap_or_else(|e| panic!("{name} rejected: {e}"));
+        out.push((name, scenario));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+#[test]
+fn every_shipped_scenario_parses_materializes_and_plans() {
+    let shipped = shipped();
+    assert!(
+        shipped.len() >= 2,
+        "expected at least the two stock files, found {:?}",
+        shipped.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>()
+    );
+    for (name, scenario) in &shipped {
+        let room = materialize(scenario).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(room.len(), scenario.total_machines(), "{name}");
+        // A smoke plan at half load on the declared models.
+        let system = zone_system(scenario).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let load = 0.5 * scenario.total_machines() as f64;
+        let per_zone = solve_zones(&system, load).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let uniform = solve_zones_uniform(&system, load).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            per_zone.total().as_watts() <= uniform.total().as_watts() + 1e-6,
+            "{name}: per-zone plan must never lose to the uniform baseline"
+        );
+    }
+}
+
+#[test]
+fn the_testbed_file_is_exactly_the_emitting_preset() {
+    let path = scenarios_dir().join("testbed_rack20.json");
+    let loaded = Scenario::load(&path).expect("stock testbed file parses");
+    let emitted = presets::testbed_rack20(0);
+    assert_eq!(
+        loaded, emitted,
+        "scenarios/testbed_rack20.json drifted from the preset"
+    );
+    assert_eq!(loaded.content_hash(), emitted.content_hash());
+}
+
+#[test]
+fn the_two_zone_file_is_exactly_the_emitting_preset() {
+    let path = scenarios_dir().join("two_zone_hetero.json");
+    let loaded = Scenario::load(&path).expect("stock two-zone file parses");
+    let emitted = presets::two_zone_hetero(0);
+    assert_eq!(
+        loaded, emitted,
+        "scenarios/two_zone_hetero.json drifted from the preset"
+    );
+    assert_eq!(loaded.content_hash(), emitted.content_hash());
+}

@@ -31,11 +31,15 @@ pub mod airflow;
 pub mod envelope;
 pub mod geometry;
 pub mod measurement;
+pub mod multizone;
 pub mod presets;
 pub mod room;
+pub mod scenario;
 
 pub use airflow::AirDistribution;
 pub use envelope::Envelope;
 pub use geometry::{Rack, RackSlot};
 pub use measurement::{RoomObservation, SteadyMeasurement};
+pub use multizone::{MultiZoneAirState, MultiZoneRoom};
 pub use room::{MachineRoom, RoomConfig};
+pub use scenario::{materialize, materialize_machine_room, MaterializedRoom};

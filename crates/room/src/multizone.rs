@@ -1,0 +1,633 @@
+//! A machine room with several zones, each served (mostly) by its own CRAC.
+//!
+//! [`MultiZoneRoom`] generalizes [`crate::room::MachineRoom`] to `Z` CRAC
+//! units over `Z` racks ("zones"), with two coupling mechanisms the
+//! single-CRAC model cannot express:
+//!
+//! * **Supply sharing** — zone `z`'s cold stream is a convex mixture of the
+//!   CRAC supplies, `T_mix_z = Σ_u share[z][u]·T_supply_u` (two units
+//!   feeding one aisle through a common plenum). Returns flow back the same
+//!   way: CRAC `u` receives `share[z][u]` of zone `z`'s captured exhaust.
+//! * **Cross-zone recirculation** — a fraction `cross[z][w]` of every
+//!   zone-`z` inlet is drawn from zone `w`'s mean exhaust (hot aisle
+//!   leakage across the room).
+//!
+//! Within a zone the air paths are exactly the single-rack ones: supply
+//! share falling with height, each machine ingesting a little of its lower
+//! neighbour's exhaust, uncaptured exhaust and unclaimed supply spilling
+//! into the common room-air node. The continuous state is
+//! `[T_cpu_0, T_box_0, …, T_room, integral_0, …, integral_{Z−1}]`.
+
+use crate::room::{InvalidRoom, RoomConfig};
+use coolopt_cooling::{CracMode, CracUnit};
+use coolopt_machine::{CpuTempSensor, PowerMeter, Server};
+use coolopt_sim::ode::{Dynamics, Integrator, Rk4};
+use coolopt_sim::{SimClock, SimScratch, TrendDetector};
+use coolopt_units::{FlowRate, Seconds, Temperature, Watts, C_AIR};
+use std::cell::RefCell;
+use std::ops::Range;
+
+/// Reused air-path temporaries for the derivative evaluation.
+#[derive(Debug, Clone, Default)]
+struct AirBuffers {
+    exhausts: Vec<Temperature>,
+    flows: Vec<FlowRate>,
+    inlets: Vec<Temperature>,
+    returns: Vec<Temperature>,
+    supplies: Vec<Temperature>,
+    zone_mean_exhaust: Vec<f64>,
+}
+
+/// Instantaneous air-path view of a multi-zone room.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiZoneAirState {
+    /// Per-CRAC return temperatures.
+    pub returns: Vec<Temperature>,
+    /// Per-CRAC supply temperatures.
+    pub supplies: Vec<Temperature>,
+    /// Per-server inlet temperatures (flat, zone-major).
+    pub inlets: Vec<Temperature>,
+}
+
+/// The multi-zone, multi-CRAC simulated plant.
+#[derive(Debug, Clone)]
+pub struct MultiZoneRoom {
+    servers: Vec<Server>,
+    cracs: Vec<CracUnit>,
+    /// Zone index of every server (zone-major layout).
+    zone_of: Vec<usize>,
+    /// Server-index range of every zone.
+    zone_ranges: Vec<Range<usize>>,
+    /// Per-server share of the zone's mixed supply stream.
+    supply_fraction: Vec<f64>,
+    /// Per-server fraction of the lower neighbour's exhaust (0 at the
+    /// bottom of each zone).
+    neighbor_recirc: Vec<f64>,
+    /// Per-server exhaust capture fraction.
+    capture: Vec<f64>,
+    /// `cross[z][w]`: fraction of zone-z inlets drawn from zone w's mean
+    /// exhaust (diagonal 0).
+    cross_zone: Vec<Vec<f64>>,
+    /// `supply_share[z][u]`: fraction of zone z's supply stream provided by
+    /// CRAC u (rows sum to 1).
+    supply_share: Vec<Vec<f64>>,
+    config: RoomConfig,
+    t_room: Temperature,
+    clock: SimClock,
+    temp_sensors: Vec<CpuTempSensor>,
+    power_meters: Vec<PowerMeter>,
+    ode_state: Vec<f64>,
+    scratch: SimScratch,
+    air_buffers: RefCell<AirBuffers>,
+}
+
+impl MultiZoneRoom {
+    /// Assembles a multi-zone room.
+    ///
+    /// `zone_servers` is one `Vec<Server>` per zone (bottom slot first);
+    /// the per-server vectors are flat in zone-major order and must match
+    /// the total count. `supply_share` must be row-stochastic over the
+    /// CRACs and `cross_zone` square with zero diagonal; every server's
+    /// supply + neighbour + cross fractions must stay within 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRoom`] naming the violated rule.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        zone_servers: Vec<Vec<Server>>,
+        cracs: Vec<CracUnit>,
+        supply_fraction: Vec<f64>,
+        neighbor_recirc: Vec<f64>,
+        capture: Vec<f64>,
+        supply_share: Vec<Vec<f64>>,
+        cross_zone: Vec<Vec<f64>>,
+        config: RoomConfig,
+        sensor_seed: u64,
+    ) -> Result<Self, InvalidRoom> {
+        let fail = |what: String| Err(InvalidRoom::new(what));
+        let z_count = zone_servers.len();
+        if z_count == 0 {
+            return fail("a multi-zone room needs at least one zone".into());
+        }
+        if cracs.len() != z_count {
+            return fail(format!(
+                "{z_count} zones but {} CRAC units (one per zone)",
+                cracs.len()
+            ));
+        }
+        if zone_servers.iter().any(Vec::is_empty) {
+            return fail("every zone needs at least one server".into());
+        }
+        let n: usize = zone_servers.iter().map(Vec::len).sum();
+        for (name, len) in [
+            ("supply fractions", supply_fraction.len()),
+            ("neighbour recirculation", neighbor_recirc.len()),
+            ("capture fractions", capture.len()),
+        ] {
+            if len != n {
+                return fail(format!("{name} cover {len} servers, room has {n}"));
+            }
+        }
+        if supply_share.len() != z_count || cross_zone.len() != z_count {
+            return fail(format!(
+                "share/cross matrices must have {z_count} rows (got {} and {})",
+                supply_share.len(),
+                cross_zone.len()
+            ));
+        }
+        let mut zone_of = Vec::with_capacity(n);
+        let mut zone_ranges = Vec::with_capacity(z_count);
+        let mut start = 0usize;
+        for (z, servers) in zone_servers.iter().enumerate() {
+            zone_ranges.push(start..start + servers.len());
+            zone_of.resize(zone_of.len() + servers.len(), z);
+            start += servers.len();
+        }
+        for (z, (share, cross)) in supply_share.iter().zip(&cross_zone).enumerate() {
+            if share.len() != z_count || cross.len() != z_count {
+                return fail(format!("share/cross row {z} must have {z_count} entries"));
+            }
+            if share.iter().any(|s| !(0.0..=1.0).contains(s)) {
+                return fail(format!("supply-share row {z} outside [0, 1]"));
+            }
+            let sum: f64 = share.iter().sum();
+            if (sum - 1.0).abs() > 1e-9 {
+                return fail(format!("supply-share row {z} sums to {sum}, not 1"));
+            }
+            if cross[z] != 0.0 {
+                return fail(format!("zone {z} cannot cross-recirculate its own exhaust"));
+            }
+            if cross.iter().any(|c| !(0.0..=1.0).contains(c)) {
+                return fail(format!("cross-zone row {z} outside [0, 1]"));
+            }
+            let cross_sum: f64 = cross.iter().sum();
+            for i in zone_ranges[z].clone() {
+                let s = supply_fraction[i];
+                let r = neighbor_recirc[i];
+                if !(0.0..=1.0).contains(&s) || !(0.0..=1.0).contains(&r) {
+                    return fail(format!("server {i}: air fractions outside [0, 1]"));
+                }
+                if i == zone_ranges[z].start && r != 0.0 {
+                    return fail(format!("server {i} is a zone bottom but recirculates"));
+                }
+                if s + r + cross_sum > 1.0 + 1e-12 {
+                    return fail(format!(
+                        "server {i}: supply {s} + recirculation {r} + cross {cross_sum} > 1"
+                    ));
+                }
+            }
+        }
+        if capture.iter().any(|c| !(0.0..=1.0).contains(c)) {
+            return fail("capture fraction outside [0, 1]".into());
+        }
+        // Each CRAC must provide at least the supply air drawn through it.
+        let servers: Vec<Server> = zone_servers.into_iter().flatten().collect();
+        for (u, crac) in cracs.iter().enumerate() {
+            let mut drawn = 0.0;
+            for (i, s) in servers.iter().enumerate() {
+                drawn += supply_share[zone_of[i]][u]
+                    * supply_fraction[i]
+                    * s.config().fan_flow.as_cubic_meters_per_second();
+            }
+            let provided = crac.config().flow.as_cubic_meters_per_second();
+            if drawn > provided {
+                return fail(format!(
+                    "CRAC {u} provides {provided} m³/s but servers draw {drawn}"
+                ));
+            }
+        }
+        let t0 = config.initial_temp;
+        let mut servers = servers;
+        for s in &mut servers {
+            s.sync_thermal_state(t0, t0);
+        }
+        let temp_sensors = (0..n)
+            .map(|i| CpuTempSensor::with_default_noise(sensor_seed.wrapping_add(i as u64)))
+            .collect();
+        let power_meters = (0..n)
+            .map(|i| PowerMeter::with_default_noise(sensor_seed.wrapping_add(1000 + i as u64)))
+            .collect();
+        let dim = 2 * n + 1 + z_count;
+        Ok(MultiZoneRoom {
+            servers,
+            cracs,
+            zone_of,
+            zone_ranges,
+            supply_fraction,
+            neighbor_recirc,
+            capture,
+            cross_zone,
+            supply_share,
+            config,
+            t_room: t0,
+            clock: SimClock::new(config.dt),
+            temp_sensors,
+            power_meters,
+            ode_state: Vec::with_capacity(dim),
+            scratch: SimScratch::with_dim(dim),
+            air_buffers: RefCell::new(AirBuffers::default()),
+        })
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// `true` when the room holds no servers (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Number of zones (= CRAC units).
+    pub fn zone_count(&self) -> usize {
+        self.cracs.len()
+    }
+
+    /// The servers, flat in zone-major order.
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// Mutable access to one server.
+    pub fn server_mut(&mut self, i: usize) -> &mut Server {
+        &mut self.servers[i]
+    }
+
+    /// The CRAC units, zone order.
+    pub fn cracs(&self) -> &[CracUnit] {
+        &self.cracs
+    }
+
+    /// Mutable access to zone `u`'s CRAC.
+    pub fn crac_mut(&mut self, u: usize) -> &mut CracUnit {
+        &mut self.cracs[u]
+    }
+
+    /// Zone index of server `i`.
+    pub fn zone_of(&self, i: usize) -> usize {
+        self.zone_of[i]
+    }
+
+    /// Server-index range of zone `z`.
+    pub fn zone_range(&self, z: usize) -> Range<usize> {
+        self.zone_ranges[z].clone()
+    }
+
+    /// The room configuration.
+    pub fn config(&self) -> &RoomConfig {
+        &self.config
+    }
+
+    /// Room-air temperature.
+    pub fn room_temp(&self) -> Temperature {
+        self.t_room
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Seconds {
+        self.clock.now()
+    }
+
+    /// Commands every CRAC into fixed-supply mode at the given temperatures
+    /// (the planner's per-zone `T_ac` decision).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length disagrees with the zone count.
+    pub fn set_fixed_supplies(&mut self, supplies: &[Temperature]) {
+        assert_eq!(supplies.len(), self.cracs.len(), "one supply per CRAC");
+        for (crac, &t) in self.cracs.iter_mut().zip(supplies) {
+            crac.set_mode(CracMode::FixedSupply(t));
+        }
+    }
+
+    /// Commands every CRAC's return set point (the conventional mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length disagrees with the zone count.
+    pub fn set_set_points(&mut self, set_points: &[Temperature]) {
+        assert_eq!(set_points.len(), self.cracs.len(), "one set point per CRAC");
+        for (crac, &t) in self.cracs.iter_mut().zip(set_points) {
+            crac.set_mode(CracMode::ReturnSetPoint(t));
+        }
+    }
+
+    /// Powers every machine on instantly (skipping boot) with zero load.
+    pub fn force_all_on(&mut self) {
+        for s in &mut self.servers {
+            s.force_on();
+        }
+    }
+
+    /// Commands per-server load fractions (flat, zone-major).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`coolopt_machine::server::InvalidLoad`] if
+    /// any fraction is outside `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length disagrees with the server count.
+    pub fn set_loads(&mut self, loads: &[f64]) -> Result<(), coolopt_machine::server::InvalidLoad> {
+        assert_eq!(loads.len(), self.servers.len(), "load vector size mismatch");
+        for (s, &l) in self.servers.iter_mut().zip(loads) {
+            s.set_load(l)?;
+        }
+        Ok(())
+    }
+
+    /// Total electrical power of the computing side.
+    pub fn computing_power(&self) -> Watts {
+        self.servers.iter().map(|s| s.power_draw()).sum()
+    }
+
+    /// Electrical power of all cooling units.
+    pub fn cooling_power(&self) -> Watts {
+        let state = self.air_state();
+        self.cracs
+            .iter()
+            .zip(&state.returns)
+            .map(|(crac, &t_ret)| crac.electrical_power(t_ret, crac.integral()))
+            .sum()
+    }
+
+    /// Total room power: computing + cooling.
+    pub fn total_power(&self) -> Watts {
+        self.computing_power() + self.cooling_power()
+    }
+
+    /// Reads server `i`'s CPU temperature through its noisy sensor.
+    pub fn read_cpu_temp(&mut self, i: usize) -> Temperature {
+        let t = self.servers[i].cpu_temp();
+        self.temp_sensors[i].read(t)
+    }
+
+    /// Reads server `i`'s power draw through its noisy meter.
+    pub fn read_power(&mut self, i: usize) -> Watts {
+        let p = self.servers[i].power_draw();
+        self.power_meters[i].read(p)
+    }
+
+    /// Instantaneous air-path temperatures for the current state.
+    pub fn air_state(&self) -> MultiZoneAirState {
+        let exhausts: Vec<Temperature> = self.servers.iter().map(|s| s.exhaust_temp()).collect();
+        let flows: Vec<FlowRate> = self.servers.iter().map(|s| s.air_flow()).collect();
+        let integrals: Vec<f64> = self.cracs.iter().map(|c| c.integral()).collect();
+        let mut returns = Vec::new();
+        let mut supplies = Vec::new();
+        let mut inlets = Vec::new();
+        let mut zone_means = Vec::new();
+        self.air_paths(
+            &exhausts,
+            &flows,
+            self.t_room,
+            &integrals,
+            &mut returns,
+            &mut supplies,
+            &mut inlets,
+            &mut zone_means,
+        );
+        MultiZoneAirState {
+            returns,
+            supplies,
+            inlets,
+        }
+    }
+
+    /// Computes per-CRAC returns and supplies, then per-server inlets, into
+    /// the output buffers (cleared first).
+    #[allow(clippy::too_many_arguments)]
+    fn air_paths(
+        &self,
+        exhausts: &[Temperature],
+        flows: &[FlowRate],
+        t_room: Temperature,
+        integrals: &[f64],
+        returns: &mut Vec<Temperature>,
+        supplies: &mut Vec<Temperature>,
+        inlets: &mut Vec<Temperature>,
+        zone_mean_exhaust: &mut Vec<f64>,
+    ) {
+        let z_count = self.cracs.len();
+        returns.clear();
+        supplies.clear();
+        inlets.clear();
+        zone_mean_exhaust.clear();
+        for range in &self.zone_ranges {
+            let mean = exhausts[range.clone()]
+                .iter()
+                .map(|t| t.as_kelvin())
+                .sum::<f64>()
+                / range.len() as f64;
+            zone_mean_exhaust.push(mean);
+        }
+        // Per-CRAC return: each zone's captured exhaust flows back through
+        // the units in proportion to the supply shares; the rest of the
+        // CRAC's draw is room-air makeup (AirDistribution's rule per unit).
+        for (u, integral) in integrals.iter().enumerate().take(z_count) {
+            let mut captured_flow = 0.0;
+            let mut captured_heat = 0.0;
+            for (i, (t, f)) in exhausts.iter().zip(flows).enumerate() {
+                let share = self.supply_share[self.zone_of[i]][u];
+                if share > 0.0 {
+                    let cf = share * self.capture[i] * f.as_cubic_meters_per_second();
+                    captured_flow += cf;
+                    captured_heat += cf * t.as_kelvin();
+                }
+            }
+            let f_ac = self.cracs[u].config().flow.as_cubic_meters_per_second();
+            let t_return = if captured_flow >= f_ac {
+                Temperature::from_kelvin(captured_heat / captured_flow)
+            } else {
+                Temperature::from_kelvin(
+                    (captured_heat + (f_ac - captured_flow) * t_room.as_kelvin()) / f_ac,
+                )
+            };
+            returns.push(t_return);
+            supplies.push(self.cracs[u].supply_temp(t_return, *integral));
+        }
+        // Inlets: zone supply mix + lower-neighbour exhaust + cross-zone
+        // mean exhaust + room-air remainder.
+        for (i, _) in exhausts.iter().enumerate() {
+            let z = self.zone_of[i];
+            let t_mix: f64 = self.supply_share[z]
+                .iter()
+                .zip(supplies.iter())
+                .map(|(s, t)| s * t.as_kelvin())
+                .sum();
+            let s = self.supply_fraction[i];
+            let r = self.neighbor_recirc[i];
+            let mut kelvin = s * t_mix;
+            if r > 0.0 {
+                kelvin += r * exhausts[i - 1].as_kelvin();
+            }
+            let mut drawn = s + r;
+            for (w, &x) in self.cross_zone[z].iter().enumerate() {
+                if x > 0.0 {
+                    kelvin += x * zone_mean_exhaust[w];
+                    drawn += x;
+                }
+            }
+            kelvin += (1.0 - drawn) * t_room.as_kelvin();
+            inlets.push(Temperature::from_kelvin(kelvin));
+        }
+    }
+
+    fn dim_internal(&self) -> usize {
+        2 * self.servers.len() + 1 + self.cracs.len()
+    }
+
+    fn pack_state_into(&self, x: &mut Vec<f64>) {
+        x.clear();
+        for s in &self.servers {
+            x.push(s.cpu_temp().as_kelvin());
+            x.push(s.exhaust_temp().as_kelvin());
+        }
+        x.push(self.t_room.as_kelvin());
+        for c in &self.cracs {
+            x.push(c.integral());
+        }
+    }
+
+    fn unpack_state(&mut self, x: &[f64]) {
+        let n = self.servers.len();
+        for (i, s) in self.servers.iter_mut().enumerate() {
+            s.sync_thermal_state(
+                Temperature::from_kelvin(x[2 * i]),
+                Temperature::from_kelvin(x[2 * i + 1]),
+            );
+        }
+        self.t_room = Temperature::from_kelvin(x[2 * n]);
+        for (u, c) in self.cracs.iter_mut().enumerate() {
+            c.sync_integral(x[2 * n + 1 + u]);
+        }
+    }
+
+    /// Advances the simulation by one step `dt` (allocation-free hot path,
+    /// as in [`crate::room::MachineRoom::step`]).
+    pub fn step(&mut self) {
+        let mut state = std::mem::take(&mut self.ode_state);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.pack_state_into(&mut state);
+        let t = self.clock.now();
+        let dt = self.clock.dt();
+        Rk4::new().step_with(&*self, t, dt, &mut state, &mut scratch);
+        self.unpack_state(&state);
+        for s in &mut self.servers {
+            s.advance(dt.as_secs_f64());
+        }
+        self.clock.tick();
+        self.ode_state = state;
+        self.scratch = scratch;
+    }
+
+    /// Runs the simulation for (at least) `duration`.
+    pub fn run_for(&mut self, duration: Seconds) {
+        let n = self.clock.ticks_for(duration);
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Runs until total power and the hottest CPU are trend-steady, or
+    /// until `max` simulated time elapses. Returns `true` on steady state.
+    pub fn settle(&mut self, max: Seconds, power_tol: f64) -> bool {
+        let mut power = TrendDetector::new(120, power_tol);
+        let mut temp = TrendDetector::new(120, 0.2);
+        let n = self.clock.ticks_for(max);
+        for _ in 0..n {
+            self.step();
+            power.observe(self.total_power().as_watts());
+            let hottest = self
+                .servers
+                .iter()
+                .map(|s| s.cpu_temp().as_kelvin())
+                .fold(f64::NEG_INFINITY, f64::max);
+            temp.observe(hottest);
+            if power.is_steady() && temp.is_steady() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Dynamics for MultiZoneRoom {
+    fn dim(&self) -> usize {
+        self.dim_internal()
+    }
+
+    fn derivatives(&self, _t: Seconds, x: &[f64], dx: &mut [f64]) {
+        let n = self.servers.len();
+        let z_count = self.cracs.len();
+        let t_room = Temperature::from_kelvin(x[2 * n]);
+        let integrals = &x[2 * n + 1..2 * n + 1 + z_count];
+
+        // Borrow the reused air-path temporaries for the whole evaluation;
+        // nothing below re-enters `derivatives`, so the RefCell never
+        // double-borrows.
+        let mut buffers = self.air_buffers.borrow_mut();
+        let AirBuffers {
+            exhausts,
+            flows,
+            inlets,
+            returns,
+            supplies,
+            zone_mean_exhaust,
+        } = &mut *buffers;
+        exhausts.clear();
+        flows.clear();
+        for (i, s) in self.servers.iter().enumerate() {
+            exhausts.push(Temperature::from_kelvin(x[2 * i + 1]));
+            flows.push(s.air_flow());
+        }
+        self.air_paths(
+            exhausts,
+            flows,
+            t_room,
+            integrals,
+            returns,
+            supplies,
+            inlets,
+            zone_mean_exhaust,
+        );
+
+        let mut spilled_heat = Watts::ZERO;
+        for (i, server) in self.servers.iter().enumerate() {
+            let t_cpu = Temperature::from_kelvin(x[2 * i]);
+            let t_box = exhausts[i];
+            let (d_cpu, d_box) = server.thermal_rates(inlets[i], t_cpu, t_box);
+            dx[2 * i] = d_cpu.as_kelvin_per_second();
+            dx[2 * i + 1] = d_box.as_kelvin_per_second();
+            let spill_conductance = (flows[i] * (1.0 - self.capture[i])) * C_AIR;
+            spilled_heat += spill_conductance * (t_box - t_room);
+        }
+
+        // Supply air not drawn through each CRAC spills into the room at
+        // that unit's supply temperature.
+        let mut supply_spill = Watts::ZERO;
+        for (u, crac) in self.cracs.iter().enumerate() {
+            let mut drawn = 0.0;
+            for (i, f) in flows.iter().enumerate() {
+                drawn += self.supply_share[self.zone_of[i]][u]
+                    * self.supply_fraction[i]
+                    * f.as_cubic_meters_per_second();
+            }
+            let excess = FlowRate::cubic_meters_per_second(
+                (crac.config().flow.as_cubic_meters_per_second() - drawn).max(0.0),
+            );
+            supply_spill += (excess * C_AIR) * (supplies[u] - t_room);
+        }
+        let envelope_gain = self.config.envelope.heat_gain(t_room);
+
+        let room_heat = spilled_heat + supply_spill + envelope_gain;
+        dx[2 * n] = (room_heat / self.config.room_air_capacity).as_kelvin_per_second();
+        for (u, crac) in self.cracs.iter().enumerate() {
+            dx[2 * n + 1 + u] = crac.integral_rate(returns[u], integrals[u]);
+        }
+    }
+}

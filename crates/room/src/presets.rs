@@ -1,13 +1,21 @@
 //! Ready-made machine rooms, including the paper's 20-machine testbed.
+//!
+//! Since the scenarios-as-data refactor these presets are thin wrappers:
+//! each one emits a [`coolopt_scenario::Scenario`] document (via
+//! [`coolopt_scenario::presets`]) and materializes it through
+//! [`crate::scenario::materialize_machine_room`]. Loading the equivalent
+//! JSON file from `scenarios/` produces a bit-identical room — that identity
+//! is pinned by regression tests in [`crate::scenario`].
 
 use crate::airflow::AirDistribution;
 use crate::geometry::Rack;
 use crate::room::{MachineRoom, RoomConfig};
+use crate::scenario::materialize_machine_room;
 use coolopt_cooling::{CracConfig, CracUnit};
-use coolopt_machine::{Server, ServerConfig, ServerId};
-use coolopt_units::{Conductance, FlowRate, HeatCapacity, Temperature, Watts};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use coolopt_machine::{Server, ServerId};
+use coolopt_units::Temperature;
+
+pub use coolopt_scenario::RackOptions;
 
 /// Builds the evaluation testbed: a rack of 20 R210-like machines cooled by
 /// one Challenger-like CRAC, mirroring the paper's §IV setup.
@@ -26,43 +34,6 @@ pub fn testbed_rack20(seed: u64) -> MachineRoom {
 /// [`testbed_rack20`], scaled down.
 pub fn small_rack(n: usize, seed: u64) -> MachineRoom {
     parametric_rack(n, seed)
-}
-
-/// Knobs of [`parametric_rack_with`].
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RackOptions {
-    /// Number of machines.
-    pub machines: usize,
-    /// Seed for per-machine manufacturing variation and noise.
-    pub seed: u64,
-    /// Multiplier on the exhaust→inlet recirculation coefficients (1.0 =
-    /// the default preset; 0.0 = no direct recirculation; 2.0 = strongly
-    /// recirculating, which the linear fitted model represents poorly).
-    pub recirculation_scale: f64,
-    /// Span of the supply-air share across the rack: the bottom slot draws
-    /// `base_supply` of its intake from the supply stream, the top slot
-    /// `base_supply − supply_span`.
-    pub supply_span: f64,
-    /// Supply-air share of the bottom slot (distance of the rack from the
-    /// CRAC outlet; 0.92 for the default rack right under the vent).
-    pub base_supply: f64,
-    /// Multiplier on per-machine manufacturing jitter (1.0 = the default
-    /// spread; 0.0 = identical machines, which isolates purely positional
-    /// thermal effects in experiments and tests).
-    pub jitter_scale: f64,
-}
-
-impl Default for RackOptions {
-    fn default() -> Self {
-        RackOptions {
-            machines: 20,
-            seed: 0,
-            recirculation_scale: 1.0,
-            supply_span: 0.45,
-            base_supply: 0.92,
-            jitter_scale: 1.0,
-        }
-    }
 }
 
 /// Builds a rack of `n` machines with position-dependent air distribution.
@@ -88,84 +59,29 @@ pub fn parametric_rack(n: usize, seed: u64) -> MachineRoom {
 /// Same conditions as [`parametric_rack`], plus unphysical option values
 /// (negative scales, supply span outside `[0, 0.9]`).
 pub fn parametric_rack_with(options: RackOptions) -> MachineRoom {
-    let RackOptions {
-        machines: n,
-        seed,
-        recirculation_scale,
-        supply_span,
-        base_supply,
-        jitter_scale,
-    } = options;
-    assert!(n > 0, "rack must hold at least one machine");
+    assert!(options.machines > 0, "rack must hold at least one machine");
     assert!(
-        (0.0..=2.5).contains(&recirculation_scale),
-        "recirculation scale {recirculation_scale} out of range"
+        (0.0..=2.5).contains(&options.recirculation_scale),
+        "recirculation scale {} out of range",
+        options.recirculation_scale
     );
     assert!(
-        (0.0..=0.9).contains(&supply_span),
-        "supply span {supply_span} out of range"
+        (0.0..=0.9).contains(&options.supply_span),
+        "supply span {} out of range",
+        options.supply_span
     );
     assert!(
-        supply_span < base_supply && base_supply <= 0.95,
-        "base supply {base_supply} must exceed the span and stay below 0.95"
+        options.supply_span < options.base_supply && options.base_supply <= 0.95,
+        "base supply {} must exceed the span and stay below 0.95",
+        options.base_supply
     );
     assert!(
-        (0.0..=1.0).contains(&jitter_scale),
-        "jitter scale {jitter_scale} out of range"
+        (0.0..=1.0).contains(&options.jitter_scale),
+        "jitter scale {} out of range",
+        options.jitter_scale
     );
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7E57_BED5);
-    let rack = Rack::new_1u(n, 0.2);
-
-    let mut servers = Vec::with_capacity(n);
-    for i in 0..n {
-        // Small manufacturing spread; the paper fits one power model for all
-        // machines, which works because the spread is small.
-        // The RNG is drawn even at scale 0 so the same seed yields the same
-        // stream regardless of the scale.
-        let jitter = |rng: &mut StdRng, frac: f64| {
-            1.0 + jitter_scale * frac * (rng.random::<f64>() * 2.0 - 1.0)
-        };
-        let config = ServerConfig::builder()
-            .fan_flow(FlowRate::cubic_meters_per_second(
-                0.03 * jitter(&mut rng, 0.08),
-            ))
-            .theta_cpu_box(Conductance::watts_per_kelvin(2.0 * jitter(&mut rng, 0.05)))
-            .idle_power(Watts::new(40.0 * jitter(&mut rng, 0.02)))
-            .load_power(Watts::new(45.0 * jitter(&mut rng, 0.02)))
-            .nu_cpu(HeatCapacity::joules_per_kelvin(
-                120.0 * jitter(&mut rng, 0.05),
-            ))
-            .nu_box(HeatCapacity::joules_per_kelvin(
-                60.0 * jitter(&mut rng, 0.05),
-            ))
-            .build()
-            .expect("preset server configuration is valid");
-        servers.push(Server::new(
-            ServerId(i),
-            config,
-            seed.wrapping_add(i as u64),
-            Temperature::from_celsius(24.0),
-        ));
-    }
-
-    // Supply share falls off with height: the bottom slot draws ~92 % of its
-    // intake from the cool supply stream, the top slot ~47 %.
-    let supply_fraction: Vec<f64> = (0..n)
-        .map(|i| base_supply - supply_span * rack.relative_height(i))
-        .collect();
-    // Each machine above the bottom ingests a little of the exhaust of the
-    // machine directly below it (hot air rises along the rack face).
-    let mut recirculation = vec![vec![0.0; n]; n];
-    for i in 1..n {
-        recirculation[i][i - 1] = recirculation_scale * (0.04 + 0.04 * rack.relative_height(i));
-    }
-    let capture_fraction = vec![0.85; n];
-    let air = AirDistribution::new(supply_fraction, recirculation, capture_fraction)
-        .expect("preset air distribution is valid");
-
-    let crac = CracUnit::new(CracConfig::challenger_like());
-    MachineRoom::new(servers, crac, air, rack, RoomConfig::default(), seed)
-        .expect("preset room is consistent")
+    let scenario = coolopt_scenario::presets::single_zone(options);
+    materialize_machine_room(&scenario).expect("preset scenario materializes")
 }
 
 /// Two racks in one room at different distances from the CRAC — the "within

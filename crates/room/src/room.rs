@@ -17,6 +17,12 @@ pub struct InvalidRoom {
     what: String,
 }
 
+impl InvalidRoom {
+    pub(crate) fn new(what: String) -> Self {
+        InvalidRoom { what }
+    }
+}
+
 impl fmt::Display for InvalidRoom {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "invalid machine room: {}", self.what)
@@ -26,7 +32,7 @@ impl fmt::Display for InvalidRoom {
 impl std::error::Error for InvalidRoom {}
 
 /// Room-level configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RoomConfig {
     /// Lumped heat capacity of the room air (J/K).
     pub room_air_capacity: HeatCapacity,

@@ -1,0 +1,48 @@
+//! Regenerates the shipped scenario files under `scenarios/`.
+//!
+//! ```text
+//! scenario_dump [--out <dir>]
+//! ```
+//!
+//! Writes `testbed_rack20.json` and `two_zone_hetero.json` (pretty-printed,
+//! trailing newline) to the output directory (default `scenarios`). The
+//! files are committed; CI and the regression tests re-derive them from the
+//! presets, so drift between code and data is caught immediately.
+
+use coolopt_scenario::presets;
+use coolopt_scenario::Scenario;
+use std::path::PathBuf;
+
+fn main() {
+    let mut out = PathBuf::from("scenarios");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = PathBuf::from(args.next().expect("--out needs a directory"));
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; usage: scenario_dump [--out <dir>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    std::fs::create_dir_all(&out).expect("create output directory");
+    for scenario in [presets::testbed_rack20(0), presets::two_zone_hetero(0)] {
+        scenario.validate().expect("emitted preset must validate");
+        let path = out.join(format!("{}.json", scenario.name));
+        let mut body = scenario.to_json_pretty();
+        body.push('\n');
+        std::fs::write(&path, body).expect("write scenario file");
+        // Re-load through the public path as a self-check.
+        let back = Scenario::load(&path).expect("re-load written scenario");
+        assert_eq!(back, scenario, "file round-trip must be lossless");
+        println!(
+            "wrote {} ({} machines, {} zones, sha256 {})",
+            path.display(),
+            scenario.total_machines(),
+            scenario.zone_count(),
+            scenario.content_hash()
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests: every scenario the emitters can produce survives a JSON
+//! round trip bit for bit, and the content hash is a function of the
+//! document alone (pretty vs compact rendering never matters).
+
+use coolopt_scenario::presets::{single_zone, testbed_rack20, two_zone_hetero};
+use coolopt_scenario::{RackOptions, Scenario};
+use proptest::prelude::*;
+
+/// Maps independent unit draws onto `RackOptions` within the ranges the
+/// parametric preset accepts: `base_supply` strictly above the span, and
+/// every slot's supply + neighbour-recirculation budget within 1 (the
+/// binding cases are the rack's two end slots).
+fn options_from(
+    machines: usize,
+    seed: u64,
+    recirc: f64,
+    span: f64,
+    u: f64,
+    jitter: f64,
+) -> RackOptions {
+    let lo = span + 1e-3;
+    let hi = (1.0 - 0.04 * recirc)
+        .min(1.0 + span - 0.08 * recirc)
+        .min(0.95);
+    RackOptions {
+        machines,
+        seed,
+        recirculation_scale: recirc,
+        supply_span: span,
+        base_supply: lo + u * (hi - lo),
+        jitter_scale: jitter,
+    }
+}
+
+proptest! {
+    #[test]
+    fn single_zone_scenarios_round_trip(
+        machines in 1usize..33,
+        seed in 0u64..u64::MAX,
+        recirc in 0.0..2.5f64,
+        span in 0.0..0.85f64,
+        u in 0.0..1.0f64,
+        jitter in 0.0..1.0f64,
+    ) {
+        let s = single_zone(options_from(machines, seed, recirc, span, u, jitter));
+        s.validate().expect("emitted scenarios validate");
+        let back = Scenario::from_json(&s.to_json_pretty()).expect("parses back");
+        prop_assert_eq!(&s, &back);
+        let compact = Scenario::from_json(&s.to_json()).expect("compact parses back");
+        prop_assert_eq!(&s, &compact);
+    }
+
+    #[test]
+    fn content_hash_ignores_rendering_but_not_content(seed in 0u64..u64::MAX) {
+        let s = testbed_rack20(seed);
+        let pretty = Scenario::from_json(&s.to_json_pretty()).unwrap();
+        let compact = Scenario::from_json(&s.to_json()).unwrap();
+        prop_assert_eq!(s.content_hash(), pretty.content_hash());
+        prop_assert_eq!(s.content_hash(), compact.content_hash());
+        // Any seed change is a different document.
+        let other = s.clone().with_seed(seed.wrapping_add(1));
+        assert_ne!(s.content_hash(), other.content_hash());
+    }
+
+    #[test]
+    fn two_zone_round_trips_at_any_seed(seed in 0u64..u64::MAX) {
+        let s = two_zone_hetero(seed);
+        s.validate().expect("emitted scenarios validate");
+        let back = Scenario::from_json(&s.to_json_pretty()).expect("parses back");
+        prop_assert_eq!(&s, &back);
+        prop_assert_eq!(s.content_hash(), back.content_hash());
+    }
+
+    #[test]
+    fn rack_options_round_trip_standalone(
+        machines in 1usize..65,
+        seed in 0u64..u64::MAX,
+        recirc in 0.0..2.5f64,
+        span in 0.0..0.85f64,
+        u in 0.0..1.0f64,
+        jitter in 0.0..1.0f64,
+    ) {
+        // The knob struct itself is persisted by experiment configs.
+        let options = options_from(machines, seed, recirc, span, u, jitter);
+        let json = serde_json::to_string(&options).unwrap();
+        let back: RackOptions = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(options, back);
+    }
+}

@@ -53,6 +53,7 @@ pub use coolopt_machine as machine;
 pub use coolopt_model as model;
 pub use coolopt_profiling as profiling;
 pub use coolopt_room as room;
+pub use coolopt_scenario as scenario;
 pub use coolopt_sim as sim;
 pub use coolopt_telemetry as telemetry;
 pub use coolopt_units as units;
