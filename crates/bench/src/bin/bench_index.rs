@@ -5,16 +5,23 @@
 //!
 //! Usage: `cargo run --release -p coolopt-bench --bin bench_index -- [--json] [--quiet]`
 //! (add `--features parallel` to also record the parallel build).
-//! The output path defaults to `BENCH_index.json` in the current directory;
-//! override with the `BENCH_INDEX_OUT` environment variable.
+//! The output path defaults to `BENCH_index.json` at the repository root
+//! (the committed copy); override with the `BENCH_INDEX_OUT` environment
+//! variable.
+//!
+//! Besides the flat-index rows, the report carries a `hier` section: the
+//! hierarchical clustered index built at n = 10 000 and n = 100 000 on a
+//! 24-class fleet, with the measured approximation error audited against a
+//! windowed Dinkelbach oracle and pinned under the index's own declared
+//! certificate.
 //!
 //! Progress goes to stderr as structured events (`--json` renders them as
 //! JSON lines, `--quiet` keeps only warnings). The report gains a
 //! `telemetry` section: the global metrics snapshot (counters, gauges,
 //! latency histograms) accumulated while benchmarking.
 
-use coolopt_bench::{synthetic_model, synthetic_pairs};
-use coolopt_core::{ConsolidationIndex, IndexBuilder, PowerTerms};
+use coolopt_bench::{clustered_fleet, oracle_min_power, synthetic_model, synthetic_pairs};
+use coolopt_core::{ConsolidationIndex, HierConfig, HierIndex, IndexBuilder, PowerTerms};
 use coolopt_telemetry::{self as telemetry, SinkMode};
 use serde::Serialize;
 use std::time::Instant;
@@ -22,6 +29,12 @@ use std::time::Instant;
 const BUILD_SIZES: [usize; 4] = [20, 100, 200, 500];
 const QUERY_ROOM: usize = 200;
 const BATCH: usize = 64;
+/// Fleet sizes for the hierarchical index — far past where the flat
+/// `O(n²)` event schedule stops fitting in memory, so accuracy is audited
+/// against the windowed Dinkelbach oracle instead.
+const HIER_SIZES: [usize; 2] = [10_000, 100_000];
+const HIER_CLASSES: usize = 24;
+const HIER_LOAD_FRACTIONS: [f64; 3] = [0.2, 0.5, 0.8];
 
 #[derive(Serialize)]
 struct BuildRow {
@@ -41,11 +54,30 @@ struct QueryReport {
 }
 
 #[derive(Serialize)]
+struct HierReportRow {
+    n: usize,
+    classes: usize,
+    build_ms: f64,
+    clusters: usize,
+    rows: usize,
+    widenings: u32,
+    eps_a: f64,
+    eps_b: f64,
+    warm_query_us: f64,
+    /// Worst measured `rel_hier − rel_oracle` over the load sweep (W).
+    abs_error: f64,
+    /// Worst per-query certificate the index itself declared (W). The
+    /// measured error must stay under this; CI pins the inequality.
+    abs_bound: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     schema: String,
     metrics_enabled: bool,
     build: Vec<BuildRow>,
     query: QueryReport,
+    hier: Vec<HierReportRow>,
     status_rows_at_query_n: usize,
     orders_at_query_n: usize,
 }
@@ -164,8 +196,61 @@ fn main() {
     }) * 1e3
         / (QUERY_REPS * BATCH) as f64;
 
+    // Hierarchical index at fleet scale: build cost, warm query latency,
+    // and measured approximation error vs the Dinkelbach oracle.
+    let mut hier_rows = Vec::new();
+    for n in HIER_SIZES {
+        telemetry::info!("bench", "timing hierarchical index", n = n);
+        let pairs = clustered_fleet(HIER_CLASSES, n, 11);
+        let hier_terms = PowerTerms {
+            w2: 40.0,
+            rho: 1500.0,
+            t_cap: Some(12.0),
+        };
+        let config = HierConfig::auto(&pairs);
+        let build_ms = median_ms(|| {
+            std::hint::black_box(HierIndex::build(&pairs, config).expect("valid pairs"));
+        });
+        let hier = HierIndex::build(&pairs, config).expect("valid pairs");
+        let loads: Vec<f64> = HIER_LOAD_FRACTIONS.iter().map(|f| f * n as f64).collect();
+        let (mut abs_error, mut abs_bound) = (0.0f64, 0.0f64);
+        for &load in &loads {
+            let (cons, bound) = hier
+                .query_min_power_bounded(&hier_terms, load, None)
+                .expect("valid load")
+                .expect("feasible load");
+            let (_, rel_oracle) = oracle_min_power(&pairs, &hier_terms, load, Some(cons.k))
+                .expect("oracle agrees the load is feasible");
+            abs_error = abs_error.max((cons.relative_power - rel_oracle).max(0.0));
+            abs_bound = abs_bound.max(bound);
+        }
+        // Hulls are warm after the error sweep; time the steady state.
+        let warm_query_us = median_ms(|| {
+            for &load in &loads {
+                std::hint::black_box(
+                    hier.query_min_power(&hier_terms, load, None)
+                        .expect("valid load"),
+                );
+            }
+        }) * 1e3
+            / loads.len() as f64;
+        hier_rows.push(HierReportRow {
+            n,
+            classes: HIER_CLASSES,
+            build_ms,
+            clusters: hier.cluster_count(),
+            rows: hier.row_count(),
+            widenings: hier.widenings(),
+            eps_a: hier.eps_a(),
+            eps_b: hier.eps_b(),
+            warm_query_us,
+            abs_error,
+            abs_bound,
+        });
+    }
+
     let report = Report {
-        schema: "bench-index-v1".to_string(),
+        schema: "bench-index-v2".to_string(),
         metrics_enabled: telemetry::metrics_enabled(),
         build: build_rows,
         query: QueryReport {
@@ -175,12 +260,16 @@ fn main() {
             batch_us_per_query: batch_us,
             speedup: single_us / batch_us,
         },
+        hier: hier_rows,
         status_rows_at_query_n: index.status_count(),
         orders_at_query_n: index.order_count(),
     };
     let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
     let rendered = splice_telemetry(&rendered, &telemetry::snapshot().to_json());
-    let out = std::env::var("BENCH_INDEX_OUT").unwrap_or_else(|_| "BENCH_index.json".to_string());
+    // Default to the repo root so the committed BENCH_index.json is what a
+    // plain `cargo run` refreshes, regardless of the invocation directory.
+    let out = std::env::var("BENCH_INDEX_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_index.json").into());
     std::fs::write(&out, &rendered).expect("write BENCH_index.json");
     println!("{rendered}");
     telemetry::info!("bench", "wrote report", path = out);

@@ -170,16 +170,53 @@ impl ModelFingerprint {
 
 /// Tie tolerance for comparing relative powers: scaled to the magnitude so
 /// it stays meaningful for kilowatt-scale objectives (a fixed 1e-12 would be
-/// below one ULP there).
-fn tie_eps(reference: f64) -> f64 {
+/// below one ULP there). Shared with the hierarchical query so both engines
+/// break power ties identically.
+pub(crate) fn tie_eps(reference: f64) -> f64 {
     1e-9 * (1.0 + reference.abs())
+}
+
+/// Capacity-mode achievable ratio `t` of an ON set: mirrors
+/// `optimal_allocation`'s fast path arithmetic operation-for-operation (so
+/// results match the materialized solve bit-for-bit) and only falls back to
+/// the full clamped solve when a per-machine bound is active. `model_covers`
+/// says whether the model indexes every machine `on` refers to; when it does
+/// not, evaluation must use the validating slow path. `None` means the
+/// subset cannot serve the load within capacity. Shared by the flat
+/// sequential/batched evaluators and the hierarchical refinement.
+pub(crate) fn capacity_ratio(
+    model: &RoomModel,
+    model_covers: bool,
+    on: &[usize],
+    total_load: f64,
+) -> Option<f64> {
+    let w1 = model.power().w1().as_watts();
+    if model_covers {
+        let k_sum: f64 = on.iter().map(|&i| model.k(i)).sum();
+        let s_sum: f64 = on.iter().map(|&i| model.alpha_over_beta(i)).sum();
+        let t_ac_kelvin = (k_sum - total_load) * w1 / s_sum;
+        let unclamped_ok = s_sum > 0.0
+            && s_sum.is_finite()
+            && t_ac_kelvin.is_finite()
+            && t_ac_kelvin > 0.0
+            && on.iter().all(|&i| {
+                let l = model.k(i) - (k_sum - total_load) * model.alpha_over_beta(i) / s_sum;
+                (0.0..=1.0).contains(&l)
+            });
+        if unclamped_ok {
+            return Some(t_ac_kelvin / w1);
+        }
+    }
+    let sol = optimal_allocation_clamped(model, on, total_load).ok()?;
+    Some(sol.t_ac.as_kelvin() / w1)
 }
 
 /// Re-sorts `ord` by the particle total order (coordinate descending, index
 /// ascending) with insertion sort: exact — the comparator is total, so the
 /// output is the unique sorted permutation — and `O(n + inversions)`, which
-/// makes it cheap when `ord` is already nearly sorted for `coords`.
-fn insertion_repair(ord: &mut [usize], coords: &[f64]) {
+/// makes it cheap when `ord` is already nearly sorted for `coords`. Shared
+/// with the hierarchical builder's centroid-order walk.
+pub(crate) fn insertion_repair(ord: &mut [usize], coords: &[f64]) {
     for i in 1..ord.len() {
         let mut j = i;
         while j > 0 {
@@ -196,6 +233,128 @@ fn insertion_repair(ord: &mut [usize], coords: &[f64]) {
             j -= 1;
         }
     }
+}
+
+/// The crossing events of one kinetic system, grouped into maximal runs of
+/// equal event time, plus the sample-time convention every builder shares.
+///
+/// This is *the* event-group walk helper: the incremental builder
+/// ([`IndexBuilder::epoch_records`]), the paper-literal dense oracle
+/// ([`IndexBuilder::build_dense`]) and the hierarchical builder
+/// ([`crate::hier::HierIndex`]) all derive their group times and row sample
+/// times from this one type, so their stored samples are bit-identical by
+/// construction instead of by parallel reimplementation.
+#[derive(Debug, Clone)]
+pub(crate) struct EventGroups {
+    events: Vec<Event>,
+    /// Offset into `events` where each group of simultaneous events begins.
+    starts: Vec<usize>,
+}
+
+impl EventGroups {
+    /// Groups time-sorted events into runs of equal `t`.
+    pub(crate) fn new(events: Vec<Event>) -> Self {
+        let mut starts = Vec::new();
+        for (i, e) in events.iter().enumerate() {
+            if i == 0 || events[i - 1].t != e.t {
+                starts.push(i);
+            }
+        }
+        EventGroups { events, starts }
+    }
+
+    /// Number of equal-time groups.
+    pub(crate) fn count(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// The simultaneous events of group `g`.
+    pub(crate) fn events_of(&self, g: usize) -> &[Event] {
+        let lo = self.starts[g];
+        let hi = self.starts.get(g + 1).copied().unwrap_or(self.events.len());
+        &self.events[lo..hi]
+    }
+
+    /// Event time of group `g` (strictly increasing in `g`).
+    pub(crate) fn time(&self, g: usize) -> f64 {
+        self.events[self.starts[g]].t
+    }
+
+    /// The canonical sample time strictly inside the order interval that
+    /// *starts* at group `g`: halfway to the next group's time (or `t + 2`
+    /// after the last group), immune to floating-point epsilon choices.
+    pub(crate) fn sample(&self, g: usize) -> f64 {
+        let t = self.time(g);
+        let t_next = if g + 1 < self.starts.len() {
+            self.time(g + 1)
+        } else {
+            t + 2.0
+        };
+        0.5 * (t + t_next)
+    }
+
+    /// [`sample`](EventGroups::sample) keyed by a group's event time; `0`
+    /// maps to the initial interval's canonical sample `0`. The caller must
+    /// pass an exact group time (which is what order snapshots store).
+    pub(crate) fn sample_at_time(&self, since: f64) -> f64 {
+        if since == 0.0 {
+            return 0.0;
+        }
+        let g = self
+            .starts
+            .partition_point(|&s| self.events[s].t <= since)
+            .saturating_sub(1);
+        self.sample(g)
+    }
+}
+
+/// Upper envelope of the ratio lines `t_r(L) = sum_a(r)·inv_b(r) − L·inv_b(r)`
+/// over one family of rows: classic monotone-chain hull over lines sorted by
+/// ascending slope (descending `inv_b`); equal slopes keep only the highest
+/// line. Returns `(hull_ids, interior_breaks)` with `hull_ids[i+1]` winning
+/// for loads above `breaks[i]`. Shared by the flat per-`k` envelopes and the
+/// hierarchical index's lazy per-class envelopes.
+pub(crate) fn build_upper_hull(
+    mut lines: Vec<u32>,
+    sum_a: impl Fn(u32) -> f64,
+    inv_b: impl Fn(u32) -> f64,
+) -> (Vec<u32>, Vec<f64>) {
+    lines.sort_by(|&x, &y| {
+        inv_b(y)
+            .partial_cmp(&inv_b(x))
+            .expect("sums are finite")
+            .then(sum_a(y).partial_cmp(&sum_a(x)).expect("sums are finite"))
+            .then(x.cmp(&y))
+    });
+    let mut hull: Vec<u32> = Vec::new();
+    let mut breaks: Vec<f64> = Vec::new();
+    'lines: for r in lines {
+        loop {
+            let Some(&top) = hull.last() else {
+                hull.push(r);
+                continue 'lines;
+            };
+            if inv_b(top) == inv_b(r) {
+                // Same slope: the sort put the higher line first.
+                continue 'lines;
+            }
+            // Load at which `r` overtakes the hull top (denominator is
+            // strictly positive: slopes are strictly ascending here).
+            let x = (sum_a(top) * inv_b(top) - sum_a(r) * inv_b(r)) / (inv_b(top) - inv_b(r));
+            if let Some(&last) = breaks.last() {
+                if x <= last {
+                    // The top never wins anywhere: drop it and retry.
+                    hull.pop();
+                    breaks.pop();
+                    continue;
+                }
+            }
+            hull.push(r);
+            breaks.push(x);
+            continue 'lines;
+        }
+    }
+    (hull, breaks)
 }
 
 /// One status while under construction: the best size-`k` subset over one
@@ -300,50 +459,13 @@ impl StatusTable {
     }
 
     /// Upper envelope of the lines `t_r(L) = sum_a·inv_b − L·inv_b` over one
-    /// size class: classic monotone-chain hull over lines sorted by
-    /// ascending slope (descending `inv_b`); equal slopes keep only the
-    /// highest line.
+    /// size class, via the shared [`build_upper_hull`].
     fn build_hull(group: &mut KGroup, sum_a: &[f64], inv_sum_b: &[f64]) {
-        let mut lines: Vec<u32> = group.rows.clone();
-        lines.sort_by(|&x, &y| {
-            let (xi, yi) = (x as usize, y as usize);
-            inv_sum_b[yi]
-                .partial_cmp(&inv_sum_b[xi])
-                .expect("sums are finite")
-                .then(sum_a[yi].partial_cmp(&sum_a[xi]).expect("sums are finite"))
-                .then(x.cmp(&y))
-        });
-        let mut hull: Vec<u32> = Vec::new();
-        let mut breaks: Vec<f64> = Vec::new();
-        'lines: for r in lines {
-            let ri = r as usize;
-            loop {
-                let Some(&top) = hull.last() else {
-                    hull.push(r);
-                    continue 'lines;
-                };
-                let ti = top as usize;
-                if inv_sum_b[ti] == inv_sum_b[ri] {
-                    // Same slope: the sort put the higher line first.
-                    continue 'lines;
-                }
-                // Load at which `r` overtakes the hull top (denominator is
-                // strictly positive: slopes are strictly ascending here).
-                let x = (sum_a[ti] * inv_sum_b[ti] - sum_a[ri] * inv_sum_b[ri])
-                    / (inv_sum_b[ti] - inv_sum_b[ri]);
-                if let Some(&last) = breaks.last() {
-                    if x <= last {
-                        // The top never wins anywhere: drop it and retry.
-                        hull.pop();
-                        breaks.pop();
-                        continue;
-                    }
-                }
-                hull.push(r);
-                breaks.push(x);
-                continue 'lines;
-            }
-        }
+        let (hull, breaks) = build_upper_hull(
+            group.rows.clone(),
+            |r| sum_a[r as usize],
+            |r| inv_sum_b[r as usize],
+        );
         group.hull_rows = hull;
         group.hull_breaks = breaks;
     }
@@ -383,9 +505,8 @@ impl StatusTable {
 pub struct IndexBuilder {
     system: ParticleSystem,
     pairs: Vec<(f64, f64)>,
-    events: Vec<Event>,
-    /// Offset into `events` where each group of simultaneous events begins.
-    group_starts: Vec<usize>,
+    /// The crossing events grouped by equal time — the shared walk helper.
+    groups: EventGroups,
 }
 
 impl IndexBuilder {
@@ -401,25 +522,25 @@ impl IndexBuilder {
             what: e.to_string(),
         })?;
         let events = system.events();
-        let mut group_starts = Vec::new();
-        for (i, e) in events.iter().enumerate() {
-            if i == 0 || events[i - 1].t != e.t {
-                group_starts.push(i);
-            }
-        }
         Ok(IndexBuilder {
             system,
             pairs: pairs.to_vec(),
-            events,
-            group_starts,
+            groups: EventGroups::new(events),
         })
     }
 
-    /// Upper bound on the distinct orders the build will visit (`O(n²)`:
-    /// the initial order plus one per event group). Nothing is
-    /// materialized up front — orders are streamed during the build.
+    /// Upper bound on the distinct orders the build will visit: the initial
+    /// order plus one per *event group* (`O(n²)` groups). It is an upper
+    /// bound, not an exact count, because a group whose crossings were
+    /// already realized by an earlier pile-up re-sorts to the order it is in
+    /// and is skipped; the stored table deduplicates further still — only
+    /// the prefixes whose *set* changed across a group keep a row (compare
+    /// [`ConsolidationIndex::order_count`], the distinct orders actually
+    /// seen, and [`ConsolidationIndex::status_count`], the rows actually
+    /// stored). Nothing is materialized up front — orders are streamed
+    /// during the build.
     pub fn snapshot_count(&self) -> usize {
-        self.group_starts.len() + 1
+        self.groups.count() + 1
     }
 
     /// Event groups per epoch: the builder re-derives its order and prefix
@@ -431,7 +552,7 @@ impl IndexBuilder {
     }
 
     fn epoch_count(&self) -> usize {
-        self.group_starts.len().div_ceil(self.epoch_len()).max(1)
+        self.groups.count().div_ceil(self.epoch_len()).max(1)
     }
 
     fn recompute_prefixes(&self, order: &[usize], prefix_a: &mut [f64], prefix_b: &mut [f64]) {
@@ -453,7 +574,7 @@ impl IndexBuilder {
     fn epoch_records(&self, epoch: usize) -> (Vec<StatusRecord>, usize) {
         let n = self.system.len();
         let g_lo = epoch * self.epoch_len();
-        let g_hi = (g_lo + self.epoch_len()).min(self.group_starts.len());
+        let g_hi = (g_lo + self.epoch_len()).min(self.groups.count());
         let mut records = Vec::with_capacity(2 * (g_hi - g_lo) + if epoch == 0 { n } else { 0 });
         let mut orders_seen = 0usize;
 
@@ -462,8 +583,8 @@ impl IndexBuilder {
         let mut order = if epoch == 0 {
             self.system.order_at(0.0)
         } else {
-            let t_prev = self.events[self.group_starts[g_lo] - 1].t;
-            let t_here = self.events[self.group_starts[g_lo]].t;
+            let t_prev = self.groups.time(g_lo - 1);
+            let t_here = self.groups.time(g_lo);
             self.system.order_at(0.5 * (t_prev + t_here))
         };
         let mut pos = vec![0usize; n];
@@ -491,22 +612,11 @@ impl IndexBuilder {
         let mut resorted: Vec<usize> = Vec::with_capacity(n);
         let mut diff = vec![0i64; n];
         for g in g_lo..g_hi {
-            let e_lo = self.group_starts[g];
-            let e_hi = self
-                .group_starts
-                .get(g + 1)
-                .copied()
-                .unwrap_or(self.events.len());
-            let t = self.events[e_lo].t;
-            let t_next = self
-                .group_starts
-                .get(g + 1)
-                .map(|&s| self.events[s].t)
-                .unwrap_or(t + 2.0);
-            let sample = 0.5 * (t + t_next);
+            let group_events = self.groups.events_of(g);
+            let t = self.groups.time(g);
+            let sample = self.groups.sample(g);
 
-            if e_hi - e_lo == 1 {
-                let Event { p, q, .. } = self.events[e_lo];
+            if let [Event { p, q, .. }] = *group_events {
                 let lo = pos[p].min(pos[q]);
                 let hi = pos[p].max(pos[q]);
                 if hi == lo + 1 {
@@ -648,17 +758,12 @@ impl IndexBuilder {
     /// build benchmarks compare against.
     pub fn build_dense(self) -> ConsolidationIndex {
         let snapshots = self.system.orders();
-        let times: Vec<f64> = self.events.iter().map(|e| e.t).collect();
         let n = self.system.len();
         let mut records = Vec::with_capacity(snapshots.len() * n);
         for snap in &snapshots {
-            let sample = if snap.since == 0.0 {
-                0.0
-            } else {
-                let next = times.partition_point(|&ft| ft <= snap.since);
-                let t_next = times.get(next).copied().unwrap_or(snap.since + 2.0);
-                0.5 * (snap.since + t_next)
-            };
+            // Same sample convention as the incremental and hierarchical
+            // builders, via the shared event-group helper.
+            let sample = self.groups.sample_at_time(snap.since);
             let mut sum_a = 0.0;
             let mut sum_b = 0.0;
             for (p, &i) in snap.order.iter().enumerate() {
@@ -1297,36 +1402,14 @@ impl ConsolidationIndex {
         Some((t, ctx.terms.relative_power(k, t)))
     }
 
-    /// Capacity-mode achievable ratio `t` of an ON prefix: mirrors
-    /// `optimal_allocation`'s fast path operation-for-operation and falls
-    /// back to the full clamped solve when a per-machine bound is active.
-    /// Shared by the sequential and batched evaluators so their results
-    /// are bit-identical. `None` means the prefix cannot serve the load
-    /// within capacity.
+    /// Capacity-mode achievable ratio `t` of an ON prefix, via the shared
+    /// [`capacity_ratio`] so the sequential, batched and hierarchical
+    /// evaluators are bit-identical.
     fn capacity_ratio(&self, ctx: &QueryCtx<'_>, on: &[usize]) -> Option<f64> {
         let model = ctx
             .capacity_model
             .expect("capacity evaluation requires a model");
-        let w1 = model.power().w1().as_watts();
-        if ctx.model_covers {
-            let k_sum: f64 = on.iter().map(|&i| model.k(i)).sum();
-            let s_sum: f64 = on.iter().map(|&i| model.alpha_over_beta(i)).sum();
-            let t_ac_kelvin = (k_sum - ctx.total_load) * w1 / s_sum;
-            let unclamped_ok = s_sum > 0.0
-                && s_sum.is_finite()
-                && t_ac_kelvin.is_finite()
-                && t_ac_kelvin > 0.0
-                && on.iter().all(|&i| {
-                    let l =
-                        model.k(i) - (k_sum - ctx.total_load) * model.alpha_over_beta(i) / s_sum;
-                    (0.0..=1.0).contains(&l)
-                });
-            if unclamped_ok {
-                return Some(t_ac_kelvin / w1);
-            }
-        }
-        let sol = optimal_allocation_clamped(model, on, ctx.total_load).ok()?;
-        Some(sol.t_ac.as_kelvin() / w1)
+        capacity_ratio(model, ctx.model_covers, on, ctx.total_load)
     }
 
     /// The batch cache's row reconstruction: the ordered `k`-prefix of the

@@ -38,6 +38,7 @@ pub mod closed_form;
 pub mod error;
 pub mod hetero;
 pub mod heuristics;
+pub mod hier;
 pub mod index;
 pub mod particles;
 pub mod predict;
@@ -49,6 +50,7 @@ pub use closed_form::{
 };
 pub use error::SolveError;
 pub use hetero::{optimal_allocation_hetero, HeteroMachine, HeteroSolution};
+pub use hier::{HierConfig, HierIndex};
 pub use index::{Consolidation, ConsolidationIndex, IndexBuilder, ModelFingerprint, PowerTerms};
 pub use particles::{Event, OrderSnapshot, ParticleSystem};
 pub use predict::{consolidated_power, PowerBreakdown};

@@ -12,24 +12,43 @@
 //! fingerprints mean bit-identical indices).
 
 use crate::error::SolveError;
+use crate::hier::{HierConfig, HierIndex};
 use crate::index::{Consolidation, ConsolidationIndex, ModelFingerprint, PowerTerms};
 use coolopt_model::RoomModel;
 use coolopt_telemetry as telemetry;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// Above this many machines, [`IndexSnapshot::for_parts`] switches from
+/// the exact flat `O(n²)` index to the hierarchical clustered engine
+/// (`HierConfig::auto` tolerances, refined answers): the flat build at
+/// this size is already ~100 ms and grows quadratically, while the
+/// clustering probe is `O(n log n)` and adaptive widening guarantees a
+/// bounded cluster count with an honest tracked radius.
+pub const HIER_AUTO_THRESHOLD: usize = 2048;
+
+/// The consolidation engine a snapshot serves: the exact flat index, or
+/// the hierarchical clustered index for fleets past
+/// [`HIER_AUTO_THRESHOLD`].
+#[derive(Debug)]
+enum Engine {
+    Flat(ConsolidationIndex),
+    Hier(HierIndex),
+}
+
 /// An immutable consolidation engine: index + query terms + the fingerprint
 /// of the model they were built from.
 #[derive(Debug)]
 pub struct IndexSnapshot {
     fingerprint: ModelFingerprint,
-    index: ConsolidationIndex,
+    engine: Engine,
     terms: PowerTerms,
 }
 
 impl IndexSnapshot {
     /// Builds a snapshot for a fitted room model (parallel build when the
-    /// `parallel` feature is on).
+    /// `parallel` feature is on; hierarchical above
+    /// [`HIER_AUTO_THRESHOLD`] machines).
     ///
     /// # Errors
     ///
@@ -39,19 +58,56 @@ impl IndexSnapshot {
         Self::for_parts(&model.consolidation_pairs(), PowerTerms::from_model(model))
     }
 
-    /// Builds a snapshot from explicit pairs + terms.
+    /// Builds a snapshot from explicit pairs + terms, auto-selecting the
+    /// engine: flat (exact) up to [`HIER_AUTO_THRESHOLD`] machines,
+    /// hierarchical (refined, error-certified) beyond.
     ///
     /// # Errors
     ///
     /// Same conditions as [`IndexSnapshot::for_model`].
     pub fn for_parts(pairs: &[(f64, f64)], terms: PowerTerms) -> Result<Arc<Self>, SolveError> {
+        if pairs.len() > HIER_AUTO_THRESHOLD {
+            return Self::for_parts_hier(pairs, terms, HierConfig::auto(pairs));
+        }
+        Self::for_parts_flat(pairs, terms)
+    }
+
+    /// Builds a snapshot on the exact flat index regardless of size.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`IndexSnapshot::for_model`].
+    pub fn for_parts_flat(
+        pairs: &[(f64, f64)],
+        terms: PowerTerms,
+    ) -> Result<Arc<Self>, SolveError> {
         #[cfg(feature = "parallel")]
         let index = ConsolidationIndex::build_parallel(pairs)?;
         #[cfg(not(feature = "parallel"))]
         let index = ConsolidationIndex::build(pairs)?;
         Ok(Arc::new(IndexSnapshot {
             fingerprint: ModelFingerprint::of_parts(pairs, &terms),
-            index,
+            engine: Engine::Flat(index),
+            terms,
+        }))
+    }
+
+    /// Builds a snapshot on the hierarchical index with an explicit
+    /// configuration, regardless of size.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`IndexSnapshot::for_model`], plus an invalid
+    /// [`HierConfig`].
+    pub fn for_parts_hier(
+        pairs: &[(f64, f64)],
+        terms: PowerTerms,
+        config: HierConfig,
+    ) -> Result<Arc<Self>, SolveError> {
+        let index = HierIndex::build(pairs, config)?;
+        Ok(Arc::new(IndexSnapshot {
+            fingerprint: ModelFingerprint::of_parts(pairs, &terms),
+            engine: Engine::Hier(index),
             terms,
         }))
     }
@@ -61,9 +117,25 @@ impl IndexSnapshot {
         self.fingerprint
     }
 
-    /// The underlying index.
-    pub fn index(&self) -> &ConsolidationIndex {
-        &self.index
+    /// `true` when this snapshot serves the hierarchical engine.
+    pub fn is_hierarchical(&self) -> bool {
+        matches!(self.engine, Engine::Hier(_))
+    }
+
+    /// The underlying flat index, when this snapshot serves one.
+    pub fn index(&self) -> Option<&ConsolidationIndex> {
+        match &self.engine {
+            Engine::Flat(index) => Some(index),
+            Engine::Hier(_) => None,
+        }
+    }
+
+    /// The underlying hierarchical index, when this snapshot serves one.
+    pub fn hier(&self) -> Option<&HierIndex> {
+        match &self.engine {
+            Engine::Flat(_) => None,
+            Engine::Hier(index) => Some(index),
+        }
     }
 
     /// The Eq. 23 terms the snapshot queries with.
@@ -71,7 +143,8 @@ impl IndexSnapshot {
         &self.terms
     }
 
-    /// [`ConsolidationIndex::query_min_power`] with the snapshot's terms.
+    /// [`ConsolidationIndex::query_min_power`] (or the hierarchical
+    /// equivalent) with the snapshot's terms.
     ///
     /// # Errors
     ///
@@ -82,11 +155,14 @@ impl IndexSnapshot {
         total_load: f64,
         capacity_model: Option<&RoomModel>,
     ) -> Result<Option<Consolidation>, SolveError> {
-        self.index
-            .query_min_power(&self.terms, total_load, capacity_model)
+        match &self.engine {
+            Engine::Flat(index) => index.query_min_power(&self.terms, total_load, capacity_model),
+            Engine::Hier(index) => index.query_min_power(&self.terms, total_load, capacity_model),
+        }
     }
 
-    /// [`ConsolidationIndex::query_batch`] with the snapshot's terms.
+    /// [`ConsolidationIndex::query_batch`] (or the hierarchical
+    /// equivalent) with the snapshot's terms.
     ///
     /// # Errors
     ///
@@ -97,12 +173,19 @@ impl IndexSnapshot {
         loads: &[f64],
         capacity_model: Option<&RoomModel>,
     ) -> Result<Vec<Option<Consolidation>>, SolveError> {
-        self.index.query_batch(&self.terms, loads, capacity_model)
+        match &self.engine {
+            Engine::Flat(index) => index.query_batch(&self.terms, loads, capacity_model),
+            Engine::Hier(index) => index.query_batch(&self.terms, loads, capacity_model),
+        }
     }
 
-    /// [`ConsolidationIndex::query_online`].
+    /// [`ConsolidationIndex::query_online`] (or the hierarchical
+    /// equivalent, at cluster resolution).
     pub fn query_online(&self, total_load: f64) -> Option<Consolidation> {
-        self.index.query_online(total_load)
+        match &self.engine {
+            Engine::Flat(index) => index.query_online(total_load),
+            Engine::Hier(index) => index.query_online(total_load),
+        }
     }
 }
 
@@ -275,6 +358,44 @@ mod tests {
                     .unwrap();
             }
         });
+    }
+
+    #[test]
+    fn small_fleets_stay_flat_and_large_fleets_go_hierarchical() {
+        let small = IndexSnapshot::for_parts(&pairs(), terms()).unwrap();
+        assert!(!small.is_hierarchical());
+        assert!(small.index().is_some());
+        assert!(small.hier().is_none());
+        // 3 machine classes repeated past the threshold: the auto-selected
+        // hierarchical engine clusters them and answers equivalently.
+        let classes = [(10.0, 7.0), (2.0, 3.0), (1.0, 2.0)];
+        let big: Vec<(f64, f64)> = (0..HIER_AUTO_THRESHOLD + 7)
+            .map(|i| classes[i % classes.len()])
+            .collect();
+        let snap = IndexSnapshot::for_parts(&big, terms()).unwrap();
+        assert!(snap.is_hierarchical());
+        let hier = snap.hier().expect("hierarchical engine");
+        assert_eq!(hier.cluster_count(), 3);
+        let c = snap.query_min_power(2.0, None).unwrap().expect("feasible");
+        assert_eq!(c.on.len(), c.k);
+        assert!(c.k as f64 >= 2.0);
+        assert!(snap.query_online(2.0).is_some());
+        assert_eq!(
+            snap.query_batch(&[2.0, 2.0], None).unwrap()[0],
+            Some(c.clone())
+        );
+        // An explicit flat build of the same fleet agrees (exact clusters).
+        let flat = IndexSnapshot::for_parts_flat(&big[..64], terms()).unwrap();
+        let small_hier =
+            IndexSnapshot::for_parts_hier(&big[..64], terms(), crate::hier::HierConfig::exact())
+                .unwrap();
+        for load in [0.5, 1.5, 3.0, 9.0] {
+            assert_eq!(
+                flat.query_min_power(load, None).unwrap(),
+                small_hier.query_min_power(load, None).unwrap(),
+                "engine divergence at load {load}"
+            );
+        }
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! Regenerates the shipped scenario files under `scenarios/`.
 //!
 //! ```text
-//! scenario_dump [--out <dir>]
+//! scenario_dump [--out <dir>] [--fleet <classes> <n>] [--seed <s>]
 //! ```
 //!
-//! Writes `testbed_rack20.json` and `two_zone_hetero.json` (pretty-printed,
-//! trailing newline) to the output directory (default `scenarios`). The
-//! files are committed; CI and the regression tests re-derive them from the
-//! presets, so drift between code and data is caught immediately.
+//! With no `--fleet`, writes the full shipped set (pretty-printed, trailing
+//! newline) to the output directory (default `scenarios`): the two classic
+//! documents plus the warehouse-scale `fleet_10k` / `fleet_100k` fleets.
+//! With `--fleet <classes> <n>`, writes just one `presets::large_fleet`
+//! document at that size. The files are committed; CI and the regression
+//! tests re-derive them from the presets, so drift between code and data is
+//! caught immediately.
 
 use coolopt_scenario::presets;
 use coolopt_scenario::Scenario;
@@ -15,20 +18,51 @@ use std::path::PathBuf;
 
 fn main() {
     let mut out = PathBuf::from("scenarios");
+    let mut fleet: Option<(usize, usize)> = None;
+    let mut seed = 0u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => {
                 out = PathBuf::from(args.next().expect("--out needs a directory"));
             }
+            "--fleet" => {
+                let classes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--fleet needs <classes> <n>");
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--fleet needs <classes> <n>");
+                fleet = Some((classes, n));
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
             other => {
-                eprintln!("unknown argument {other:?}; usage: scenario_dump [--out <dir>]");
+                eprintln!(
+                    "unknown argument {other:?}; usage: \
+                     scenario_dump [--out <dir>] [--fleet <classes> <n>] [--seed <s>]"
+                );
                 std::process::exit(2);
             }
         }
     }
+    let scenarios = match fleet {
+        Some((classes, n)) => vec![presets::large_fleet(classes, n, seed)],
+        None => vec![
+            presets::testbed_rack20(seed),
+            presets::two_zone_hetero(seed),
+            presets::large_fleet(24, 10_000, seed),
+            presets::large_fleet(24, 100_000, seed),
+        ],
+    };
     std::fs::create_dir_all(&out).expect("create output directory");
-    for scenario in [presets::testbed_rack20(0), presets::two_zone_hetero(0)] {
+    for scenario in scenarios {
         scenario.validate().expect("emitted preset must validate");
         let path = out.join(format!("{}.json", scenario.name));
         let mut body = scenario.to_json_pretty();

@@ -82,6 +82,108 @@ pub fn single_zone(options: RackOptions) -> Scenario {
     }
 }
 
+/// splitmix64 folded into `[0, 1)` — the presets' dependency-free way to
+/// draw stable per-class variation from `(seed, lane)`.
+fn unit_hash(seed: u64, lane: u64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(lane.wrapping_mul(0xD1B54A32D192ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Abbreviates a machine count for scenario/file names: `10_000` → `"10k"`,
+/// `100_000` → `"100k"`, everything non-round stays in digits.
+pub fn fleet_tag(n: usize) -> String {
+    if n >= 1000 && n.is_multiple_of(1000) {
+        format!("{}k", n / 1000)
+    } else {
+        n.to_string()
+    }
+}
+
+/// A warehouse-scale single-zone fleet: `n` machines drawn from `classes`
+/// procurement batches, each batch a near-identical hardware class with its
+/// own declared `(w1, w2, α, β, γ)`. The document stays tiny no matter how
+/// large `n` gets — machines are stored as per-class counts — which is what
+/// lets a 100 000-machine room ship as a few kilobytes of JSON and feed the
+/// hierarchical consolidation index its natural clustered input.
+///
+/// `classes` is clamped to `[1, n]`; the class models are stable functions
+/// of `(seed, class index)` only, so growing `n` never reshuffles them.
+pub fn large_fleet(classes: usize, n: usize, seed: u64) -> Scenario {
+    let classes = classes.clamp(1, n.max(1));
+    let base = ServerConfig::r210_like();
+    let per = n / classes;
+    let extra = n % classes;
+    let mut class_specs = Vec::with_capacity(classes);
+    let mut counts = Vec::with_capacity(classes);
+    for c in 0..classes {
+        let u = |lane: u64| unit_hash(seed ^ 0xF1EE7, (c as u64) * 8 + lane);
+        let w1 = 42.0 + 12.0 * u(0);
+        let w2 = 30.0 + 16.0 * u(1);
+        let alpha = 0.86 + 0.08 * u(2);
+        let beta = 0.42 + 0.16 * u(3);
+        let name = format!("batch{c:02}");
+        let mut server = base;
+        server.load_power = Watts::new(w1);
+        server.idle_power = Watts::new(w2);
+        class_specs.push(MachineClass {
+            name: name.clone(),
+            server,
+            jitter: JitterSpec::default(),
+            model: ClassModel {
+                w1_watts: w1,
+                w2_watts: w2,
+                alpha,
+                beta,
+                gamma_kelvin: (1.0 - alpha) * 290.0,
+            },
+        });
+        counts.push(ClassCount {
+            class: name,
+            count: per + usize::from(c < extra),
+        });
+    }
+    Scenario {
+        schema: SCENARIO_SCHEMA.to_string(),
+        name: format!("fleet_{}", fleet_tag(n)),
+        seed,
+        classes: class_specs,
+        zones: vec![ZoneSpec {
+            name: "hall".to_string(),
+            crac: CracConfig::challenger_like(),
+            machines: counts,
+            base_supply: 0.9,
+            supply_span: 0.2,
+            recirculation_scale: 1.0,
+            capture: 0.85,
+            rack_base_height_m: 0.2,
+            jitter_scale: 0.1,
+            supply_share: vec![1.0],
+            thermal_gradient: ThermalGradient {
+                alpha_span: 0.02,
+                gamma_span_kelvin: 4.0,
+            },
+            cooling: ZoneCooling {
+                // Scale the declared hall-level cooling slope with the
+                // fleet so Eq. 23's ρ stays per-machine-plausible.
+                cf_watts_per_kelvin: 50.0 * n.max(1) as f64,
+                t_sp: Temperature::from_celsius(CHALLENGER_T_SP_C),
+                t_ac_cap: None,
+            },
+        }],
+        cross_zone_recirculation: Vec::new(),
+        policy: GuardPolicy {
+            t_max: Temperature::from_celsius(60.0),
+            guard_kelvin: 0.0,
+        },
+        workload: WorkloadSpec::default(),
+    }
+}
+
 /// The paper's §IV evaluation testbed as a scenario: 20 R210-like machines,
 /// one Challenger-like CRAC. Materializes bit-identically to
 /// `coolopt_room::presets::testbed_rack20(seed)`.
@@ -245,6 +347,31 @@ mod tests {
         })
         .validate()
         .unwrap();
+    }
+
+    #[test]
+    fn large_fleets_validate_and_stay_tiny_on_disk() {
+        for (classes, n) in [(1, 1), (24, 10_000), (24, 100_000), (50, 7)] {
+            let s = large_fleet(classes, n, 3);
+            s.validate()
+                .unwrap_or_else(|e| panic!("fleet {classes}×{n}: {e}"));
+            assert_eq!(s.total_machines(), n);
+            assert_eq!(s.classes.len(), classes.min(n));
+            assert!(
+                s.to_json_pretty().len() < 64 * 1024,
+                "fleet documents must stay class-count sized, not machine-count sized"
+            );
+        }
+        assert_eq!(large_fleet(24, 10_000, 3).name, "fleet_10k");
+        assert_eq!(fleet_tag(100_000), "100k");
+        assert_eq!(fleet_tag(123), "123");
+    }
+
+    #[test]
+    fn fleet_class_models_are_stable_under_growth() {
+        let small = large_fleet(24, 10_000, 3);
+        let big = large_fleet(24, 100_000, 3);
+        assert_eq!(small.classes, big.classes);
     }
 
     #[test]
