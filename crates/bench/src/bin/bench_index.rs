@@ -270,6 +270,13 @@ fn main() {
     // plain `cargo run` refreshes, regardless of the invocation directory.
     let out = std::env::var("BENCH_INDEX_OUT")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_index.json").into());
+    // A rewrite refreshes the keys this binary produces but never drops
+    // top-level keys it does not know about (annotations, newer-schema
+    // sections) from the committed report.
+    let rendered = match std::fs::read_to_string(&out) {
+        Ok(previous) => coolopt_bench::merge_unknown_top_level(&rendered, &previous),
+        Err(_) => rendered,
+    };
     std::fs::write(&out, &rendered).expect("write BENCH_index.json");
     println!("{rendered}");
     telemetry::info!("bench", "wrote report", path = out);

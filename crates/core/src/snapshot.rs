@@ -123,6 +123,16 @@ impl IndexSnapshot {
     }
 
     /// The underlying flat index, when this snapshot serves one.
+    ///
+    /// Engine-specific access is the *exception*: callers that only query
+    /// should use [`plan_any`](IndexSnapshot::plan_any) /
+    /// [`query_min_power`](IndexSnapshot::query_min_power) (and the
+    /// engine-agnostic [`machine_count`](IndexSnapshot::machine_count) /
+    /// [`row_count`](IndexSnapshot::row_count) for introspection), which
+    /// dispatch over the engine instead of unwrap-matching this `Option`
+    /// at every site. Reach for `index()`/[`hier`](IndexSnapshot::hier)
+    /// only for genuinely flat-only surface (e.g. `status_count` pins in
+    /// tests).
     pub fn index(&self) -> Option<&ConsolidationIndex> {
         match &self.engine {
             Engine::Flat(index) => Some(index),
@@ -131,11 +141,51 @@ impl IndexSnapshot {
     }
 
     /// The underlying hierarchical index, when this snapshot serves one.
+    /// See [`index`](IndexSnapshot::index) for when engine-specific access
+    /// is warranted.
     pub fn hier(&self) -> Option<&HierIndex> {
         match &self.engine {
             Engine::Flat(_) => None,
             Engine::Hier(index) => Some(index),
         }
+    }
+
+    /// How many machines the engine was built over, whichever engine it is.
+    pub fn machine_count(&self) -> usize {
+        match &self.engine {
+            Engine::Flat(index) => index.len(),
+            Engine::Hier(index) => index.len(),
+        }
+    }
+
+    /// Status rows backing the engine (flat status-table rows, or
+    /// hierarchical range rows), whichever engine it is.
+    pub fn row_count(&self) -> usize {
+        match &self.engine {
+            Engine::Flat(index) => index.status_count(),
+            Engine::Hier(index) => index.row_count(),
+        }
+    }
+
+    /// A stable engine label for reports and logs: `"flat"` or `"hier"`.
+    pub fn engine_name(&self) -> &'static str {
+        match &self.engine {
+            Engine::Flat(_) => "flat",
+            Engine::Hier(_) => "hier",
+        }
+    }
+
+    /// Engine-agnostic min-power plan with the snapshot's own terms and no
+    /// capacity model: the one-argument entry point for callers that treat
+    /// the snapshot as an opaque planning engine and never want to match on
+    /// flat vs hierarchical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::LoadOutOfRange`] for a negative or non-finite
+    /// load.
+    pub fn plan_any(&self, total_load: f64) -> Result<Option<Consolidation>, SolveError> {
+        self.query_min_power(total_load, None)
     }
 
     /// The Eq. 23 terms the snapshot queries with.
@@ -364,8 +414,16 @@ mod tests {
     fn small_fleets_stay_flat_and_large_fleets_go_hierarchical() {
         let small = IndexSnapshot::for_parts(&pairs(), terms()).unwrap();
         assert!(!small.is_hierarchical());
+        assert_eq!(small.engine_name(), "flat");
+        assert_eq!(small.machine_count(), pairs().len());
+        assert!(small.row_count() > 0);
         assert!(small.index().is_some());
         assert!(small.hier().is_none());
+        // plan_any answers without matching on the engine.
+        assert_eq!(
+            small.plan_any(2.0).unwrap(),
+            small.query_min_power(2.0, None).unwrap()
+        );
         // 3 machine classes repeated past the threshold: the auto-selected
         // hierarchical engine clusters them and answers equivalently.
         let classes = [(10.0, 7.0), (2.0, 3.0), (1.0, 2.0)];
@@ -374,6 +432,13 @@ mod tests {
             .collect();
         let snap = IndexSnapshot::for_parts(&big, terms()).unwrap();
         assert!(snap.is_hierarchical());
+        assert_eq!(snap.engine_name(), "hier");
+        assert_eq!(snap.machine_count(), big.len());
+        assert!(snap.row_count() > 0);
+        assert_eq!(
+            snap.plan_any(2.0).unwrap(),
+            snap.query_min_power(2.0, None).unwrap()
+        );
         let hier = snap.hier().expect("hierarchical engine");
         assert_eq!(hier.cluster_count(), 3);
         let c = snap.query_min_power(2.0, None).unwrap().expect("feasible");

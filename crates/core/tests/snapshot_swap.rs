@@ -82,6 +82,78 @@ fn readers_race_swaps_without_tearing() {
     }
 }
 
+/// Re-registration churn: a writer re-registers the same cell with a
+/// *changed* fingerprint mid-stream while readers query continuously. No
+/// reader may observe a torn snapshot — whatever `Arc` it loaded must
+/// answer exactly like a from-scratch engine built for that snapshot's own
+/// fingerprint — and the generation counter must be monotone, advancing by
+/// exactly one per publication.
+#[test]
+fn reregistration_churn_yields_no_torn_snapshots() {
+    const ROUNDS: usize = 24;
+    const PROBE_LOADS: [f64; 3] = [0.5, 1.5, 3.0];
+    let cell = Arc::new(SnapshotCell::new());
+
+    // Reference answers per fingerprint, computed sequentially up front
+    // from independent builds: the churn test then checks every answer a
+    // reader gets against the reference of the fingerprint it saw.
+    let mut reference = std::collections::HashMap::new();
+    for round in 0..ROUNDS {
+        let snapshot = IndexSnapshot::for_parts(&pairs_for(round), terms()).unwrap();
+        let answers: Vec<_> = PROBE_LOADS
+            .iter()
+            .map(|&l| snapshot.query_min_power(l, None).unwrap())
+            .collect();
+        reference.insert(snapshot.fingerprint(), answers);
+    }
+    let reference = &reference;
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let cell = Arc::clone(&cell);
+            let done = &done;
+            scope.spawn(move || {
+                let mut last_generation = 0;
+                while !done.load(Ordering::Acquire) {
+                    let generation = cell.generation();
+                    assert!(generation >= last_generation, "generation went backwards");
+                    last_generation = generation;
+                    let Some(snapshot) = cell.load() else {
+                        continue;
+                    };
+                    // The snapshot must be internally consistent: its
+                    // fingerprint picks exactly one reference engine, and
+                    // every probe answer must match that engine bit for
+                    // bit. A torn publication (engine from one build,
+                    // terms or fingerprint from another) fails here.
+                    let expected = reference
+                        .get(&snapshot.fingerprint())
+                        .expect("reader saw a fingerprint that was never registered");
+                    for (&load, want) in PROBE_LOADS.iter().zip(expected) {
+                        let got = snapshot.query_min_power(load, None).unwrap();
+                        assert_eq!(&got, want, "torn answer at load {load}");
+                    }
+                }
+            });
+        }
+
+        for round in 0..ROUNDS {
+            let fingerprint = ModelFingerprint::of_parts(&pairs_for(round), &terms());
+            let generation_before = cell.generation();
+            cell.ensure(fingerprint, || {
+                IndexSnapshot::for_parts(&pairs_for(round), terms())
+            })
+            .unwrap();
+            // Each round changes the fingerprint, so each ensure publishes
+            // exactly once: generation advances by one, never more.
+            assert_eq!(cell.generation(), generation_before + 1);
+        }
+        done.store(true, Ordering::Release);
+    });
+    assert_eq!(cell.generation(), ROUNDS as u64);
+}
+
 #[test]
 fn hit_path_bumps_neither_generation_nor_swaps() {
     let cell = SnapshotCell::new();

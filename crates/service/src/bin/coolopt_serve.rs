@@ -1,0 +1,157 @@
+//! `coolopt-serve` — the planner-as-a-service wire layer.
+//!
+//! Registers scenario files as tenants, then answers line-delimited JSON
+//! plan queries over stdin (default) or a TCP listener:
+//!
+//! ```text
+//! echo '{"tenant":"testbed_rack20/rack","load":12.0}' \
+//!   | coolopt-serve --stdin --scenario scenarios/testbed_rack20.json
+//!
+//! coolopt-serve --listen 127.0.0.1:7070 --scenario scenarios/two_zone_hetero.json
+//! ```
+//!
+//! One response line per request line (see `coolopt_service::proto`). On
+//! stdin EOF the always-on service statistics are printed to stderr as one
+//! JSON object.
+
+use coolopt_scenario::Scenario;
+use coolopt_service::{proto, ServiceCore};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: coolopt-serve [--stdin | --listen ADDR] [--scenario PATH]...\n\
+         \n\
+         --stdin           serve line-delimited JSON requests from stdin (default)\n\
+         --listen ADDR     serve line-delimited JSON over TCP, one connection per thread\n\
+         --scenario PATH   register a scenario file at boot (repeatable);\n\
+         \n\
+         each zone of a scenario becomes a tenant keyed \"{{scenario}}/{{zone}}\",\n\
+         also addressable as \"{{content_hash}}/{{zone}}\""
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut listen: Option<String> = None;
+    let mut scenarios: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--stdin" => listen = None,
+            "--listen" => listen = Some(args.next().unwrap_or_else(|| usage())),
+            "--scenario" => scenarios.push(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+
+    let core = Arc::new(ServiceCore::default());
+    for path in &scenarios {
+        let scenario = match Scenario::load(path) {
+            Ok(scenario) => scenario,
+            Err(e) => {
+                eprintln!("coolopt-serve: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match core.register_scenario(&scenario) {
+            Ok(tenants) => {
+                for tenant in tenants {
+                    eprintln!(
+                        "coolopt-serve: registered {:?} ({} machines, {} engine)",
+                        tenant.key(),
+                        tenant.snapshot().map_or(0, |s| s.machine_count()),
+                        tenant.snapshot().map_or("none", |s| s.engine_name()),
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("coolopt-serve: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match listen {
+        None => serve_stdin(&core),
+        Some(addr) => serve_tcp(&core, &addr),
+    }
+}
+
+fn serve_stdin(core: &Arc<ServiceCore>) -> ExitCode {
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("coolopt-serve: stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = proto::handle_line(core, &line);
+        let encoded = serde_json::to_string(&response).expect("responses always encode");
+        if writeln!(stdout, "{encoded}").is_err() {
+            break;
+        }
+    }
+    let stats = serde_json::to_string(&core.stats().snapshot()).expect("stats always encode");
+    eprintln!("coolopt-serve: stats {stats}");
+    ExitCode::SUCCESS
+}
+
+fn serve_tcp(core: &Arc<ServiceCore>, addr: &str) -> ExitCode {
+    let listener = match TcpListener::bind(addr) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("coolopt-serve: bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("coolopt-serve: listening on {addr}");
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("coolopt-serve: accept: {e}");
+                continue;
+            }
+        };
+        let core = Arc::clone(core);
+        std::thread::spawn(move || {
+            let peer = stream
+                .peer_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "?".to_string());
+            let mut writer = match stream.try_clone() {
+                Ok(writer) => writer,
+                Err(e) => {
+                    eprintln!("coolopt-serve: {peer}: {e}");
+                    return;
+                }
+            };
+            for line in BufReader::new(stream).lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let response = proto::handle_line(&core, &line);
+                let encoded = serde_json::to_string(&response).expect("responses always encode");
+                if writeln!(writer, "{encoded}").is_err() {
+                    break;
+                }
+            }
+        });
+    }
+    ExitCode::SUCCESS
+}

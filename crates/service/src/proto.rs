@@ -1,0 +1,146 @@
+//! Line-delimited JSON wire protocol for `coolopt-serve`.
+//!
+//! One request per line, one response line per request:
+//!
+//! ```json
+//! {"tenant": "testbed_rack20/rack", "load": 12.0}
+//! {"tenant": "testbed_rack20/rack", "loads": [1.0, 2.5, 14.0]}
+//! ```
+//!
+//! A tenant may be addressed by its registration key
+//! (`"{scenario name}/{zone name}"`) or by its content-hash alias
+//! (`"{content_hash}/{zone name}"`). Responses echo the tenant and carry
+//! one [`PlanReply`] per requested load; service-level failures (unknown
+//! tenant, shed by backpressure, malformed request) set `ok = false` with
+//! a human-readable `error` and no results.
+
+use crate::core::ServiceCore;
+use crate::{PlanResult, ServiceError};
+use coolopt_core::Consolidation;
+use serde::{Deserialize, Serialize};
+
+/// One wire request: a single `load`, a burst of `loads`, or both
+/// (the single load is planned after the burst).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Tenant key or content-hash alias.
+    pub tenant: String,
+    /// A single load to plan.
+    #[serde(default)]
+    pub load: Option<f64>,
+    /// A burst of loads to plan as one submission.
+    #[serde(default)]
+    pub loads: Option<Vec<f64>>,
+}
+
+/// The answer for one requested load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanReply {
+    /// The load as requested.
+    pub load: f64,
+    /// Whether any machine subset can carry the load (`plan` is present
+    /// exactly when this is `true`).
+    pub feasible: bool,
+    /// The minimum-power consolidation, when feasible.
+    #[serde(default)]
+    pub plan: Option<Consolidation>,
+    /// Engine-level rejection for this load (e.g. negative or non-finite),
+    /// mirroring the sequential error text.
+    #[serde(default)]
+    pub error: Option<String>,
+}
+
+impl PlanReply {
+    fn from_result(load: f64, result: PlanResult) -> Self {
+        match result {
+            Ok(Some(plan)) => PlanReply {
+                load,
+                feasible: true,
+                plan: Some(plan),
+                error: None,
+            },
+            Ok(None) => PlanReply {
+                load,
+                feasible: false,
+                plan: None,
+                error: None,
+            },
+            Err(e) => PlanReply {
+                load,
+                feasible: false,
+                plan: None,
+                error: Some(e.to_string()),
+            },
+        }
+    }
+}
+
+/// One wire response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Echo of the requested tenant (empty when the request line did not
+    /// even parse).
+    pub tenant: String,
+    /// Whether the submission was served. Per-load failures (an
+    /// infeasible or rejected load) still count as served; `false` means
+    /// the service refused the submission as a whole.
+    pub ok: bool,
+    /// Service-level failure, when `ok` is `false`.
+    #[serde(default)]
+    pub error: Option<String>,
+    /// One reply per requested load, in request order.
+    #[serde(default)]
+    pub results: Vec<PlanReply>,
+}
+
+impl Response {
+    fn refused(tenant: &str, error: &ServiceError) -> Self {
+        Response {
+            tenant: tenant.to_string(),
+            ok: false,
+            error: Some(error.to_string()),
+            results: Vec::new(),
+        }
+    }
+}
+
+/// Serves one request line against `core`, returning the response to
+/// write back. Never panics on malformed input.
+pub fn handle_line(core: &ServiceCore, line: &str) -> Response {
+    let request: Request = match serde_json::from_str(line) {
+        Ok(request) => request,
+        Err(e) => {
+            return Response {
+                tenant: String::new(),
+                ok: false,
+                error: Some(format!("malformed request: {e}")),
+                results: Vec::new(),
+            }
+        }
+    };
+    let mut loads = request.loads.unwrap_or_default();
+    if let Some(load) = request.load {
+        loads.push(load);
+    }
+    if loads.is_empty() {
+        return Response {
+            tenant: request.tenant,
+            ok: false,
+            error: Some("request carries neither `load` nor `loads`".to_string()),
+            results: Vec::new(),
+        };
+    }
+    match core.submit(&request.tenant, &loads) {
+        Ok(results) => Response {
+            tenant: request.tenant,
+            ok: true,
+            error: None,
+            results: loads
+                .iter()
+                .zip(results)
+                .map(|(&load, result)| PlanReply::from_result(load, result))
+                .collect(),
+        },
+        Err(e) => Response::refused(&request.tenant, &e),
+    }
+}

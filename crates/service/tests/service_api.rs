@@ -1,0 +1,132 @@
+//! Registry semantics: scenario registration, content-hash aliasing,
+//! eviction, and the wire protocol's encode/decode round trip.
+
+use coolopt_scenario::presets;
+use coolopt_service::{proto, ServiceCore, TenantId};
+use std::sync::Arc;
+
+#[test]
+fn scenario_zones_become_tenants_with_content_hash_aliases() {
+    let core = ServiceCore::default();
+    let scenario = presets::two_zone_hetero(0);
+    let hash = scenario.content_hash();
+    let tenants = core.register_scenario(&scenario).unwrap();
+    assert_eq!(tenants.len(), scenario.zone_count());
+    assert_eq!(core.tenants().len(), scenario.zone_count());
+
+    for (tenant, zone) in tenants.iter().zip(&scenario.zones) {
+        let key = format!("{}/{}", scenario.name, zone.name);
+        let by_key = core.get(&key).expect("tenant reachable by key");
+        let by_hash = core
+            .get(&format!("{hash}/{}", zone.name))
+            .expect("tenant reachable by content-hash alias");
+        assert!(Arc::ptr_eq(&by_key, tenant));
+        assert!(Arc::ptr_eq(&by_hash, tenant));
+        assert_eq!(tenant.content_hash(), hash);
+        assert!(tenant.snapshot().is_some(), "registration publishes");
+    }
+}
+
+#[test]
+fn reregistering_an_edited_scenario_swaps_engines_and_retires_stale_aliases() {
+    let core = ServiceCore::default();
+    let original = presets::testbed_rack20(0);
+    let tenants = core.register_scenario(&original).unwrap();
+    assert_eq!(tenants.len(), 1);
+    let tenant = Arc::clone(&tenants[0]);
+    let generation = tenant.generation();
+    let old_hash = original.content_hash();
+
+    // Same name, edited cooling model → same tenant key, new content AND
+    // a new model fingerprint (ρ changes with the cooling coefficient).
+    let mut edited = presets::testbed_rack20(0);
+    edited.zones[0].cooling.cf_watts_per_kelvin *= 1.25;
+    assert_ne!(edited.content_hash(), old_hash);
+    let reregistered = core.register_scenario(&edited).unwrap();
+    assert!(Arc::ptr_eq(&reregistered[0], &tenant), "identity is stable");
+    assert_eq!(tenant.generation(), generation + 1, "engine swapped once");
+    assert_eq!(tenant.content_hash(), edited.content_hash());
+
+    // The new alias resolves; the stale one no longer does.
+    let zone = &edited.zones[0].name;
+    assert!(core
+        .get(&format!("{}/{zone}", edited.content_hash()))
+        .is_some());
+    assert!(core.get(&format!("{old_hash}/{zone}")).is_none());
+
+    // Idempotent re-registration: unchanged content is a fingerprint hit.
+    core.register_scenario(&edited).unwrap();
+    assert_eq!(tenant.generation(), generation + 1);
+}
+
+#[test]
+fn eviction_retires_key_and_alias_but_in_flight_handles_survive() {
+    let core = ServiceCore::default();
+    let scenario = presets::testbed_rack20(0);
+    let tenants = core.register_scenario(&scenario).unwrap();
+    let tenant = Arc::clone(&tenants[0]);
+    let key = tenant.key().to_string();
+    let alias = format!("{}/{}", scenario.content_hash(), scenario.zones[0].name);
+
+    let evicted = core.evict(&key).expect("tenant was registered");
+    assert!(Arc::ptr_eq(&evicted, &tenant));
+    assert!(core.get(&key).is_none());
+    assert!(core.get(&alias).is_none());
+    assert!(core.tenants().is_empty());
+
+    // A handle obtained before eviction still answers.
+    assert!(tenant.submit_one(5.0).unwrap().unwrap().is_some());
+}
+
+#[test]
+fn eviction_by_alias_retires_the_primary_key_too() {
+    let core = ServiceCore::default();
+    let scenario = presets::testbed_rack20(0);
+    let tenants = core.register_scenario(&scenario).unwrap();
+    let key = tenants[0].key().to_string();
+    let alias = format!("{}/{}", scenario.content_hash(), scenario.zones[0].name);
+    assert!(core.evict(&alias).is_some());
+    assert!(core.get(&key).is_none());
+    assert!(core.get(&alias).is_none());
+}
+
+#[test]
+fn tenant_ids_are_stable_fnv() {
+    // Pinned: ids are part of the wire-observable surface (span attrs).
+    assert_eq!(TenantId::of(""), TenantId::of(""));
+    assert_ne!(TenantId::of("a"), TenantId::of("b"));
+    assert_eq!(format!("{}", TenantId::of("")), "cbf29ce484222325");
+}
+
+#[test]
+fn proto_round_trips_and_reports_errors() {
+    let core = ServiceCore::default();
+    core.register_scenario(&presets::testbed_rack20(0)).unwrap();
+
+    let response = proto::handle_line(
+        &core,
+        r#"{"tenant":"testbed_rack20/rack","loads":[1.0,-2.0,25.0]}"#,
+    );
+    assert!(response.ok);
+    assert_eq!(response.results.len(), 3);
+    assert!(response.results[0].feasible && response.results[0].plan.is_some());
+    assert!(!response.results[1].feasible);
+    assert!(response.results[1].error.is_some(), "negative load errors");
+    assert!(!response.results[2].feasible);
+    assert!(
+        response.results[2].error.is_none(),
+        "overload is infeasible, not an error"
+    );
+
+    // Encode → decode is lossless.
+    let encoded = serde_json::to_string(&response).unwrap();
+    let decoded: proto::Response = serde_json::from_str(&encoded).unwrap();
+    assert_eq!(decoded, response);
+
+    let unknown = proto::handle_line(&core, r#"{"tenant":"ghost","load":1.0}"#);
+    assert!(!unknown.ok && unknown.error.is_some());
+    let malformed = proto::handle_line(&core, "not json");
+    assert!(!malformed.ok && malformed.error.is_some());
+    let empty = proto::handle_line(&core, r#"{"tenant":"testbed_rack20/rack"}"#);
+    assert!(!empty.ok && empty.error.is_some());
+}

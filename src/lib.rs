@@ -18,6 +18,8 @@
 //! * [`core`] — ★ the closed-form optimum (Eqs. 21, 22) and the optimal
 //!   consolidation algorithms (Algorithms 1 and 2).
 //! * [`alloc`] — allocation policies and the eight evaluation methods (Fig. 4).
+//! * [`service`] — planner-as-a-service: the sharded multi-tenant query
+//!   core (micro-batch coalescing, bounded admission, `coolopt-serve`).
 //! * [`experiments`] — harness regenerating every table and figure.
 //! * [`telemetry`] — counters, gauges, latency histograms and span timers
 //!   across the whole stack, with JSON and Prometheus export (on by
@@ -54,6 +56,7 @@ pub use coolopt_model as model;
 pub use coolopt_profiling as profiling;
 pub use coolopt_room as room;
 pub use coolopt_scenario as scenario;
+pub use coolopt_service as service;
 pub use coolopt_sim as sim;
 pub use coolopt_telemetry as telemetry;
 pub use coolopt_units as units;

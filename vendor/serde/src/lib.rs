@@ -158,6 +158,23 @@ pub trait Deserialize: Sized {
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
 
+// --- identity impls --------------------------------------------------------
+
+// `Value` round-trips through itself, so callers can hold raw trees (or
+// raw fields inside derived structs) and re-emit them losslessly —
+// matching real serde_json's `impl (De)Serialize for Value`.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 // --- primitive impls -------------------------------------------------------
 
 macro_rules! impl_signed {
