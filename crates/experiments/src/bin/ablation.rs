@@ -277,6 +277,7 @@ fn main() {
         seed,
         scenario: Some(ScenarioSection::from_scenario(&testbed.scenario)),
         metrics_enabled: telemetry::metrics_enabled(),
+        flight_dropped: coolopt_experiments::export_flight_dropped(),
         metrics: telemetry::snapshot(),
         trace: report_trace,
         replay: None,

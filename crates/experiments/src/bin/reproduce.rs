@@ -108,6 +108,7 @@ fn main() {
             seed: scenario.seed,
             scenario: Some(ScenarioSection::from_scenario(scenario)),
             metrics_enabled: telemetry::metrics_enabled(),
+            flight_dropped: coolopt_experiments::export_flight_dropped(),
             metrics: telemetry::snapshot(),
             trace: None,
             replay: None,
@@ -340,6 +341,7 @@ fn main() {
         seed,
         scenario: Some(ScenarioSection::from_scenario(&testbed.scenario)),
         metrics_enabled: telemetry::metrics_enabled(),
+        flight_dropped: coolopt_experiments::export_flight_dropped(),
         metrics: telemetry::snapshot(),
         trace: Some(TraceSection::from_outcome(
             trace_method.to_string(),

@@ -55,8 +55,8 @@ pub use multizone::{
 pub use replay::{replay_trace, replay_trace_with, ReplayEngine, ReplayOptions, ReplayOutcome};
 pub use report::{render_figure, to_csv};
 pub use run_report::{
-    HealthSection, MultiZoneSection, ReplaySection, RunReport, ScenarioSection, TraceSection,
-    VariantSection, RUN_REPORT_SCHEMA,
+    export_flight_dropped, HealthSection, MultiZoneSection, ReplaySection, RunReport,
+    ScenarioSection, TraceSection, VariantSection, RUN_REPORT_SCHEMA,
 };
 pub use savings::{savings_summary, SavingsSummary};
 pub use testbed::{Testbed, TestbedError};

@@ -25,6 +25,17 @@ use std::path::{Path, PathBuf};
 /// Schema tag of the run-report JSON document.
 pub const RUN_REPORT_SCHEMA: &str = "coolopt-telemetry-run-v1";
 
+/// Exports the flight recorder's drop count as the
+/// `coolopt_flight_records_dropped` gauge and returns it, so report
+/// builders that snapshot the registry right after carry the count in
+/// both the run report and the Prometheus exposition. Zero (and no
+/// gauge) without the `telemetry` feature.
+pub fn export_flight_dropped() -> u64 {
+    let dropped = coolopt_telemetry::flight_dropped();
+    coolopt_telemetry::gauge("coolopt_flight_records_dropped").set(dropped as f64);
+    dropped
+}
+
 /// Everything a run report captures about one binary invocation.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -38,6 +49,9 @@ pub struct RunReport {
     /// Whether the metrics core was compiled in (when `false`, the metrics
     /// section is structurally present but empty).
     pub metrics_enabled: bool,
+    /// Flight-recorder records lost to ring lap or contention — non-zero
+    /// means the exported Chrome trace is incomplete.
+    pub flight_dropped: u64,
     /// The frozen global registry (counters, gauges, histograms).
     pub metrics: RegistrySnapshot,
     /// Runtime replanning observables, when the run drove a load trace.
@@ -340,6 +354,7 @@ impl RunReport {
             }
         }
         let _ = write!(out, ",\"metrics_enabled\":{}", self.metrics_enabled);
+        let _ = write!(out, ",\"flight_dropped\":{}", self.flight_dropped);
         // The metrics snapshot renders itself; embed its object verbatim.
         out.push_str(",\"metrics\":");
         out.push_str(&self.metrics.to_json());
@@ -572,6 +587,7 @@ mod tests {
                 },
             }),
             metrics_enabled: coolopt_telemetry::metrics_enabled(),
+            flight_dropped: 3,
             metrics: RegistrySnapshot::default(),
             trace: Some(TraceSection {
                 method: "#8".to_string(),

@@ -28,7 +28,7 @@ pub mod sha256;
 pub use plan::{coupling_matrix, zone_machines, zone_system};
 pub use schema::{
     ClassCount, ClassModel, GuardPolicy, JitterSpec, MachineClass, RackOptions, Scenario,
-    ScenarioError, ThermalGradient, WorkloadSpec, ZoneCooling, ZoneSpec, NEIGHBOR_RECIRC_BASE,
-    NEIGHBOR_RECIRC_SPAN, SCENARIO_SCHEMA,
+    ScenarioError, SloPolicy, ThermalGradient, WorkloadSpec, ZoneCooling, ZoneSpec,
+    NEIGHBOR_RECIRC_BASE, NEIGHBOR_RECIRC_SPAN, SCENARIO_SCHEMA,
 };
 pub use sha256::sha256_hex;

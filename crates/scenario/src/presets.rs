@@ -77,6 +77,7 @@ pub fn single_zone(options: RackOptions) -> Scenario {
         policy: GuardPolicy {
             t_max: Temperature::from_celsius(60.0),
             guard_kelvin: 0.0,
+            slo: None,
         },
         workload: WorkloadSpec::default(),
     }
@@ -179,6 +180,7 @@ pub fn large_fleet(classes: usize, n: usize, seed: u64) -> Scenario {
         policy: GuardPolicy {
             t_max: Temperature::from_celsius(60.0),
             guard_kelvin: 0.0,
+            slo: None,
         },
         workload: WorkloadSpec::default(),
     }
@@ -320,6 +322,7 @@ pub fn two_zone_hetero(seed: u64) -> Scenario {
         policy: GuardPolicy {
             t_max: Temperature::from_celsius(60.0),
             guard_kelvin: 4.0,
+            slo: None,
         },
         workload: WorkloadSpec {
             mean_load: 0.5,

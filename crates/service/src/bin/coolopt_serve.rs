@@ -10,9 +10,13 @@
 //! coolopt-serve --listen 127.0.0.1:7070 --scenario scenarios/two_zone_hetero.json
 //! ```
 //!
-//! One response line per request line (see `coolopt_service::proto`). On
-//! stdin EOF the always-on service statistics are printed to stderr as one
-//! JSON object.
+//! One response line per request line (see `coolopt_service::proto`); the
+//! observability plane is in-protocol — `{"cmd":"stats"}` answers a
+//! `coolopt-service-stats-v1` snapshot and `{"cmd":"metrics"}` the
+//! Prometheus exposition, safe concurrent with planning traffic. With
+//! `--stats-every N` the same stats snapshot is also printed to stderr as
+//! one JSON line every N seconds; on stdin EOF a final snapshot is
+//! printed.
 
 use coolopt_scenario::Scenario;
 use coolopt_service::{proto, ServiceCore};
@@ -20,14 +24,16 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: coolopt-serve [--stdin | --listen ADDR] [--scenario PATH]...\n\
+        "usage: coolopt-serve [--stdin | --listen ADDR] [--scenario PATH]... [--stats-every SECS]\n\
          \n\
-         --stdin           serve line-delimited JSON requests from stdin (default)\n\
-         --listen ADDR     serve line-delimited JSON over TCP, one connection per thread\n\
-         --scenario PATH   register a scenario file at boot (repeatable);\n\
+         --stdin             serve line-delimited JSON requests from stdin (default)\n\
+         --listen ADDR       serve line-delimited JSON over TCP, one connection per thread\n\
+         --scenario PATH     register a scenario file at boot (repeatable)\n\
+         --stats-every SECS  print a one-line JSON stats snapshot to stderr every SECS seconds\n\
          \n\
          each zone of a scenario becomes a tenant keyed \"{{scenario}}/{{zone}}\",\n\
          also addressable as \"{{content_hash}}/{{zone}}\""
@@ -38,12 +44,21 @@ fn usage() -> ! {
 fn main() -> ExitCode {
     let mut listen: Option<String> = None;
     let mut scenarios: Vec<String> = Vec::new();
+    let mut stats_every: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--stdin" => listen = None,
             "--listen" => listen = Some(args.next().unwrap_or_else(|| usage())),
             "--scenario" => scenarios.push(args.next().unwrap_or_else(|| usage())),
+            "--stats-every" => {
+                let secs = args
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|s| s.is_finite() && *s > 0.0)
+                    .unwrap_or_else(|| usage());
+                stats_every = Some(secs);
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -79,6 +94,18 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(secs) = stats_every {
+        let core = Arc::clone(&core);
+        // Detached reporter: one stats line per period for the life of the
+        // process (the snapshot never blocks planning traffic).
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_secs_f64(secs));
+            let stats =
+                serde_json::to_string(&core.stats_doc()).expect("stats snapshots always encode");
+            eprintln!("coolopt-serve: stats {stats}");
+        });
+    }
+
     match listen {
         None => serve_stdin(&core),
         Some(addr) => serve_tcp(&core, &addr),
@@ -99,13 +126,12 @@ fn serve_stdin(core: &Arc<ServiceCore>) -> ExitCode {
         if line.trim().is_empty() {
             continue;
         }
-        let response = proto::handle_line(core, &line);
-        let encoded = serde_json::to_string(&response).expect("responses always encode");
+        let encoded = proto::handle_line(core, &line);
         if writeln!(stdout, "{encoded}").is_err() {
             break;
         }
     }
-    let stats = serde_json::to_string(&core.stats().snapshot()).expect("stats always encode");
+    let stats = serde_json::to_string(&core.stats_doc()).expect("stats snapshots always encode");
     eprintln!("coolopt-serve: stats {stats}");
     ExitCode::SUCCESS
 }
@@ -145,8 +171,7 @@ fn serve_tcp(core: &Arc<ServiceCore>, addr: &str) -> ExitCode {
                 if line.trim().is_empty() {
                     continue;
                 }
-                let response = proto::handle_line(&core, &line);
-                let encoded = serde_json::to_string(&response).expect("responses always encode");
+                let encoded = proto::handle_line(&core, &line);
                 if writeln!(writer, "{encoded}").is_err() {
                     break;
                 }

@@ -32,6 +32,7 @@ use coolopt_core::{Consolidation, SnapshotCell, SolveError};
 use coolopt_telemetry as telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Admission limits for one tenant's coalescer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,13 +76,37 @@ enum Phase {
 /// Answers are taken (not cloned) by each submitter for its own disjoint
 /// range, so `None` after `Done` means "infeasible", exactly as the
 /// sequential query reports it.
-type BatchOutcome = Result<Vec<Option<Consolidation>>, SolveError>;
+pub type BatchOutcome = Result<Vec<Option<Consolidation>>, SolveError>;
+
+/// Per-submission latency attribution, measured on the monotonic clock.
+///
+/// `queue_wait` is batch start minus this submission's join (how long its
+/// loads sat filling / awaiting the run token); `run` is the shared
+/// plan-and-publish time of the batch that served it. The split is what
+/// the per-tenant windowed histograms and the `stats` scrape report —
+/// queue-wait grows under contention, run grows with engine cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchMeta {
+    /// Flight-recorder span id of the serving `service_batch` span
+    /// (0 when telemetry is compiled out).
+    pub span_id: u64,
+    /// This submission's join → batch start.
+    pub queue_wait: Duration,
+    /// Batch start → answers published (shared by the whole batch).
+    pub run: Duration,
+}
 
 #[derive(Debug)]
 struct BatchInner {
     phase: Phase,
     loads: Vec<f64>,
     outcome: Option<BatchOutcome>,
+    /// Set by the leader when the batch is drained (start of `Running`).
+    started: Option<Instant>,
+    /// Set by the leader when answers are published (`Done`).
+    finished: Option<Instant>,
+    /// The serving `service_batch` span id, for exemplar attribution.
+    span_id: u64,
 }
 
 #[derive(Debug)]
@@ -97,6 +122,9 @@ impl Batch {
                 phase: Phase::Filling,
                 loads: loads.to_vec(),
                 outcome: None,
+                started: None,
+                finished: None,
+                span_id: 0,
             }),
             done: Condvar::new(),
         })
@@ -157,7 +185,9 @@ impl Coalescer {
     /// them through at most one shared `query_batch` call per micro-batch.
     /// Returns one answer per submitted load, in submission order,
     /// bit-identical to sequential [`IndexSnapshot::query_min_power`]
-    /// against the snapshot published in `cell` when the batch ran.
+    /// against the snapshot published in `cell` when the batch ran, plus a
+    /// [`BatchMeta`] attributing this submission's latency to queue wait
+    /// vs batch run time.
     ///
     /// # Errors
     ///
@@ -167,10 +197,15 @@ impl Coalescer {
     /// arm — see [`BatchOutcome`](self) — so no submitter ever hangs.
     ///
     /// [`IndexSnapshot::query_min_power`]: coolopt_core::IndexSnapshot::query_min_power
-    pub fn submit(&self, loads: &[f64], cell: &SnapshotCell) -> Result<BatchOutcome, Shed> {
+    pub fn submit(
+        &self,
+        loads: &[f64],
+        cell: &SnapshotCell,
+    ) -> Result<(BatchOutcome, BatchMeta), Shed> {
+        let joined = Instant::now();
         let count = loads.len();
         if count == 0 {
-            return Ok(Ok(Vec::new()));
+            return Ok((Ok(Vec::new()), BatchMeta::default()));
         }
         let queued = self.queued.fetch_add(count, Ordering::AcqRel) + count;
         if queued > self.config.max_queued {
@@ -200,7 +235,17 @@ impl Coalescer {
                 .collect()),
             Err(e) => Err(e.clone()),
         };
-        Ok(result)
+        let meta = BatchMeta {
+            span_id: inner.span_id,
+            queue_wait: inner
+                .started
+                .map_or(Duration::ZERO, |s| s.saturating_duration_since(joined)),
+            run: match (inner.started, inner.finished) {
+                (Some(started), Some(finished)) => finished.saturating_duration_since(started),
+                _ => Duration::ZERO,
+            },
+        };
+        Ok((result, meta))
     }
 
     /// Joins the filling batch (follower) or opens a new one (leader).
@@ -247,6 +292,8 @@ impl Coalescer {
         let loads = {
             let mut inner = batch.inner.lock().expect("batch lock poisoned");
             inner.phase = Phase::Running;
+            inner.started = Some(Instant::now());
+            inner.span_id = span.id();
             std::mem::take(&mut inner.loads)
         };
         let remaining = self.queued.fetch_sub(loads.len(), Ordering::AcqRel) - loads.len();
@@ -277,6 +324,7 @@ impl Coalescer {
             let mut inner = batch.inner.lock().expect("batch lock poisoned");
             inner.outcome = Some(outcome);
             inner.phase = Phase::Done;
+            inner.finished = Some(Instant::now());
             batch.done.notify_all();
         }
         drop(token);

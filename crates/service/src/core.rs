@@ -5,22 +5,31 @@ use crate::registry::TenantRegistry;
 use crate::tenant::{zone_parts, ContentMeta, Tenant, TenantId};
 use crate::{PlanResult, ServiceError};
 use coolopt_core::PowerTerms;
-use coolopt_scenario::Scenario;
+use coolopt_scenario::{Scenario, SloPolicy};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Log₂ batch-size buckets tracked by [`ServiceStats`]: bucket `i` counts
 /// batches of `2^i ..= 2^(i+1) - 1` loads (the last bucket is open-ended).
 pub const BATCH_SIZE_BUCKET_COUNT: usize = 12;
 
 /// Service-wide configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceConfig {
     /// Per-tenant admission limits.
     pub coalesce: CoalesceConfig,
     /// Registry shard count (rounded up to a power of two).
     pub shards: usize,
+    /// Default SLO for tenants whose scenario declares no override.
+    pub slo: SloPolicy,
+    /// Sliding-window length for latency/SLO accounting, in seconds
+    /// (must be positive and finite).
+    pub slo_window_seconds: f64,
+    /// Windows retained per tenant (the fast burn view is the newest
+    /// window, the slow view all of them; must be ≥ 1).
+    pub slo_windows: usize,
 }
 
 impl Default for ServiceConfig {
@@ -28,6 +37,9 @@ impl Default for ServiceConfig {
         ServiceConfig {
             coalesce: CoalesceConfig::default(),
             shards: 16,
+            slo: SloPolicy::default(),
+            slo_window_seconds: 10.0,
+            slo_windows: 6,
         }
     }
 }
@@ -125,6 +137,8 @@ pub struct ServiceCore {
     config: ServiceConfig,
     registry: TenantRegistry,
     stats: Arc<ServiceStats>,
+    /// Construction time, for the stats snapshot's uptime.
+    started: Instant,
 }
 
 impl Default for ServiceCore {
@@ -140,12 +154,18 @@ impl ServiceCore {
             config,
             registry: TenantRegistry::new(config.shards),
             stats: Arc::new(ServiceStats::default()),
+            started: Instant::now(),
         }
     }
 
     /// The configuration this core was built with.
     pub fn config(&self) -> ServiceConfig {
         self.config
+    }
+
+    /// Seconds since this core was constructed.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
     }
 
     /// The live statistics counters.
@@ -174,11 +194,7 @@ impl ServiceCore {
         // both then publish into its cell (fingerprint-keyed, so the
         // second identical publish is a hit, not a rebuild).
         let tenant = self.registry.get_or_insert_with(id, || {
-            Arc::new(Tenant::new(
-                key,
-                self.config.coalesce,
-                Arc::clone(&self.stats),
-            ))
+            Arc::new(Tenant::new(key, &self.config, Arc::clone(&self.stats)))
         });
         tenant.publish(pairs, terms)?;
         Ok(tenant)
@@ -197,6 +213,10 @@ impl ServiceCore {
         for part in &parts {
             let key = format!("{}/{}", scenario.name, part.zone);
             let tenant = self.register_parts(&key, &part.pairs, part.terms)?;
+            // The scenario's policy block wins over the service default —
+            // including on re-registration, so an edited SLO takes effect
+            // (and a removed one reverts to the default).
+            tenant.set_slo(scenario.policy.slo.unwrap_or(self.config.slo));
             let alias = TenantId::of(&format!("{}/{}", hash, part.zone));
             let previous = tenant.content_meta();
             if previous.alias != Some(alias) {

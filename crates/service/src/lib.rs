@@ -30,6 +30,16 @@
 //!   distribution) plus, with the `telemetry` feature, per-tenant counters,
 //!   latency histograms and `service_batch → plan_batch → reply` flight-
 //!   recorder spans.
+//! * The **observability plane** — every submission's latency is split
+//!   into *queue wait* (join → batch start) and *run* (batch start →
+//!   publish) and recorded into per-tenant sliding-window histograms;
+//!   an always-on per-tenant SLO engine ([`slo`]) does error-budget and
+//!   multi-window burn-rate accounting against the tenant's declared
+//!   [`SloPolicy`] (service default or the scenario's policy block),
+//!   raising `warn`-level events with tail-sampled exemplar span ids on
+//!   sustained burn. A live service answers in-protocol `stats`
+//!   (schema `coolopt-service-stats-v1`, see [`stats`]) and `metrics`
+//!   (Prometheus text) scrapes concurrent with planning traffic.
 //!
 //! # Correctness bar
 //!
@@ -51,11 +61,16 @@ pub mod coalesce;
 pub mod core;
 pub mod proto;
 pub mod registry;
+pub mod slo;
+pub mod stats;
 pub mod tenant;
 
 pub use crate::core::{ServiceConfig, ServiceCore, ServiceStats, StatsSnapshot};
-pub use coalesce::{CoalesceConfig, Coalescer};
+pub use coalesce::{BatchMeta, CoalesceConfig, Coalescer};
+pub use coolopt_scenario::SloPolicy;
 pub use registry::TenantRegistry;
+pub use slo::{BurnWindow, Exemplar, SloVerdict, BURN_ALERT_RATE};
+pub use stats::{LatencyDoc, ServiceStatsDoc, TenantStatsDoc, SERVICE_STATS_SCHEMA};
 pub use tenant::{Tenant, TenantId};
 
 use coolopt_core::SolveError;

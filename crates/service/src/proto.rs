@@ -5,6 +5,8 @@
 //! ```json
 //! {"tenant": "testbed_rack20/rack", "load": 12.0}
 //! {"tenant": "testbed_rack20/rack", "loads": [1.0, 2.5, 14.0]}
+//! {"cmd": "stats"}
+//! {"cmd": "metrics"}
 //! ```
 //!
 //! A tenant may be addressed by its registration key
@@ -13,17 +15,33 @@
 //! one [`PlanReply`] per requested load; service-level failures (unknown
 //! tenant, shed by backpressure, malformed request) set `ok = false` with
 //! a human-readable `error` and no results.
+//!
+//! The observability plane is in-protocol: `{"cmd": "stats"}` answers one
+//! [`ServiceStatsDoc`] line (schema `coolopt-service-stats-v1` — per-tenant
+//! windowed quantiles, SLO verdicts, burn rates) and `{"cmd": "metrics"}`
+//! answers a [`MetricsReply`] wrapping the Prometheus text exposition.
+//! Both are safe concurrent with planning traffic, re-registration and
+//! eviction — no scrape ever blocks a batch.
 
 use crate::core::ServiceCore;
+use crate::stats::ServiceStatsDoc;
 use crate::{PlanResult, ServiceError};
 use coolopt_core::Consolidation;
+use coolopt_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
-/// One wire request: a single `load`, a burst of `loads`, or both
-/// (the single load is planned after the burst).
+/// One wire request: a planning submission (a single `load`, a burst of
+/// `loads`, or both — the single load is planned after the burst), or an
+/// observability command (`"cmd": "stats"` / `"cmd": "metrics"`, which
+/// need no tenant).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
-    /// Tenant key or content-hash alias.
+    /// Command selector: absent or `"plan"` plans loads; `"stats"` and
+    /// `"metrics"` scrape the observability plane.
+    #[serde(default)]
+    pub cmd: Option<String>,
+    /// Tenant key or content-hash alias (planning requests only).
+    #[serde(default)]
     pub tenant: String,
     /// A single load to plan.
     #[serde(default)]
@@ -104,20 +122,92 @@ impl Response {
     }
 }
 
-/// Serves one request line against `core`, returning the response to
-/// write back. Never panics on malformed input.
-pub fn handle_line(core: &ServiceCore, line: &str) -> Response {
+/// Schema tag stamped on every [`MetricsReply`].
+pub const METRICS_REPLY_SCHEMA: &str = "coolopt-service-metrics-v1";
+
+/// The `{"cmd": "metrics"}` answer: Prometheus text exposition wrapped in
+/// one JSON line (empty exposition without the `telemetry` feature).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReply {
+    /// Always [`METRICS_REPLY_SCHEMA`].
+    pub schema: String,
+    /// Whether the metrics core is compiled in.
+    pub metrics_enabled: bool,
+    /// Flight-recorder records lost to ring lap or contention.
+    pub flight_dropped: u64,
+    /// Prometheus text exposition of the full metrics registry.
+    pub prometheus: String,
+}
+
+/// One wire reply of any kind. [`Reply::encode`] renders the line to
+/// write back.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// A planning response (also carries request-level errors).
+    Plan(Response),
+    /// A `stats` snapshot.
+    Stats(ServiceStatsDoc),
+    /// A `metrics` exposition.
+    Metrics(MetricsReply),
+}
+
+impl Reply {
+    /// Renders the reply as its one-line JSON wire form.
+    pub fn encode(&self) -> String {
+        match self {
+            Reply::Plan(response) => serde_json::to_string(response),
+            Reply::Stats(doc) => serde_json::to_string(doc),
+            Reply::Metrics(reply) => serde_json::to_string(reply),
+        }
+        .expect("wire replies always encode")
+    }
+}
+
+/// Serves one request line against `core`, returning the typed reply.
+/// Never panics on malformed input.
+pub fn handle_request(core: &ServiceCore, line: &str) -> Reply {
     let request: Request = match serde_json::from_str(line) {
         Ok(request) => request,
         Err(e) => {
-            return Response {
+            return Reply::Plan(Response {
                 tenant: String::new(),
                 ok: false,
                 error: Some(format!("malformed request: {e}")),
                 results: Vec::new(),
-            }
+            })
         }
     };
+    match request.cmd.as_deref() {
+        None | Some("plan") => Reply::Plan(handle_plan(core, request)),
+        Some("stats") => Reply::Stats(core.stats_doc()),
+        Some("metrics") => {
+            // Surface the drop count in the exposition itself too, so a
+            // plain Prometheus scrape sees recorder health.
+            let dropped = telemetry::flight_dropped();
+            telemetry::gauge("coolopt_flight_records_dropped").set(dropped as f64);
+            Reply::Metrics(MetricsReply {
+                schema: METRICS_REPLY_SCHEMA.to_string(),
+                metrics_enabled: telemetry::metrics_enabled(),
+                flight_dropped: dropped,
+                prometheus: telemetry::render_prometheus(),
+            })
+        }
+        Some(other) => Reply::Plan(Response {
+            tenant: request.tenant,
+            ok: false,
+            error: Some(format!("unknown command {other:?}")),
+            results: Vec::new(),
+        }),
+    }
+}
+
+/// Serves one request line against `core`, returning the reply line to
+/// write back (the string form of [`handle_request`]).
+pub fn handle_line(core: &ServiceCore, line: &str) -> String {
+    handle_request(core, line).encode()
+}
+
+fn handle_plan(core: &ServiceCore, request: Request) -> Response {
     let mut loads = request.loads.unwrap_or_default();
     if let Some(load) = request.load {
         loads.push(load);

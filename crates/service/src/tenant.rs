@@ -8,12 +8,13 @@
 //! [`TenantId`] — a stable 64-bit FNV-1a hash of the tenant's key string —
 //! so lookups never compare strings on the hot path.
 
-use crate::coalesce::{CoalesceConfig, Coalescer};
-use crate::core::ServiceStats;
+use crate::coalesce::{BatchMeta, Coalescer};
+use crate::core::{ServiceConfig, ServiceStats};
+use crate::slo::{SloState, SloVerdict};
 use crate::{PlanResult, ServiceError};
 use coolopt_core::SnapshotCell;
 use coolopt_core::{IndexSnapshot, ModelFingerprint, PowerTerms, SolveError};
-use coolopt_scenario::{zone_machines, Scenario};
+use coolopt_scenario::{zone_machines, Scenario, SloPolicy};
 use coolopt_telemetry as telemetry;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -127,6 +128,21 @@ pub struct Tenant {
     /// the number of distinct tenants a process ever registers, the same
     /// lifetime the metrics registry itself gives every metric).
     plans: &'static telemetry::Counter,
+    /// Windowed latency attribution + always-on SLO accounting.
+    obs: TenantObs,
+}
+
+/// Per-tenant observability state: windowed queue-wait/run histograms
+/// (zero-sized without the `telemetry` feature) and the always-compiled
+/// [`SloState`].
+#[derive(Debug)]
+struct TenantObs {
+    /// Join → batch start, per load, over the sliding window.
+    queue_wait: telemetry::WindowedHistogram,
+    /// Batch start → answers published, per load, over the sliding window.
+    run: telemetry::WindowedHistogram,
+    /// Error-budget / burn-rate accounting (always on).
+    slo: SloState,
 }
 
 #[derive(Debug, Default, Clone)]
@@ -137,17 +153,38 @@ pub(crate) struct ContentMeta {
 
 impl Tenant {
     /// A fresh tenant keyed by `key`, with no engine published yet —
-    /// callers publish one via [`Tenant::publish`] before serving.
-    pub(crate) fn new(key: &str, config: CoalesceConfig, stats: Arc<ServiceStats>) -> Self {
+    /// callers publish one via [`Tenant::publish`] before serving. The
+    /// SLO policy starts at the service default; scenario registration
+    /// overrides it per the scenario's policy block.
+    pub(crate) fn new(key: &str, config: &ServiceConfig, stats: Arc<ServiceStats>) -> Self {
         let id = TenantId::of(key);
         let plans = telemetry::counter(leak_metric_name(key));
+        let obs = TenantObs {
+            queue_wait: telemetry::WindowedHistogram::new(
+                telemetry::DEFAULT_LATENCY_BUCKETS,
+                config.slo_window_seconds,
+                config.slo_windows,
+            ),
+            run: telemetry::WindowedHistogram::new(
+                telemetry::DEFAULT_LATENCY_BUCKETS,
+                config.slo_window_seconds,
+                config.slo_windows,
+            ),
+            slo: SloState::new(
+                key,
+                config.slo,
+                config.slo_window_seconds,
+                config.slo_windows,
+            ),
+        };
         Tenant {
             id,
             key: key.to_string(),
             cell: SnapshotCell::new(),
-            coalescer: Coalescer::new(config, stats, id.raw()),
+            coalescer: Coalescer::new(config.coalesce, stats, id.raw()),
             content: Mutex::new(ContentMeta::default()),
             plans,
+            obs,
         }
     }
 
@@ -241,25 +278,52 @@ impl Tenant {
         // the batch and are answered directly, so their errors are exactly
         // the sequential ones and a bad load can never poison a batch.
         let admissible = |l: f64| l.is_finite() && l >= 0.0;
-        let results = if loads.iter().all(|&l| admissible(l)) {
-            self.submit_admissible(loads)?
+        let submitted = if loads.iter().all(|&l| admissible(l)) {
+            self.submit_admissible(loads)
         } else {
             let valid: Vec<f64> = loads.iter().copied().filter(|&l| admissible(l)).collect();
-            let mut batched = self.submit_admissible(&valid)?.into_iter();
-            loads
-                .iter()
-                .map(|&load| {
-                    if admissible(load) {
-                        batched.next().expect("one answer per admissible load")
-                    } else {
-                        self.plan_sequential(load)
-                    }
-                })
-                .collect()
+            self.submit_admissible(&valid).map(|(answers, meta)| {
+                let mut batched = answers.into_iter();
+                let results = loads
+                    .iter()
+                    .map(|&load| {
+                        if admissible(load) {
+                            batched.next().expect("one answer per admissible load")
+                        } else {
+                            self.plan_sequential(load)
+                        }
+                    })
+                    .collect();
+                (results, meta)
+            })
         };
-        self.plans.add(loads.len() as u64);
-        telemetry::histogram("coolopt_service_reply_seconds")
-            .observe(begin.elapsed().as_secs_f64());
+        let (results, meta) = match submitted {
+            Ok(v) => v,
+            Err(e) => {
+                if matches!(e, ServiceError::Overloaded { .. }) {
+                    self.obs
+                        .slo
+                        .record_shed(self.obs.slo.elapsed_ns(), loads.len() as u64);
+                }
+                return Err(e);
+            }
+        };
+        let elapsed = begin.elapsed().as_secs_f64();
+        let n = loads.len() as u64;
+        if let Some(meta) = meta {
+            self.obs
+                .queue_wait
+                .observe_n(meta.queue_wait.as_secs_f64(), n);
+            self.obs.run.observe_n(meta.run.as_secs_f64(), n);
+        }
+        self.obs.slo.record_served(
+            self.obs.slo.elapsed_ns(),
+            n,
+            elapsed,
+            meta.map_or(0, |m| m.span_id),
+        );
+        self.plans.add(n);
+        telemetry::histogram("coolopt_service_reply_seconds").observe(elapsed);
         Ok(results)
     }
 
@@ -269,11 +333,14 @@ impl Tenant {
         Ok(results.pop().expect("one answer for one load"))
     }
 
-    fn submit_admissible(&self, loads: &[f64]) -> Result<Vec<PlanResult>, ServiceError> {
+    fn submit_admissible(
+        &self,
+        loads: &[f64],
+    ) -> Result<(Vec<PlanResult>, Option<BatchMeta>), ServiceError> {
         if loads.is_empty() {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), None));
         }
-        let outcome =
+        let (outcome, meta) =
             self.coalescer
                 .submit(loads, &self.cell)
                 .map_err(|shed| ServiceError::Overloaded {
@@ -281,13 +348,49 @@ impl Tenant {
                     queued: shed.queued,
                     limit: shed.limit,
                 })?;
-        Ok(match outcome {
+        let results = match outcome {
             Ok(answers) => answers.into_iter().map(Ok).collect(),
             // An engine-level batch error mirrors what every sequential
             // call would have returned (validation is per-load, so with
             // admissible loads this arm is unreachable in practice).
             Err(e) => loads.iter().map(|_| Err(e.clone())).collect(),
-        })
+        };
+        Ok((results, Some(meta)))
+    }
+
+    /// The tenant's current SLO policy.
+    pub fn slo_policy(&self) -> SloPolicy {
+        self.obs.slo.policy()
+    }
+
+    /// Replaces the SLO policy; applies to subsequent accounting (the
+    /// windows already recorded keep their old verdicts' raw counts).
+    pub fn set_slo(&self, policy: SloPolicy) {
+        self.obs.slo.set_policy(policy);
+    }
+
+    /// Evaluates the tenant's SLO now: burn rates over the fast and slow
+    /// windows, alert state, totals and tail-sampled exemplars.
+    pub fn slo_verdict(&self) -> SloVerdict {
+        self.obs.slo.verdict()
+    }
+
+    /// The sliding-window span (seconds per window, window count) this
+    /// tenant accounts over.
+    pub fn slo_window(&self) -> (f64, usize) {
+        (self.obs.slo.window_seconds(), self.obs.slo.windows())
+    }
+
+    /// Windowed queue-wait latency (join → batch start) over the last
+    /// `windows` windows. Empty without the `telemetry` feature.
+    pub fn queue_wait_windowed(&self, windows: usize) -> telemetry::HistogramSnapshot {
+        self.obs.queue_wait.windowed(windows)
+    }
+
+    /// Windowed batch-run latency (batch start → publish) over the last
+    /// `windows` windows. Empty without the `telemetry` feature.
+    pub fn run_windowed(&self, windows: usize) -> telemetry::HistogramSnapshot {
+        self.obs.run.windowed(windows)
     }
 }
 

@@ -98,12 +98,20 @@ fn tenant_ids_are_stable_fnv() {
     assert_eq!(format!("{}", TenantId::of("")), "cbf29ce484222325");
 }
 
+/// Decodes a `handle_line` reply that must be a planning [`proto::Response`].
+fn plan_reply(core: &ServiceCore, line: &str) -> proto::Response {
+    match proto::handle_request(core, line) {
+        proto::Reply::Plan(response) => response,
+        other => panic!("expected a plan response, got {other:?}"),
+    }
+}
+
 #[test]
 fn proto_round_trips_and_reports_errors() {
     let core = ServiceCore::default();
     core.register_scenario(&presets::testbed_rack20(0)).unwrap();
 
-    let response = proto::handle_line(
+    let response = plan_reply(
         &core,
         r#"{"tenant":"testbed_rack20/rack","loads":[1.0,-2.0,25.0]}"#,
     );
@@ -118,15 +126,30 @@ fn proto_round_trips_and_reports_errors() {
         "overload is infeasible, not an error"
     );
 
-    // Encode → decode is lossless.
+    // Encode → decode is lossless, and `handle_line` is the encoded form.
     let encoded = serde_json::to_string(&response).unwrap();
     let decoded: proto::Response = serde_json::from_str(&encoded).unwrap();
     assert_eq!(decoded, response);
+    let line = proto::handle_line(
+        &core,
+        r#"{"tenant":"testbed_rack20/rack","loads":[1.0,-2.0,25.0]}"#,
+    );
+    let decoded: proto::Response = serde_json::from_str(&line).unwrap();
+    assert_eq!(decoded.results.len(), 3);
 
-    let unknown = proto::handle_line(&core, r#"{"tenant":"ghost","load":1.0}"#);
+    let unknown = plan_reply(&core, r#"{"tenant":"ghost","load":1.0}"#);
     assert!(!unknown.ok && unknown.error.is_some());
-    let malformed = proto::handle_line(&core, "not json");
+    let malformed = plan_reply(&core, "not json");
     assert!(!malformed.ok && malformed.error.is_some());
-    let empty = proto::handle_line(&core, r#"{"tenant":"testbed_rack20/rack"}"#);
+    let empty = plan_reply(&core, r#"{"tenant":"testbed_rack20/rack"}"#);
     assert!(!empty.ok && empty.error.is_some());
+    let bogus = plan_reply(&core, r#"{"cmd":"selfdestruct"}"#);
+    assert!(!bogus.ok && bogus.error.unwrap().contains("unknown command"));
+
+    // An explicit `"cmd":"plan"` is the same as no cmd at all.
+    let explicit = plan_reply(
+        &core,
+        r#"{"cmd":"plan","tenant":"testbed_rack20/rack","load":1.0}"#,
+    );
+    assert!(explicit.ok && explicit.results.len() == 1);
 }

@@ -7,7 +7,10 @@
 //!   [`Registry`] and acquired with [`counter`], [`gauge`] and
 //!   [`histogram`]. A [`SpanTimer`] wraps a histogram in an RAII guard so a
 //!   scope is timed by merely existing. Everything is atomics: recording
-//!   from many threads needs no locks on the hot path.
+//!   from many threads needs no locks on the hot path. A
+//!   [`WindowedHistogram`] layers sliding-window views (p50/p99/p999 over
+//!   the last ~N seconds) on a cumulative histogram via a ring of
+//!   boundary snapshots and the merge/minus snapshot algebra.
 //! * **Export** — [`snapshot`] freezes the registry into a plain
 //!   [`RegistrySnapshot`] that renders to a schema-stable JSON document
 //!   ([`RegistrySnapshot::to_json`]), Prometheus text exposition
@@ -54,6 +57,8 @@ mod metrics;
 mod registry;
 #[cfg(feature = "enabled")]
 mod tracing;
+#[cfg(feature = "enabled")]
+mod window;
 
 #[cfg(feature = "enabled")]
 pub use metrics::{Counter, Gauge, Histogram, SpanTimer, DEFAULT_LATENCY_BUCKETS};
@@ -63,18 +68,21 @@ pub use registry::{
 };
 #[cfg(feature = "enabled")]
 pub use tracing::{
-    current_span_id, flight_snapshot, init_flight_recorder, reset_flight_recorder, span,
-    span_child_of, trace_instant, Span, DEFAULT_FLIGHT_CAPACITY, MAX_SPAN_ATTRS,
+    current_span_id, flight_dropped, flight_snapshot, init_flight_recorder, reset_flight_recorder,
+    span, span_child_of, trace_instant, Span, DEFAULT_FLIGHT_CAPACITY, MAX_SPAN_ATTRS,
 };
+#[cfg(feature = "enabled")]
+pub use window::WindowedHistogram;
 
 #[cfg(not(feature = "enabled"))]
 mod noop;
 
 #[cfg(not(feature = "enabled"))]
 pub use noop::{
-    counter, current_span_id, describe, flight_snapshot, gauge, histogram, histogram_with,
-    init_flight_recorder, render_prometheus, reset_flight_recorder, snapshot, span, span_child_of,
-    trace_instant, Counter, Gauge, Histogram, Registry, Span, SpanTimer, DEFAULT_LATENCY_BUCKETS,
+    counter, current_span_id, describe, flight_dropped, flight_snapshot, gauge, histogram,
+    histogram_with, init_flight_recorder, render_prometheus, reset_flight_recorder, snapshot, span,
+    span_child_of, trace_instant, Counter, Gauge, Histogram, Registry, Span, SpanTimer,
+    WindowedHistogram, DEFAULT_LATENCY_BUCKETS,
 };
 
 /// Flight-recorder default capacity mirror for the no-op build.

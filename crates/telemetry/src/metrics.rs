@@ -150,6 +150,17 @@ impl Histogram {
 
     /// Records one sample.
     pub fn observe(&self, v: f64) {
+        self.observe_n(v, 1);
+    }
+
+    /// Records the same sample `n` times with one bucket update — the
+    /// weighted-observation path for callers whose unit of work is a batch
+    /// sharing one latency (e.g. every load of one coalesced submission).
+    /// `n == 0` records nothing.
+    pub fn observe_n(&self, v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
         // `partition_point` finds the first bound with `v <= bound`
         // (bounds are sorted); NaN compares false everywhere and therefore
         // lands in `+Inf`, keeping the count/sum consistent.
@@ -159,11 +170,12 @@ impl Histogram {
         } else {
             self.bounds.len()
         };
-        self.counts[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
+        self.counts[idx].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        let add = v * n as f64;
         let mut current = self.sum_bits.load(Ordering::Relaxed);
         loop {
-            let next = (f64::from_bits(current) + v).to_bits();
+            let next = (f64::from_bits(current) + add).to_bits();
             match self.sum_bits.compare_exchange_weak(
                 current,
                 next,

@@ -59,6 +59,9 @@ impl Histogram {
     /// Does nothing.
     #[inline(always)]
     pub fn observe(&self, _v: f64) {}
+    /// Does nothing.
+    #[inline(always)]
+    pub fn observe_n(&self, _v: f64, _n: u64) {}
     /// A timer that records nothing (and never reads the clock).
     #[inline(always)]
     pub fn start_timer(&'static self) -> SpanTimer {
@@ -82,6 +85,58 @@ impl Histogram {
     /// Always empty.
     #[inline(always)]
     pub fn snapshot(&self) -> crate::HistogramSnapshot {
+        crate::HistogramSnapshot::default()
+    }
+}
+
+/// No-op sliding-window histogram (zero-sized, clock never read).
+#[derive(Debug)]
+pub struct WindowedHistogram;
+
+impl WindowedHistogram {
+    /// A zero-sized stand-in; the arguments are validated only by the
+    /// enabled build.
+    #[inline(always)]
+    pub fn new(_bounds: &[f64], _window_secs: f64, _windows: usize) -> Self {
+        WindowedHistogram
+    }
+    /// Always zero.
+    #[inline(always)]
+    pub fn elapsed_ns(&self) -> u64 {
+        0
+    }
+    /// Always zero.
+    #[inline(always)]
+    pub fn window_seconds(&self) -> f64 {
+        0.0
+    }
+    /// Always zero.
+    #[inline(always)]
+    pub fn windows(&self) -> usize {
+        0
+    }
+    /// Does nothing.
+    #[inline(always)]
+    pub fn observe(&self, _v: f64) {}
+    /// Does nothing.
+    #[inline(always)]
+    pub fn observe_n(&self, _v: f64, _n: u64) {}
+    /// Does nothing.
+    #[inline(always)]
+    pub fn observe_n_at_ns(&self, _at_ns: u64, _v: f64, _n: u64) {}
+    /// Always empty.
+    #[inline(always)]
+    pub fn cumulative(&self) -> crate::HistogramSnapshot {
+        crate::HistogramSnapshot::default()
+    }
+    /// Always empty.
+    #[inline(always)]
+    pub fn windowed(&self, _windows: usize) -> crate::HistogramSnapshot {
+        crate::HistogramSnapshot::default()
+    }
+    /// Always empty.
+    #[inline(always)]
+    pub fn windowed_at_ns(&self, _at_ns: u64, _windows: usize) -> crate::HistogramSnapshot {
         crate::HistogramSnapshot::default()
     }
 }
@@ -244,6 +299,12 @@ pub fn trace_instant(_name: &'static str, _attrs: &[(&'static str, Attr)]) {}
 #[inline(always)]
 pub fn flight_snapshot() -> TraceSnapshot {
     TraceSnapshot::default()
+}
+
+/// Always zero (nothing is recorded, so nothing is dropped).
+#[inline(always)]
+pub fn flight_dropped() -> u64 {
+    0
 }
 
 /// Always `false` (there is no flight recorder to size).

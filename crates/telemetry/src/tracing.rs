@@ -145,6 +145,12 @@ impl FlightRecorder {
         }
     }
 
+    fn dropped(&self) -> u64 {
+        let written = self.head.load(Ordering::Relaxed);
+        let lapped = written.saturating_sub(self.slots.len() as u64);
+        lapped + self.contended_drops.load(Ordering::Relaxed)
+    }
+
     fn reset(&self) {
         // Test/reporting helper, not safe against concurrent writers in
         // the sense of completeness (a racing record may survive or
@@ -368,6 +374,13 @@ pub fn trace_instant(name: &'static str, attrs: &[(&'static str, Attr)]) {
 /// time). Concurrent writers are tolerated; torn slots are skipped.
 pub fn flight_snapshot() -> TraceSnapshot {
     recorder().snapshot()
+}
+
+/// The flight recorder's dropped-record count (lapped + contended), read
+/// without cloning the ring — cheap enough for periodic scrapes and run
+/// reports. Zero when no recorder was ever touched.
+pub fn flight_dropped() -> u64 {
+    RECORDER.get().map_or(0, FlightRecorder::dropped)
 }
 
 #[cfg(test)]
