@@ -86,6 +86,24 @@ struct SloRound {
     tenants: Vec<SloTenantReport>,
 }
 
+/// What the embedded time-series store held after every round: a background
+/// collector sampled the registry and the service signals throughout, so
+/// the compression ratio reflects real bench traffic, not a synthetic
+/// series.
+#[derive(Serialize)]
+struct TsdbReport {
+    /// Distinct series recorded.
+    series: u64,
+    /// Decodable samples across both retention tiers.
+    points: u64,
+    /// Compressed bytes held.
+    stored_bytes: u64,
+    /// What those samples would cost as plain `(i64, f64)` pairs.
+    raw_bytes: u64,
+    /// `raw_bytes / stored_bytes` (zero without the `telemetry` feature).
+    compression_ratio: f64,
+}
+
 #[derive(Serialize)]
 struct Report {
     schema: String,
@@ -98,6 +116,8 @@ struct Report {
     /// Per-round latency attribution + SLO verdicts (the observability
     /// plane was live and recording during every round above).
     slo: Vec<SloRound>,
+    /// Gorilla store accounting over the whole bench.
+    tsdb: TsdbReport,
     peak_plans_per_s: f64,
 }
 
@@ -151,6 +171,17 @@ fn run_round(
     }
     let fleet = fleet.expect("the mix includes the 10k fleet");
     assert!(!rack_like.is_empty(), "the mix includes rack-scale tenants");
+
+    // Sample the metrics registry and the service signals into the
+    // time-series store for the round's duration, the way `coolopt-serve
+    // --collect-every` does (a no-op without the `telemetry` feature).
+    let collector = {
+        let core = Arc::clone(&core);
+        telemetry::Collector::new(0.05)
+            .sample_registry(true)
+            .source(move |now_ms, db| core.sample_into(db, now_ms))
+            .start()
+    };
 
     // Load patterns: a rotating window over a precomputed ramp per tenant,
     // so consecutive bursts hit different index rows without per-iteration
@@ -231,6 +262,8 @@ fn run_round(
         }
     });
     let elapsed = begin.elapsed().as_secs_f64();
+    collector.sample_now();
+    collector.stop();
 
     let plans: u64 = per_thread.iter().map(|(p, ..)| p).sum();
     let submissions: u64 = per_thread.iter().map(|(_, s, ..)| s).sum();
@@ -358,6 +391,7 @@ fn main() {
         .map(|r| r.plans_per_s)
         .fold(0.0f64, f64::max);
 
+    let stats = telemetry::tsdb().stats();
     let report = Report {
         schema: "bench-service-v1".to_string(),
         metrics_enabled: telemetry::metrics_enabled(),
@@ -367,6 +401,13 @@ fn main() {
         tenants,
         producers,
         slo,
+        tsdb: TsdbReport {
+            series: stats.series,
+            points: stats.points,
+            stored_bytes: stats.stored_bytes,
+            raw_bytes: stats.raw_bytes,
+            compression_ratio: stats.compression_ratio(),
+        },
         peak_plans_per_s: peak,
     };
     let rendered = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -237,6 +237,7 @@ fn main() {
     let trace = sinusoidal_trace(machines, 0.15, 0.85, Seconds::new(14_400.0), 24);
     let mut report_trace: Option<TraceSection> = None;
     let mut report_health: Option<HealthSection> = None;
+    let mut dashboard_segments = Vec::new();
     for (label, method) in [
         ("holistic #8 (replanned)", Method::numbered(8)),
         ("even #4 (replanned)", Method::numbered(4)),
@@ -248,7 +249,13 @@ fn main() {
             method,
             &trace,
             Seconds::new(14_400.0),
-            &RuntimeOptions::default(),
+            &RuntimeOptions {
+                // Only the run of record streams into the time-series
+                // store, so the dashboard shows one method, not three
+                // interleaved.
+                tsdb_prefix: report_trace.is_none().then(|| "trace".to_string()),
+                ..RuntimeOptions::default()
+            },
         )
         .expect("trace run succeeds");
         // The report carries the holistic run (the paper's method of record).
@@ -258,6 +265,7 @@ fn main() {
                 report,
                 drift_demo: None,
             });
+            dashboard_segments = outcome.segments.clone();
         }
         if show {
             println!(
@@ -291,6 +299,21 @@ fn main() {
         "ablation",
         "wrote run report",
         path = path.display().to_string()
+    );
+    let mut charts = vec![coolopt_experiments::energy_chart(&dashboard_segments)];
+    charts.extend(coolopt_experiments::plant_charts("trace"));
+    let dashboard_path = coolopt_experiments::write_dashboard(
+        &results_dir,
+        &report.name,
+        "coolopt ablation",
+        &format!("{machines} machines, seed {seed} — holistic #8 over a 4 h diurnal trace"),
+        &charts,
+    )
+    .expect("results dir is writable");
+    telemetry::info!(
+        "ablation",
+        "wrote energy dashboard",
+        path = dashboard_path.display().to_string()
     );
     if telemetry::metrics_enabled() {
         let trace_path = results_dir.join(format!("trace_{}.json", report.name));

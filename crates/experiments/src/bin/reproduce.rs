@@ -92,6 +92,7 @@ fn main() {
     if let Some(scenario) = loaded.as_ref().filter(|s| !s.is_single_zone()) {
         let mz_options = MultiZoneOptions {
             window: Seconds::new(if smoke { 120.0 } else { 300.0 }),
+            tsdb_prefix: Some("multizone"),
             ..MultiZoneOptions::default()
         };
         let outcome = run_multizone(scenario, &mz_options).expect("multi-zone experiment runs");
@@ -118,6 +119,17 @@ fn main() {
             }),
             multizone: Some(MultiZoneSection::from_outcome(&outcome)),
         };
+        let subtitle = format!(
+            "{} zones, {} machines, load {:.1} — per-zone vs uniform set points",
+            outcome.zones, outcome.machines, outcome.total_load
+        );
+        emit_dashboard(
+            &report.name,
+            &results_dir,
+            &subtitle,
+            coolopt_experiments::plant_charts("multizone"),
+            "reproduce",
+        );
         emit_report(&report, &results_dir, json, "reproduce");
         return;
     }
@@ -285,7 +297,12 @@ fn main() {
         trace_method,
         &trace,
         duration,
-        &RuntimeOptions::default(),
+        &RuntimeOptions {
+            // Streams computing/cooling power and the T_max margin into
+            // the time-series store, feeding the HTML dashboard below.
+            tsdb_prefix: Some("trace".to_string()),
+            ..RuntimeOptions::default()
+        },
     )
     .expect("trace run succeeds");
     let replay_outcome = replay_trace_with(
@@ -354,7 +371,37 @@ fn main() {
         health,
         multizone: None,
     };
+    let mut charts = vec![coolopt_experiments::energy_chart(&trace_outcome.segments)];
+    charts.extend(coolopt_experiments::plant_charts("trace"));
+    let subtitle = format!(
+        "{machines} machines, seed {seed} — online replanning over a {:.1} h diurnal trace",
+        duration.as_secs_f64() / 3600.0
+    );
+    emit_dashboard(&report.name, &results_dir, &subtitle, charts, "reproduce");
     emit_report(&report, &results_dir, json, "reproduce");
+}
+
+/// Writes the self-contained HTML energy dashboard next to the run report.
+fn emit_dashboard(
+    name: &str,
+    results_dir: &std::path::Path,
+    subtitle: &str,
+    charts: Vec<coolopt_telemetry::Chart>,
+    source: &str,
+) {
+    let path = coolopt_experiments::write_dashboard(
+        results_dir,
+        name,
+        &format!("coolopt {name}"),
+        subtitle,
+        &charts,
+    )
+    .expect("results dir is writable");
+    telemetry::info!(
+        source,
+        "wrote energy dashboard",
+        path = path.display().to_string()
+    );
 }
 
 /// Writes the run report (and, with metrics compiled in, the Chrome-trace

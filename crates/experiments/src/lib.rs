@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod dashboard;
 pub mod figures;
 pub mod harness;
 pub mod multizone;
@@ -41,6 +42,7 @@ pub mod runtime;
 pub mod savings;
 pub mod testbed;
 
+pub use dashboard::{energy_chart, plant_charts, write_dashboard};
 pub use figures::{FigureData, Series};
 #[cfg(feature = "parallel")]
 pub use harness::run_sweep_with_workers;

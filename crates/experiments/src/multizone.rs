@@ -78,6 +78,12 @@ pub struct MultiZoneOptions {
     pub window: Seconds,
     /// Watchdog tuning for the per-zone validation run.
     pub health: HealthConfig,
+    /// When set, both variants stream per-zone plant series into the
+    /// process-global [time-series store](coolopt_telemetry::tsdb):
+    /// `{prefix}.{variant}.zone{z}.computing_watts` plus room-level
+    /// `cooling_watts` and `margin_kelvin`, on the simulation clock. A
+    /// no-op without the `telemetry` feature.
+    pub tsdb_prefix: Option<&'static str>,
 }
 
 impl Default for MultiZoneOptions {
@@ -87,6 +93,7 @@ impl Default for MultiZoneOptions {
             max_settle: Seconds::new(6_000.0),
             window: Seconds::new(300.0),
             health: HealthConfig::default(),
+            tsdb_prefix: None,
         }
     }
 }
@@ -225,6 +232,20 @@ fn run_variant(
     let mut cooling = 0.0;
     let mut max_cpu = f64::NEG_INFINITY;
     let mut min_margin = f64::INFINITY;
+    // Per-zone series names are built once; the measure loop only appends.
+    let variant = if watch { "per_zone" } else { "uniform" };
+    let tsdb_names: Option<(Vec<String>, String, String)> = options
+        .tsdb_prefix
+        .filter(|_| telemetry::metrics_enabled())
+        .map(|prefix| {
+            (
+                (0..room.zone_count())
+                    .map(|z| format!("{prefix}.{variant}.zone{z}.computing_watts"))
+                    .collect(),
+                format!("{prefix}.{variant}.cooling_watts"),
+                format!("{prefix}.{variant}.margin_kelvin"),
+            )
+        });
     for k in 0..steps {
         room.step();
         computing += room.computing_power().as_watts();
@@ -236,6 +257,23 @@ fn run_variant(
             .fold(f64::NEG_INFINITY, f64::max);
         max_cpu = max_cpu.max(hottest);
         min_margin = min_margin.min(t_max - hottest);
+        // Stream per-zone power and the safety margin at a 10 s cadence
+        // (every 10th 1 Hz step), on the simulation clock.
+        if k % 10 == 0 {
+            if let Some((zone_names, cooling_name, margin_name)) = &tsdb_names {
+                let db = telemetry::tsdb();
+                let sim_ms = (room.now().as_secs_f64() * 1000.0) as i64;
+                let mut per_zone = vec![0.0; room.zone_count()];
+                for (i, s) in room.servers().iter().enumerate() {
+                    per_zone[room.zone_of(i)] += s.power_draw().as_watts();
+                }
+                for (name, watts) in zone_names.iter().zip(per_zone) {
+                    db.append(name, sim_ms, watts);
+                }
+                db.append(cooling_name, sim_ms, room.cooling_power().as_watts());
+                db.append(margin_name, sim_ms, t_max - hottest);
+            }
+        }
         if watch {
             monitor.observe_margin(room.now(), t_max - hottest);
             // Residuals at a 10 s cadence, mirroring the runtime watchdog.

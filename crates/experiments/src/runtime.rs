@@ -89,6 +89,13 @@ pub struct RuntimeOptions {
     /// [`record_every`](RuntimeOptions::record_every) cadence once the
     /// plant has settled after a plan application.
     pub health: HealthConfig,
+    /// When set, the run also streams plant series into the process-global
+    /// [time-series store](coolopt_telemetry::tsdb) at the
+    /// [`record_every`](RuntimeOptions::record_every) cadence:
+    /// `{prefix}.computing_watts`, `{prefix}.cooling_watts` and
+    /// `{prefix}.margin_kelvin`, stamped with *simulation* milliseconds
+    /// (not wall time). A no-op without the `telemetry` feature.
+    pub tsdb_prefix: Option<String>,
 }
 
 impl Default for RuntimeOptions {
@@ -98,6 +105,7 @@ impl Default for RuntimeOptions {
             guard: coolopt_alloc::plan::DEFAULT_GUARD,
             record_every: Seconds::new(10.0),
             health: HealthConfig::default(),
+            tsdb_prefix: None,
         }
     }
 }
@@ -393,6 +401,21 @@ pub fn run_load_trace_with(
                 if s.is_on() && pred.is_finite() {
                     health.observe_residual(i, pred - s.cpu_temp().as_kelvin());
                 }
+            }
+        }
+        // The time-series store gets the energy split and the safety
+        // margin at the same cadence, on the simulation clock.
+        if telemetry::metrics_enabled() && k % every == 0 {
+            if let Some(prefix) = &options.tsdb_prefix {
+                let db = telemetry::tsdb();
+                let sim_ms = (now.as_secs_f64() * 1000.0) as i64;
+                db.append(&format!("{prefix}.computing_watts"), sim_ms, pc.as_watts());
+                db.append(&format!("{prefix}.cooling_watts"), sim_ms, pk.as_watts());
+                db.append(
+                    &format!("{prefix}.margin_kelvin"),
+                    sim_ms,
+                    t_max.as_kelvin() - hottest,
+                );
             }
         }
         recorder.offer(now, &[p.as_watts()]);

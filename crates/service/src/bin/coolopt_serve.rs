@@ -12,14 +12,24 @@
 //!
 //! One response line per request line (see `coolopt_service::proto`); the
 //! observability plane is in-protocol — `{"cmd":"stats"}` answers a
-//! `coolopt-service-stats-v1` snapshot and `{"cmd":"metrics"}` the
-//! Prometheus exposition, safe concurrent with planning traffic. With
-//! `--stats-every N` the same stats snapshot is also printed to stderr as
-//! one JSON line every N seconds; on stdin EOF a final snapshot is
-//! printed.
+//! `coolopt-service-stats-v1` snapshot, `{"cmd":"metrics"}` the Prometheus
+//! exposition, `{"cmd":"query"}` compressed metric history out of the
+//! embedded time-series store, and `{"cmd":"trace"}` the newest
+//! flight-recorder spans — all safe concurrent with planning traffic.
+//!
+//! A background collector (period `--collect-every`, default 250 ms)
+//! samples every registered counter/gauge/histogram plus the service-level
+//! signals (plans, batches, shed, per-tenant queue depth and SLO burn
+//! rates) into the store, so `query` answers history, not just the
+//! present. `--dashboard PATH` renders the whole store as one
+//! self-contained HTML file (inline SVG, no scripts), rewritten
+//! periodically and on clean shutdown. With `--stats-every N` a stats
+//! snapshot is also printed to stderr as one JSON line every N seconds; on
+//! stdin EOF one final snapshot is always printed.
 
 use coolopt_scenario::Scenario;
 use coolopt_service::{proto, ServiceCore};
+use coolopt_telemetry as telemetry;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
 use std::process::ExitCode;
@@ -29,11 +39,16 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: coolopt-serve [--stdin | --listen ADDR] [--scenario PATH]... [--stats-every SECS]\n\
+         \x20                    [--collect-every SECS] [--dashboard PATH]\n\
          \n\
-         --stdin             serve line-delimited JSON requests from stdin (default)\n\
-         --listen ADDR       serve line-delimited JSON over TCP, one connection per thread\n\
-         --scenario PATH     register a scenario file at boot (repeatable)\n\
-         --stats-every SECS  print a one-line JSON stats snapshot to stderr every SECS seconds\n\
+         --stdin              serve line-delimited JSON requests from stdin (default)\n\
+         --listen ADDR        serve line-delimited JSON over TCP, one connection per thread\n\
+         --scenario PATH      register a scenario file at boot (repeatable)\n\
+         --stats-every SECS   print a one-line JSON stats snapshot to stderr every SECS seconds\n\
+         --collect-every SECS sample telemetry into the time-series store every SECS seconds\n\
+         \x20                    (default 0.25; 0 disables the collector)\n\
+         --dashboard PATH     write a self-contained HTML dashboard of the store to PATH,\n\
+         \x20                    rewritten every second and on clean shutdown\n\
          \n\
          each zone of a scenario becomes a tenant keyed \"{{scenario}}/{{zone}}\",\n\
          also addressable as \"{{content_hash}}/{{zone}}\""
@@ -41,10 +56,47 @@ fn usage() -> ! {
     std::process::exit(2)
 }
 
+/// Renders the whole store as one self-contained HTML file at `path`.
+fn write_dashboard(path: &str) {
+    let charts = telemetry::dashboard_charts(telemetry::tsdb());
+    let stats = telemetry::tsdb().stats();
+    let subtitle = format!(
+        "{} series, {} samples in {} compressed bytes ({:.1}x)",
+        stats.series,
+        stats.points,
+        stats.stored_bytes,
+        stats.compression_ratio()
+    );
+    let html = telemetry::render_dashboard("coolopt-serve", &subtitle, &charts);
+    if let Err(e) = std::fs::write(path, html) {
+        eprintln!("coolopt-serve: dashboard {path}: {e}");
+    }
+}
+
+/// The clean-shutdown tail: one last collector sample, one stats line, one
+/// dashboard rewrite — so short-lived runs (stdin pipes, smoke tests) still
+/// leave complete artifacts behind.
+fn emit_final(
+    core: &ServiceCore,
+    collector: Option<&telemetry::CollectorHandle>,
+    dashboard: Option<&str>,
+) {
+    if let Some(handle) = collector {
+        handle.sample_now();
+    }
+    let stats = serde_json::to_string(&core.stats_doc()).expect("stats snapshots always encode");
+    eprintln!("coolopt-serve: stats {stats}");
+    if let Some(path) = dashboard {
+        write_dashboard(path);
+    }
+}
+
 fn main() -> ExitCode {
     let mut listen: Option<String> = None;
     let mut scenarios: Vec<String> = Vec::new();
     let mut stats_every: Option<f64> = None;
+    let mut collect_every: f64 = 0.25;
+    let mut dashboard: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -59,6 +111,14 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|| usage());
                 stats_every = Some(secs);
             }
+            "--collect-every" => {
+                collect_every = args
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|s| s.is_finite() && *s >= 0.0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--dashboard" => dashboard = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -94,6 +154,16 @@ fn main() -> ExitCode {
         }
     }
 
+    // The background collector feeds the time-series store behind the
+    // `query` command (a no-op without the `telemetry` feature).
+    let collector = (collect_every > 0.0).then(|| {
+        let core = Arc::clone(&core);
+        telemetry::Collector::new(collect_every)
+            .sample_registry(true)
+            .source(move |now_ms, db| core.sample_into(db, now_ms))
+            .start()
+    });
+
     if let Some(secs) = stats_every {
         let core = Arc::clone(&core);
         // Detached reporter: one stats line per period for the life of the
@@ -106,13 +176,26 @@ fn main() -> ExitCode {
         });
     }
 
+    if let Some(path) = dashboard.clone() {
+        // Detached renderer: TCP servers usually exit by signal, so the
+        // dashboard is kept fresh on disk rather than written only at EOF.
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_secs(1));
+            write_dashboard(&path);
+        });
+    }
+
     match listen {
-        None => serve_stdin(&core),
+        None => serve_stdin(&core, collector.as_ref(), dashboard.as_deref()),
         Some(addr) => serve_tcp(&core, &addr),
     }
 }
 
-fn serve_stdin(core: &Arc<ServiceCore>) -> ExitCode {
+fn serve_stdin(
+    core: &Arc<ServiceCore>,
+    collector: Option<&telemetry::CollectorHandle>,
+    dashboard: Option<&str>,
+) -> ExitCode {
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout().lock();
     for line in stdin.lock().lines() {
@@ -131,8 +214,7 @@ fn serve_stdin(core: &Arc<ServiceCore>) -> ExitCode {
             break;
         }
     }
-    let stats = serde_json::to_string(&core.stats_doc()).expect("stats snapshots always encode");
-    eprintln!("coolopt-serve: stats {stats}");
+    emit_final(core, collector, dashboard);
     ExitCode::SUCCESS
 }
 

@@ -275,6 +275,38 @@ impl ServiceCore {
         tenant.submit(loads)
     }
 
+    /// Appends one sample of every service-level signal into `db` at
+    /// `now_ms`: the global counters plus, per tenant, queue depth and SLO
+    /// burn rates. This is the [`coolopt_telemetry::Collector`] source the
+    /// serve binary registers; without the `telemetry` feature the store
+    /// is a no-op and the call costs a few atomic loads.
+    pub fn sample_into(&self, db: &coolopt_telemetry::Tsdb, now_ms: i64) {
+        let snapshot = self.stats.snapshot();
+        db.append("coolopt_service.plans", now_ms, snapshot.plans as f64);
+        db.append("coolopt_service.batches", now_ms, snapshot.batches as f64);
+        db.append(
+            "coolopt_service.coalesced",
+            now_ms,
+            snapshot.coalesced as f64,
+        );
+        db.append("coolopt_service.shed", now_ms, snapshot.shed as f64);
+        for tenant in self.tenants() {
+            let verdict = tenant.slo_verdict();
+            let prefix = format!("coolopt_service.tenant.{}", tenant.key());
+            db.append(&format!("{prefix}.queued"), now_ms, tenant.queued() as f64);
+            db.append(
+                &format!("{prefix}.burn_fast"),
+                now_ms,
+                verdict.fast_burn.burn_rate,
+            );
+            db.append(
+                &format!("{prefix}.burn_slow"),
+                now_ms,
+                verdict.slow_burn.burn_rate,
+            );
+        }
+    }
+
     /// Single-load convenience wrapper over [`ServiceCore::submit`].
     pub fn submit_one(&self, tenant: &str, load: f64) -> Result<PlanResult, ServiceError> {
         let tenant = self

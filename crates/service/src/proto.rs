@@ -18,26 +18,34 @@
 //!
 //! The observability plane is in-protocol: `{"cmd": "stats"}` answers one
 //! [`ServiceStatsDoc`] line (schema `coolopt-service-stats-v1` — per-tenant
-//! windowed quantiles, SLO verdicts, burn rates) and `{"cmd": "metrics"}`
-//! answers a [`MetricsReply`] wrapping the Prometheus text exposition.
-//! Both are safe concurrent with planning traffic, re-registration and
-//! eviction — no scrape ever blocks a batch.
+//! windowed quantiles, SLO verdicts, burn rates), `{"cmd": "metrics"}`
+//! answers a [`MetricsReply`] wrapping the Prometheus text exposition,
+//! `{"cmd": "query"}` answers a [`QueryReply`] of compressed metric
+//! *history* from the embedded time-series store (series selection by
+//! exact name or `prefix*`, optional `start_ms`/`end_ms` window, optional
+//! `step_ms` + `agg` alignment), and `{"cmd": "trace"}` ships the newest
+//! flight-recorder spans as an embedded Chrome-trace fragment (bounded by
+//! `limit`). All are safe concurrent with planning traffic,
+//! re-registration and eviction — no scrape ever blocks a batch.
 
 use crate::core::ServiceCore;
 use crate::stats::ServiceStatsDoc;
 use crate::{PlanResult, ServiceError};
 use coolopt_core::Consolidation;
 use coolopt_telemetry as telemetry;
+use coolopt_telemetry::{Agg, RangeQuery};
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 
 /// One wire request: a planning submission (a single `load`, a burst of
 /// `loads`, or both — the single load is planned after the burst), or an
-/// observability command (`"cmd": "stats"` / `"cmd": "metrics"`, which
-/// need no tenant).
+/// observability command (`"cmd": "stats"` / `"cmd": "metrics"` /
+/// `"cmd": "query"` / `"cmd": "trace"`, which need no tenant).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
-    /// Command selector: absent or `"plan"` plans loads; `"stats"` and
-    /// `"metrics"` scrape the observability plane.
+    /// Command selector: absent or `"plan"` plans loads; `"stats"`,
+    /// `"metrics"`, `"query"` and `"trace"` scrape the observability
+    /// plane.
     #[serde(default)]
     pub cmd: Option<String>,
     /// Tenant key or content-hash alias (planning requests only).
@@ -49,6 +57,30 @@ pub struct Request {
     /// A burst of loads to plan as one submission.
     #[serde(default)]
     pub loads: Option<Vec<f64>>,
+    /// `query` only: series selector — exact name, `prefix*`, or absent /
+    /// `"*"` for every series.
+    #[serde(default)]
+    pub series: Option<String>,
+    /// `query` only: oldest timestamp to include (ms; unbounded when
+    /// absent).
+    #[serde(default)]
+    pub start_ms: Option<i64>,
+    /// `query` only: newest timestamp to include (ms; unbounded when
+    /// absent).
+    #[serde(default)]
+    pub end_ms: Option<i64>,
+    /// `query` only: step alignment in ms (absent or `<= 0` returns raw
+    /// points).
+    #[serde(default)]
+    pub step_ms: Option<i64>,
+    /// `query` only: bucket aggregator — `"min"`, `"max"`, `"mean"`
+    /// (default) or `"last"`.
+    #[serde(default)]
+    pub agg: Option<String>,
+    /// `query`: newest points kept per series (default 2048).
+    /// `trace`: newest records shipped (default 256). Clamped to 4096.
+    #[serde(default)]
+    pub limit: Option<usize>,
 }
 
 /// The answer for one requested load.
@@ -139,6 +171,79 @@ pub struct MetricsReply {
     pub prometheus: String,
 }
 
+/// Schema tag stamped on every [`QueryReply`].
+pub const QUERY_REPLY_SCHEMA: &str = "coolopt-service-query-v1";
+
+/// Schema tag stamped on every [`TraceReply`].
+pub const TRACE_REPLY_SCHEMA: &str = "coolopt-service-trace-v1";
+
+/// One series in a [`QueryReply`]: the answered points plus the storage
+/// accounting behind them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesDoc {
+    /// The series name.
+    pub name: String,
+    /// `[t_ms, value]` samples (newest `limit` kept; non-finite values
+    /// are dropped — the vendored JSON writer would render them `null`).
+    pub points: Vec<(i64, f64)>,
+    /// Samples ever appended (evicted ones included).
+    pub appended: u64,
+    /// Samples currently decodable across both retention tiers.
+    pub retained_points: u64,
+    /// Compressed bytes held across both tiers.
+    pub stored_bytes: u64,
+    /// Uncompressed-pair bytes over compressed bytes for this series.
+    pub compression_ratio: f64,
+}
+
+/// The `{"cmd": "query"}` answer: compressed metric history out of the
+/// embedded time-series store (empty without the `telemetry` feature).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryReply {
+    /// Always [`QUERY_REPLY_SCHEMA`].
+    pub schema: String,
+    /// Whether the storage core is compiled in.
+    pub tsdb_enabled: bool,
+    /// Echo of the effective series selector.
+    pub pattern: String,
+    /// Echo of the effective aggregator spelling.
+    pub agg: String,
+    /// Echo of the effective step (ms; `0` means raw points).
+    pub step_ms: i64,
+    /// Matched series, in name order.
+    pub series: Vec<SeriesDoc>,
+    /// Distinct series in the whole store (not just the matches).
+    pub total_series: u64,
+    /// Decodable samples in the whole store.
+    pub total_points: u64,
+    /// Compressed bytes held by the whole store.
+    pub total_stored_bytes: u64,
+    /// What those samples would cost as plain `(i64, f64)` pairs.
+    pub total_raw_bytes: u64,
+    /// `total_raw_bytes / total_stored_bytes` (zero when empty).
+    pub compression_ratio: f64,
+}
+
+/// The `{"cmd": "trace"}` answer: the newest flight-recorder records as an
+/// embedded Chrome-trace fragment. Encoded by hand — `chrome_json` is
+/// spliced into the reply line verbatim, so `reply.chrome_json` can be cut
+/// out and loaded straight into `chrome://tracing` / Perfetto.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReply {
+    /// Always [`TRACE_REPLY_SCHEMA`].
+    pub schema: String,
+    /// Whether the tracing core is compiled in.
+    pub trace_enabled: bool,
+    /// Records in the full snapshot before the `limit` cut.
+    pub total_records: u64,
+    /// Records shipped in `chrome_json`.
+    pub returned: u64,
+    /// Records lost to ring lap or contention since recorder start.
+    pub dropped: u64,
+    /// Chrome `traceEvents` JSON object for the shipped records.
+    pub chrome_json: String,
+}
+
 /// One wire reply of any kind. [`Reply::encode`] renders the line to
 /// write back.
 #[derive(Debug, Clone, PartialEq)]
@@ -149,6 +254,10 @@ pub enum Reply {
     Stats(ServiceStatsDoc),
     /// A `metrics` exposition.
     Metrics(MetricsReply),
+    /// A `query` range-query answer.
+    Query(QueryReply),
+    /// A `trace` flight-recorder scrape.
+    Trace(TraceReply),
 }
 
 impl Reply {
@@ -158,6 +267,26 @@ impl Reply {
             Reply::Plan(response) => serde_json::to_string(response),
             Reply::Stats(doc) => serde_json::to_string(doc),
             Reply::Metrics(reply) => serde_json::to_string(reply),
+            Reply::Query(reply) => serde_json::to_string(reply),
+            // The vendored serde_json has no raw-value passthrough, so the
+            // trace line is assembled by hand to embed `chrome_json`
+            // unescaped.
+            Reply::Trace(reply) => {
+                let mut out = String::with_capacity(128 + reply.chrome_json.len());
+                let _ = write!(
+                    out,
+                    "{{\"schema\":{:?},\"trace_enabled\":{},\"total_records\":{},\
+                     \"returned\":{},\"dropped\":{},\"chrome_json\":",
+                    reply.schema,
+                    reply.trace_enabled,
+                    reply.total_records,
+                    reply.returned,
+                    reply.dropped,
+                );
+                out.push_str(&reply.chrome_json);
+                out.push('}');
+                return out;
+            }
         }
         .expect("wire replies always encode")
     }
@@ -192,12 +321,104 @@ pub fn handle_request(core: &ServiceCore, line: &str) -> Reply {
                 prometheus: telemetry::render_prometheus(),
             })
         }
+        Some("query") => match handle_query(&request) {
+            Ok(reply) => Reply::Query(reply),
+            Err(error) => Reply::Plan(Response {
+                tenant: request.tenant,
+                ok: false,
+                error: Some(error),
+                results: Vec::new(),
+            }),
+        },
+        Some("trace") => Reply::Trace(handle_trace(&request)),
         Some(other) => Reply::Plan(Response {
             tenant: request.tenant,
             ok: false,
             error: Some(format!("unknown command {other:?}")),
             results: Vec::new(),
         }),
+    }
+}
+
+/// Points kept per series when a `query` names no `limit`.
+const DEFAULT_QUERY_LIMIT: usize = 2048;
+
+/// Records shipped when a `trace` names no `limit`.
+const DEFAULT_TRACE_LIMIT: usize = 256;
+
+/// Hard ceiling on `limit` — one reply stays one bounded line.
+const MAX_LIMIT: usize = 4096;
+
+fn handle_query(request: &Request) -> Result<QueryReply, String> {
+    let agg = match request.agg.as_deref() {
+        None | Some("") => Agg::default(),
+        Some(s) => Agg::parse(s)
+            .ok_or_else(|| format!("unknown agg {s:?} (expected min, max, mean or last)"))?,
+    };
+    let range = RangeQuery {
+        start_ms: request.start_ms,
+        end_ms: request.end_ms,
+        step_ms: request.step_ms.unwrap_or(0).max(0),
+        agg,
+    };
+    let limit = request
+        .limit
+        .unwrap_or(DEFAULT_QUERY_LIMIT)
+        .clamp(1, MAX_LIMIT);
+    let pattern = request.series.clone().unwrap_or_else(|| "*".to_string());
+    let db = telemetry::tsdb();
+    let series = db
+        .query_matching(&pattern, &range)
+        .into_iter()
+        .map(|result| {
+            let mut points: Vec<(i64, f64)> = result
+                .points
+                .into_iter()
+                .filter(|&(_, v)| v.is_finite())
+                .collect();
+            let skip = points.len().saturating_sub(limit);
+            points.drain(..skip);
+            SeriesDoc {
+                name: result.name,
+                points,
+                appended: result.stats.appended,
+                retained_points: result.stats.retained_points + result.stats.down_points,
+                stored_bytes: result.stats.stored_bytes + result.stats.down_bytes,
+                compression_ratio: result.stats.compression_ratio(),
+            }
+        })
+        .collect();
+    let totals = db.stats();
+    Ok(QueryReply {
+        schema: QUERY_REPLY_SCHEMA.to_string(),
+        tsdb_enabled: telemetry::metrics_enabled(),
+        pattern,
+        agg: agg.name().to_string(),
+        step_ms: range.step_ms,
+        series,
+        total_series: totals.series,
+        total_points: totals.points,
+        total_stored_bytes: totals.stored_bytes,
+        total_raw_bytes: totals.raw_bytes,
+        compression_ratio: totals.compression_ratio(),
+    })
+}
+
+fn handle_trace(request: &Request) -> TraceReply {
+    let limit = request
+        .limit
+        .unwrap_or(DEFAULT_TRACE_LIMIT)
+        .clamp(1, MAX_LIMIT);
+    let snapshot = telemetry::flight_snapshot();
+    let total_records = snapshot.records.len() as u64;
+    let tail = snapshot.tail(limit);
+    TraceReply {
+        schema: TRACE_REPLY_SCHEMA.to_string(),
+        trace_enabled: telemetry::metrics_enabled(),
+        total_records,
+        returned: tail.records.len() as u64,
+        dropped: tail.dropped,
+        chrome_json: tail.to_chrome_json(),
     }
 }
 

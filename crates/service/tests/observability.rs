@@ -301,3 +301,117 @@ fn derived_rates_are_pinned_at_zero_denominators() {
     assert_eq!(doc.tenants.len(), 1);
     assert_eq!(doc.tenants[0].queue_wait.count, 0);
 }
+
+#[test]
+fn query_scrape_answers_compressed_history_in_protocol() {
+    let core = ServiceCore::default();
+    core.register_scenario(&presets::testbed_rack20(0)).unwrap();
+    core.submit("testbed_rack20/rack", &[1.0, 2.0]).unwrap();
+
+    // Feed the process-global store directly (the serve binary does this
+    // through a background Collector); unique names keep this test
+    // independent of others sharing the store.
+    let db = telemetry::tsdb();
+    for i in 0..300i64 {
+        db.append("obs_query.power_watts", i * 250, 40.0 + (i % 7) as f64);
+    }
+    core.sample_into(db, 75_000);
+
+    let line = proto::handle_line(&core, r#"{"cmd":"query","series":"obs_query.*"}"#);
+    let reply: proto::QueryReply = serde_json::from_str(&line).unwrap();
+    assert_eq!(reply.schema, proto::QUERY_REPLY_SCHEMA);
+    assert_eq!(reply.pattern, "obs_query.*");
+    assert_eq!(reply.agg, "mean");
+    assert_eq!(reply.step_ms, 0);
+    assert_eq!(reply.tsdb_enabled, telemetry::metrics_enabled());
+    if telemetry::metrics_enabled() {
+        assert_eq!(reply.series.len(), 1, "prefix match hits one series");
+        let doc = &reply.series[0];
+        assert_eq!(doc.name, "obs_query.power_watts");
+        assert_eq!(doc.appended, 300);
+        assert_eq!(doc.points.len(), 300, "raw window returns every sample");
+        assert_eq!(doc.points[0], (0, 40.0));
+        assert!(doc.compression_ratio > 1.0, "steady series compress");
+        assert!(reply.total_series >= 1 && reply.total_points >= 300);
+        assert!(reply.total_stored_bytes > 0);
+        assert!(reply.compression_ratio > 1.0);
+
+        // Step alignment + aggregator + window + limit, all honored.
+        let line = proto::handle_line(
+            &core,
+            r#"{"cmd":"query","series":"obs_query.power_watts","start_ms":0,"end_ms":9999,"step_ms":1000,"agg":"max","limit":7}"#,
+        );
+        let reply: proto::QueryReply = serde_json::from_str(&line).unwrap();
+        assert_eq!(reply.agg, "max");
+        assert_eq!(reply.step_ms, 1000);
+        let doc = &reply.series[0];
+        assert_eq!(doc.points.len(), 7, "limit keeps the newest points");
+        assert_eq!(doc.points.last().unwrap().0, 9000);
+        for &(t, v) in &doc.points {
+            assert_eq!(t % 1000, 0, "bucket timestamps align to the step");
+            assert!((40.0..=46.0).contains(&v));
+        }
+
+        // The collector source landed the service-level series too.
+        let line = proto::handle_line(&core, r#"{"cmd":"query","series":"coolopt_service.plans"}"#);
+        let reply: proto::QueryReply = serde_json::from_str(&line).unwrap();
+        assert_eq!(reply.series.len(), 1);
+        assert!(reply.series[0].points.iter().any(|&(_, v)| v >= 2.0));
+    } else {
+        assert!(reply.series.is_empty(), "no-op store holds nothing");
+        assert_eq!(reply.total_points, 0);
+        assert_eq!(reply.compression_ratio, 0.0);
+    }
+
+    // An unknown aggregator is a request-level error, not a panic.
+    match proto::handle_request(&core, r#"{"cmd":"query","agg":"median"}"#) {
+        proto::Reply::Plan(response) => {
+            assert!(!response.ok);
+            assert!(response.error.unwrap().contains("unknown agg"));
+        }
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+}
+
+#[test]
+fn trace_scrape_ships_a_bounded_chrome_fragment() {
+    let core = ServiceCore::default();
+    core.register_scenario(&presets::testbed_rack20(0)).unwrap();
+    core.submit("testbed_rack20/rack", &[1.0, 2.0, 3.0])
+        .unwrap();
+
+    let line = proto::handle_line(&core, r#"{"cmd":"trace","limit":5}"#);
+    // The trace line is hand-assembled (the fragment is embedded raw), so
+    // decode it as a generic tree rather than a typed struct.
+    let doc: Value = serde_json::from_str(&line).unwrap();
+    let fields = doc.as_object().expect("trace reply is an object");
+    assert_eq!(
+        get_field(fields, "schema").unwrap().as_str().unwrap(),
+        proto::TRACE_REPLY_SCHEMA
+    );
+    assert_eq!(
+        get_field(fields, "trace_enabled").unwrap(),
+        &Value::Bool(telemetry::metrics_enabled())
+    );
+    let total = get_field(fields, "total_records")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    let returned = get_field(fields, "returned").unwrap().as_u64().unwrap();
+    assert!(returned <= 5, "limit bounds the shipped records");
+    assert!(returned <= total);
+    let chrome = get_field(fields, "chrome_json")
+        .unwrap()
+        .as_object()
+        .expect("the fragment embeds as a real JSON object");
+    let events = get_field(chrome, "traceEvents")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    assert_eq!(events.len() as u64, returned);
+    if telemetry::metrics_enabled() {
+        assert!(returned > 0, "submissions record spans");
+    } else {
+        assert_eq!(total, 0);
+    }
+}

@@ -39,10 +39,13 @@
 
 #![warn(missing_docs)]
 
+mod dashboard;
 mod event;
 mod render;
 mod tracefmt;
+mod tsdbfmt;
 
+pub use dashboard::{render_dashboard, Chart, ChartSeries};
 pub use event::{
     emit, events_json, events_quiet, init_events, set_min_level, FieldValue, Level, SinkMode,
 };
@@ -50,6 +53,9 @@ pub use render::{
     escape_prom_help, escape_prom_label_value, HistogramSnapshot, RegistrySnapshot, METRICS_SCHEMA,
 };
 pub use tracefmt::{Attr, RecordKind, TraceRecord, TraceSnapshot};
+pub use tsdbfmt::{
+    aggregate, wall_ms, Agg, QueryResult, RangeQuery, SeriesStats, TsdbConfig, TsdbStats,
+};
 
 #[cfg(feature = "enabled")]
 mod metrics;
@@ -57,6 +63,8 @@ mod metrics;
 mod registry;
 #[cfg(feature = "enabled")]
 mod tracing;
+#[cfg(feature = "enabled")]
+mod tsdb;
 #[cfg(feature = "enabled")]
 mod window;
 
@@ -72,6 +80,8 @@ pub use tracing::{
     span, span_child_of, trace_instant, Span, DEFAULT_FLIGHT_CAPACITY, MAX_SPAN_ATTRS,
 };
 #[cfg(feature = "enabled")]
+pub use tsdb::{dashboard_charts, sample_registry_into, tsdb, Collector, CollectorHandle, Tsdb};
+#[cfg(feature = "enabled")]
 pub use window::WindowedHistogram;
 
 #[cfg(not(feature = "enabled"))]
@@ -79,10 +89,11 @@ mod noop;
 
 #[cfg(not(feature = "enabled"))]
 pub use noop::{
-    counter, current_span_id, describe, flight_dropped, flight_snapshot, gauge, histogram,
-    histogram_with, init_flight_recorder, render_prometheus, reset_flight_recorder, snapshot, span,
-    span_child_of, trace_instant, Counter, Gauge, Histogram, Registry, Span, SpanTimer,
-    WindowedHistogram, DEFAULT_LATENCY_BUCKETS,
+    counter, current_span_id, dashboard_charts, describe, flight_dropped, flight_snapshot, gauge,
+    histogram, histogram_with, init_flight_recorder, render_prometheus, reset_flight_recorder,
+    sample_registry_into, snapshot, span, span_child_of, trace_instant, tsdb, Collector,
+    CollectorHandle, Counter, Gauge, Histogram, Registry, Span, SpanTimer, Tsdb, WindowedHistogram,
+    DEFAULT_LATENCY_BUCKETS,
 };
 
 /// Flight-recorder default capacity mirror for the no-op build.

@@ -6,8 +6,10 @@
 //! state. [`snapshot`] returns an empty [`RegistrySnapshot`] so exporters
 //! keep producing (empty but schema-valid) output.
 
+use crate::dashboard::Chart;
 use crate::render::RegistrySnapshot;
 use crate::tracefmt::{Attr, TraceSnapshot};
+use crate::tsdbfmt::{QueryResult, RangeQuery, TsdbConfig, TsdbStats};
 
 /// Default histogram bounds (mirrors the enabled crate; unused here).
 pub const DEFAULT_LATENCY_BUCKETS: &[f64] = &[];
@@ -316,3 +318,107 @@ pub fn init_flight_recorder(_capacity: usize) -> bool {
 /// Does nothing.
 #[inline(always)]
 pub fn reset_flight_recorder() {}
+
+/// No-op time-series store (zero-sized; nothing is retained).
+#[derive(Debug, Default)]
+pub struct Tsdb;
+
+static NOOP_TSDB: Tsdb = Tsdb;
+
+impl Tsdb {
+    /// An empty (and permanently empty) store.
+    #[inline(always)]
+    pub fn new(_config: TsdbConfig) -> Self {
+        Tsdb
+    }
+    /// The default sizing (nothing uses it).
+    #[inline(always)]
+    pub fn config(&self) -> TsdbConfig {
+        TsdbConfig::default()
+    }
+    /// Does nothing.
+    #[inline(always)]
+    pub fn append(&self, _name: &str, _t_ms: i64, _value: f64) {}
+    /// Always empty.
+    #[inline(always)]
+    pub fn series_names(&self) -> Vec<String> {
+        Vec::new()
+    }
+    /// Always `None` (no series exists).
+    #[inline(always)]
+    pub fn query(&self, _name: &str, _query: &RangeQuery) -> Option<QueryResult> {
+        None
+    }
+    /// Always empty.
+    #[inline(always)]
+    pub fn query_matching(&self, _pattern: &str, _query: &RangeQuery) -> Vec<QueryResult> {
+        Vec::new()
+    }
+    /// Always zero.
+    #[inline(always)]
+    pub fn stats(&self) -> TsdbStats {
+        TsdbStats::default()
+    }
+}
+
+/// The shared no-op store.
+#[inline(always)]
+pub fn tsdb() -> &'static Tsdb {
+    &NOOP_TSDB
+}
+
+/// Does nothing (there is no registry to sample).
+#[inline(always)]
+pub fn sample_registry_into(_db: &Tsdb, _now_ms: i64) {}
+
+/// No-op background collector (zero-sized; no thread is spawned and the
+/// clock is never read).
+#[derive(Debug, Default)]
+pub struct Collector;
+
+impl Collector {
+    /// A collector that will never sample anything.
+    #[inline(always)]
+    pub fn new(_period_secs: f64) -> Self {
+        Collector
+    }
+    /// Does nothing.
+    #[inline(always)]
+    pub fn sample_registry(self, _on: bool) -> Self {
+        self
+    }
+    /// Drops the source unused.
+    #[inline(always)]
+    pub fn source(self, _f: impl Fn(i64, &Tsdb) + Send + Sync + 'static) -> Self {
+        self
+    }
+    /// An inert handle (no thread).
+    #[inline(always)]
+    pub fn start(self) -> CollectorHandle {
+        CollectorHandle
+    }
+}
+
+/// No-op collector handle.
+#[derive(Debug, Default)]
+pub struct CollectorHandle;
+
+impl CollectorHandle {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn sample_now(&self) {}
+    /// Always zero.
+    #[inline(always)]
+    pub fn ticks(&self) -> u64 {
+        0
+    }
+    /// Does nothing (there is no thread to join).
+    #[inline(always)]
+    pub fn stop(self) {}
+}
+
+/// Always empty (the no-op store holds no series).
+#[inline(always)]
+pub fn dashboard_charts(_db: &Tsdb) -> Vec<Chart> {
+    Vec::new()
+}

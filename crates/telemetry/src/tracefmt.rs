@@ -163,6 +163,17 @@ impl TraceSnapshot {
         self.records.is_empty()
     }
 
+    /// The newest `n` records (by the snapshot's start-time order),
+    /// `dropped` carried over unchanged — the bounded view wire scrapes
+    /// ship so one reply line cannot grow with recorder capacity.
+    pub fn tail(&self, n: usize) -> TraceSnapshot {
+        let skip = self.records.len().saturating_sub(n);
+        TraceSnapshot {
+            records: self.records[skip..].to_vec(),
+            dropped: self.dropped,
+        }
+    }
+
     /// Chrome `chrome://tracing` / Perfetto JSON: an object whose
     /// `traceEvents` array holds one complete (`"ph":"X"`) event per span
     /// and one instant (`"ph":"i"`) event per point record. Timestamps and

@@ -49,3 +49,47 @@ fn watchdog_observes_nothing_and_reports_none() {
     monitor.observe_margin(Seconds::new(1.0), -5.0);
     assert!(monitor.finish().is_none());
 }
+
+#[test]
+fn tsdb_and_collector_are_zero_sized_and_inert() {
+    assert_eq!(std::mem::size_of::<telemetry::Tsdb>(), 0);
+    assert_eq!(std::mem::size_of::<telemetry::Collector>(), 0);
+    assert_eq!(std::mem::size_of::<telemetry::CollectorHandle>(), 0);
+
+    // Appends vanish; every query answers over zero retained points.
+    let db = telemetry::tsdb();
+    db.append("noop.series", 0, 1.0);
+    db.append("noop.series", 1000, 2.0);
+    assert!(db.series_names().is_empty());
+    assert!(db
+        .query("noop.series", &telemetry::RangeQuery::default())
+        .is_none());
+    assert!(db
+        .query_matching("*", &telemetry::RangeQuery::default())
+        .is_empty());
+    let stats = db.stats();
+    assert_eq!((stats.series, stats.points, stats.stored_bytes), (0, 0, 0));
+    assert_eq!(stats.compression_ratio(), 0.0);
+    assert_eq!(
+        telemetry::Tsdb::new(telemetry::TsdbConfig::default()).stats(),
+        stats
+    );
+
+    // The collector spawns no thread, ticks never, and its sources are
+    // dropped unused.
+    let handle = telemetry::Collector::new(0.01)
+        .sample_registry(true)
+        .source(|now_ms, db| db.append("noop.from_source", now_ms, 1.0))
+        .start();
+    handle.sample_now();
+    assert_eq!(handle.ticks(), 0);
+    handle.stop();
+    telemetry::sample_registry_into(db, 0);
+    assert!(db.series_names().is_empty());
+
+    // The dashboard exporter still renders a valid (empty) document.
+    assert!(telemetry::dashboard_charts(db).is_empty());
+    let html = telemetry::render_dashboard("noop", "no store", &[]);
+    assert!(html.starts_with("<!DOCTYPE html>"));
+    assert!(html.contains("No series were recorded."));
+}
